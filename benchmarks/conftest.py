@@ -1,0 +1,55 @@
+"""Benchmark fixtures.
+
+Each benchmark module regenerates one paper artifact (table, figure or
+quoted result).  The preset is selectable via ``REPRO_BENCH_PRESET``
+(``quick`` by default; set ``paper`` for the full 430-min-instances
+regime, which simulates ~15k sections once and caches them on disk).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the paper-vs-measured report each benchmark prints; the
+same text is attached to ``benchmark.extra_info`` for the JSON output.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+
+def bench_config() -> ExperimentConfig:
+    preset = os.environ.get("REPRO_BENCH_PRESET", "quick")
+    return ExperimentConfig.by_name(preset)
+
+
+@pytest.fixture(scope="session")
+def config():
+    return bench_config()
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(config):
+    """The suite dataset, simulated once per session (disk-cached)."""
+    from repro.experiments import suite_dataset
+
+    return suite_dataset(config)
+
+
+def run_artifact(benchmark, experiment_id, config):
+    """Benchmark one experiment, print and attach its report."""
+    report = benchmark.pedantic(
+        run_experiment, args=(experiment_id, config), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    benchmark.extra_info["experiment"] = experiment_id
+    benchmark.extra_info["measured"] = report.measured
+    benchmark.extra_info["checks"] = report.checks
+    assert report.all_checks_pass, (
+        f"{experiment_id} shape checks failed: "
+        + ", ".join(k for k, v in report.checks.items() if not v)
+    )
+    return report

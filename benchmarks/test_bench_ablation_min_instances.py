@@ -1,0 +1,7 @@
+"""A2 — ablation: minimum leaf population sweep (the paper's 430 rule)."""
+
+from conftest import run_artifact
+
+
+def test_min_instances_ablation(benchmark, config):
+    run_artifact(benchmark, "A2", config)

@@ -1,0 +1,7 @@
+"""A1 — ablation: post-pruning on/off (paper Section IV-B)."""
+
+from conftest import run_artifact
+
+
+def test_pruning_ablation(benchmark, config):
+    run_artifact(benchmark, "A1", config)

@@ -1,0 +1,7 @@
+"""A4 — ablation: equal-instruction section size."""
+
+from conftest import run_artifact
+
+
+def test_section_size_ablation(benchmark, config):
+    run_artifact(benchmark, "A4", config)

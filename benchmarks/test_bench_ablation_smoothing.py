@@ -1,0 +1,7 @@
+"""A3 — ablation: M5 smoothing on/off."""
+
+from conftest import run_artifact
+
+
+def test_smoothing_ablation(benchmark, config):
+    run_artifact(benchmark, "A3", config)

@@ -1,0 +1,9 @@
+"""R1 — the headline 10-fold CV accuracy (paper: C=0.98, MAE=0.05, RAE=7.83%)."""
+
+from conftest import run_artifact
+
+
+def test_cross_validated_accuracy(benchmark, config):
+    report = run_artifact(benchmark, "R1", config)
+    correlation = float(report.measured["C (mean over folds)"])
+    assert correlation > 0.95

@@ -1,0 +1,14 @@
+"""R2 — the method comparison (paper: ANN C=0.99, SVM C=0.98, M5' C=0.98).
+
+The shape to hold: black-box ANN/SVM land within a whisker of M5', the
+piecewise-constant CART tree and the single global linear model trail
+it, and the traditional fixed-penalty model is far worse than anything
+learned.
+"""
+
+from conftest import run_artifact
+
+
+def test_method_comparison(benchmark, config):
+    report = run_artifact(benchmark, "R2", config)
+    assert "M5P model tree" in report.measured

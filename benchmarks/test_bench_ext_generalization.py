@@ -1,0 +1,7 @@
+"""E3 — extension: leave-one-workload-out generalization."""
+
+from conftest import run_artifact
+
+
+def test_leave_one_workload_out(benchmark, config):
+    run_artifact(benchmark, "E3", config)

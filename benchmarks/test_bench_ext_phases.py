@@ -1,0 +1,7 @@
+"""E2 — extension: recover phase boundaries from counters (Sherwood [7])."""
+
+from conftest import run_artifact
+
+
+def test_phase_tracking(benchmark, config):
+    run_artifact(benchmark, "E2", config)

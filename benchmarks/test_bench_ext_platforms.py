@@ -1,0 +1,7 @@
+"""E1 — extension: compare machine variants (the paper's Section I pitch)."""
+
+from conftest import run_artifact
+
+
+def test_platform_comparison(benchmark, config):
+    run_artifact(benchmark, "E1", config)

@@ -1,0 +1,8 @@
+"""F1 — regenerate the Figure 1 example tree on Y = f(X1..X4)."""
+
+from conftest import run_artifact
+
+
+def test_figure1_example_tree(benchmark, config):
+    report = run_artifact(benchmark, "F1", config)
+    assert report.measured["root split"] == "X1"

@@ -1,0 +1,14 @@
+"""F2 — regenerate the performance-analysis tree (paper Figure 2).
+
+Shape targets: L2M at the root, cache/TLB/branch families near the top,
+a constant-like high-CPI class capturing cactusADM-like sections (the
+paper's LM18), mcf-like sections concentrated in an L2M+DTLB class
+(LM17), and LCP-limited sections detectable (LM10).
+"""
+
+from conftest import run_artifact
+
+
+def test_figure2_performance_tree(benchmark, config):
+    report = run_artifact(benchmark, "F2", config)
+    assert report.measured["root split"] == "L2M"

@@ -1,0 +1,8 @@
+"""F3 — regenerate the predicted-vs-actual CPI scatter (paper Figure 3)."""
+
+from conftest import run_artifact
+
+
+def test_figure3_predicted_vs_actual(benchmark, config):
+    report = run_artifact(benchmark, "F3", config)
+    assert float(report.measured["pooled correlation"]) >= 0.95

@@ -1,0 +1,21 @@
+"""A5 — learning curve: accuracy vs training-set size (methodology extra)."""
+
+from repro.core.tree import M5Prime
+from repro.evaluation import learning_curve
+
+
+def test_learning_curve(benchmark, config, bench_dataset):
+    def run():
+        return learning_curve(
+            lambda: M5Prime(min_instances=max(8, config.min_instances // 2)),
+            bench_dataset,
+            rng=config.seed,
+        )
+
+    curve = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(curve.to_table())
+    benchmark.extra_info["curve"] = curve.to_table()
+    # More data must not hurt: the full-pool point is at least as good as
+    # the smallest-pool point (loose band for sampling noise).
+    assert curve.points[-1].result.rae <= curve.points[0].result.rae * 1.10

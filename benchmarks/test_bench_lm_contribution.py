@@ -1,0 +1,7 @@
+"""R3 — the LM8/LM11 worked examples: per-event contribution arithmetic."""
+
+from conftest import run_artifact
+
+
+def test_leaf_model_contribution_examples(benchmark, config):
+    run_artifact(benchmark, "R3", config)

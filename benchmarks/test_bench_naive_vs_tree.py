@@ -1,0 +1,9 @@
+"""R5 — the motivating claim: uniform fixed penalties mis-state performance."""
+
+from conftest import run_artifact
+
+
+def test_naive_fixed_penalty_gap(benchmark, config):
+    report = run_artifact(benchmark, "R5", config)
+    ratio = float(report.measured["error ratio naive/tree"].rstrip("x"))
+    assert ratio >= 2.0

@@ -1,0 +1,8 @@
+"""R4 — split-variable impact estimation (the paper's LdBlSta example)."""
+
+from conftest import run_artifact
+
+
+def test_split_variable_impacts(benchmark, config):
+    report = run_artifact(benchmark, "R4", config)
+    assert int(report.measured["splits analyzed"]) >= 1

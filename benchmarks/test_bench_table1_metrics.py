@@ -1,0 +1,9 @@
+"""T1 — regenerate Table I and verify full counter coverage."""
+
+from conftest import run_artifact
+
+
+def test_table1_metric_catalogue(benchmark, config):
+    report = run_artifact(benchmark, "T1", config)
+    assert "CPI" in report.body
+    assert "ILD_STALL" in report.body

@@ -1,0 +1,55 @@
+"""Reproduce the method-comparison study (paper Section V-B / [23]).
+
+Cross-validates every learner in the package — the M5' model tree, a
+neural network, an epsilon-SVR, a CART regression tree, global linear
+regression, k-NN and the traditional fixed-penalty model — on identical
+folds of one dataset, and prints the comparison table.
+
+Usage::
+
+    python examples/compare_learners.py
+"""
+
+from repro import simulate_suite
+from repro.baselines import (
+    EpsilonSVR,
+    KNNRegressor,
+    LinearRegressionBaseline,
+    MLPRegressor,
+    NaiveFixedPenaltyModel,
+    RegressionTree,
+)
+from repro.core.tree import M5Prime
+from repro.evaluation import compare_estimators
+
+
+def main() -> None:
+    print("simulating the evaluation dataset...")
+    dataset = simulate_suite(
+        sections_per_workload=60, instructions_per_section=2048, seed=2007
+    ).dataset
+
+    factories = {
+        "M5P model tree": lambda: M5Prime(min_instances=25),
+        "ANN (MLP)": lambda: MLPRegressor(hidden=(48, 24), epochs=150, seed=0),
+        "SVM (eps-SVR)": lambda: EpsilonSVR(C=20.0, epsilon=0.02, seed=0),
+        "CART reg. tree": lambda: RegressionTree(min_instances=25),
+        "linear regression": LinearRegressionBaseline,
+        "k-NN (k=5)": lambda: KNNRegressor(k=5),
+        "naive fixed penalty": NaiveFixedPenaltyModel,
+    }
+    print("cross-validating 7 learners (a minute or so)...")
+    comparison = compare_estimators(factories, dataset, n_folds=10, seed=0)
+    print()
+    print(comparison.to_table())
+    print()
+    print(
+        "Paper's reading: the ANN and SVM match or slightly beat the model\n"
+        "tree on raw accuracy, but only the tree names the events, their\n"
+        "thresholds and their per-class costs — and the traditional\n"
+        "fixed-penalty approach is not competitive at all."
+    )
+
+
+if __name__ == "__main__":
+    main()

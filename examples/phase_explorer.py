@@ -1,0 +1,79 @@
+"""Watch a workload move through phases, as the tree sees them.
+
+The paper (citing Sherwood et al.) treats phases as first-class: each
+section belongs to a behaviour class, and the model tree's leaves *are*
+those classes.  This example runs the two-phase gcc-like workload,
+prints a CPI timeline with the leaf id per section, and shows the phase
+boundary appearing as a class change — including the LCP-stall phase
+the paper highlights as LM10.
+
+Usage::
+
+    python examples/phase_explorer.py
+"""
+
+import numpy as np
+
+from repro import M5Prime, simulate_suite
+from repro.workloads import workload_by_name
+
+
+def sparkline(values, width=60) -> str:
+    """A coarse text plot of a series."""
+    levels = " .:-=+*#%@"
+    arr = np.asarray(values, dtype=float)
+    if len(arr) > width:
+        chunks = np.array_split(arr, width)
+        arr = np.array([c.mean() for c in chunks])
+    low, high = arr.min(), arr.max()
+    span = max(high - low, 1e-9)
+    return "".join(levels[int((v - low) / span * (len(levels) - 1))] for v in arr)
+
+
+def main() -> None:
+    print("training the reference model...")
+    reference = simulate_suite(
+        sections_per_workload=60, instructions_per_section=2048, seed=2007
+    ).dataset
+    model = M5Prime(min_instances=25).fit(reference)
+
+    print("running gcc_like (80% compile phase, 20% LCP-heavy phase)...")
+    study = simulate_suite(
+        [workload_by_name("gcc_like")],
+        sections_per_workload=80,
+        instructions_per_section=2048,
+        seed=31,
+    ).dataset
+
+    order = np.argsort(study.meta["section"].astype(int))
+    cpi = study.y[order]
+    lcp = study.column("LCP")[order]
+    leaves = model.leaf_ids(study.X)[order]
+
+    print("\nsection timeline (left = start of run):")
+    print(f"  CPI  {sparkline(cpi)}")
+    print(f"  LCP  {sparkline(lcp)}")
+
+    print("\nleaf (class) per section:")
+    line = "".join(
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZ"[int(leaf) % 26] for leaf in leaves
+    )
+    print(f"  {line}")
+
+    boundary = int(0.8 * len(cpi))
+    print(f"\nmean CPI, compile phase:  {cpi[:boundary].mean():.3f}")
+    print(f"mean CPI, LCP phase:      {cpi[boundary:].mean():.3f}")
+    phase_classes = set(leaves[boundary:]) - set(leaves[:boundary])
+    if phase_classes:
+        print(
+            "classes exclusive to the LCP phase: "
+            + ", ".join(f"LM{c}" for c in sorted(phase_classes))
+        )
+        for leaf in sorted(phase_classes):
+            print(f"  LM{leaf}: {model.leaf_models()[leaf].describe('CPI')}")
+    else:
+        print("(tree at this scale merged the phases into shared classes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro — model trees for computer architecture performance analysis.
+
+A from-scratch reproduction of Ould-Ahmed-Vall et al., *Using Model Trees
+for Computer Architecture Performance Analysis of Software Applications*
+(ISPASS 2007).
+
+The package bundles everything the paper depends on:
+
+* :mod:`repro.counters` — the Table I hardware-event and metric catalogue.
+* :mod:`repro.simulator` — a trace-driven Core 2 Duo-like processor model
+  that stands in for the paper's physical PMU-instrumented machine.
+* :mod:`repro.workloads` — synthetic SPEC CPU2006-like workload profiles.
+* :mod:`repro.datasets` — section datasets, ARFF/CSV interchange, splits.
+* :mod:`repro.core` — the M5' model-tree learner and the performance
+  analysis layer ("what" / "how much" questions).
+* :mod:`repro.baselines` — CART, OLS, k-NN, MLP, epsilon-SVR and the naive
+  fixed-penalty model used for comparison.
+* :mod:`repro.evaluation` — metrics and 10-fold cross validation.
+* :mod:`repro.experiments` — one entry point per paper table/figure.
+"""
+
+from repro.counters import PREDICTOR_METRICS, TARGET_METRIC
+from repro.core.analysis import PerformanceAnalyzer
+from repro.core.tree import M5Prime
+from repro.datasets import Dataset
+from repro.evaluation import EvaluationResult, cross_validate, evaluate_predictions
+from repro.simulator import MachineConfig, SimulatedCore
+from repro.workloads import WorkloadProfile, simulate_suite, spec_like_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataset",
+    "EvaluationResult",
+    "M5Prime",
+    "MachineConfig",
+    "PREDICTOR_METRICS",
+    "PerformanceAnalyzer",
+    "SimulatedCore",
+    "TARGET_METRIC",
+    "WorkloadProfile",
+    "__version__",
+    "cross_validate",
+    "evaluate_predictions",
+    "simulate_suite",
+    "spec_like_suite",
+]

@@ -1,0 +1,29 @@
+"""Comparison learners and the naive fixed-penalty model.
+
+The paper validates M5' against other regression techniques (its
+companion study [23]: linear regression, regression trees, k-NN,
+artificial neural networks, support vector machines) and argues against
+the "traditional approach of assigning a uniform estimated penalty to
+each event".  All of them are implemented here from scratch.
+"""
+
+from repro.baselines.base import RegressorBase
+from repro.baselines.bagging import BaggedM5
+from repro.baselines.linear import LinearRegressionBaseline
+from repro.baselines.regression_tree import RegressionTree
+from repro.baselines.knn import KNNRegressor
+from repro.baselines.mlp import MLPRegressor
+from repro.baselines.svr import EpsilonSVR
+from repro.baselines.naive import NaiveFixedPenaltyModel, default_penalty_table
+
+__all__ = [
+    "BaggedM5",
+    "EpsilonSVR",
+    "KNNRegressor",
+    "LinearRegressionBaseline",
+    "MLPRegressor",
+    "NaiveFixedPenaltyModel",
+    "RegressionTree",
+    "RegressorBase",
+    "default_penalty_table",
+]

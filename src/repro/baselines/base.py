@@ -1,0 +1,85 @@
+"""Common estimator plumbing for the baseline learners."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro._util import as_float_matrix
+from repro.datasets.dataset import Dataset
+from repro.datasets.unpack import unpack_training_data
+from repro.errors import DataError, NotFittedError
+
+
+class RegressorBase:
+    """Base class: input normalization, fitted-state checks, validation.
+
+    Subclasses implement ``_fit(X, y)`` and ``_predict(X)``; everything
+    else (Dataset/array duality, width checks, ``fitted_`` flag) lives
+    here so the estimators share one contract with :class:`M5Prime`.
+    """
+
+    def __init__(self) -> None:
+        self.attributes_: Tuple[str, ...] = ()
+        self.target_name_: str = "Y"
+        self.fitted_ = False
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        data: Union[Dataset, np.ndarray, Sequence],
+        y: Optional[Sequence] = None,
+        attribute_names: Optional[Sequence[str]] = None,
+    ) -> "RegressorBase":
+        X, targets, names, target_name = unpack_training_data(
+            data, y, attribute_names
+        )
+        if X.shape[0] == 0:
+            raise DataError("cannot fit on zero instances")
+        self.attributes_ = names
+        self.target_name_ = target_name
+        self._fit(X, targets)
+        self.fitted_ = True
+        return self
+
+    def predict(self, X: Union[np.ndarray, Sequence]) -> np.ndarray:
+        if not self.fitted_:
+            raise NotFittedError(f"{type(self).__name__} must be fitted before use")
+        X = as_float_matrix(X)
+        if X.shape[1] != len(self.attributes_):
+            raise DataError(
+                f"X has {X.shape[1]} columns but the model was trained "
+                f"on {len(self.attributes_)}"
+            )
+        return np.asarray(self._predict(X), dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class Standardizer:
+    """Column-wise z-scoring with degenerate-column protection."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "Standardizer":
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale <= 1e-12] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("Standardizer must be fitted before transform")
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

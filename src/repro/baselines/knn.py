@@ -1,0 +1,63 @@
+"""k-nearest-neighbour regression.
+
+A non-parametric comparator from the paper's companion study [23]:
+accurate when the section space is densely sampled, but entirely
+uninterpretable — it names no events and fits no coefficients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import RegressorBase, Standardizer
+from repro.errors import ConfigError
+
+#: Rows of the query matrix processed per distance block, bounding memory.
+_CHUNK = 256
+
+
+class KNNRegressor(RegressorBase):
+    """Mean of the ``k`` nearest training targets (Euclidean, z-scored).
+
+    Args:
+        k: Neighbourhood size.
+        weighted: Inverse-distance weighting instead of the plain mean.
+    """
+
+    def __init__(self, k: int = 5, weighted: bool = False) -> None:
+        super().__init__()
+        if k < 1:
+            raise ConfigError(f"k must be at least 1, got {k}")
+        self.k = int(k)
+        self.weighted = bool(weighted)
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._scaler = Standardizer()
+        self._train_X = self._scaler.fit_transform(X)
+        self._train_y = y.copy()
+        self._effective_k = min(self.k, X.shape[0])
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        Z = self._scaler.transform(X)
+        predictions = np.empty(Z.shape[0])
+        for start in range(0, Z.shape[0], _CHUNK):
+            block = Z[start:start + _CHUNK]
+            # Squared Euclidean distances, block against all training rows.
+            distances = (
+                np.sum(block**2, axis=1)[:, None]
+                - 2.0 * block @ self._train_X.T
+                + np.sum(self._train_X**2, axis=1)[None, :]
+            )
+            nearest = np.argpartition(distances, self._effective_k - 1, axis=1)[
+                :, : self._effective_k
+            ]
+            neighbour_targets = self._train_y[nearest]
+            if self.weighted:
+                neighbour_distances = np.take_along_axis(distances, nearest, axis=1)
+                weights = 1.0 / (np.sqrt(np.maximum(neighbour_distances, 0.0)) + 1e-9)
+                predictions[start:start + _CHUNK] = np.sum(
+                    weights * neighbour_targets, axis=1
+                ) / np.sum(weights, axis=1)
+            else:
+                predictions[start:start + _CHUNK] = neighbour_targets.mean(axis=1)
+        return predictions

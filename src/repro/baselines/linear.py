@@ -1,0 +1,65 @@
+"""Global linear regression (optionally ridge-regularized).
+
+The single-model alternative the paper argues is insufficient: one line
+for all phases cannot express interactions or class structure, but it is
+the natural accuracy floor for the comparison experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro._util import format_float
+from repro.baselines.base import RegressorBase, Standardizer
+from repro.errors import ConfigError, NotFittedError
+
+
+class LinearRegressionBaseline(RegressorBase):
+    """Ordinary least squares on standardized attributes.
+
+    Args:
+        ridge: L2 penalty on (standardized) slopes; 0 gives plain OLS.
+    """
+
+    def __init__(self, ridge: float = 0.0) -> None:
+        super().__init__()
+        if ridge < 0:
+            raise ConfigError(f"ridge must be non-negative, got {ridge}")
+        self.ridge = float(ridge)
+        self.coefficients_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._scaler = Standardizer()
+        Z = self._scaler.fit_transform(X)
+        n, p = Z.shape
+        design = np.column_stack([Z, np.ones(n)])
+        if self.ridge > 0:
+            penalty = self.ridge * np.eye(p + 1)
+            penalty[-1, -1] = 0.0  # never penalize the intercept
+            gram = design.T @ design + penalty
+            solution = np.linalg.solve(gram, design.T @ y)
+        else:
+            solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        z_coefficients = solution[:-1]
+        z_intercept = float(solution[-1])
+        # Back-transform to original attribute units for interpretability.
+        scale = self._scaler.scale_
+        mean = self._scaler.mean_
+        self.coefficients_ = z_coefficients / scale
+        self.intercept_ = z_intercept - float(np.sum(z_coefficients * mean / scale))
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        return X @ self.coefficients_ + self.intercept_
+
+    def describe(self, digits: int = 4) -> str:
+        """The fitted equation in original units."""
+        if self.coefficients_ is None:
+            raise NotFittedError("fit the model before describing it")
+        parts = [format_float(self.intercept_, digits)]
+        for name, coefficient in zip(self.attributes_, self.coefficients_):
+            sign = "-" if coefficient < 0 else "+"
+            parts.append(f"{sign} {format_float(abs(coefficient), digits)} * {name}")
+        return f"{self.target_name_} = " + " ".join(parts)

@@ -1,0 +1,95 @@
+"""The traditional fixed-penalty CPI model.
+
+The approach the paper's introduction argues against: "assigning a
+uniform estimated penalty to each event ... does not accurately identify
+and quantify performance limiters."  CPI is modeled as a base cost plus
+each event rate times its *architectural* penalty — no overlap, no
+interaction, no phases.  Only the base CPI is fitted (as the mean
+residual), which is the charitable reading of first-order analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.baselines.base import RegressorBase
+from repro.errors import DataError
+from repro.simulator.config import LatencyConfig
+
+
+def default_penalty_table(latency: Optional[LatencyConfig] = None) -> Dict[str, float]:
+    """Architectural per-event penalties, in cycles, per Table I metric.
+
+    These are the documented (optimization-manual-style) costs a
+    first-order analysis would assign; metrics that describe the mix
+    rather than stall events carry no penalty.
+    """
+    lat = latency or LatencyConfig()
+    return {
+        "L1DM": float(lat.l2_hit - lat.l1_hit),
+        "L1IM": float(lat.l1i_refill),
+        "L2M": float(lat.memory),
+        "DtlbL0LdM": float(lat.dtlb0_miss),
+        "DtlbLdM": float(lat.dtlb_walk),
+        "DtlbLdReM": 0.0,   # duplicate view of DtlbLdM; costed once
+        "Dtlb": 0.0,        # superset of DtlbLdM; costed once
+        "ItlbM": float(lat.itlb_walk),
+        "BrMisPr": float(lat.branch_mispredict),
+        "LdBlSta": float(lat.load_block_sta),
+        "LdBlStd": float(lat.load_block_std),
+        "LdBlOvSt": float(lat.load_block_overlap),
+        "MisalRef": float(lat.misaligned),
+        "L1DSpLd": float(lat.split_access),
+        "L1DSpSt": float(lat.split_access),
+        "LCP": float(lat.lcp_stall),
+        "InstLd": 0.0,
+        "InstSt": 0.0,
+        "BrPred": 0.0,
+        "InstOther": 0.0,
+    }
+
+
+class NaiveFixedPenaltyModel(RegressorBase):
+    """CPI = fitted base + sum(penalty_e * rate_e), penalties fixed.
+
+    Args:
+        penalties: Metric name -> cycles.  Attributes absent from the
+            table cost nothing.  Defaults to the Core 2-class
+            architectural penalties of :func:`default_penalty_table`.
+        base_cpi: Fix the base CPI instead of fitting it.
+    """
+
+    def __init__(
+        self,
+        penalties: Optional[Mapping[str, float]] = None,
+        base_cpi: Optional[float] = None,
+    ) -> None:
+        super().__init__()
+        self.penalties = dict(penalties) if penalties is not None else None
+        self.base_cpi = base_cpi
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        table = self.penalties if self.penalties is not None else default_penalty_table()
+        unknown = set(table) - set(self.attributes_)
+        if self.penalties is not None and unknown:
+            raise DataError(
+                f"penalty table names unknown attributes: {sorted(unknown)}"
+            )
+        self._weights = np.array(
+            [table.get(name, 0.0) for name in self.attributes_], dtype=np.float64
+        )
+        event_cycles = X @ self._weights
+        if self.base_cpi is not None:
+            self._base = float(self.base_cpi)
+        else:
+            self._base = float(np.mean(y - event_cycles))
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        return self._base + X @ self._weights
+
+    @property
+    def fitted_base_cpi(self) -> float:
+        """The base (event-free) CPI the model settled on."""
+        return self._base

@@ -1,0 +1,343 @@
+"""Command-line interface.
+
+Subcommands mirror the paper's workflow:
+
+* ``repro collect``     — simulate the suite and write the section dataset
+* ``repro train``       — fit an M5' tree on a dataset and print it
+* ``repro analyze``     — classify sections and print what/how-much reports
+* ``repro evaluate``    — cross-validate one learner on a dataset
+* ``repro compare``     — the full method comparison table
+* ``repro experiments`` — run registered paper-artifact experiments
+* ``repro workloads``   — list the synthetic suite
+
+Example::
+
+    repro collect --out sections.csv --sections 120
+    repro train --data sections.csv --min-instances 25
+    repro experiments --id F2 --preset quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Model trees for computer architecture performance "
+        "analysis (ISPASS 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    collect = sub.add_parser("collect", help="simulate the suite, write a dataset")
+    collect.add_argument("--out", required=True, help="output CSV path")
+    collect.add_argument("--sections", type=int, default=120,
+                         help="sections per workload (default 120)")
+    collect.add_argument("--instructions", type=int, default=2048,
+                         help="instructions per section (default 2048)")
+    collect.add_argument("--seed", type=int, default=2007)
+    collect.add_argument("--arff", action="store_true",
+                         help="also write a WEKA .arff next to the CSV")
+
+    train = sub.add_parser("train", help="fit an M5' tree and print it")
+    train.add_argument("--data", required=True, help="dataset CSV path")
+    train.add_argument("--min-instances", type=int, default=25)
+    train.add_argument("--no-prune", action="store_true")
+    train.add_argument("--smoothing", action="store_true")
+    train.add_argument("--save", help="write the fitted model to this JSON path")
+    train.add_argument("--rules", action="store_true",
+                       help="print the tree as an ordered rule list")
+    train.add_argument("--dot", help="write GraphViz DOT source to this path")
+
+    analyze = sub.add_parser("analyze", help="what/how-much report for sections")
+    analyze.add_argument("--data", required=True, help="dataset CSV to analyze")
+    analyze.add_argument("--train", help="training CSV (default: same as --data)")
+    analyze.add_argument("--model", help="load a saved model JSON instead of training")
+    analyze.add_argument("--min-instances", type=int, default=25)
+    analyze.add_argument("--section", type=int,
+                         help="analyze a single section index in detail")
+    analyze.add_argument("--top", type=int, default=3,
+                         help="events listed per class in the summary")
+
+    evaluate = sub.add_parser("evaluate", help="cross-validate one learner")
+    evaluate.add_argument("--data", required=True)
+    evaluate.add_argument("--learner", default="m5p",
+                          choices=["m5p", "cart", "ols", "knn", "mlp", "svr", "naive"])
+    evaluate.add_argument("--folds", type=int, default=10)
+    evaluate.add_argument("--min-instances", type=int, default=25)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--residuals", action="store_true",
+                          help="break residuals down by workload and class")
+
+    compare = sub.add_parser("compare", help="method comparison table")
+    compare.add_argument("--data", required=True)
+    compare.add_argument("--folds", type=int, default=10)
+    compare.add_argument("--min-instances", type=int, default=25)
+    compare.add_argument("--seed", type=int, default=0)
+
+    experiments = sub.add_parser("experiments", help="run paper-artifact experiments")
+    experiments.add_argument("--id", action="append", dest="ids",
+                             help="experiment id (repeatable); default: all")
+    experiments.add_argument("--preset", default="quick",
+                             choices=["tiny", "quick", "paper"])
+    experiments.add_argument("--list", action="store_true",
+                             help="list experiment ids and exit")
+
+    describe = sub.add_parser("describe", help="profile a dataset's distributions")
+    describe.add_argument("--data", required=True, help="dataset CSV path")
+
+    report = sub.add_parser(
+        "report", help="run all experiments, write a markdown report"
+    )
+    report.add_argument("--out", required=True, help="output markdown path")
+    report.add_argument("--preset", default="quick",
+                        choices=["tiny", "quick", "paper"])
+
+    sub.add_parser("workloads", help="list the synthetic SPEC-like suite")
+    return parser
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    from repro.datasets.arff import save_arff
+    from repro.datasets.csvio import save_csv
+    from repro.workloads import simulate_suite
+
+    result = simulate_suite(
+        sections_per_workload=args.sections,
+        instructions_per_section=args.instructions,
+        seed=args.seed,
+    )
+    save_csv(result.dataset, args.out)
+    print(result.summary())
+    print(f"wrote {result.dataset.n_instances} sections to {args.out}")
+    if args.arff:
+        arff_path = args.out.rsplit(".", 1)[0] + ".arff"
+        save_arff(result.dataset, arff_path)
+        print(f"wrote WEKA dataset to {arff_path}")
+    return 0
+
+
+def _load(path: str):
+    from repro.datasets.csvio import load_csv
+
+    return load_csv(path)
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core.analysis import render_rules
+    from repro.core.tree import M5Prime, save_model
+
+    dataset = _load(args.data)
+    model = M5Prime(
+        min_instances=args.min_instances,
+        prune=not args.no_prune,
+        smoothing=args.smoothing,
+    )
+    model.fit(dataset)
+    if args.rules:
+        print(render_rules(model))
+    else:
+        print(model.to_text())
+    print()
+    print(f"{model.n_leaves} leaves, depth {model.depth}, "
+          f"{dataset.n_instances} training sections")
+    if args.save:
+        save_model(model, args.save)
+        print(f"saved model to {args.save}")
+    if args.dot:
+        from repro.core.tree import render_dot
+
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(render_dot(model))
+        print(f"wrote GraphViz source to {args.dot}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.analysis import PerformanceAnalyzer
+    from repro.core.tree import M5Prime, load_model
+
+    dataset = _load(args.data)
+    if args.model:
+        model = load_model(args.model)
+    else:
+        training = _load(args.train) if args.train else dataset
+        model = M5Prime(min_instances=args.min_instances).fit(training)
+    analyzer = PerformanceAnalyzer(model)
+    if args.section is not None:
+        if not 0 <= args.section < dataset.n_instances:
+            raise ReproError(
+                f"section {args.section} out of range "
+                f"(dataset has {dataset.n_instances})"
+            )
+        print(analyzer.analyze_section(dataset.X[args.section]).render())
+    else:
+        print(analyzer.summarize_dataset(dataset, top=args.top))
+    return 0
+
+
+def _make_learner(name: str, min_instances: int, seed: int):
+    from repro.baselines import (
+        EpsilonSVR,
+        KNNRegressor,
+        LinearRegressionBaseline,
+        MLPRegressor,
+        NaiveFixedPenaltyModel,
+        RegressionTree,
+    )
+    from repro.core.tree import M5Prime
+
+    factories = {
+        "m5p": lambda: M5Prime(min_instances=min_instances),
+        "cart": lambda: RegressionTree(min_instances=min_instances),
+        "ols": LinearRegressionBaseline,
+        "knn": lambda: KNNRegressor(k=5),
+        "mlp": lambda: MLPRegressor(seed=seed),
+        "svr": lambda: EpsilonSVR(seed=seed),
+        "naive": NaiveFixedPenaltyModel,
+    }
+    return factories[name]
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.evaluation import cross_validate, residual_report
+
+    dataset = _load(args.data)
+    factory = _make_learner(args.learner, args.min_instances, args.seed)
+    result = cross_validate(factory, dataset, n_folds=args.folds, rng=args.seed)
+    print(result.describe())
+    if args.residuals:
+        model = factory()
+        model.fit(dataset)
+        tree = model if hasattr(model, "leaf_ids") else None
+        print()
+        print(residual_report(dataset, result.predictions, model=tree).render())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.evaluation import compare_estimators
+
+    dataset = _load(args.data)
+    names = ["m5p", "cart", "ols", "knn", "mlp", "svr", "naive"]
+    factories = {
+        name: _make_learner(name, args.min_instances, args.seed) for name in names
+    }
+    result = compare_estimators(
+        factories, dataset, n_folds=args.folds, seed=args.seed
+    )
+    print(result.to_table())
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENTS, ExperimentConfig, run_experiment
+
+    if args.list:
+        for eid in EXPERIMENTS:
+            print(eid)
+        return 0
+    config = ExperimentConfig.by_name(args.preset)
+    ids = [i.upper() for i in args.ids] if args.ids else list(EXPERIMENTS)
+    failures = 0
+    for eid in ids:
+        report = run_experiment(eid, config)
+        print(report.render())
+        print()
+        if not report.all_checks_pass:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) had failing shape checks", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from repro.datasets import profile_dataset
+
+    dataset = _load(args.data)
+    print(profile_dataset(dataset).render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENTS, ExperimentConfig, run_experiment
+
+    config = ExperimentConfig.by_name(args.preset)
+    lines = [
+        "# Reproduction report",
+        "",
+        f"preset: `{config.name}` — {config.sections_per_workload} sections "
+        f"per workload, {config.instructions_per_section} instructions per "
+        f"section, min_instances {config.min_instances}, "
+        f"{config.n_folds}-fold CV, seed {config.seed}",
+        "",
+    ]
+    failures = 0
+    for eid in EXPERIMENTS:
+        print(f"running {eid}...", flush=True)
+        result = run_experiment(eid, config)
+        status = "PASS" if result.all_checks_pass else "**FAIL**"
+        lines.append(f"## {eid}: {result.title} — {status}")
+        lines.append("")
+        lines.append(f"*Paper:* {result.paper_claim}")
+        lines.append("")
+        for key, value in result.measured.items():
+            lines.append(f"* {key}: {value}")
+        lines.append("")
+        for key, passed in result.checks.items():
+            lines.append(f"* [{'x' if passed else ' '}] {key}")
+        lines.append("")
+        if result.body:
+            lines.append("```")
+            lines.append(result.body)
+            lines.append("```")
+            lines.append("")
+        if not result.all_checks_pass:
+            failures += 1
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines))
+    print(f"wrote {args.out} ({len(EXPERIMENTS)} experiments, "
+          f"{failures} with failing checks)")
+    return 1 if failures else 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import spec_like_suite
+
+    for profile in spec_like_suite():
+        print(f"{profile.name:<14} {len(profile.schedule)} phase(s)  "
+              f"{profile.description}")
+    return 0
+
+
+_COMMANDS = {
+    "collect": _cmd_collect,
+    "train": _cmd_train,
+    "analyze": _cmd_analyze,
+    "evaluate": _cmd_evaluate,
+    "compare": _cmd_compare,
+    "describe": _cmd_describe,
+    "experiments": _cmd_experiments,
+    "report": _cmd_report,
+    "workloads": _cmd_workloads,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""The paper's contribution: the M5' model tree and the analysis layer."""
+
+from repro.core.tree import M5Prime
+from repro.core.analysis import PerformanceAnalyzer
+
+__all__ = ["M5Prime", "PerformanceAnalyzer"]

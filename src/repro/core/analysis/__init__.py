@@ -1,0 +1,62 @@
+"""Performance analysis on top of a fitted model tree.
+
+Answers the paper's two questions:
+
+* **what** limits performance — the split variables on the path to a
+  section's leaf (its implicit, categorical factors) plus the terms of
+  the leaf's linear model (its explicit factors);
+* **how much** each limiter costs — a term's contribution
+  ``coef * value / CPI`` and a split variable's cross-branch impact.
+"""
+
+from repro.core.analysis.contribution import (
+    EventContribution,
+    leaf_contributions,
+    rank_events,
+)
+from repro.core.analysis.splitvars import SplitImpact, split_impacts
+from repro.core.analysis.classes import (
+    dominant_leaf,
+    leaf_distribution,
+    workload_leaf_table,
+)
+from repro.core.analysis.report import (
+    PerformanceAnalyzer,
+    SectionAnalysis,
+    SplitCondition,
+)
+from repro.core.analysis.rules import Rule, RuleCondition, extract_rules, render_rules
+from repro.core.analysis.phasetrack import PhaseSegment, detect_phases, render_phases
+from repro.core.analysis.whatif import WhatIfResult, estimate_gain, rank_gains
+from repro.core.analysis.interaction import (
+    InteractionCost,
+    interaction_cost,
+    interaction_matrix,
+)
+
+__all__ = [
+    "EventContribution",
+    "InteractionCost",
+    "PhaseSegment",
+    "PerformanceAnalyzer",
+    "Rule",
+    "RuleCondition",
+    "SectionAnalysis",
+    "SplitCondition",
+    "SplitImpact",
+    "WhatIfResult",
+    "detect_phases",
+    "estimate_gain",
+    "interaction_cost",
+    "interaction_matrix",
+    "dominant_leaf",
+    "leaf_contributions",
+    "leaf_distribution",
+    "extract_rules",
+    "rank_events",
+    "rank_gains",
+    "render_phases",
+    "render_rules",
+    "split_impacts",
+    "workload_leaf_table",
+]

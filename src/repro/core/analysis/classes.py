@@ -1,0 +1,71 @@
+"""Section classification utilities.
+
+The paper attributes tree leaves back to benchmarks ("more than 95% of
+[436.cactusADM's] sections experience high L2 cache misses combined with
+a high rate of L1 instruction misses", "more than 70% of [429.mcf's]
+sections are classified in LM17").  These helpers compute exactly those
+tables from a fitted model and a labeled dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.tree.m5 import M5Prime
+from repro.datasets.dataset import Dataset
+from repro.errors import DataError
+
+
+def leaf_distribution(model: M5Prime, dataset: Dataset) -> Dict[int, int]:
+    """Instance count per leaf id over ``dataset``."""
+    ids = model.leaf_ids(dataset.X)
+    unique, counts = np.unique(ids, return_counts=True)
+    return {int(leaf): int(count) for leaf, count in zip(unique, counts)}
+
+
+def workload_leaf_table(
+    model: M5Prime, dataset: Dataset
+) -> Dict[str, Dict[int, float]]:
+    """Per-workload distribution of sections over leaves (fractions)."""
+    if "workload" not in dataset.meta:
+        raise DataError("dataset lacks a 'workload' metadata column")
+    ids = model.leaf_ids(dataset.X)
+    labels = dataset.meta["workload"]
+    table: Dict[str, Dict[int, float]] = {}
+    for name in np.unique(labels):
+        mask = labels == name
+        subset_ids = ids[mask]
+        total = int(subset_ids.size)
+        unique, counts = np.unique(subset_ids, return_counts=True)
+        table[str(name)] = {
+            int(leaf): float(count) / total for leaf, count in zip(unique, counts)
+        }
+    return table
+
+
+def dominant_leaf(
+    model: M5Prime, dataset: Dataset, workload: str
+) -> Tuple[int, float]:
+    """The leaf holding the largest share of a workload's sections.
+
+    Returns ``(leaf_id, fraction)``; e.g. the paper's cactusADM statement
+    corresponds to a dominant leaf holding > 0.95.
+    """
+    table = workload_leaf_table(model, dataset)
+    if workload not in table:
+        known = ", ".join(sorted(table))
+        raise DataError(f"unknown workload {workload!r}; known: {known}")
+    shares = table[workload]
+    leaf = max(shares, key=lambda k: shares[k])
+    return leaf, shares[leaf]
+
+
+def leaf_mean_cpi(model: M5Prime, dataset: Dataset) -> Dict[int, float]:
+    """Mean measured target per leaf over ``dataset``."""
+    ids = model.leaf_ids(dataset.X)
+    means: Dict[int, float] = {}
+    for leaf in np.unique(ids):
+        means[int(leaf)] = float(np.mean(dataset.y[ids == leaf]))
+    return means

@@ -1,0 +1,103 @@
+"""Pairwise interaction cost of events, estimated from the model tree.
+
+Fields et al. ([17] in the paper) define *interaction cost*: the cost of
+two events together minus the sum of their individual costs — positive
+when they serialize (fixing either alone buys little), negative when
+they overlap (fixing one hides the other; fixing both is redundant).
+The paper cites this work and argues its statistical model captures the
+same phenomenon "without the requirement of dedicated new hardware";
+this module makes that concrete using the what-if machinery:
+
+    icost(A, B) = gain(A and B) − gain(A) − gain(B)
+
+expressed as a fraction of the section's baseline CPI.  Positive icost
+means the pair is *super-additive* (the class structure charges extra
+for the combination, like the paper's L1IM×L2M class LM18); negative
+means the events hide under each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.analysis.whatif import CPI_FLOOR
+from repro.core.tree.m5 import M5Prime
+from repro.errors import DataError
+
+
+@dataclass(frozen=True)
+class InteractionCost:
+    """Interaction of one event pair for one section.
+
+    All fractions are of the baseline predicted CPI.
+    """
+
+    event_a: str
+    event_b: str
+    gain_a: float
+    gain_b: float
+    gain_both: float
+
+    @property
+    def cost(self) -> float:
+        """gain(A∧B) − gain(A) − gain(B): >0 super-additive, <0 overlap."""
+        return self.gain_both - self.gain_a - self.gain_b
+
+    def describe(self) -> str:
+        kind = "serialize" if self.cost > 0 else "overlap"
+        return (
+            f"{self.event_a} x {self.event_b}: gain A={self.gain_a:+.1%} "
+            f"B={self.gain_b:+.1%} both={self.gain_both:+.1%} -> "
+            f"interaction {self.cost:+.1%} ({kind})"
+        )
+
+
+def _predict_with(model: M5Prime, x: np.ndarray, zeroed: Sequence[int]) -> float:
+    modified = x.copy()
+    for index in zeroed:
+        modified[index] = 0.0
+    leaf = model.leaf_for(modified)
+    return max(float(leaf.model.predict_one(modified)), CPI_FLOOR)
+
+
+def interaction_cost(
+    model: M5Prime, x: Sequence, event_a: str, event_b: str
+) -> InteractionCost:
+    """Interaction cost of eliminating ``event_a`` and ``event_b``."""
+    arr = np.asarray(x, dtype=np.float64).ravel()
+    if arr.shape[0] != len(model.attributes_):
+        raise DataError("instance width does not match the fitted model")
+    for event in (event_a, event_b):
+        if event not in model.attributes_:
+            raise DataError(f"unknown event {event!r}")
+    if event_a == event_b:
+        raise DataError("interaction requires two distinct events")
+    index_a = model.attributes_.index(event_a)
+    index_b = model.attributes_.index(event_b)
+
+    baseline = max(float(model.leaf_for(arr).model.predict_one(arr)), CPI_FLOOR)
+    gain = lambda zeroed: (baseline - _predict_with(model, arr, zeroed)) / baseline  # noqa: E731
+    return InteractionCost(
+        event_a=event_a,
+        event_b=event_b,
+        gain_a=gain([index_a]),
+        gain_b=gain([index_b]),
+        gain_both=gain([index_a, index_b]),
+    )
+
+
+def interaction_matrix(
+    model: M5Prime, x: Sequence, events: Sequence[str]
+) -> List[InteractionCost]:
+    """All unordered pairs of ``events``, strongest |interaction| first."""
+    if len(events) < 2:
+        raise DataError("need at least two events for interactions")
+    results = []
+    for i, event_a in enumerate(events):
+        for event_b in events[i + 1:]:
+            results.append(interaction_cost(model, x, event_a, event_b))
+    results.sort(key=lambda r: -abs(r.cost))
+    return results

@@ -1,0 +1,134 @@
+"""Phase tracking over section timelines.
+
+The paper leans on Sherwood et al.'s phase model ([7]): a workload's
+execution is a sequence of phases, and the model tree's leaves are the
+behaviour classes those phases fall into.  This module closes the loop:
+given the *timeline* of a workload's sections, it segments the run into
+phases by smoothing the per-section class labels and cutting where the
+dominant class changes — recovering the paper's "workloads that contain
+multiple execution phases" structure from counters alone.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.tree.m5 import M5Prime
+from repro.datasets.dataset import Dataset
+from repro.errors import ConfigError, DataError
+
+
+@dataclass(frozen=True)
+class PhaseSegment:
+    """One detected phase: a run of sections dominated by a single class.
+
+    Attributes:
+        start / end: Section index range, ``[start, end)``.
+        leaf_id: Dominant tree class in the segment.
+        mean_cpi: Mean measured CPI over the segment.
+        purity: Fraction of the segment's sections in the dominant class.
+    """
+
+    start: int
+    end: int
+    leaf_id: int
+    mean_cpi: float
+    purity: float
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def describe(self) -> str:
+        return (
+            f"sections [{self.start:>4}, {self.end:>4}): class LM{self.leaf_id}, "
+            f"mean CPI {self.mean_cpi:.3f}, purity {self.purity:.0%}"
+        )
+
+
+def _majority_filter(labels: np.ndarray, window: int) -> np.ndarray:
+    """Replace each label by the majority in a centered window."""
+    if window <= 1:
+        return labels.copy()
+    half = window // 2
+    smoothed = np.empty_like(labels)
+    n = len(labels)
+    for i in range(n):
+        lo = max(0, i - half)
+        hi = min(n, i + half + 1)
+        smoothed[i] = Counter(labels[lo:hi].tolist()).most_common(1)[0][0]
+    return smoothed
+
+
+def detect_phases(
+    model: M5Prime,
+    timeline: Dataset,
+    smoothing_window: int = 5,
+    min_segment: int = 3,
+) -> List[PhaseSegment]:
+    """Segment a workload's section timeline into phases.
+
+    Args:
+        model: A fitted tree; its leaves define the behaviour classes.
+        timeline: Sections of ONE workload, in execution order.
+        smoothing_window: Majority-filter width over class labels;
+            suppresses single-section flicker between adjacent classes.
+        min_segment: Shorter runs are merged into their neighbour.
+
+    Returns:
+        Contiguous segments covering the whole timeline.
+    """
+    if smoothing_window < 1:
+        raise ConfigError("smoothing_window must be at least 1")
+    if min_segment < 1:
+        raise ConfigError("min_segment must be at least 1")
+    if timeline.n_instances == 0:
+        raise DataError("timeline has no sections")
+
+    labels = model.leaf_ids(timeline.X)
+    smoothed = _majority_filter(labels, smoothing_window)
+
+    # Cut wherever the smoothed label changes.
+    boundaries = [0]
+    for i in range(1, len(smoothed)):
+        if smoothed[i] != smoothed[i - 1]:
+            boundaries.append(i)
+    boundaries.append(len(smoothed))
+
+    # Merge short segments into the previous one.
+    merged: List[List[int]] = []
+    for start, end in zip(boundaries[:-1], boundaries[1:]):
+        if merged and (end - start) < min_segment:
+            merged[-1][1] = end
+        else:
+            merged.append([start, end])
+    # A short leading segment merges forward.
+    if len(merged) >= 2 and merged[0][1] - merged[0][0] < min_segment:
+        merged[1][0] = merged[0][0]
+        merged.pop(0)
+
+    segments = []
+    for start, end in merged:
+        segment_labels = labels[start:end]
+        dominant, count = Counter(segment_labels.tolist()).most_common(1)[0]
+        segments.append(
+            PhaseSegment(
+                start=int(start),
+                end=int(end),
+                leaf_id=int(dominant),
+                mean_cpi=float(np.mean(timeline.y[start:end])),
+                purity=count / (end - start),
+            )
+        )
+    return segments
+
+
+def render_phases(segments: Sequence[PhaseSegment]) -> str:
+    """Human-readable phase table."""
+    if not segments:
+        return "(no segments)"
+    return "\n".join(segment.describe() for segment in segments)

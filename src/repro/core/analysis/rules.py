@@ -1,0 +1,104 @@
+"""Rule extraction: the tree as an ordered rule list (M5Rules style).
+
+Each leaf becomes one human-readable rule — the conjunction of split
+conditions on its path plus its linear model.  The paper reads its tree
+exactly this way ("the class is characterized by the variables used in
+decision rules leading to the corresponding leaf"); rules make that
+reading explicit and greppable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro._util import format_float
+from repro.core.tree.linear import LinearModel
+from repro.core.tree.m5 import M5Prime
+from repro.core.tree.node import Node, SplitNode
+from repro.errors import NotFittedError
+
+
+@dataclass(frozen=True)
+class RuleCondition:
+    """One conjunct: ``attribute <= threshold`` or ``attribute > threshold``."""
+
+    attribute: str
+    operator: str  # "<=" or ">"
+    threshold: float
+
+    def describe(self, digits: int = 5) -> str:
+        return f"{self.attribute} {self.operator} {format_float(self.threshold, digits)}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """IF conditions THEN linear model, covering ``n_instances`` sections."""
+
+    leaf_id: int
+    conditions: Tuple[RuleCondition, ...]
+    model: LinearModel
+    n_instances: int
+    mean: float
+
+    def describe(self, target_name: str = "CPI", digits: int = 5) -> str:
+        if self.conditions:
+            condition_text = " AND ".join(c.describe(digits) for c in self.conditions)
+        else:
+            condition_text = "TRUE"
+        return (
+            f"RULE {self.leaf_id} (n={self.n_instances}, mean "
+            f"{format_float(self.mean, 3)}):\n"
+            f"  IF   {condition_text}\n"
+            f"  THEN {self.model.describe(target_name, digits)}"
+        )
+
+    @property
+    def high_side_attributes(self) -> Tuple[str, ...]:
+        """Attributes this class sits above the split point of ("what")."""
+        return tuple(c.attribute for c in self.conditions if c.operator == ">")
+
+
+def extract_rules(model: M5Prime) -> List[Rule]:
+    """All leaf rules, in leaf-id (left-to-right) order."""
+    root = model.root_
+    if root is None:
+        raise NotFittedError("extract_rules requires a fitted model")
+    rules: List[Rule] = []
+    _collect(root, (), rules)
+    rules.sort(key=lambda rule: rule.leaf_id)
+    return rules
+
+
+def _collect(
+    node: Node, conditions: Tuple[RuleCondition, ...], rules: List[Rule]
+) -> None:
+    if node.is_leaf:
+        assert node.model is not None
+        rules.append(
+            Rule(
+                leaf_id=node.leaf_id,
+                conditions=conditions,
+                model=node.model,
+                n_instances=node.n_instances,
+                mean=node.mean,
+            )
+        )
+        return
+    assert isinstance(node, SplitNode)
+    _collect(
+        node.left,
+        conditions + (RuleCondition(node.attribute_name, "<=", node.threshold),),
+        rules,
+    )
+    _collect(
+        node.right,
+        conditions + (RuleCondition(node.attribute_name, ">", node.threshold),),
+        rules,
+    )
+
+
+def render_rules(model: M5Prime, digits: int = 5) -> str:
+    """All rules as one readable block."""
+    rules = extract_rules(model)
+    return "\n\n".join(rule.describe(model.target_name_, digits) for rule in rules)

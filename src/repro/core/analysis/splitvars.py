@@ -1,0 +1,146 @@
+"""Impact of split variables ("how much", implicit part).
+
+Split variables steer sections into classes but may not appear in the
+leaf equations; the paper (Section V-A2) proposes three estimates of
+their impact, all implemented here:
+
+* **simple**: right-subtree mean CPI minus the plain mean of the left
+  subtree's per-leaf means (the paper's LdBlSta example: 0.84 -
+  mean(0.57, 0.51) = 0.30, about 35 % of CPI);
+* **weighted**: the same with instance-weighted subtree means;
+* **r2**: the R-squared of a one-variable regression of CPI on the split
+  variable over all instances reaching the split node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.tree.m5 import M5Prime
+from repro.core.tree.node import Node, SplitNode
+from repro.datasets.dataset import Dataset
+from repro.errors import DataError, NotFittedError
+
+
+@dataclass(frozen=True)
+class SplitImpact:
+    """Impact estimates for one split node.
+
+    Attributes:
+        attribute: Split variable name.
+        threshold: Split point.
+        depth: Node depth (root = 0).
+        n_left / n_right: Training populations of the branches.
+        mean_left / mean_right: Instance-weighted mean CPI per branch.
+        impact_simple: Right mean minus plain mean of left leaf means.
+        impact_weighted: ``mean_right - mean_left``.
+        impact_fraction: ``impact_weighted / mean_right`` — share of the
+            high-side CPI attributable to the variable.
+        r_squared: One-variable regression R^2 (None without data).
+    """
+
+    attribute: str
+    threshold: float
+    depth: int
+    n_left: int
+    n_right: int
+    mean_left: float
+    mean_right: float
+    impact_simple: float
+    impact_weighted: float
+    impact_fraction: float
+    r_squared: Optional[float] = None
+
+    def describe(self) -> str:
+        r2 = "" if self.r_squared is None else f", R^2={self.r_squared:.3f}"
+        return (
+            f"{self.attribute} @ {self.threshold:.5g}: "
+            f"left mean {self.mean_left:.3f} (n={self.n_left}), "
+            f"right mean {self.mean_right:.3f} (n={self.n_right}), "
+            f"impact {self.impact_weighted:+.3f} "
+            f"({100 * self.impact_fraction:.0f}% of right-side CPI){r2}"
+        )
+
+
+def split_impacts(
+    model: M5Prime, dataset: Optional[Dataset] = None
+) -> List[SplitImpact]:
+    """Impact estimates for every split node, pre-order.
+
+    Passing the training ``dataset`` additionally computes the R-squared
+    estimate, which needs the raw instances.
+    """
+    root = model.root_
+    if root is None:
+        raise NotFittedError("split_impacts requires a fitted model")
+    if dataset is not None and dataset.n_attributes != len(model.attributes_):
+        raise DataError("dataset width does not match the fitted model")
+
+    impacts: List[SplitImpact] = []
+    rows = np.arange(dataset.n_instances) if dataset is not None else None
+    _walk(root, 0, dataset, rows, impacts)
+    return impacts
+
+
+def _walk(
+    node: Node,
+    depth: int,
+    dataset: Optional[Dataset],
+    rows: Optional[np.ndarray],
+    impacts: List[SplitImpact],
+) -> None:
+    if node.is_leaf:
+        return
+    assert isinstance(node, SplitNode)
+
+    left_leaf_means = [leaf.mean for leaf in node.left.leaves()]
+    impact_simple = node.right.mean - float(np.mean(left_leaf_means))
+    impact_weighted = node.right.mean - node.left.mean
+    impact_fraction = (
+        impact_weighted / node.right.mean if node.right.mean else 0.0
+    )
+
+    r_squared = None
+    left_rows = right_rows = None
+    if dataset is not None and rows is not None and rows.size:
+        values = dataset.X[rows, node.attribute_index]
+        targets = dataset.y[rows]
+        r_squared = _single_variable_r2(values, targets)
+        mask = values <= node.threshold
+        left_rows = rows[mask]
+        right_rows = rows[~mask]
+
+    impacts.append(
+        SplitImpact(
+            attribute=node.attribute_name,
+            threshold=node.threshold,
+            depth=depth,
+            n_left=node.left.n_instances,
+            n_right=node.right.n_instances,
+            mean_left=node.left.mean,
+            mean_right=node.right.mean,
+            impact_simple=float(impact_simple),
+            impact_weighted=float(impact_weighted),
+            impact_fraction=float(impact_fraction),
+            r_squared=r_squared,
+        )
+    )
+    _walk(node.left, depth + 1, dataset, left_rows, impacts)
+    _walk(node.right, depth + 1, dataset, right_rows, impacts)
+
+
+def _single_variable_r2(values: np.ndarray, targets: np.ndarray) -> float:
+    """R^2 of a one-variable least-squares regression of target on value."""
+    if values.size < 3 or np.ptp(values) <= 0 or np.ptp(targets) <= 0:
+        return 0.0
+    design = np.column_stack([values, np.ones_like(values)])
+    solution, *_ = np.linalg.lstsq(design, targets, rcond=None)
+    residual = targets - design @ solution
+    ss_res = float(np.sum(residual**2))
+    ss_tot = float(np.sum((targets - targets.mean()) ** 2))
+    if ss_tot <= 0:
+        return 0.0
+    return max(0.0, 1.0 - ss_res / ss_tot)

@@ -1,0 +1,148 @@
+"""What-if gain estimation with class reassignment.
+
+The paper estimates the gain from fixing an event as its leaf-model
+contribution (``coef * X / CPI``).  That linearization ignores a second-
+order effect the tree itself encodes: reducing an event's rate can move
+the section across a split threshold into a *different class* with a
+different model — e.g. eliminating L2 misses moves a section from the
+memory-bound class to a core-bound class whose CPI is governed by other
+events.  :func:`estimate_gain` re-routes the modified section through
+the tree, so the predicted gain accounts for reclassification; the
+difference against the paper's linear estimate is itself informative
+(how close the section sits to a class boundary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro._util import ensure_fraction
+from repro.core.tree.m5 import M5Prime
+from repro.errors import DataError
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """Predicted effect of scaling one event's rate for one section.
+
+    Attributes:
+        event: The attribute scaled.
+        reduction: Fraction removed (1.0 = event eliminated).
+        baseline_cpi: Predicted CPI of the unmodified section.
+        modified_cpi: Predicted CPI after scaling, with re-routing.
+        baseline_leaf / modified_leaf: Class ids before and after.
+        linear_gain_fraction: The paper's first-order estimate
+            (``coef * removed / baseline``), 0 when the event is not in
+            the baseline leaf model.
+    """
+
+    event: str
+    reduction: float
+    baseline_cpi: float
+    modified_cpi: float
+    baseline_leaf: int
+    modified_leaf: int
+    linear_gain_fraction: float
+
+    @property
+    def gain_fraction(self) -> float:
+        """Tree-predicted fractional CPI gain (can differ from linear)."""
+        if self.baseline_cpi <= 0:
+            return 0.0
+        return (self.baseline_cpi - self.modified_cpi) / self.baseline_cpi
+
+    @property
+    def reclassified(self) -> bool:
+        return self.baseline_leaf != self.modified_leaf
+
+    def describe(self) -> str:
+        move = (
+            f" (reclassified LM{self.baseline_leaf} -> LM{self.modified_leaf})"
+            if self.reclassified
+            else ""
+        )
+        return (
+            f"{self.event} -{self.reduction:.0%}: CPI {self.baseline_cpi:.3f} "
+            f"-> {self.modified_cpi:.3f} ({self.gain_fraction:+.1%}; linear "
+            f"estimate {self.linear_gain_fraction:+.1%}){move}"
+        )
+
+
+#: Physical lower bound on predicted CPI: an ideal 4-wide machine retires
+#: at 0.25 CPI; leaf-model extrapolation below this floor is clamped.
+CPI_FLOOR = 0.25
+
+
+def estimate_gain(
+    model: M5Prime,
+    x: Sequence,
+    event: str,
+    reduction: float = 1.0,
+    floor: float = CPI_FLOOR,
+) -> WhatIfResult:
+    """Predict the CPI effect of removing ``reduction`` of ``event``.
+
+    Args:
+        model: A fitted tree.
+        x: One section (full-width attribute vector).
+        event: Attribute name whose per-instruction rate is scaled down.
+        reduction: Fraction of the event removed, in [0, 1].
+        floor: Clamp for the modified prediction — the hypothetical
+            section may sit outside the class's training region, and a
+            linear model extrapolates without physical bounds.
+    """
+    ensure_fraction(reduction, "reduction")
+    if floor < 0:
+        raise DataError(f"floor must be non-negative, got {floor}")
+    arr = np.asarray(x, dtype=np.float64).ravel().copy()
+    if arr.shape[0] != len(model.attributes_):
+        raise DataError("instance width does not match the fitted model")
+    if event not in model.attributes_:
+        raise DataError(f"unknown event {event!r}")
+    index = model.attributes_.index(event)
+
+    baseline_leaf = model.leaf_for(arr)
+    baseline_cpi = float(baseline_leaf.model.predict_one(arr))
+
+    removed = arr[index] * reduction
+    linear_gain = 0.0
+    if event in baseline_leaf.model.names and baseline_cpi > 0:
+        position = baseline_leaf.model.names.index(event)
+        linear_gain = (
+            baseline_leaf.model.coefficients[position] * removed / baseline_cpi
+        )
+
+    arr[index] -= removed
+    modified_leaf = model.leaf_for(arr)
+    modified_cpi = max(float(modified_leaf.model.predict_one(arr)), floor)
+
+    return WhatIfResult(
+        event=event,
+        reduction=reduction,
+        baseline_cpi=baseline_cpi,
+        modified_cpi=modified_cpi,
+        baseline_leaf=baseline_leaf.leaf_id,
+        modified_leaf=modified_leaf.leaf_id,
+        linear_gain_fraction=float(linear_gain),
+    )
+
+
+def rank_gains(
+    model: M5Prime,
+    x: Sequence,
+    reduction: float = 1.0,
+    events: Optional[Sequence[str]] = None,
+) -> List[WhatIfResult]:
+    """What-if results for every (or the given) events, best gain first.
+
+    This is the "how much" answer with reclassification: the ordering can
+    differ from the linear contribution ranking when fixing one event
+    moves the section into a class dominated by another.
+    """
+    names = events if events is not None else model.attributes_
+    results = [estimate_gain(model, x, event, reduction) for event in names]
+    results.sort(key=lambda result: result.gain_fraction, reverse=True)
+    return results

@@ -1,0 +1,85 @@
+"""GraphViz (DOT) export of a fitted model tree.
+
+`render_dot` produces standard DOT source: interior nodes as decision
+diamonds, leaves as boxes carrying the class id, population and
+(optionally) the leaf equation.  Render it with any GraphViz toolchain::
+
+    repro train --data sections.csv --save model.json
+    python -c "from repro.core.tree import load_model, render_dot; \
+               print(render_dot(load_model('model.json')))" | dot -Tsvg > tree.svg
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro._util import format_float
+from repro.core.tree.m5 import M5Prime
+from repro.core.tree.node import Node, SplitNode
+from repro.errors import NotFittedError
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def render_dot(
+    model: M5Prime,
+    include_equations: bool = True,
+    max_equation_terms: int = 4,
+    digits: int = 4,
+) -> str:
+    """The fitted tree as GraphViz DOT source."""
+    root = model.root_
+    if root is None:
+        raise NotFittedError("render_dot requires a fitted model")
+
+    lines: List[str] = [
+        "digraph m5prime {",
+        '  node [fontname="Helvetica", fontsize=10];',
+        '  edge [fontname="Helvetica", fontsize=9];',
+    ]
+    counter = [0]
+
+    def emit(node: Node) -> str:
+        node_id = f"n{counter[0]}"
+        counter[0] += 1
+        if node.is_leaf:
+            label = f"LM{node.leaf_id}\\nn={node.n_instances}"
+            if include_equations and node.model is not None:
+                equation = _leaf_equation(node, model.target_name_,
+                                          max_equation_terms, digits)
+                label += f"\\n{_escape(equation)}"
+            lines.append(
+                f'  {node_id} [shape=box, style=rounded, label="{label}"];'
+            )
+        else:
+            assert isinstance(node, SplitNode)
+            threshold = format_float(node.threshold, digits)
+            lines.append(
+                f'  {node_id} [shape=diamond, '
+                f'label="{_escape(node.attribute_name)}\\n<= {threshold}"];'
+            )
+            left_id = emit(node.left)
+            right_id = emit(node.right)
+            lines.append(f'  {node_id} -> {left_id} [label="yes"];')
+            lines.append(f'  {node_id} -> {right_id} [label="no"];')
+        return node_id
+
+    emit(root)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _leaf_equation(
+    node: Node, target_name: str, max_terms: int, digits: int
+) -> str:
+    linear = node.model
+    assert linear is not None
+    parts = [f"{target_name} = {format_float(linear.intercept, digits)}"]
+    for name, coefficient in list(zip(linear.names, linear.coefficients))[:max_terms]:
+        sign = "-" if coefficient < 0 else "+"
+        parts.append(f"{sign} {format_float(abs(coefficient), digits)}*{name}")
+    if len(linear.names) > max_terms:
+        parts.append("+ ...")
+    return " ".join(parts)

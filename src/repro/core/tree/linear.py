@@ -1,0 +1,357 @@
+"""Leaf/node linear models with M5-style term dropping.
+
+Each tree node carries a multivariate linear model of the target.  M5
+keeps those models small by greedily removing terms as long as the
+*pessimistic* error estimate — average absolute error inflated by
+``(n + v) / (n - v)`` for ``v`` estimated parameters on ``n`` instances —
+does not increase.  The surviving terms are the ones the paper reads off
+as per-event performance impacts (its LM8/LM11 examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util import format_float
+from repro.errors import DataError
+
+#: Pessimistic multiplier used when a model has at least as many
+#: parameters as instances (the (n+v)/(n-v) correction is undefined).
+_SATURATED_PENALTY = 10.0
+
+
+@dataclass(frozen=True)
+class LinearModel:
+    """A fitted linear model over a subset of dataset attributes.
+
+    Attributes:
+        intercept: Constant term.
+        indices: Column indices (into the training attribute order) of the
+            retained terms.
+        names: Attribute names matching ``indices``.
+        coefficients: Slope per retained term.
+        n_training: Instances the model was fitted on.
+        training_error: Plain average absolute error on those instances.
+    """
+
+    intercept: float
+    indices: Tuple[int, ...]
+    names: Tuple[str, ...]
+    coefficients: Tuple[float, ...]
+    n_training: int
+    training_error: float
+
+    def __post_init__(self) -> None:
+        if not (len(self.indices) == len(self.names) == len(self.coefficients)):
+            raise DataError("indices, names and coefficients must align")
+
+    @property
+    def n_parameters(self) -> int:
+        """Estimated parameters: one per term plus the intercept."""
+        return len(self.coefficients) + 1
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coefficients
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict for a full-width attribute matrix."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        result = np.full(X.shape[0], self.intercept)
+        for index, coefficient in zip(self.indices, self.coefficients):
+            result += coefficient * X[:, index]
+        return result
+
+    def predict_one(self, x: np.ndarray) -> float:
+        """Predict a single full-width attribute row."""
+        value = self.intercept
+        for index, coefficient in zip(self.indices, self.coefficients):
+            value += coefficient * x[index]
+        return float(value)
+
+    def adjusted_error(self) -> float:
+        """Training error under the M5 (n+v)/(n-v) pessimistic correction."""
+        return adjusted_error(self.training_error, self.n_training, self.n_parameters)
+
+    def describe(self, target_name: str = "Y", digits: int = 4) -> str:
+        """Render as an equation, e.g. ``CPI = 0.52 + 6.69 * L1IM``."""
+        parts = [format_float(self.intercept, digits)]
+        for name, coefficient in zip(self.names, self.coefficients):
+            sign = "-" if coefficient < 0 else "+"
+            parts.append(f"{sign} {format_float(abs(coefficient), digits)} * {name}")
+        return f"{target_name} = " + " ".join(parts)
+
+
+def adjusted_error(average_abs_error: float, n: int, n_parameters: int) -> float:
+    """M5's pessimistic error: AAE * (n + v) / (n - v).
+
+    When ``n <= v`` the correction blows up; M5 caps it with a large
+    constant so saturated models are strongly discouraged but finite.
+    """
+    if n <= 0:
+        return float("inf")
+    if n <= n_parameters:
+        return average_abs_error * _SATURATED_PENALTY
+    return average_abs_error * (n + n_parameters) / (n - n_parameters)
+
+
+def select_uncorrelated(
+    X: np.ndarray,
+    y: np.ndarray,
+    candidate_indices: Sequence[int],
+    threshold: float = 0.95,
+) -> List[int]:
+    """Greedily drop near-duplicate candidate attributes.
+
+    Counter sets contain families of almost-identical metrics (the Table I
+    DTLB group, or L2M vs DtlbLdM inside a pointer-chasing class); fitting
+    both members of a pair correlated above ``threshold`` yields huge
+    opposite-signed coefficients that destroy interpretability.  Candidates
+    are ranked by |correlation with the target| and kept only if they do
+    not correlate beyond ``threshold`` with an already-kept candidate.
+    The returned list is in ascending index order.
+    """
+    if not 0.0 < threshold <= 1.0:
+        from repro.errors import ConfigError
+
+        raise ConfigError(f"threshold must lie in (0, 1], got {threshold}")
+
+    def correlation(a: np.ndarray, b: np.ndarray) -> float:
+        if np.ptp(a) <= 1e-15 or np.ptp(b) <= 1e-15:
+            return 0.0
+        return float(np.corrcoef(a, b)[0, 1])
+
+    ranked = sorted(
+        candidate_indices, key=lambda j: -abs(correlation(X[:, j], y))
+    )
+    kept: List[int] = []
+    for index in ranked:
+        if all(
+            abs(correlation(X[:, index], X[:, other])) <= threshold
+            for other in kept
+        ):
+            kept.append(index)
+    return sorted(kept)
+
+
+def fit_linear_model(
+    X: np.ndarray,
+    y: np.ndarray,
+    candidate_indices: Sequence[int],
+    attribute_names: Sequence[str],
+    ridge: float = 0.0,
+    nonnegative: Sequence[int] = (),
+) -> LinearModel:
+    """Least-squares fit of ``y`` on the candidate attribute columns.
+
+    Degenerate cases (no candidates, constant columns, more parameters
+    than instances) fall back gracefully toward the mean model.
+
+    Args:
+        ridge: Standardized-ridge strength.  A small positive value
+            (1e-4 is the tree default) leaves well-conditioned fits
+            essentially untouched but stops the opposite-signed
+            coefficient explosions that correlated counters otherwise
+            produce in leaf models.  0 is exact least squares.
+        nonnegative: Column indices whose coefficients are constrained
+            to be >= 0 — the physical reading of stall-event metrics,
+            which cannot make the machine faster.  Solved with a bounded
+            least-squares solver (scipy) when any constraint applies.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    n = y.shape[0]
+    if n == 0:
+        raise DataError("cannot fit a linear model on zero instances")
+    if ridge < 0:
+        from repro.errors import ConfigError
+
+        raise ConfigError(f"ridge must be non-negative, got {ridge}")
+
+    # Drop candidates with (numerically) constant columns: they are
+    # indistinguishable from the intercept.
+    usable: List[int] = []
+    for index in candidate_indices:
+        column = X[:, index]
+        if np.ptp(column) > 1e-12:
+            usable.append(index)
+    # Avoid saturated systems outright.
+    max_terms = max(n - 1, 0)
+    usable = usable[:max_terms]
+
+    if not usable:
+        return _mean_model(y, n)
+
+    columns = X[:, usable]
+    constrained = [position for position, idx in enumerate(usable) if idx in set(nonnegative)]
+    if constrained:
+        coefficients, intercept = _bounded_fit(columns, y, constrained, ridge)
+        residual = y - (columns @ coefficients + intercept)
+    elif ridge > 0:
+        # Center, penalize standardized coefficients, back-transform.
+        column_means = columns.mean(axis=0)
+        y_mean = float(y.mean())
+        centered = columns - column_means
+        scales = np.maximum(centered.std(axis=0), 1e-12)
+        gram = centered.T @ centered + ridge * n * np.diag(scales**2)
+        coefficients = np.linalg.solve(gram, centered.T @ (y - y_mean))
+        intercept = y_mean - float(coefficients @ column_means)
+        residual = y - (columns @ coefficients + intercept)
+    else:
+        design = np.column_stack([columns, np.ones(n)])
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        coefficients = solution[:-1]
+        intercept = float(solution[-1])
+        residual = y - design @ solution
+    training_error = float(np.mean(np.abs(residual)))
+    return LinearModel(
+        intercept=intercept,
+        indices=tuple(int(i) for i in usable),
+        names=tuple(attribute_names[i] for i in usable),
+        coefficients=tuple(float(c) for c in coefficients),
+        n_training=n,
+        training_error=training_error,
+    )
+
+
+def _bounded_fit(
+    columns: np.ndarray,
+    y: np.ndarray,
+    constrained_positions: Sequence[int],
+    ridge: float,
+):
+    """Bounded least squares: selected coefficients >= 0, intercept free.
+
+    The ridge (if any) is folded in as augmented rows, the standard
+    trick for solvers without a native penalty term.
+    """
+    from scipy.optimize import lsq_linear
+
+    n, p = columns.shape
+    design = np.column_stack([columns, np.ones(n)])
+    target = y.astype(np.float64)
+    if ridge > 0:
+        scales = np.maximum(columns.std(axis=0), 1e-12)
+        penalty = np.zeros((p, p + 1))
+        penalty[:, :p] = np.sqrt(ridge * n) * np.diag(scales)
+        design = np.vstack([design, penalty])
+        target = np.concatenate([target, np.zeros(p)])
+    lower = np.full(p + 1, -np.inf)
+    for position in constrained_positions:
+        lower[position] = 0.0
+    result = lsq_linear(design, target, bounds=(lower, np.full(p + 1, np.inf)))
+    solution = result.x
+    return solution[:-1], float(solution[-1])
+
+
+def _mean_model(y: np.ndarray, n: int) -> LinearModel:
+    mean = float(np.mean(y))
+    return LinearModel(
+        intercept=mean,
+        indices=(),
+        names=(),
+        coefficients=(),
+        n_training=n,
+        training_error=float(np.mean(np.abs(y - mean))),
+    )
+
+
+def resolve_opposed_pairs(
+    model: LinearModel,
+    X: np.ndarray,
+    y: np.ndarray,
+    attribute_names: Sequence[str],
+    ridge: float = 0.0,
+    corr_threshold: float = 0.75,
+    nonnegative: Sequence[int] = (),
+) -> LinearModel:
+    """Dissolve opposite-signed terms on strongly correlated attributes.
+
+    When two retained attributes correlate above ``corr_threshold`` and
+    their fitted coefficients have opposite signs, the pair is fitting
+    the (noisy) *difference* of two near-duplicate counters — the
+    classic collinearity explosion (e.g. ``-304*L2M + 298*DtlbLdM``)
+    that makes a leaf equation unreadable and its contribution
+    decomposition meaningless.  The member less correlated with the
+    target is dropped and the model refitted, repeating until no such
+    pair remains.  Well-behaved models pass through unchanged.
+    """
+    current = model
+    while True:
+        offender = _find_opposed_pair(current, X, y, corr_threshold)
+        if offender is None:
+            return current
+        remaining = [i for i in current.indices if i != offender]
+        current = fit_linear_model(
+            X, y, remaining, attribute_names, ridge, nonnegative
+        )
+
+
+def _find_opposed_pair(
+    model: LinearModel, X: np.ndarray, y: np.ndarray, corr_threshold: float
+):
+    """The index to drop from the worst opposed pair, or None."""
+
+    def correlation(a: np.ndarray, b: np.ndarray) -> float:
+        if np.ptp(a) <= 1e-15 or np.ptp(b) <= 1e-15:
+            return 0.0
+        return float(np.corrcoef(a, b)[0, 1])
+
+    for position_a in range(len(model.indices)):
+        for position_b in range(position_a + 1, len(model.indices)):
+            coef_a = model.coefficients[position_a]
+            coef_b = model.coefficients[position_b]
+            if coef_a * coef_b >= 0:
+                continue
+            index_a = model.indices[position_a]
+            index_b = model.indices[position_b]
+            if abs(correlation(X[:, index_a], X[:, index_b])) <= corr_threshold:
+                continue
+            keep_a = abs(correlation(X[:, index_a], y)) >= abs(
+                correlation(X[:, index_b], y)
+            )
+            return index_b if keep_a else index_a
+    return None
+
+
+def simplify_model(
+    model: LinearModel,
+    X: np.ndarray,
+    y: np.ndarray,
+    attribute_names: Sequence[str],
+    ridge: float = 0.0,
+    nonnegative: Sequence[int] = (),
+) -> LinearModel:
+    """Greedily drop terms while the pessimistic error does not increase.
+
+    At each step, every remaining term is tentatively removed (with a
+    refit); the best resulting model replaces the current one if its
+    adjusted error is no worse.  The constant (mean) model is always a
+    candidate endpoint.
+    """
+    current = model
+    current_error = current.adjusted_error()
+    while current.coefficients:
+        best_candidate: Optional[LinearModel] = None
+        best_error = current_error
+        for drop_position in range(len(current.indices)):
+            remaining = [
+                idx
+                for position, idx in enumerate(current.indices)
+                if position != drop_position
+            ]
+            candidate = fit_linear_model(
+                X, y, remaining, attribute_names, ridge, nonnegative
+            )
+            candidate_error = candidate.adjusted_error()
+            if candidate_error <= best_error + 1e-12:
+                best_candidate = candidate
+                best_error = candidate_error
+        if best_candidate is None:
+            break
+        current = best_candidate
+        current_error = best_error
+    return current

@@ -1,0 +1,51 @@
+"""Bottom-up post-pruning.
+
+The tree is traversed depth-first; at every interior node two pessimistic
+error estimates are compared — the node's own linear model versus the
+instance-weighted error of its (already pruned) children — and the
+subtree is collapsed to a leaf whenever the single model is no worse.
+This is the paper's Section IV-B procedure and is what keeps the final
+tree compact enough to read.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.tree.node import LeafNode, Node, SplitNode, assign_leaf_ids
+from repro.errors import ReproError
+
+
+def prune_tree(root: Node) -> Node:
+    """Prune ``root`` and return the (possibly replaced) new root."""
+    pruned, _ = _prune(root)
+    assign_leaf_ids(pruned)
+    return pruned
+
+
+def _prune(node: Node) -> Tuple[Node, float]:
+    if node.model is None:
+        raise ReproError("pruning requires a model at every node")
+    if node.is_leaf:
+        node.estimated_error = node.model.adjusted_error()
+        return node, node.estimated_error
+
+    assert isinstance(node, SplitNode)
+    node.left, left_error = _prune(node.left)
+    node.right, right_error = _prune(node.right)
+
+    n_left = node.left.n_instances
+    n_right = node.right.n_instances
+    subtree_error = (n_left * left_error + n_right * right_error) / (
+        n_left + n_right
+    )
+    model_error = node.model.adjusted_error()
+
+    if model_error <= subtree_error:
+        leaf = LeafNode(node.n_instances, node.sd, node.mean)
+        leaf.model = node.model
+        leaf.estimated_error = model_error
+        return leaf, model_error
+
+    node.estimated_error = subtree_error
+    return node, subtree_error

@@ -1,0 +1,61 @@
+"""Text rendering of model trees, in the WEKA/Figure 2 style.
+
+Example output::
+
+    L2M <= 0.00208 :
+    |   Dtlb <= 0.00051 : LM1 (1234/17.2%)
+    |   Dtlb >  0.00051 : LM2 (310/4.3%)
+    L2M >  0.00208 : LM3 (812/11.3%)
+
+    LM1: CPI = 0.52 + 6.69 * L1IM + 1.08 * InstLd
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro._util import format_float
+from repro.core.tree.node import LeafNode, Node, SplitNode
+
+
+def render_tree(root: Node, digits: int = 5) -> str:
+    """Render the decision structure with leaf populations and shares."""
+    total = root.n_instances
+    if root.is_leaf:
+        return _leaf_label(root, total)  # type: ignore[arg-type]
+    lines: List[str] = []
+    _render_split(root, 0, total, digits, lines)  # type: ignore[arg-type]
+    return "\n".join(lines)
+
+
+def _render_split(
+    node: SplitNode, depth: int, total: int, digits: int, lines: List[str]
+) -> None:
+    prefix = "|   " * depth
+    threshold = format_float(node.threshold, digits)
+    for branch, child in (("<=", node.left), (">", node.right)):
+        operator = f"{branch:<2}"
+        head = f"{prefix}{node.attribute_name} {operator} {threshold} :"
+        if child.is_leaf:
+            lines.append(f"{head} {_leaf_label(child, total)}")  # type: ignore[arg-type]
+        else:
+            lines.append(head)
+            _render_split(child, depth + 1, total, digits, lines)  # type: ignore[arg-type]
+
+
+def _leaf_label(leaf: LeafNode, total: int) -> str:
+    share = 100.0 * leaf.n_instances / total if total else 0.0
+    return f"LM{leaf.leaf_id} ({leaf.n_instances}/{share:.1f}%)"
+
+
+def render_models(root: Node, target_name: str, digits: int = 5) -> str:
+    """Render every leaf's linear model as an equation block."""
+    lines = []
+    for leaf in root.leaves():
+        if leaf.model is None:
+            equation = f"{target_name} = <missing model>"
+        else:
+            equation = leaf.model.describe(target_name, digits)
+        lines.append(f"LM{leaf.leaf_id}: {equation}")
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Model persistence: fitted M5' trees to and from JSON.
+
+A trained performance model is an artifact worth shipping (the paper's
+MATLAB prototype embedded one); this module serializes the complete
+tree — structure, thresholds, node statistics and linear models — to a
+versioned JSON document, so a model trained once can classify sections
+in another process without retraining.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.tree.linear import LinearModel
+from repro.core.tree.m5 import M5Prime
+from repro.core.tree.node import LeafNode, Node, SplitNode, assign_leaf_ids
+from repro.errors import NotFittedError, ParseError
+
+PathLike = Union[str, Path]
+
+#: Bump when the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+def model_to_dict(model: M5Prime) -> Dict[str, Any]:
+    """Serialize a fitted model to plain JSON-compatible structures."""
+    if model.root_ is None:
+        raise NotFittedError("cannot serialize an unfitted model")
+    return {
+        "format": "repro-m5prime",
+        "version": FORMAT_VERSION,
+        "attributes": list(model.attributes_),
+        "target": model.target_name_,
+        "params": {
+            "min_instances": model.min_instances,
+            "sd_fraction": model.sd_fraction,
+            "prune": model.prune,
+            "smoothing": model.smoothing,
+            "smoothing_k": model.smoothing_k,
+            "model_attributes": model.model_attributes,
+            "simplify": model.simplify,
+            "collinearity_threshold": model.collinearity_threshold,
+            "ridge": model.ridge,
+            "nonnegative_attributes": (
+                list(model.nonnegative_attributes)
+                if model.nonnegative_attributes
+                else None
+            ),
+        },
+        "tree": _node_to_dict(model.root_),
+    }
+
+
+def _node_to_dict(node: Node) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "n_instances": node.n_instances,
+        "sd": node.sd,
+        "mean": node.mean,
+        "model": _model_payload(node),
+    }
+    if node.is_leaf:
+        payload["kind"] = "leaf"
+    else:
+        assert isinstance(node, SplitNode)
+        payload["kind"] = "split"
+        payload["attribute_index"] = node.attribute_index
+        payload["attribute_name"] = node.attribute_name
+        payload["threshold"] = node.threshold
+        payload["left"] = _node_to_dict(node.left)
+        payload["right"] = _node_to_dict(node.right)
+    return payload
+
+
+def _model_payload(node: Node) -> Dict[str, Any]:
+    linear = node.model
+    if linear is None:
+        raise NotFittedError("tree node lacks a linear model")
+    return {
+        "intercept": linear.intercept,
+        "indices": list(linear.indices),
+        "names": list(linear.names),
+        "coefficients": list(linear.coefficients),
+        "n_training": linear.n_training,
+        "training_error": linear.training_error,
+    }
+
+
+def model_from_dict(payload: Dict[str, Any]) -> M5Prime:
+    """Rebuild a fitted model from :func:`model_to_dict` output."""
+    try:
+        if payload.get("format") != "repro-m5prime":
+            raise ParseError("not a repro-m5prime document")
+        if payload.get("version") != FORMAT_VERSION:
+            raise ParseError(
+                f"unsupported format version {payload.get('version')!r}"
+            )
+        params = payload["params"]
+        model = M5Prime(**params)
+        model.attributes_ = tuple(payload["attributes"])
+        model.target_name_ = str(payload["target"])
+        model.root_ = _node_from_dict(payload["tree"])
+    except (KeyError, TypeError) as exc:
+        raise ParseError(f"malformed model document: {exc}") from None
+    assign_leaf_ids(model.root_)
+    return model
+
+
+def _node_from_dict(payload: Dict[str, Any]) -> Node:
+    kind = payload["kind"]
+    if kind == "leaf":
+        node: Node = LeafNode(
+            payload["n_instances"], payload["sd"], payload["mean"]
+        )
+    elif kind == "split":
+        node = SplitNode(
+            n_instances=payload["n_instances"],
+            sd=payload["sd"],
+            mean=payload["mean"],
+            attribute_index=payload["attribute_index"],
+            attribute_name=payload["attribute_name"],
+            threshold=payload["threshold"],
+            left=_node_from_dict(payload["left"]),
+            right=_node_from_dict(payload["right"]),
+        )
+    else:
+        raise ParseError(f"unknown node kind {kind!r}")
+    linear = payload["model"]
+    node.model = LinearModel(
+        intercept=float(linear["intercept"]),
+        indices=tuple(int(i) for i in linear["indices"]),
+        names=tuple(str(n) for n in linear["names"]),
+        coefficients=tuple(float(c) for c in linear["coefficients"]),
+        n_training=int(linear["n_training"]),
+        training_error=float(linear["training_error"]),
+    )
+    return node
+
+
+def save_model(model: M5Prime, path: PathLike) -> None:
+    """Write a fitted model to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(model_to_dict(model), handle, indent=1)
+
+
+def load_model(path: PathLike) -> M5Prime:
+    """Read a fitted model from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ParseError(f"invalid JSON: {exc}") from None
+    return model_from_dict(payload)

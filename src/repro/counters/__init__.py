@@ -1,0 +1,56 @@
+"""Hardware event and derived-metric catalogue (paper Table I).
+
+The paper describes CPI as a function of 20 per-instruction event ratios
+collected on an Intel Core 2 Duo.  This package defines
+
+* the raw PMU events (:mod:`repro.counters.events`),
+* the derived per-instruction metrics with their exact Table I formulas
+  (:mod:`repro.counters.metrics`), and
+* the conversion from raw per-section counts to metric vectors
+  (:mod:`repro.counters.derive`).
+"""
+
+from repro.counters.events import (
+    ALL_EVENTS,
+    EVENT_BY_NAME,
+    EventSpec,
+    INST_RETIRED_ANY,
+)
+from repro.counters.metrics import (
+    ALL_METRICS,
+    METRIC_BY_NAME,
+    METRIC_NAMES,
+    MetricSpec,
+    PREDICTOR_METRICS,
+    PREDICTOR_NAMES,
+    STALL_METRICS,
+    TARGET_METRIC,
+)
+from repro.counters.derive import (
+    metric_row,
+    metric_vector,
+    sections_to_dataset,
+    validate_counts,
+)
+from repro.counters.invariants import assert_invariants, check_invariants
+
+__all__ = [
+    "ALL_EVENTS",
+    "ALL_METRICS",
+    "EVENT_BY_NAME",
+    "EventSpec",
+    "INST_RETIRED_ANY",
+    "METRIC_BY_NAME",
+    "METRIC_NAMES",
+    "MetricSpec",
+    "PREDICTOR_METRICS",
+    "PREDICTOR_NAMES",
+    "STALL_METRICS",
+    "TARGET_METRIC",
+    "assert_invariants",
+    "check_invariants",
+    "metric_row",
+    "metric_vector",
+    "sections_to_dataset",
+    "validate_counts",
+]

@@ -1,0 +1,116 @@
+"""Raw hardware (PMU) event definitions.
+
+These are the Core 2 Duo performance-monitoring events named in the
+right-hand column of Table I of the paper, plus ``INST_RETIRED.ANY``,
+which every per-instruction ratio uses as its denominator.  The simulator
+(:mod:`repro.simulator`) emits a count for each of these per section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """A single hardware performance-monitoring event.
+
+    Attributes:
+        name: The architectural event name, e.g.
+            ``"MEM_LOAD_RETIRED.L2_LINE_MISS"``.
+        description: Human-readable meaning of the count.
+    """
+
+    name: str
+    description: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INST_RETIRED_ANY = EventSpec(
+    "INST_RETIRED.ANY", "Instructions retired (the per-instruction denominator)"
+)
+
+CPU_CLK_UNHALTED_CORE = EventSpec(
+    "CPU_CLK_UNHALTED.CORE", "Unhalted core clock cycles"
+)
+INST_RETIRED_LOADS = EventSpec("INST_RETIRED.LOADS", "Retired load instructions")
+INST_RETIRED_STORES = EventSpec("INST_RETIRED.STORES", "Retired store instructions")
+BR_INST_RETIRED_ANY = EventSpec("BR_INST_RETIRED.ANY", "Retired branch instructions")
+BR_INST_RETIRED_MISPRED = EventSpec(
+    "BR_INST_RETIRED.MISPRED", "Retired mispredicted branch instructions"
+)
+MEM_LOAD_RETIRED_L1D_LINE_MISS = EventSpec(
+    "MEM_LOAD_RETIRED.L1D_LINE_MISS", "Retired loads that missed the L1 data cache"
+)
+L1I_MISSES = EventSpec("L1I_MISSES", "L1 instruction cache misses")
+MEM_LOAD_RETIRED_L2_LINE_MISS = EventSpec(
+    "MEM_LOAD_RETIRED.L2_LINE_MISS", "Retired loads that missed the L2 cache"
+)
+DTLB_MISSES_L0_MISS_LD = EventSpec(
+    "DTLB_MISSES.L0_MISS_LD", "Loads that missed the level-0 (micro) DTLB"
+)
+DTLB_MISSES_MISS_LD = EventSpec(
+    "DTLB_MISSES.MISS_LD", "Loads that missed the last-level DTLB"
+)
+MEM_LOAD_RETIRED_DTLB_MISS = EventSpec(
+    "MEM_LOAD_RETIRED.DTLB_MISS", "Retired loads that missed the last-level DTLB"
+)
+DTLB_MISSES_ANY = EventSpec(
+    "DTLB_MISSES.ANY", "All last-level DTLB misses (loads and stores)"
+)
+ITLB_MISS_RETIRED = EventSpec(
+    "ITLB.MISS_RETIRED", "Retired instructions that missed the ITLB"
+)
+LOAD_BLOCK_STA = EventSpec(
+    "LOAD_BLOCK.STA", "Loads blocked by a preceding store with unknown address"
+)
+LOAD_BLOCK_STD = EventSpec(
+    "LOAD_BLOCK.STD", "Loads blocked by a preceding store with unknown data"
+)
+LOAD_BLOCK_OVERLAP_STORE = EventSpec(
+    "LOAD_BLOCK.OVERLAP_STORE",
+    "Loads partially overlapping a preceding store (forwarding blocked)",
+)
+MISALIGN_MEM_REF = EventSpec(
+    "MISALIGN_MEM_REF", "Memory references crossing a natural alignment boundary"
+)
+L1D_SPLIT_LOADS = EventSpec(
+    "L1D_SPLIT.LOADS", "Loads split across two L1 data cache lines"
+)
+L1D_SPLIT_STORES = EventSpec(
+    "L1D_SPLIT.STORES", "Stores split across two L1 data cache lines"
+)
+ILD_STALL = EventSpec(
+    "ILD_STALL", "Instruction-length decoder stalls (length-changing prefixes)"
+)
+
+#: Every raw event the collection pipeline records, in a stable order.
+ALL_EVENTS: Tuple[EventSpec, ...] = (
+    CPU_CLK_UNHALTED_CORE,
+    INST_RETIRED_ANY,
+    INST_RETIRED_LOADS,
+    INST_RETIRED_STORES,
+    BR_INST_RETIRED_ANY,
+    BR_INST_RETIRED_MISPRED,
+    MEM_LOAD_RETIRED_L1D_LINE_MISS,
+    L1I_MISSES,
+    MEM_LOAD_RETIRED_L2_LINE_MISS,
+    DTLB_MISSES_L0_MISS_LD,
+    DTLB_MISSES_MISS_LD,
+    MEM_LOAD_RETIRED_DTLB_MISS,
+    DTLB_MISSES_ANY,
+    ITLB_MISS_RETIRED,
+    LOAD_BLOCK_STA,
+    LOAD_BLOCK_STD,
+    LOAD_BLOCK_OVERLAP_STORE,
+    MISALIGN_MEM_REF,
+    L1D_SPLIT_LOADS,
+    L1D_SPLIT_STORES,
+    ILD_STALL,
+)
+
+#: Name -> spec lookup for all raw events.
+EVENT_BY_NAME: Dict[str, EventSpec] = {event.name: event for event in ALL_EVENTS}

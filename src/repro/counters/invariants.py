@@ -1,0 +1,118 @@
+"""Architectural consistency checks over raw counter snapshots.
+
+Real PMU data is full of impossible-looking readings caused by
+multiplexing and skid; simulated data must be cleaner.  These invariants
+encode the event hierarchy (an L2 load miss implies an L1 load miss; a
+retired DTLB load miss is a subset of all DTLB load misses; mix counts
+cannot exceed retired instructions) and are checked by the collection
+tests — and available to users vetting imported datasets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from repro.counters import events as ev
+
+CountMap = Mapping[str, float]
+
+#: Tolerance for floating-point count comparisons.
+_EPS = 1e-6
+
+
+def check_invariants(counts: CountMap) -> List[str]:
+    """Return a list of violated-invariant descriptions (empty = clean)."""
+    violations: List[str] = []
+
+    def get(event) -> float:
+        return float(counts.get(event.name, 0.0))
+
+    def require(condition: bool, message: str) -> None:
+        if not condition:
+            violations.append(message)
+
+    instructions = get(ev.INST_RETIRED_ANY)
+    require(instructions > 0, "INST_RETIRED.ANY must be positive")
+    require(
+        get(ev.CPU_CLK_UNHALTED_CORE) > 0, "CPU_CLK_UNHALTED.CORE must be positive"
+    )
+
+    loads = get(ev.INST_RETIRED_LOADS)
+    stores = get(ev.INST_RETIRED_STORES)
+    branches = get(ev.BR_INST_RETIRED_ANY)
+    require(
+        loads + stores + branches <= instructions + _EPS,
+        "instruction mix exceeds retired instructions",
+    )
+    require(
+        get(ev.BR_INST_RETIRED_MISPRED) <= branches + _EPS,
+        "mispredicted branches exceed all branches",
+    )
+
+    require(
+        get(ev.MEM_LOAD_RETIRED_L2_LINE_MISS)
+        <= get(ev.MEM_LOAD_RETIRED_L1D_LINE_MISS) + _EPS,
+        "retired load L2 misses exceed L1D misses",
+    )
+    require(
+        get(ev.MEM_LOAD_RETIRED_L1D_LINE_MISS) <= loads + _EPS,
+        "retired load L1D misses exceed retired loads",
+    )
+    require(
+        get(ev.MEM_LOAD_RETIRED_DTLB_MISS) <= get(ev.DTLB_MISSES_MISS_LD) + _EPS,
+        "retired DTLB load misses exceed all DTLB load misses",
+    )
+    require(
+        get(ev.DTLB_MISSES_MISS_LD) <= get(ev.DTLB_MISSES_ANY) + _EPS,
+        "DTLB load misses exceed all DTLB misses",
+    )
+    require(
+        get(ev.MEM_LOAD_RETIRED_DTLB_MISS) <= get(ev.DTLB_MISSES_L0_MISS_LD) + _EPS,
+        "last-level DTLB load misses exceed level-0 misses",
+    )
+
+    blocked = (
+        get(ev.LOAD_BLOCK_STA)
+        + get(ev.LOAD_BLOCK_STD)
+        + get(ev.LOAD_BLOCK_OVERLAP_STORE)
+    )
+    require(blocked <= loads + _EPS, "load-block events exceed retired loads")
+    require(
+        get(ev.L1D_SPLIT_LOADS) <= loads + _EPS, "split loads exceed retired loads"
+    )
+    require(
+        get(ev.L1D_SPLIT_STORES) <= stores + _EPS,
+        "split stores exceed retired stores",
+    )
+    require(
+        get(ev.MISALIGN_MEM_REF) <= loads + stores + _EPS,
+        "misaligned references exceed memory instructions",
+    )
+    require(
+        get(ev.L1I_MISSES) <= instructions + _EPS,
+        "L1I misses exceed instruction fetches",
+    )
+    require(
+        get(ev.ITLB_MISS_RETIRED) <= instructions + _EPS,
+        "ITLB misses exceed instruction fetches",
+    )
+    require(
+        get(ev.ILD_STALL) <= instructions + _EPS,
+        "LCP stalls exceed retired instructions",
+    )
+
+    for name, value in counts.items():
+        if value < 0:
+            violations.append(f"negative count for {name}")
+    return violations
+
+
+def assert_invariants(counts: CountMap) -> None:
+    """Raise :class:`repro.errors.DataError` listing any violations."""
+    from repro.errors import DataError
+
+    violations = check_invariants(counts)
+    if violations:
+        raise DataError(
+            "counter invariants violated: " + "; ".join(violations)
+        )

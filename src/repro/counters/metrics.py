@@ -1,0 +1,236 @@
+"""Derived per-instruction metrics (paper Table I, left column).
+
+Each :class:`MetricSpec` carries the Table I formula as both a callable on
+raw counts and a human-readable string, so reports can cite the exact
+event arithmetic.  ``TARGET_METRIC`` (CPI) is the dependent variable; the
+20 ``PREDICTOR_METRICS`` are the independent variables of the paper's
+regression problem, listed in Table I order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Tuple
+
+from repro.counters import events as ev
+
+CountMap = Mapping[str, float]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """A per-instruction metric derived from raw event counts.
+
+    Attributes:
+        name: Short metric name used as a dataset attribute (``"L2M"``).
+        description: Table I description text.
+        formula: Human-readable formula over raw event names.
+        compute: Callable mapping a raw count dict to the metric value.
+            All metrics are ratios over ``INST_RETIRED.ANY``.
+    """
+
+    name: str
+    description: str
+    formula: str
+    compute: Callable[[CountMap], float]
+
+    def __str__(self) -> str:
+        return f"{self.name} = {self.formula}"
+
+
+def _ratio(event_name: str) -> Callable[[CountMap], float]:
+    """Build a compute function for ``event / INST_RETIRED.ANY``."""
+
+    def compute(counts: CountMap) -> float:
+        return counts[event_name] / counts[ev.INST_RETIRED_ANY.name]
+
+    return compute
+
+
+def _cpi(counts: CountMap) -> float:
+    return counts[ev.CPU_CLK_UNHALTED_CORE.name] / counts[ev.INST_RETIRED_ANY.name]
+
+
+def _br_pred(counts: CountMap) -> float:
+    correct = (
+        counts[ev.BR_INST_RETIRED_ANY.name] - counts[ev.BR_INST_RETIRED_MISPRED.name]
+    )
+    return correct / counts[ev.INST_RETIRED_ANY.name]
+
+
+def _inst_other(counts: CountMap) -> float:
+    any_retired = counts[ev.INST_RETIRED_ANY.name]
+    accounted = (
+        counts[ev.INST_RETIRED_LOADS.name]
+        + counts[ev.INST_RETIRED_STORES.name]
+        + counts[ev.BR_INST_RETIRED_ANY.name]
+    )
+    return (any_retired - accounted) / any_retired
+
+
+TARGET_METRIC = MetricSpec(
+    name="CPI",
+    description="CPU clock cycles per instruction",
+    formula="CPU_CLK_UNHALTED.CORE / INST_RETIRED.ANY",
+    compute=_cpi,
+)
+
+PREDICTOR_METRICS: Tuple[MetricSpec, ...] = (
+    MetricSpec(
+        "InstLd",
+        "Loads per instruction",
+        "INST_RETIRED.LOADS / INST_RETIRED.ANY",
+        _ratio(ev.INST_RETIRED_LOADS.name),
+    ),
+    MetricSpec(
+        "InstSt",
+        "Stores per instruction",
+        "INST_RETIRED.STORES / INST_RETIRED.ANY",
+        _ratio(ev.INST_RETIRED_STORES.name),
+    ),
+    MetricSpec(
+        "BrMisPr",
+        "Mispredicted branches per instruction",
+        "BR_INST_RETIRED.MISPRED / INST_RETIRED.ANY",
+        _ratio(ev.BR_INST_RETIRED_MISPRED.name),
+    ),
+    MetricSpec(
+        "BrPred",
+        "Correctly predicted branches per instruction",
+        "(BR_INST_RETIRED.ANY - BR_INST_RETIRED.MISPRED) / INST_RETIRED.ANY",
+        _br_pred,
+    ),
+    MetricSpec(
+        "InstOther",
+        "Non-branch and non-memory instructions per instruction",
+        "(INST_RETIRED.ANY - (INST_RETIRED.LOADS + INST_RETIRED.STORES"
+        " + BR_INST_RETIRED.ANY)) / INST_RETIRED.ANY",
+        _inst_other,
+    ),
+    MetricSpec(
+        "L1DM",
+        "L1 data misses per instruction",
+        "MEM_LOAD_RETIRED.L1D_LINE_MISS / INST_RETIRED.ANY",
+        _ratio(ev.MEM_LOAD_RETIRED_L1D_LINE_MISS.name),
+    ),
+    MetricSpec(
+        "L1IM",
+        "L1 instruction misses per instruction",
+        "L1I_MISSES / INST_RETIRED.ANY",
+        _ratio(ev.L1I_MISSES.name),
+    ),
+    MetricSpec(
+        "L2M",
+        "L2 misses per instruction",
+        "MEM_LOAD_RETIRED.L2_LINE_MISS / INST_RETIRED.ANY",
+        _ratio(ev.MEM_LOAD_RETIRED_L2_LINE_MISS.name),
+    ),
+    MetricSpec(
+        "DtlbL0LdM",
+        "Lowest level DTLB load misses per instruction",
+        "DTLB_MISSES.L0_MISS_LD / INST_RETIRED.ANY",
+        _ratio(ev.DTLB_MISSES_L0_MISS_LD.name),
+    ),
+    MetricSpec(
+        "DtlbLdM",
+        "Last level DTLB load misses per instruction",
+        "DTLB_MISSES.MISS_LD / INST_RETIRED.ANY",
+        _ratio(ev.DTLB_MISSES_MISS_LD.name),
+    ),
+    MetricSpec(
+        "DtlbLdReM",
+        "Last level DTLB retired load misses per instruction",
+        "MEM_LOAD_RETIRED.DTLB_MISS / INST_RETIRED.ANY",
+        _ratio(ev.MEM_LOAD_RETIRED_DTLB_MISS.name),
+    ),
+    MetricSpec(
+        "Dtlb",
+        "Last level DTLB misses (including loads) per instruction",
+        "DTLB_MISSES.ANY / INST_RETIRED.ANY",
+        _ratio(ev.DTLB_MISSES_ANY.name),
+    ),
+    MetricSpec(
+        "ItlbM",
+        "ITLB misses per instruction",
+        "ITLB.MISS_RETIRED / INST_RETIRED.ANY",
+        _ratio(ev.ITLB_MISS_RETIRED.name),
+    ),
+    MetricSpec(
+        "LdBlSta",
+        "Load block store address events per instruction",
+        "LOAD_BLOCK.STA / INST_RETIRED.ANY",
+        _ratio(ev.LOAD_BLOCK_STA.name),
+    ),
+    MetricSpec(
+        "LdBlStd",
+        "Load block store data events per instruction",
+        "LOAD_BLOCK.STD / INST_RETIRED.ANY",
+        _ratio(ev.LOAD_BLOCK_STD.name),
+    ),
+    MetricSpec(
+        "LdBlOvSt",
+        "Load block overlap store per instruction",
+        "LOAD_BLOCK.OVERLAP_STORE / INST_RETIRED.ANY",
+        _ratio(ev.LOAD_BLOCK_OVERLAP_STORE.name),
+    ),
+    MetricSpec(
+        "MisalRef",
+        "Misaligned memory references per instruction",
+        "MISALIGN_MEM_REF / INST_RETIRED.ANY",
+        _ratio(ev.MISALIGN_MEM_REF.name),
+    ),
+    MetricSpec(
+        "L1DSpLd",
+        "L1 data split loads per instruction",
+        "L1D_SPLIT.LOADS / INST_RETIRED.ANY",
+        _ratio(ev.L1D_SPLIT_LOADS.name),
+    ),
+    MetricSpec(
+        "L1DSpSt",
+        "L1 data split stores per instruction",
+        "L1D_SPLIT.STORES / INST_RETIRED.ANY",
+        _ratio(ev.L1D_SPLIT_STORES.name),
+    ),
+    MetricSpec(
+        "LCP",
+        "Length changing prefix stalls per instruction",
+        "ILD_STALL / INST_RETIRED.ANY",
+        _ratio(ev.ILD_STALL.name),
+    ),
+)
+
+#: Target first, then the 20 predictors — the full Table I, top to bottom.
+ALL_METRICS: Tuple[MetricSpec, ...] = (TARGET_METRIC,) + PREDICTOR_METRICS
+
+#: Predictor attribute names in Table I order.
+PREDICTOR_NAMES: Tuple[str, ...] = tuple(m.name for m in PREDICTOR_METRICS)
+
+#: All metric names, target included.
+METRIC_NAMES: Tuple[str, ...] = tuple(m.name for m in ALL_METRICS)
+
+#: Name -> spec lookup across target and predictors.
+METRIC_BY_NAME: Dict[str, MetricSpec] = {m.name: m for m in ALL_METRICS}
+
+#: Metrics that count stall/penalty events.  Physically these cannot make
+#: the machine faster, so a model constrained to price them non-negatively
+#: (``M5Prime(nonnegative_attributes=STALL_METRICS)``) stays readable as a
+#: cost decomposition.  The mix metrics (InstLd, InstSt, BrPred,
+#: InstOther) are excluded: a heavier mix can legitimately lower CPI.
+STALL_METRICS: Tuple[str, ...] = (
+    "BrMisPr",
+    "L1DM",
+    "L1IM",
+    "L2M",
+    "DtlbL0LdM",
+    "DtlbLdM",
+    "DtlbLdReM",
+    "Dtlb",
+    "ItlbM",
+    "LdBlSta",
+    "LdBlStd",
+    "LdBlOvSt",
+    "MisalRef",
+    "L1DSpLd",
+    "L1DSpSt",
+    "LCP",
+)

@@ -1,0 +1,24 @@
+"""Dataset layer: section tables, interchange formats and splits."""
+
+from repro.datasets.dataset import Dataset
+from repro.datasets.sectioning import SectionRecorder, section_boundaries
+from repro.datasets.splits import kfold_indices, train_test_split
+from repro.datasets.arff import load_arff, save_arff
+from repro.datasets.csvio import load_csv, save_csv
+from repro.datasets.profile import DatasetProfile, profile_dataset
+from repro.datasets import synthetic
+
+__all__ = [
+    "Dataset",
+    "DatasetProfile",
+    "SectionRecorder",
+    "kfold_indices",
+    "load_arff",
+    "profile_dataset",
+    "load_csv",
+    "save_arff",
+    "save_csv",
+    "section_boundaries",
+    "synthetic",
+    "train_test_split",
+]

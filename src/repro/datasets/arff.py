@@ -1,0 +1,120 @@
+"""Minimal ARFF reader/writer for numeric relations.
+
+The paper trained its models in WEKA; ARFF is WEKA's native interchange
+format, so datasets written here can be loaded into WEKA (and WEKA
+exports re-imported) for a side-by-side check of the M5' implementation.
+Only numeric attributes are supported — all Table I metrics are numeric.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, TextIO, Union
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.errors import ParseError
+
+PathLike = Union[str, Path]
+
+
+def save_arff(dataset: Dataset, path: PathLike, relation: str = "sections") -> None:
+    """Write ``dataset`` as an ARFF file, target as the last attribute."""
+    with open(path, "w", encoding="utf-8") as handle:
+        _write(dataset, handle, relation)
+
+
+def dumps_arff(dataset: Dataset, relation: str = "sections") -> str:
+    """Render ``dataset`` as an ARFF string."""
+    buffer = io.StringIO()
+    _write(dataset, buffer, relation)
+    return buffer.getvalue()
+
+
+def _write(dataset: Dataset, handle: TextIO, relation: str) -> None:
+    handle.write(f"@relation {_quote(relation)}\n\n")
+    for name in dataset.attributes:
+        handle.write(f"@attribute {_quote(name)} numeric\n")
+    handle.write(f"@attribute {_quote(dataset.target_name)} numeric\n\n")
+    handle.write("@data\n")
+    for row, target in zip(dataset.X, dataset.y):
+        values = [repr(float(v)) for v in row] + [repr(float(target))]
+        handle.write(",".join(values) + "\n")
+
+
+def _quote(token: str) -> str:
+    if any(ch in token for ch in " ,{}%'\""):
+        escaped = token.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    return token
+
+
+def load_arff(path: PathLike) -> Dataset:
+    """Read a numeric ARFF file; the last attribute becomes the target."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads_arff(handle.read())
+
+
+def loads_arff(text: str) -> Dataset:
+    """Parse ARFF text (numeric attributes only)."""
+    names: List[str] = []
+    rows: List[List[float]] = []
+    in_data = False
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("%"):
+            continue
+        lowered = line.lower()
+        if not in_data:
+            if lowered.startswith("@relation"):
+                continue
+            if lowered.startswith("@attribute"):
+                names.append(_parse_attribute(line, line_no))
+                continue
+            if lowered.startswith("@data"):
+                in_data = True
+                continue
+            raise ParseError(f"line {line_no}: unexpected header line {line!r}")
+        try:
+            rows.append([float(v) for v in line.split(",")])
+        except ValueError as exc:
+            raise ParseError(f"line {line_no}: non-numeric datum ({exc})") from None
+    if len(names) < 2:
+        raise ParseError("ARFF needs at least one attribute plus a target")
+    if not rows:
+        raise ParseError("ARFF contains no data rows")
+    width = len(names)
+    for i, row in enumerate(rows):
+        if len(row) != width:
+            raise ParseError(f"data row {i} has {len(row)} values, expected {width}")
+    matrix = np.asarray(rows, dtype=np.float64)
+    return Dataset(
+        X=matrix[:, :-1],
+        y=matrix[:, -1],
+        attributes=names[:-1],
+        target_name=names[-1],
+    )
+
+
+def _parse_attribute(line: str, line_no: int) -> str:
+    body = line[len("@attribute"):].strip()
+    if body.startswith("'"):
+        end = body.find("'", 1)
+        while end != -1 and body[end - 1] == "\\":
+            end = body.find("'", end + 1)
+        if end == -1:
+            raise ParseError(f"line {line_no}: unterminated quoted attribute name")
+        name = body[1:end].replace("\\'", "'").replace("\\\\", "\\")
+        kind = body[end + 1:].strip()
+    else:
+        parts = body.split(None, 1)
+        if len(parts) != 2:
+            raise ParseError(f"line {line_no}: malformed @attribute line")
+        name, kind = parts
+    if kind.strip().lower() not in ("numeric", "real", "integer"):
+        raise ParseError(
+            f"line {line_no}: only numeric attributes are supported, got {kind!r}"
+        )
+    return name

@@ -1,0 +1,80 @@
+"""CSV reader/writer for section datasets.
+
+Layout: a header row with attribute names, the target as the final
+column, optional leading metadata columns marked with a ``#`` prefix
+(``#workload``) so spreadsheets stay self-describing.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.errors import ParseError
+
+PathLike = Union[str, Path]
+
+_META_PREFIX = "#"
+
+
+def save_csv(dataset: Dataset, path: PathLike) -> None:
+    """Write ``dataset`` (metadata columns first, target last) as CSV."""
+    meta_keys = sorted(dataset.meta)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        header = [_META_PREFIX + k for k in meta_keys]
+        header += list(dataset.attributes) + [dataset.target_name]
+        writer.writerow(header)
+        for i in range(dataset.n_instances):
+            row: List[str] = [str(dataset.meta[k][i]) for k in meta_keys]
+            row += [repr(float(v)) for v in dataset.X[i]]
+            row.append(repr(float(dataset.y[i])))
+            writer.writerow(row)
+
+
+def load_csv(path: PathLike) -> Dataset:
+    """Read a dataset written by :func:`save_csv` (or any compatible CSV)."""
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ParseError("CSV file is empty") from None
+        rows = [row for row in reader if row]
+    if len(header) < 2:
+        raise ParseError("CSV needs at least one attribute plus a target column")
+    meta_keys = [h[1:] for h in header if h.startswith(_META_PREFIX)]
+    n_meta = len(meta_keys)
+    for h in header[n_meta:]:
+        if h.startswith(_META_PREFIX):
+            raise ParseError("metadata columns must precede numeric columns")
+    attribute_names = header[n_meta:-1]
+    target_name = header[-1]
+    if not attribute_names:
+        raise ParseError("CSV has no attribute columns")
+
+    meta: Dict[str, List[str]] = {k: [] for k in meta_keys}
+    numeric: List[List[float]] = []
+    for i, row in enumerate(rows):
+        if len(row) != len(header):
+            raise ParseError(f"row {i} has {len(row)} cells, expected {len(header)}")
+        for key, value in zip(meta_keys, row):
+            meta[key].append(value)
+        try:
+            numeric.append([float(v) for v in row[n_meta:]])
+        except ValueError as exc:
+            raise ParseError(f"row {i}: non-numeric datum ({exc})") from None
+    if not numeric:
+        raise ParseError("CSV contains no data rows")
+    matrix = np.asarray(numeric, dtype=np.float64)
+    return Dataset(
+        X=matrix[:, :-1],
+        y=matrix[:, -1],
+        attributes=attribute_names,
+        target_name=target_name,
+        meta=meta if meta_keys else None,
+    )

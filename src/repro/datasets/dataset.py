@@ -1,0 +1,189 @@
+"""The :class:`Dataset` container used throughout the package.
+
+A dataset is a plain attribute matrix plus a target vector — the same
+shape of data the paper feeds WEKA: one row per workload section, one
+column per Table I metric, CPI as the dependent variable.  Optional
+metadata columns (workload name, section index) ride along so analyses
+can attribute tree leaves back to benchmarks, as the paper does for
+429.mcf and 436.cactusADM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro._util import as_float_matrix, as_float_vector, check_matching_lengths
+from repro.errors import DataError
+
+MetaMap = Mapping[str, Sequence]
+
+
+class Dataset:
+    """An immutable table of sections: attributes ``X``, target ``y``.
+
+    Attributes:
+        X: Float matrix of shape ``(n_instances, n_attributes)``.
+        y: Float target vector of length ``n_instances``.
+        attributes: Attribute (column) names, one per column of ``X``.
+        target_name: Name of the dependent variable (``"CPI"`` by default).
+        meta: Optional per-instance metadata arrays (e.g. ``"workload"``).
+    """
+
+    def __init__(
+        self,
+        X: Sequence,
+        y: Sequence,
+        attributes: Sequence[str],
+        target_name: str = "CPI",
+        meta: Optional[MetaMap] = None,
+    ) -> None:
+        self.X = as_float_matrix(X)
+        self.y = as_float_vector(y)
+        check_matching_lengths(self.X, self.y)
+        self.attributes: Tuple[str, ...] = tuple(str(a) for a in attributes)
+        if len(self.attributes) != self.X.shape[1]:
+            raise DataError(
+                f"{len(self.attributes)} attribute names for "
+                f"{self.X.shape[1]} columns"
+            )
+        if len(set(self.attributes)) != len(self.attributes):
+            raise DataError("attribute names must be unique")
+        self.target_name = str(target_name)
+        if self.target_name in self.attributes:
+            raise DataError(
+                f"target {self.target_name!r} also appears as an attribute"
+            )
+        self.meta: Dict[str, np.ndarray] = {}
+        if meta:
+            for key, values in meta.items():
+                arr = np.asarray(values, dtype=object)
+                if arr.shape[0] != self.n_instances:
+                    raise DataError(
+                        f"meta column {key!r} has {arr.shape[0]} values for "
+                        f"{self.n_instances} instances"
+                    )
+                self.meta[str(key)] = arr
+        self._index = {name: i for i, name in enumerate(self.attributes)}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_instances(self) -> int:
+        """Number of rows (workload sections)."""
+        return self.X.shape[0]
+
+    @property
+    def n_attributes(self) -> int:
+        """Number of predictor columns."""
+        return self.X.shape[1]
+
+    def attribute_index(self, name: str) -> int:
+        """Column index of attribute ``name`` (raises on unknown names)."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise DataError(f"unknown attribute {name!r}") from None
+
+    def column(self, name: str) -> np.ndarray:
+        """The values of one attribute column (a copy-free view)."""
+        return self.X[:, self.attribute_index(name)]
+
+    def __len__(self) -> int:
+        return self.n_instances
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(n_instances={self.n_instances}, "
+            f"n_attributes={self.n_attributes}, target={self.target_name!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Construction and transformation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Mapping[str, float]],
+        attributes: Sequence[str],
+        target_name: str = "CPI",
+        meta: Optional[MetaMap] = None,
+    ) -> "Dataset":
+        """Build a dataset from dict rows containing attributes and target."""
+        if not rows:
+            raise DataError("cannot build a dataset from zero rows")
+        X = [[row[a] for a in attributes] for row in rows]
+        y = [row[target_name] for row in rows]
+        return cls(X, y, attributes, target_name, meta)
+
+    def subset(self, indices: Union[Sequence[int], np.ndarray]) -> "Dataset":
+        """A new dataset restricted to ``indices`` (bool mask or int index)."""
+        idx = np.asarray(indices)
+        meta = {key: values[idx] for key, values in self.meta.items()}
+        return Dataset(
+            self.X[idx], self.y[idx], self.attributes, self.target_name, meta
+        )
+
+    def select_attributes(self, names: Sequence[str]) -> "Dataset":
+        """A new dataset keeping only the named attribute columns."""
+        cols = [self.attribute_index(n) for n in names]
+        return Dataset(
+            self.X[:, cols], self.y, tuple(names), self.target_name, self.meta
+        )
+
+    def with_meta(self, **columns: Sequence) -> "Dataset":
+        """A copy with additional metadata columns attached."""
+        meta = dict(self.meta)
+        for key, values in columns.items():
+            meta[key] = values
+        return Dataset(self.X, self.y, self.attributes, self.target_name, meta)
+
+    @staticmethod
+    def concat(datasets: Sequence["Dataset"]) -> "Dataset":
+        """Stack several compatible datasets (same attributes and target)."""
+        if not datasets:
+            raise DataError("cannot concatenate zero datasets")
+        first = datasets[0]
+        for other in datasets[1:]:
+            if other.attributes != first.attributes:
+                raise DataError("datasets disagree on attribute names")
+            if other.target_name != first.target_name:
+                raise DataError("datasets disagree on target name")
+        X = np.vstack([d.X for d in datasets])
+        y = np.concatenate([d.y for d in datasets])
+        meta: Dict[str, np.ndarray] = {}
+        shared_keys = set(first.meta)
+        for other in datasets[1:]:
+            shared_keys &= set(other.meta)
+        for key in shared_keys:
+            meta[key] = np.concatenate([d.meta[key] for d in datasets])
+        return Dataset(X, y, first.attributes, first.target_name, meta)
+
+    def shuffled(self, rng: np.random.Generator) -> "Dataset":
+        """A row-permuted copy (used before cross validation)."""
+        order = rng.permutation(self.n_instances)
+        return self.subset(order)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, Dict[str, float]]:
+        """Per-column summary statistics (min/mean/max/sd), target included."""
+        summary: Dict[str, Dict[str, float]] = {}
+        columns: Iterable[Tuple[str, np.ndarray]] = list(
+            zip(self.attributes, self.X.T)
+        ) + [(self.target_name, self.y)]
+        for name, values in columns:
+            summary[name] = {
+                "min": float(np.min(values)),
+                "mean": float(np.mean(values)),
+                "max": float(np.max(values)),
+                "sd": float(np.std(values)),
+            }
+        return summary
+
+    def target_sd(self) -> float:
+        """Population standard deviation of the target."""
+        return float(np.std(self.y))

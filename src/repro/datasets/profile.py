@@ -1,0 +1,109 @@
+"""Dataset profiling: distribution summaries for section datasets.
+
+Before training, a performance engineer inspects the collected counters:
+which events actually fired, how rates distribute per workload, whether
+anything looks saturated or dead.  `profile_dataset` condenses that into
+a renderable report; the CLI exposes it as ``repro describe``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.evaluation.tables import render_table
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """Distribution summary of one attribute (or the target)."""
+
+    name: str
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+    mean: float
+    sd: float
+    zero_fraction: float
+
+    @classmethod
+    def from_values(cls, name: str, values: np.ndarray) -> "ColumnProfile":
+        quartiles = np.percentile(values, [25, 50, 75])
+        return cls(
+            name=name,
+            minimum=float(values.min()),
+            p25=float(quartiles[0]),
+            median=float(quartiles[1]),
+            p75=float(quartiles[2]),
+            maximum=float(values.max()),
+            mean=float(values.mean()),
+            sd=float(values.std()),
+            zero_fraction=float(np.mean(values == 0.0)),
+        )
+
+
+@dataclass
+class DatasetProfile:
+    """Full profile: per-column stats plus per-workload target means."""
+
+    n_instances: int
+    columns: List[ColumnProfile]
+    target: ColumnProfile
+    workload_target_means: Dict[str, float]
+
+    def dead_columns(self) -> List[str]:
+        """Attributes that never fire (all zero) — collection red flags."""
+        return [c.name for c in self.columns if c.zero_fraction >= 1.0]
+
+    def render(self) -> str:
+        rows = [
+            [
+                column.name,
+                f"{column.minimum:.5g}",
+                f"{column.median:.5g}",
+                f"{column.mean:.5g}",
+                f"{column.maximum:.5g}",
+                f"{column.sd:.5g}",
+                f"{100 * column.zero_fraction:.0f}%",
+            ]
+            for column in self.columns + [self.target]
+        ]
+        table = render_table(
+            ["column", "min", "median", "mean", "max", "sd", "zeros"], rows
+        )
+        lines = [f"{self.n_instances} sections", "", table]
+        if self.workload_target_means:
+            lines.append("")
+            lines.append(f"per-workload mean {self.target.name}:")
+            for name, value in sorted(self.workload_target_means.items()):
+                lines.append(f"  {name:<18} {value:8.3f}")
+        dead = self.dead_columns()
+        if dead:
+            lines.append("")
+            lines.append("WARNING: dead attributes (never fire): " + ", ".join(dead))
+        return "\n".join(lines)
+
+
+def profile_dataset(dataset: Dataset) -> DatasetProfile:
+    """Profile every attribute, the target, and per-workload means."""
+    columns = [
+        ColumnProfile.from_values(name, dataset.column(name))
+        for name in dataset.attributes
+    ]
+    target = ColumnProfile.from_values(dataset.target_name, dataset.y)
+    workload_means: Dict[str, float] = {}
+    if "workload" in dataset.meta:
+        labels = dataset.meta["workload"]
+        for name in np.unique(labels):
+            workload_means[str(name)] = float(dataset.y[labels == name].mean())
+    return DatasetProfile(
+        n_instances=dataset.n_instances,
+        columns=columns,
+        target=target,
+        workload_target_means=workload_means,
+    )

@@ -1,0 +1,110 @@
+"""Equal-instruction sectioning of executions.
+
+The paper divides each workload's execution "into sections of equal
+numbers of retired instructions" and derives one training instance per
+section.  :class:`SectionRecorder` implements that policy on top of any
+source of incremental raw counts (the simulator, a PMU reader, a replayed
+trace): feed it count deltas tagged with how many instructions retired,
+and it cuts section snapshots at exact instruction boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.counters.events import INST_RETIRED_ANY
+from repro.errors import ConfigError, DataError
+
+
+def section_boundaries(total_instructions: int, per_section: int) -> List[Tuple[int, int]]:
+    """[start, end) instruction ranges for equal-size sections.
+
+    The trailing remainder (a partial section) is dropped, matching the
+    equal-population requirement of the paper's methodology.
+    """
+    if per_section <= 0:
+        raise ConfigError(f"per_section must be positive, got {per_section}")
+    if total_instructions < 0:
+        raise ConfigError("total_instructions must be non-negative")
+    n_sections = total_instructions // per_section
+    return [(i * per_section, (i + 1) * per_section) for i in range(n_sections)]
+
+
+class SectionRecorder:
+    """Accumulates raw count deltas and emits equal-instruction sections.
+
+    Example:
+        >>> recorder = SectionRecorder(instructions_per_section=1000)
+        >>> recorder.record({"INST_RETIRED.ANY": 600, "L1I_MISSES": 3})
+        >>> recorder.record({"INST_RETIRED.ANY": 600, "L1I_MISSES": 5})
+        >>> len(recorder.sections)
+        1
+
+    Deltas that straddle a boundary are split proportionally, which is the
+    standard approximation for sampled counter collection.
+    """
+
+    def __init__(self, instructions_per_section: int) -> None:
+        if instructions_per_section <= 0:
+            raise ConfigError(
+                "instructions_per_section must be positive, got "
+                f"{instructions_per_section}"
+            )
+        self.instructions_per_section = int(instructions_per_section)
+        self.sections: List[Dict[str, float]] = []
+        self._pending: Dict[str, float] = {}
+        self._pending_instructions = 0.0
+
+    def record(self, delta: Mapping[str, float]) -> None:
+        """Add a raw count delta covering ``delta["INST_RETIRED.ANY"]`` instructions."""
+        if INST_RETIRED_ANY.name not in delta:
+            raise DataError("count delta must include INST_RETIRED.ANY")
+        instructions = float(delta[INST_RETIRED_ANY.name])
+        if instructions < 0:
+            raise DataError("INST_RETIRED.ANY delta must be non-negative")
+        if instructions == 0:
+            # Pure-stall deltas carry no retired instructions; they belong
+            # entirely to the section in progress.
+            self._absorb(delta, 1.0)
+            return
+        consumed = 0.0
+        while consumed < instructions:
+            room = self.instructions_per_section - self._pending_instructions
+            take = min(instructions - consumed, room)
+            self._absorb(delta, take / instructions)
+            self._pending_instructions += take
+            consumed += take
+            if self._pending_instructions >= self.instructions_per_section - 1e-9:
+                self._cut()
+
+    def _absorb(self, delta: Mapping[str, float], fraction: float) -> None:
+        for name, value in delta.items():
+            self._pending[name] = self._pending.get(name, 0.0) + value * fraction
+
+    def _cut(self) -> None:
+        section = dict(self._pending)
+        section[INST_RETIRED_ANY.name] = float(self.instructions_per_section)
+        self.sections.append(section)
+        self._pending = {}
+        self._pending_instructions = 0.0
+
+    @property
+    def pending_instructions(self) -> float:
+        """Instructions accumulated toward the next (unfinished) section."""
+        return self._pending_instructions
+
+    def finalize(self, keep_partial: bool = False) -> List[Dict[str, float]]:
+        """Return all completed sections; optionally flush the partial tail.
+
+        Args:
+            keep_partial: When true, a final partial section is emitted if
+                it covers at least one instruction.  The paper's equal-size
+                methodology corresponds to the default ``False``.
+        """
+        if keep_partial and self._pending_instructions >= 1:
+            section = dict(self._pending)
+            section[INST_RETIRED_ANY.name] = float(self._pending_instructions)
+            self.sections.append(section)
+            self._pending = {}
+            self._pending_instructions = 0.0
+        return list(self.sections)

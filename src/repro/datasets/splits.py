@@ -1,0 +1,64 @@
+"""Train/test and k-fold partitioning utilities.
+
+The paper evaluates with 10-fold cross validation [24]; these helpers
+produce the deterministic, disjoint, size-balanced folds that procedure
+requires.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro._util import RandomState, check_random_state
+from repro.datasets.dataset import Dataset
+from repro.errors import ConfigError
+
+
+def kfold_indices(
+    n_instances: int, n_folds: int, rng: RandomState = None
+) -> List[np.ndarray]:
+    """Split ``range(n_instances)`` into ``n_folds`` disjoint index arrays.
+
+    Fold sizes differ by at most one.  Every instance appears in exactly
+    one fold.
+    """
+    if n_folds < 2:
+        raise ConfigError(f"n_folds must be at least 2, got {n_folds}")
+    if n_instances < n_folds:
+        raise ConfigError(
+            f"cannot make {n_folds} folds from {n_instances} instances"
+        )
+    generator = check_random_state(rng)
+    order = generator.permutation(n_instances)
+    return [np.sort(fold) for fold in np.array_split(order, n_folds)]
+
+
+def kfold_splits(
+    n_instances: int, n_folds: int, rng: RandomState = None
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """(train_indices, test_indices) pairs for each of ``n_folds`` folds."""
+    folds = kfold_indices(n_instances, n_folds, rng)
+    splits = []
+    for i, test in enumerate(folds):
+        train = np.concatenate([f for j, f in enumerate(folds) if j != i])
+        splits.append((np.sort(train), test))
+    return splits
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float = 0.3, rng: RandomState = None
+) -> Tuple[Dataset, Dataset]:
+    """Random disjoint (train, test) datasets with the given test share."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ConfigError(
+            f"test_fraction must lie strictly in (0, 1), got {test_fraction}"
+        )
+    generator = check_random_state(rng)
+    n_test = int(round(dataset.n_instances * test_fraction))
+    n_test = min(max(n_test, 1), dataset.n_instances - 1)
+    order = generator.permutation(dataset.n_instances)
+    test_idx = np.sort(order[:n_test])
+    train_idx = np.sort(order[n_test:])
+    return dataset.subset(train_idx), dataset.subset(test_idx)

@@ -1,0 +1,164 @@
+"""Synthetic regression problems for testing and for Figure 1.
+
+Figure 1 of the paper shows an example M5' tree predicting
+``Y = f(X1, X2, X3, X4)``; :func:`figure1_dataset` generates data with
+exactly that structure — a handful of axis-aligned classes, each with its
+own linear model — so a correct M5' implementation recovers a small tree
+with per-leaf linear models.  The other generators exercise individual
+learner behaviours (pure lines, steps, interactions, noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro._util import RandomState, check_random_state
+from repro.datasets.dataset import Dataset
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PiecewiseRegion:
+    """One class of a piecewise-linear ground truth.
+
+    Attributes:
+        lower: Inclusive lower corner of the hyper-rectangle (per attribute).
+        upper: Exclusive upper corner.
+        intercept: Linear model intercept inside the region.
+        coefficients: Linear model slopes inside the region.
+    """
+
+    lower: Tuple[float, ...]
+    upper: Tuple[float, ...]
+    intercept: float
+    coefficients: Tuple[float, ...]
+
+    def contains(self, x: np.ndarray) -> bool:
+        return bool(
+            np.all(np.asarray(self.lower) <= x) and np.all(x < np.asarray(self.upper))
+        )
+
+    def value(self, x: np.ndarray) -> float:
+        return float(self.intercept + np.dot(self.coefficients, x))
+
+
+def piecewise_linear_dataset(
+    regions: Sequence[PiecewiseRegion],
+    attributes: Sequence[str],
+    n: int,
+    noise_sd: float = 0.0,
+    rng: RandomState = None,
+    low: float = 0.0,
+    high: float = 1.0,
+) -> Dataset:
+    """Sample uniformly and label by the first matching region's model."""
+    if not regions:
+        raise ConfigError("need at least one region")
+    generator = check_random_state(rng)
+    p = len(attributes)
+    X = generator.uniform(low, high, size=(n, p))
+    y = np.empty(n)
+    for i, x in enumerate(X):
+        for region in regions:
+            if region.contains(x):
+                y[i] = region.value(x)
+                break
+        else:
+            raise ConfigError(f"regions do not cover sampled point {x!r}")
+    if noise_sd > 0:
+        y += generator.normal(0.0, noise_sd, size=n)
+    return Dataset(X, y, attributes, target_name="Y")
+
+
+def figure1_regions() -> Tuple[PiecewiseRegion, ...]:
+    """The four-attribute piecewise ground truth used for Figure 1.
+
+    Splits on X1 first (the dominant attribute), then X2 / X3, mirroring
+    the example tree of the paper's Figure 1 with five leaf models.
+    """
+    big = 1.0 + 1e-9
+    return (
+        # X1 < 0.4, X2 < 0.5 -> LM1
+        PiecewiseRegion((0, 0, 0, 0), (0.4, 0.5, big, big), 0.3, (1.0, 0.2, 0.0, 0.5)),
+        # X1 < 0.4, X2 >= 0.5 -> LM2
+        PiecewiseRegion((0, 0.5, 0, 0), (0.4, big, big, big), 1.1, (0.4, 2.0, 0.0, 0.0)),
+        # X1 >= 0.4, X3 < 0.3 -> LM3
+        PiecewiseRegion((0.4, 0, 0, 0), (big, big, 0.3, big), 2.0, (3.0, 0.0, 1.0, 0.0)),
+        # X1 >= 0.4, X3 >= 0.3, X4 < 0.6 -> LM4
+        PiecewiseRegion((0.4, 0, 0.3, 0), (big, big, big, 0.6), 3.5, (0.0, 0.0, 4.0, 1.0)),
+        # X1 >= 0.4, X3 >= 0.3, X4 >= 0.6 -> LM5
+        PiecewiseRegion((0.4, 0, 0.3, 0.6), (big, big, big, big), 5.0, (0.5, 0.5, 0.5, 2.5)),
+    )
+
+
+def figure1_dataset(
+    n: int = 2000, noise_sd: float = 0.05, rng: RandomState = None
+) -> Dataset:
+    """Data matching the structure of the paper's Figure 1 example tree."""
+    return piecewise_linear_dataset(
+        figure1_regions(), ("X1", "X2", "X3", "X4"), n, noise_sd, rng
+    )
+
+
+def linear_dataset(
+    coefficients: Sequence[float],
+    intercept: float = 0.0,
+    n: int = 500,
+    noise_sd: float = 0.0,
+    rng: RandomState = None,
+) -> Dataset:
+    """A single global linear relationship (no tree structure needed)."""
+    generator = check_random_state(rng)
+    p = len(coefficients)
+    X = generator.uniform(0.0, 1.0, size=(n, p))
+    y = intercept + X @ np.asarray(coefficients, dtype=float)
+    if noise_sd > 0:
+        y += generator.normal(0.0, noise_sd, size=n)
+    names = tuple(f"X{i + 1}" for i in range(p))
+    return Dataset(X, y, names, target_name="Y")
+
+
+def step_dataset(
+    threshold: float = 0.5,
+    low_value: float = 0.0,
+    high_value: float = 1.0,
+    n: int = 500,
+    noise_sd: float = 0.0,
+    rng: RandomState = None,
+) -> Dataset:
+    """A one-attribute step function — the smallest possible tree problem."""
+    generator = check_random_state(rng)
+    X = generator.uniform(0.0, 1.0, size=(n, 1))
+    y = np.where(X[:, 0] < threshold, low_value, high_value).astype(float)
+    if noise_sd > 0:
+        y += generator.normal(0.0, noise_sd, size=n)
+    return Dataset(X, y, ("X1",), target_name="Y")
+
+
+def interaction_dataset(
+    n: int = 1000, noise_sd: float = 0.0, rng: RandomState = None
+) -> Dataset:
+    """Multiplicative interaction Y = X1*X2 — hard for one global line.
+
+    Mirrors the paper's argument that event penalties interact: a single
+    linear model cannot capture this, while a model tree approximates it
+    with region-local lines.
+    """
+    generator = check_random_state(rng)
+    X = generator.uniform(0.0, 1.0, size=(n, 2))
+    y = X[:, 0] * X[:, 1]
+    if noise_sd > 0:
+        y += generator.normal(0.0, noise_sd, size=n)
+    return Dataset(X, y, ("X1", "X2"), target_name="Y")
+
+
+def constant_dataset(value: float = 1.5, n: int = 100, p: int = 3) -> Dataset:
+    """A degenerate flat target — learners must not divide by zero on it."""
+    rng = check_random_state(0)
+    X = rng.uniform(0.0, 1.0, size=(n, p))
+    y = np.full(n, value)
+    names = tuple(f"X{i + 1}" for i in range(p))
+    return Dataset(X, y, names, target_name="Y")

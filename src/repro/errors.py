@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch package failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` and friends)
+propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class DataError(ReproError):
+    """A dataset is malformed: shape mismatch, NaNs, empty, bad header."""
+
+
+class MissingEventError(DataError):
+    """A raw counter snapshot lacks an event required by a metric formula."""
+
+    def __init__(self, event_name: str) -> None:
+        super().__init__(f"required hardware event {event_name!r} is missing")
+        self.event_name = event_name
+
+
+class NotFittedError(ReproError):
+    """A model method that requires ``fit`` was called before fitting."""
+
+
+class ConfigError(ReproError):
+    """A configuration object holds an invalid or inconsistent value."""
+
+
+class ParseError(ReproError):
+    """A serialized artifact (ARFF, CSV, report) could not be parsed."""

@@ -1,0 +1,49 @@
+"""Evaluation: the paper's metrics and 10-fold cross validation."""
+
+from repro.evaluation.metrics import (
+    EvaluationResult,
+    correlation_coefficient,
+    evaluate_predictions,
+    mean_absolute_error,
+    relative_absolute_error,
+    root_mean_squared_error,
+    root_relative_squared_error,
+)
+from repro.evaluation.crossval import CrossValidationResult, cross_validate
+from repro.evaluation.comparison import ComparisonResult, compare_estimators
+from repro.evaluation.significance import (
+    PairedComparison,
+    naive_paired_ttest,
+    paired_fold_test,
+)
+from repro.evaluation.learning_curve import (
+    LearningCurve,
+    LearningCurvePoint,
+    learning_curve,
+)
+from repro.evaluation.residuals import ResidualGroup, ResidualReport, residual_report
+from repro.evaluation.tables import render_table
+
+__all__ = [
+    "ComparisonResult",
+    "CrossValidationResult",
+    "EvaluationResult",
+    "LearningCurve",
+    "LearningCurvePoint",
+    "PairedComparison",
+    "ResidualGroup",
+    "ResidualReport",
+    "compare_estimators",
+    "correlation_coefficient",
+    "cross_validate",
+    "evaluate_predictions",
+    "learning_curve",
+    "naive_paired_ttest",
+    "paired_fold_test",
+    "mean_absolute_error",
+    "relative_absolute_error",
+    "render_table",
+    "residual_report",
+    "root_mean_squared_error",
+    "root_relative_squared_error",
+]

@@ -1,0 +1,99 @@
+"""Side-by-side comparison of several learners (paper Section V-B, [23])."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from repro._util import RandomState, check_random_state
+from repro.datasets.dataset import Dataset
+from repro.evaluation.crossval import (
+    CrossValidationResult,
+    EstimatorFactory,
+    cross_validate,
+)
+from repro.evaluation.tables import render_table
+from repro.errors import ConfigError
+
+
+@dataclass
+class ComparisonResult:
+    """Cross-validation results per method name."""
+
+    results: Dict[str, CrossValidationResult]
+    n_folds: int
+
+    def ranking(self, metric: str = "rae") -> List[str]:
+        """Method names sorted best-first by a mean-over-folds metric.
+
+        ``correlation`` ranks descending; error metrics rank ascending.
+        """
+        if metric not in ("correlation", "mae", "rae", "rmse", "rrse"):
+            raise ConfigError(f"unknown metric {metric!r}")
+        reverse = metric == "correlation"
+        return sorted(
+            self.results,
+            key=lambda name: getattr(self.results[name].mean, metric),
+            reverse=reverse,
+        )
+
+    def significance_against(
+        self, reference: str, metric: str = "mae"
+    ) -> Dict[str, "object"]:
+        """Corrected paired t-test of every method against ``reference``.
+
+        Returns method name -> :class:`PairedComparison` (the reference
+        itself is omitted).  All methods in a comparison share folds, so
+        the pairing is valid by construction.
+        """
+        from repro.evaluation.significance import paired_fold_test
+
+        if reference not in self.results:
+            raise ConfigError(f"unknown method {reference!r}")
+        return {
+            name: paired_fold_test(result, self.results[reference], metric)
+            for name, result in self.results.items()
+            if name != reference
+        }
+
+    def to_table(self) -> str:
+        """A comparison table like the companion study's."""
+        header = ["method", "C", "MAE", "RAE %", "RMSE", "RRSE %"]
+        rows = []
+        for name in self.ranking("rae"):
+            mean = self.results[name].mean
+            rows.append(
+                [
+                    name,
+                    f"{mean.correlation:.4f}",
+                    f"{mean.mae:.4f}",
+                    f"{100 * mean.rae:.2f}",
+                    f"{mean.rmse:.4f}",
+                    f"{100 * mean.rrse:.2f}",
+                ]
+            )
+        return render_table(header, rows)
+
+
+def compare_estimators(
+    factories: Mapping[str, EstimatorFactory],
+    dataset: Dataset,
+    n_folds: int = 10,
+    seed: RandomState = 0,
+) -> ComparisonResult:
+    """Cross-validate every factory on identical folds.
+
+    Each method sees the same fold partition (the fold RNG is re-seeded
+    per method from the same master), so differences are attributable to
+    the learners alone.
+    """
+    if not factories:
+        raise ConfigError("need at least one estimator factory")
+    master = check_random_state(seed)
+    fold_seed = int(master.integers(0, 2**31 - 1))
+    results = {}
+    for name, factory in factories.items():
+        results[name] = cross_validate(
+            factory, dataset, n_folds=n_folds, rng=fold_seed
+        )
+    return ComparisonResult(results=results, n_folds=n_folds)

@@ -1,0 +1,98 @@
+"""Learning curves: accuracy as a function of training-set size.
+
+The paper fixes its dataset and tunes `min_instances`; the complementary
+question — how much *data* the method needs before the class structure
+stabilizes — is answered by a learning curve: train on growing random
+subsets, always evaluate on one held-out test split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro._util import RandomState, check_random_state
+from repro.datasets.dataset import Dataset
+from repro.datasets.splits import train_test_split
+from repro.errors import ConfigError
+from repro.evaluation.metrics import EvaluationResult, evaluate_predictions
+from repro.evaluation.tables import render_table
+
+EstimatorFactory = Callable[[], object]
+
+
+@dataclass(frozen=True)
+class LearningCurvePoint:
+    """Evaluation of one training-set size."""
+
+    n_train: int
+    result: EvaluationResult
+
+
+@dataclass
+class LearningCurve:
+    """All points of one learning-curve sweep, ascending in size."""
+
+    points: List[LearningCurvePoint]
+    n_test: int
+
+    def to_table(self) -> str:
+        rows = [
+            [
+                str(point.n_train),
+                f"{point.result.correlation:.4f}",
+                f"{point.result.mae:.4f}",
+                f"{100 * point.result.rae:.2f}",
+            ]
+            for point in self.points
+        ]
+        return render_table(["n_train", "C", "MAE", "RAE %"], rows)
+
+    def converged(self, tolerance: float = 0.02) -> bool:
+        """True when the last doubling improved RAE by under ``tolerance``."""
+        if len(self.points) < 2:
+            return False
+        return (
+            self.points[-2].result.rae - self.points[-1].result.rae
+        ) < tolerance
+
+
+def learning_curve(
+    factory: EstimatorFactory,
+    dataset: Dataset,
+    fractions: Optional[Sequence[float]] = None,
+    test_fraction: float = 0.25,
+    rng: RandomState = None,
+) -> LearningCurve:
+    """Sweep training-set size against one fixed held-out test split.
+
+    Args:
+        factory: Returns a fresh unfitted estimator per point.
+        fractions: Shares of the training pool to use, ascending
+            (default: 1/8, 1/4, 1/2, 1).
+        test_fraction: Held-out share, fixed across all points.
+    """
+    fractions = list(fractions) if fractions is not None else [0.125, 0.25, 0.5, 1.0]
+    if not fractions or any(not 0.0 < f <= 1.0 for f in fractions):
+        raise ConfigError("fractions must lie in (0, 1]")
+    if sorted(fractions) != fractions:
+        raise ConfigError("fractions must be ascending")
+    generator = check_random_state(rng)
+    pool, test = train_test_split(dataset, test_fraction, rng=generator)
+
+    points: List[LearningCurvePoint] = []
+    for fraction in fractions:
+        n_train = max(2, int(round(pool.n_instances * fraction)))
+        subset = pool.subset(generator.permutation(pool.n_instances)[:n_train])
+        estimator = factory()
+        estimator.fit(subset)  # type: ignore[attr-defined]
+        predictions = estimator.predict(test.X)  # type: ignore[attr-defined]
+        points.append(
+            LearningCurvePoint(
+                n_train=n_train,
+                result=evaluate_predictions(test.y, predictions),
+            )
+        )
+    return LearningCurve(points=points, n_test=test.n_instances)

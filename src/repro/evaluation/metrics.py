@@ -1,0 +1,121 @@
+"""Prediction-quality metrics.
+
+The paper reports three (Section V-B): the correlation coefficient C,
+the mean absolute error MAE, and the relative absolute error RAE — the
+total absolute error normalized by that of always predicting the mean.
+RMSE and RRSE are included because the companion comparison study [23]
+uses them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+def _validate(y_true: Sequence, y_pred: Sequence):
+    actual = np.asarray(y_true, dtype=np.float64).ravel()
+    predicted = np.asarray(y_pred, dtype=np.float64).ravel()
+    if actual.shape != predicted.shape:
+        raise DataError(
+            f"y_true has {actual.shape[0]} values, y_pred {predicted.shape[0]}"
+        )
+    if actual.size == 0:
+        raise DataError("metrics need at least one prediction")
+    return actual, predicted
+
+
+def correlation_coefficient(y_true: Sequence, y_pred: Sequence) -> float:
+    """Pearson correlation between actual and predicted values.
+
+    Degenerate (zero-variance) inputs return 0 rather than NaN, the
+    conservative reading for a useless predictor.
+    """
+    actual, predicted = _validate(y_true, y_pred)
+    if np.std(actual) <= 1e-15 or np.std(predicted) <= 1e-15:
+        return 0.0
+    return float(np.corrcoef(actual, predicted)[0, 1])
+
+
+def mean_absolute_error(y_true: Sequence, y_pred: Sequence) -> float:
+    actual, predicted = _validate(y_true, y_pred)
+    return float(np.mean(np.abs(actual - predicted)))
+
+
+def relative_absolute_error(y_true: Sequence, y_pred: Sequence) -> float:
+    """Total |error| relative to the mean predictor's, as a fraction.
+
+    A value of 0.0783 corresponds to the paper's "7.83 %".
+    """
+    actual, predicted = _validate(y_true, y_pred)
+    baseline = np.sum(np.abs(actual - np.mean(actual)))
+    if baseline <= 1e-300:
+        raise DataError("RAE is undefined on a constant target")
+    return float(np.sum(np.abs(actual - predicted)) / baseline)
+
+
+def root_mean_squared_error(y_true: Sequence, y_pred: Sequence) -> float:
+    actual, predicted = _validate(y_true, y_pred)
+    return float(np.sqrt(np.mean((actual - predicted) ** 2)))
+
+
+def root_relative_squared_error(y_true: Sequence, y_pred: Sequence) -> float:
+    actual, predicted = _validate(y_true, y_pred)
+    baseline = np.sum((actual - np.mean(actual)) ** 2)
+    if baseline <= 1e-300:
+        raise DataError("RRSE is undefined on a constant target")
+    return float(np.sqrt(np.sum((actual - predicted) ** 2) / baseline))
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """All five metrics for one evaluation.
+
+    Attributes mirror the paper's notation: ``correlation`` is C,
+    ``mae`` is MAE, ``rae`` is RAE *as a fraction* (0.0783 = 7.83 %).
+    """
+
+    correlation: float
+    mae: float
+    rae: float
+    rmse: float
+    rrse: float
+    n: int
+
+    def describe(self) -> str:
+        return (
+            f"C={self.correlation:.4f}  MAE={self.mae:.4f}  "
+            f"RAE={100 * self.rae:.2f}%  RMSE={self.rmse:.4f}  "
+            f"RRSE={100 * self.rrse:.2f}%  (n={self.n})"
+        )
+
+
+def evaluate_predictions(y_true: Sequence, y_pred: Sequence) -> EvaluationResult:
+    """Compute every metric at once."""
+    actual, predicted = _validate(y_true, y_pred)
+    return EvaluationResult(
+        correlation=correlation_coefficient(actual, predicted),
+        mae=mean_absolute_error(actual, predicted),
+        rae=relative_absolute_error(actual, predicted),
+        rmse=root_mean_squared_error(actual, predicted),
+        rrse=root_relative_squared_error(actual, predicted),
+        n=int(actual.size),
+    )
+
+
+def mean_result(results: Sequence[EvaluationResult]) -> EvaluationResult:
+    """Average metrics over folds, as the paper does for its 10-fold CV."""
+    if not results:
+        raise DataError("cannot average zero evaluation results")
+    return EvaluationResult(
+        correlation=float(np.mean([r.correlation for r in results])),
+        mae=float(np.mean([r.mae for r in results])),
+        rae=float(np.mean([r.rae for r in results])),
+        rmse=float(np.mean([r.rmse for r in results])),
+        rrse=float(np.mean([r.rrse for r in results])),
+        n=int(sum(r.n for r in results)),
+    )

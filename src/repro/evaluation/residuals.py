@@ -1,0 +1,137 @@
+"""Residual analysis: where does a performance model err?
+
+After validating a model globally, the next question is *where* the
+error lives — which workloads, which classes, and with what bias.  A
+systematic positive bias on one class means its leaf model understates
+an effect; error concentrated in one workload means its behaviour is
+under-represented in training.  `residual_report` breaks out-of-fold (or
+plain) predictions down both ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.errors import DataError
+from repro.evaluation.tables import render_table
+
+
+@dataclass(frozen=True)
+class ResidualGroup:
+    """Residual statistics of one group (a workload or a tree class)."""
+
+    name: str
+    n: int
+    mean_actual: float
+    bias: float          # mean(predicted - actual): +ve = overestimates
+    mae: float
+    worst: float         # largest |residual|
+
+    @property
+    def relative_mae(self) -> float:
+        return self.mae / self.mean_actual if self.mean_actual else float("inf")
+
+
+@dataclass
+class ResidualReport:
+    """Residual breakdown by workload and (optionally) by tree class."""
+
+    overall: ResidualGroup
+    by_workload: List[ResidualGroup]
+    by_leaf: List[ResidualGroup]
+
+    def worst_workload(self) -> Optional[ResidualGroup]:
+        if not self.by_workload:
+            return None
+        return max(self.by_workload, key=lambda group: group.relative_mae)
+
+    def biased_groups(self, threshold: float = 0.15) -> List[ResidualGroup]:
+        """Groups whose |bias| exceeds ``threshold`` of their mean target."""
+        suspicious = []
+        for group in self.by_workload + self.by_leaf:
+            if group.mean_actual and abs(group.bias) > threshold * group.mean_actual:
+                suspicious.append(group)
+        return suspicious
+
+    def render(self) -> str:
+        def rows_for(groups: Sequence[ResidualGroup]) -> List[List[str]]:
+            return [
+                [
+                    group.name,
+                    str(group.n),
+                    f"{group.mean_actual:.3f}",
+                    f"{group.bias:+.3f}",
+                    f"{group.mae:.3f}",
+                    f"{100 * group.relative_mae:.1f}",
+                    f"{group.worst:.3f}",
+                ]
+                for group in groups
+            ]
+
+        header = ["group", "n", "mean", "bias", "MAE", "rel %", "worst"]
+        lines = [
+            "overall: "
+            f"n={self.overall.n}  bias={self.overall.bias:+.4f}  "
+            f"MAE={self.overall.mae:.4f}",
+        ]
+        if self.by_workload:
+            lines += ["", "by workload:", render_table(header, rows_for(self.by_workload))]
+        if self.by_leaf:
+            lines += ["", "by tree class:", render_table(header, rows_for(self.by_leaf))]
+        return "\n".join(lines)
+
+
+def _group(name: str, actual: np.ndarray, predicted: np.ndarray) -> ResidualGroup:
+    residual = predicted - actual
+    return ResidualGroup(
+        name=name,
+        n=int(actual.size),
+        mean_actual=float(actual.mean()),
+        bias=float(residual.mean()),
+        mae=float(np.abs(residual).mean()),
+        worst=float(np.abs(residual).max()),
+    )
+
+
+def residual_report(
+    dataset: Dataset,
+    predictions: Sequence[float],
+    model=None,
+) -> ResidualReport:
+    """Break residuals down by workload and, if a tree is given, by class.
+
+    Args:
+        dataset: The evaluated sections (uses its ``workload`` metadata
+            when present).
+        predictions: One prediction per section — typically the
+            out-of-fold predictions of
+            :func:`repro.evaluation.cross_validate`.
+        model: Optional fitted :class:`repro.core.tree.M5Prime`; adds the
+            per-class breakdown via its leaf assignments.
+    """
+    predicted = np.asarray(predictions, dtype=np.float64).ravel()
+    if predicted.shape[0] != dataset.n_instances:
+        raise DataError(
+            f"{predicted.shape[0]} predictions for {dataset.n_instances} sections"
+        )
+    overall = _group("overall", dataset.y, predicted)
+
+    by_workload: List[ResidualGroup] = []
+    if "workload" in dataset.meta:
+        labels = dataset.meta["workload"]
+        for name in sorted(np.unique(labels).tolist()):
+            mask = labels == name
+            by_workload.append(_group(str(name), dataset.y[mask], predicted[mask]))
+
+    by_leaf: List[ResidualGroup] = []
+    if model is not None:
+        ids = model.leaf_ids(dataset.X)
+        for leaf in sorted(np.unique(ids).tolist()):
+            mask = ids == leaf
+            by_leaf.append(_group(f"LM{leaf}", dataset.y[mask], predicted[mask]))
+
+    return ResidualReport(overall=overall, by_workload=by_workload, by_leaf=by_leaf)

@@ -1,0 +1,29 @@
+"""Fixed-width text tables for reports and benchmark output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import DataError
+
+
+def render_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render a left-aligned fixed-width table with a separator rule."""
+    if not header:
+        raise DataError("table needs a header")
+    for row in rows:
+        if len(row) != len(header):
+            raise DataError(
+                f"row has {len(row)} cells but header has {len(header)}"
+            )
+    columns = [list(col) for col in zip(header, *rows)] if rows else [
+        [h] for h in header
+    ]
+    widths = [max(len(str(cell)) for cell in col) for col in columns]
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines: List[str] = [fmt(header), "  ".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""One entry point per paper table/figure/result.
+
+Every experiment module exposes ``run(config) -> ExperimentReport``; the
+registry maps experiment ids (T1, F1, F2, F3, R1..R5, A1..A4) to those
+callables.  ``repro experiments --id F2`` on the command line and the
+benchmark suite both go through this package.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import ExperimentReport
+from repro.experiments.data import suite_dataset
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentConfig",
+    "ExperimentReport",
+    "get_experiment",
+    "run_experiment",
+    "suite_dataset",
+]

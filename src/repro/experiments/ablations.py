@@ -1,0 +1,175 @@
+"""A1-A4 — ablations of the design choices DESIGN.md calls out.
+
+* A1 pruning on/off: the paper's Section IV-B claims pruning mitigates
+  overfitting and keeps the model compact.
+* A2 minimum-leaf-population sweep: the paper determined 430 instances
+  experimentally as the bias/variance balance for its dataset.
+* A3 smoothing on/off: a WEKA M5' option; trades interpretability for
+  accuracy on small leaves.
+* A4 section size: the paper groups counters into sections of equal
+  retired instructions; the size is a methodological free parameter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.tree import M5Prime
+from repro.evaluation import cross_validate
+from repro.evaluation.tables import render_table
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import suite_dataset
+from repro.experiments.report import ExperimentReport
+
+
+def _cv(dataset, cfg: ExperimentConfig, **model_kwargs):
+    kwargs = {"min_instances": cfg.min_instances}
+    kwargs.update(model_kwargs)
+    return cross_validate(
+        lambda: M5Prime(**kwargs), dataset, n_folds=cfg.n_folds, rng=cfg.seed
+    )
+
+
+def run_pruning(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
+    cfg = config or ExperimentConfig.quick()
+    dataset = suite_dataset(cfg)
+    pruned = _cv(dataset, cfg, prune=True)
+    unpruned = _cv(dataset, cfg, prune=False)
+    pruned_leaves = M5Prime(min_instances=cfg.min_instances, prune=True).fit(
+        dataset
+    ).n_leaves
+    unpruned_leaves = M5Prime(min_instances=cfg.min_instances, prune=False).fit(
+        dataset
+    ).n_leaves
+    return ExperimentReport(
+        experiment_id="A1",
+        title="Ablation: post-pruning",
+        paper_claim="pruning mitigates overfitting and balances compactness "
+        "against discriminative ability (Sections IV-B, VI)",
+        measured={
+            "pruned": f"{pruned.mean.describe()}  ({pruned_leaves} leaves)",
+            "unpruned": f"{unpruned.mean.describe()}  ({unpruned_leaves} leaves)",
+        },
+        checks={
+            "pruning does not lose accuracy (RAE within 10% relative)": (
+                pruned.mean.rae <= unpruned.mean.rae * 1.10
+            ),
+            "pruning never grows the tree": pruned_leaves <= unpruned_leaves,
+        },
+    )
+
+
+def run_min_instances(
+    config: Optional[ExperimentConfig] = None,
+    factors: Optional[List[float]] = None,
+) -> ExperimentReport:
+    cfg = config or ExperimentConfig.quick()
+    dataset = suite_dataset(cfg)
+    factors = factors or [0.25, 0.5, 1.0, 2.0, 4.0]
+    rows = []
+    raes = {}
+    for factor in factors:
+        minimum = max(4, int(round(cfg.min_instances * factor)))
+        result = cross_validate(
+            lambda m=minimum: M5Prime(min_instances=m),
+            dataset,
+            n_folds=cfg.n_folds,
+            rng=cfg.seed,
+        )
+        leaves = M5Prime(min_instances=minimum).fit(dataset).n_leaves
+        raes[factor] = result.mean.rae
+        rows.append(
+            [
+                str(minimum),
+                str(leaves),
+                f"{result.mean.correlation:.4f}",
+                f"{100 * result.mean.rae:.2f}",
+            ]
+        )
+    body = render_table(["min_instances", "leaves", "C", "RAE %"], rows)
+    return ExperimentReport(
+        experiment_id="A2",
+        title="Ablation: minimum leaf population",
+        paper_claim="a minimum population (430 for the paper's dataset) "
+        "balances accuracy on training vs new data (Section IV-A)",
+        measured={"sweep": "see table"},
+        checks={
+            # The huge-leaf extreme underfits relative to the chosen value.
+            "largest minimum is worse than the chosen one": raes[factors[-1]]
+            >= raes[1.0],
+        },
+        body=body,
+    )
+
+
+def run_smoothing(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
+    cfg = config or ExperimentConfig.quick()
+    dataset = suite_dataset(cfg)
+    plain = _cv(dataset, cfg, smoothing=False)
+    smoothed = _cv(dataset, cfg, smoothing=True)
+    return ExperimentReport(
+        experiment_id="A3",
+        title="Ablation: M5 smoothing",
+        paper_claim="smoothing is a WEKA M5' option; the paper reads raw "
+        "leaf equations, so interpretability argues for off",
+        measured={
+            "smoothing off": plain.mean.describe(),
+            "smoothing on": smoothed.mean.describe(),
+        },
+        checks={
+            "both variants stay within 25% relative RAE of each other": (
+                abs(plain.mean.rae - smoothed.mean.rae)
+                <= 0.25 * max(plain.mean.rae, smoothed.mean.rae)
+            ),
+        },
+    )
+
+
+def run_section_size(
+    config: Optional[ExperimentConfig] = None,
+    sizes: Optional[List[int]] = None,
+) -> ExperimentReport:
+    cfg = config or ExperimentConfig.quick()
+    sizes = sizes or [512, 2048, 8192]
+    rows = []
+    raes = []
+    for size in sizes:
+        sized = cfg.with_overrides(
+            instructions_per_section=size,
+            # Hold simulated instructions roughly constant across sizes.
+            sections_per_workload=max(
+                8,
+                cfg.sections_per_workload * cfg.instructions_per_section // size,
+            ),
+        )
+        dataset = suite_dataset(sized)
+        minimum = max(4, int(dataset.n_instances * 0.045))
+        result = cross_validate(
+            lambda m=minimum: M5Prime(min_instances=m),
+            dataset,
+            n_folds=cfg.n_folds,
+            rng=cfg.seed,
+        )
+        raes.append(result.mean.rae)
+        rows.append(
+            [
+                str(size),
+                str(dataset.n_instances),
+                f"{result.mean.correlation:.4f}",
+                f"{100 * result.mean.rae:.2f}",
+            ]
+        )
+    body = render_table(["instr/section", "sections", "C", "RAE %"], rows)
+    return ExperimentReport(
+        experiment_id="A4",
+        title="Ablation: section size (equal-instruction grouping)",
+        paper_claim="counters are grouped into sections of equal retired "
+        "instructions (Section I); size trades resolution for noise",
+        measured={"sweep": "see table"},
+        checks={
+            "model stays predictive at every section size": all(
+                rae < 0.5 for rae in raes
+            ),
+        },
+        body=body,
+    )

@@ -1,0 +1,113 @@
+"""Experiment configuration presets.
+
+The paper's dataset came from full SPEC runs with a minimum leaf
+population of 430.  The ``paper`` preset reproduces that regime (about
+9 000 sections, min 430); ``quick`` is the development default (about
+900 sections, proportionally scaled minimum); ``tiny`` exists for unit
+tests.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: Environment variable overriding the dataset cache directory.
+CACHE_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Dataset cache location (override with ``REPRO_CACHE_DIR``)."""
+    override = os.environ.get(CACHE_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything an experiment needs to be reproducible.
+
+    Attributes:
+        name: Preset name (used in cache keys).
+        sections_per_workload: Sections simulated per workload.
+        instructions_per_section: Instructions replayed per section.
+        min_instances: M5' minimum leaf population for this dataset size.
+        n_folds: Cross-validation folds.
+        seed: Master seed for the whole pipeline.
+        jitter: Phase parameter jitter passed to the suite.
+        use_cache: Cache the simulated dataset on disk.
+    """
+
+    name: str = "quick"
+    sections_per_workload: int = 120
+    instructions_per_section: int = 2048
+    min_instances: int = 25
+    n_folds: int = 10
+    seed: int = 2007
+    jitter: float = 0.08
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sections_per_workload < 2:
+            raise ConfigError("sections_per_workload must be at least 2")
+        if self.instructions_per_section < 64:
+            raise ConfigError("instructions_per_section must be at least 64")
+        if self.min_instances < 1:
+            raise ConfigError("min_instances must be at least 1")
+        if self.n_folds < 2:
+            raise ConfigError("n_folds must be at least 2")
+
+    @classmethod
+    def paper(cls) -> "ExperimentConfig":
+        """Paper-regime dataset: ~9200 sections, min leaf 430."""
+        return cls(
+            name="paper",
+            sections_per_workload=1400,
+            instructions_per_section=2048,
+            min_instances=430,
+        )
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """Development default: ~900 sections in a few seconds."""
+        return cls(name="quick")
+
+    @classmethod
+    def tiny(cls) -> "ExperimentConfig":
+        """Unit-test preset: small and fast, still phase-structured."""
+        return cls(
+            name="tiny",
+            sections_per_workload=16,
+            instructions_per_section=512,
+            min_instances=10,
+            n_folds=4,
+            use_cache=False,
+        )
+
+    @classmethod
+    def by_name(cls, name: str) -> "ExperimentConfig":
+        presets = {"paper": cls.paper, "quick": cls.quick, "tiny": cls.tiny}
+        try:
+            return presets[name]()
+        except KeyError:
+            raise ConfigError(
+                f"unknown preset {name!r}; choose from {sorted(presets)}"
+            ) from None
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """A copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    def cache_key(self) -> Tuple:
+        """The identity of the dataset this config produces."""
+        return (
+            self.sections_per_workload,
+            self.instructions_per_section,
+            self.seed,
+            self.jitter,
+        )

@@ -1,0 +1,84 @@
+"""Suite dataset construction with on-disk caching.
+
+The paper-regime dataset takes a minute or two of simulation; it is
+cached as CSV (with metadata columns) keyed by the generating
+parameters, so experiments and benchmarks share one copy.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro import __version__
+from repro._util import stable_hash
+from repro.datasets.csvio import load_csv, save_csv
+from repro.datasets.dataset import Dataset
+from repro.errors import ReproError
+from repro.experiments.config import ExperimentConfig, default_cache_dir
+from repro.workloads.suite import simulate_suite, workload_fingerprint
+
+#: In-process cache so repeated experiment calls share one dataset object.
+_MEMORY_CACHE: dict = {}
+
+
+def _machine_fingerprint() -> str:
+    """Digest of the simulator's default physics (cache invalidation).
+
+    Any change to the machine geometry, latencies or overlap constants
+    changes the CPI a simulation would produce, so it must invalidate
+    cached datasets.
+    """
+    from repro.simulator.config import MachineConfig
+    from repro.simulator.pipeline import IssueCosts, OverlapModel
+
+    return stable_hash([repr(MachineConfig()), repr(OverlapModel()), repr(IssueCosts())])
+
+
+def suite_dataset(
+    config: Optional[ExperimentConfig] = None,
+    cache_dir: Optional[Path] = None,
+) -> Dataset:
+    """The section dataset for ``config`` (simulating it if needed).
+
+    The disk cache key includes the package version: any code change
+    that could alter the simulation invalidates old caches.
+    """
+    cfg = config or ExperimentConfig.quick()
+    key = (__version__, workload_fingerprint(), _machine_fingerprint()) + cfg.cache_key()
+    if key in _MEMORY_CACHE:
+        return _MEMORY_CACHE[key]
+
+    path = None
+    if cfg.use_cache:
+        directory = cache_dir or default_cache_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        digest = stable_hash([str(part) for part in key])
+        path = directory / f"suite-{digest}.csv"
+        if path.exists():
+            try:
+                dataset = load_csv(path)
+            except ReproError:
+                path.unlink()
+            else:
+                _MEMORY_CACHE[key] = dataset
+                return dataset
+
+    result = simulate_suite(
+        sections_per_workload=cfg.sections_per_workload,
+        instructions_per_section=cfg.instructions_per_section,
+        seed=cfg.seed,
+        jitter=cfg.jitter,
+    )
+    dataset = result.dataset
+    if path is not None:
+        save_csv(dataset, path)
+    _MEMORY_CACHE[key] = dataset
+    return dataset
+
+
+def workload_mask(dataset: Dataset, workload: str) -> np.ndarray:
+    """Boolean row mask selecting one workload's sections."""
+    return dataset.meta["workload"] == workload

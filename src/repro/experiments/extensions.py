@@ -1,0 +1,150 @@
+"""Extension experiments beyond the paper's evaluation.
+
+The paper's introduction names two further uses of counter-based
+performance models — "compare the performance behaviors of various
+platforms or even ... help design new platforms" — and its phase
+assumption rests on Sherwood-style phase tracking.  Neither is
+evaluated in the paper; both are built here on the same substrate:
+
+* **E1 — platform comparison**: re-run the suite on modified machines
+  (double L2, better branch predictor, no prefetcher) and compare the
+  per-workload CPI and the per-machine trees' root decisions.
+* **E2 — phase tracking**: recover a two-phase workload's phase
+  boundary purely from counters, via tree-class segmentation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.analysis.phasetrack import detect_phases, render_phases
+from repro.evaluation.tables import render_table
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import suite_dataset
+from repro.experiments.models import fitted_tree
+from repro.experiments.report import ExperimentReport
+from repro.simulator.config import CacheConfig, MachineConfig
+from repro.workloads.suite import simulate_suite
+
+
+def _platform_variants() -> Dict[str, MachineConfig]:
+    base = MachineConfig()
+    return {
+        "core2duo (base)": base,
+        "8MB L2": dataclasses.replace(
+            base, l2=CacheConfig(8 * 1024 * 1024, 16)
+        ),
+        "no prefetcher": dataclasses.replace(base, prefetch_next_line=False),
+        "16-bit gshare": dataclasses.replace(base, branch_history_bits=16),
+    }
+
+
+def run_platform_comparison(
+    config: Optional[ExperimentConfig] = None,
+) -> ExperimentReport:
+    """E1: the same workloads across machine variants."""
+    cfg = config or ExperimentConfig.quick()
+    sections = max(cfg.sections_per_workload // 4, 8)
+    results = {}
+    for name, machine in _platform_variants().items():
+        results[name] = simulate_suite(
+            sections_per_workload=sections,
+            instructions_per_section=cfg.instructions_per_section,
+            config=machine,
+            seed=cfg.seed,
+            jitter=cfg.jitter,
+        )
+
+    workloads = sorted(results["core2duo (base)"].cpi_by_workload)
+    rows = []
+    for workload in workloads:
+        rows.append(
+            [workload]
+            + [f"{results[m].cpi_by_workload[workload]:.2f}" for m in results]
+        )
+    table = render_table(["workload"] + list(results), rows)
+
+    base = results["core2duo (base)"].cpi_by_workload
+    big_l2 = results["8MB L2"].cpi_by_workload
+    no_prefetch = results["no prefetcher"].cpi_by_workload
+
+    mean = lambda cpis: float(np.mean(list(cpis.values())))  # noqa: E731
+    return ExperimentReport(
+        experiment_id="E1",
+        title="Extension: platform comparison",
+        paper_claim="counter-based models 'can also be used to compare the "
+        "performance behaviors of various platforms' (Section I)",
+        measured={
+            "mean CPI (base)": f"{mean(base):.2f}",
+            "mean CPI (8MB L2)": f"{mean(big_l2):.2f}",
+            "mean CPI (no prefetcher)": f"{mean(no_prefetch):.2f}",
+            "mcf speedup from 8MB L2": (
+                f"{base['mcf_like'] / big_l2['mcf_like']:.2f}x"
+            ),
+            "libq slowdown without prefetcher": (
+                f"{no_prefetch['libq_like'] / base['libq_like']:.2f}x"
+            ),
+        },
+        checks={
+            "bigger L2 helps the L2-bound workload": (
+                big_l2["mcf_like"] < base["mcf_like"]
+            ),
+            "bigger L2 leaves the cache-resident workload alone": (
+                abs(big_l2["calm_like"] - base["calm_like"])
+                < 0.15 * base["calm_like"]
+            ),
+            "removing the prefetcher hurts streaming most": (
+                no_prefetch["libq_like"] / base["libq_like"]
+                > no_prefetch["calm_like"] / base["calm_like"]
+            ),
+        },
+        body=table,
+    )
+
+
+def run_phase_tracking(
+    config: Optional[ExperimentConfig] = None,
+) -> ExperimentReport:
+    """E2: recover a known phase boundary from counters alone."""
+    cfg = config or ExperimentConfig.quick()
+    dataset = suite_dataset(cfg)
+    model = fitted_tree(cfg)
+
+    workload = "mcf_like"  # 75/25 two-phase schedule by construction
+    mask = dataset.meta["workload"] == workload
+    timeline = dataset.subset(mask)
+    order = np.argsort(timeline.meta["section"].astype(int))
+    timeline = timeline.subset(order)
+
+    segments = detect_phases(model, timeline, smoothing_window=7, min_segment=3)
+    true_boundary = int(0.75 * timeline.n_instances)
+    # The detected boundary nearest the true one.
+    cuts = [segment.start for segment in segments[1:]]
+    nearest = min(cuts, key=lambda c: abs(c - true_boundary)) if cuts else -1
+    tolerance = max(3, timeline.n_instances // 10)
+
+    true_phases = timeline.meta["phase"].astype(int)
+    return ExperimentReport(
+        experiment_id="E2",
+        title="Extension: phase tracking from counters",
+        paper_claim="workloads 'in general may embody multiple phases or "
+        "classes of behavior' (Section III, citing [7]); classes are "
+        "recoverable from counters",
+        measured={
+            "workload": workload,
+            "true boundary (section)": str(true_boundary),
+            "nearest detected boundary": str(nearest),
+            "segments": str(len(segments)),
+            "true phases": str(len(set(true_phases.tolist()))),
+        },
+        checks={
+            "multiple phases detected": len(segments) >= 2,
+            "a boundary lands near the true phase change": (
+                nearest >= 0 and abs(nearest - true_boundary) <= tolerance
+            ),
+        },
+        body=render_phases(segments),
+    )

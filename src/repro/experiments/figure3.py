@@ -1,0 +1,87 @@
+"""F3 — Figure 3: predicted vs actual CPI under 10-fold CV.
+
+Reproduces the scatter: every point is an out-of-fold prediction.  The
+text rendering is an ASCII density plot around the unity line, plus the
+series itself for external plotting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.tree import M5Prime
+from repro.evaluation import cross_validate
+from repro.experiments import paper
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import suite_dataset
+from repro.experiments.report import ExperimentReport
+
+
+def ascii_scatter(
+    x: np.ndarray, y: np.ndarray, width: int = 56, height: int = 20
+) -> str:
+    """Density scatter of y vs x with a unity diagonal, like Figure 3."""
+    finite_max = float(max(x.max(), y.max()))
+    finite_min = float(min(x.min(), y.min(), 0.0))
+    span = max(finite_max - finite_min, 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+    for row in range(height):
+        # Unity line: actual == predicted.
+        value = finite_min + (row + 0.5) / height * span
+        col = int((value - finite_min) / span * (width - 1))
+        grid[height - 1 - row][col] = "/"
+    shades = ".:*#"
+    counts = np.zeros((height, width), dtype=int)
+    for xi, yi in zip(x, y):
+        col = int((xi - finite_min) / span * (width - 1))
+        row = int((yi - finite_min) / span * (height - 1))
+        counts[height - 1 - row][col] += 1
+    peak = counts.max() if counts.max() > 0 else 1
+    for r in range(height):
+        for c in range(width):
+            if counts[r][c]:
+                level = min(
+                    len(shades) - 1, int(counts[r][c] / peak * (len(shades) - 1) + 0.5)
+                )
+                grid[r][c] = shades[level]
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(
+        f"x: actual CPI [{finite_min:.2f}, {finite_max:.2f}]   "
+        "y: predicted CPI   '/' = unity line"
+    )
+    return "\n".join(lines)
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
+    cfg = config or ExperimentConfig.quick()
+    dataset = suite_dataset(cfg)
+    cv = cross_validate(
+        lambda: M5Prime(min_instances=cfg.min_instances),
+        dataset,
+        n_folds=cfg.n_folds,
+        rng=cfg.seed,
+    )
+    actual = cv.actuals
+    predicted = cv.predictions
+    near_unity = float(
+        np.mean(np.abs(predicted - actual) <= 0.25 * np.maximum(actual, 0.5))
+    )
+    return ExperimentReport(
+        experiment_id="F3",
+        title="Figure 3: predicted vs actual CPI (10-fold CV)",
+        paper_claim="strong correlation; except for a few outliers, points "
+        "lie close to the unity line",
+        measured={
+            "pooled correlation": f"{cv.pooled.correlation:.4f}",
+            "points within 25% of unity": f"{near_unity:.0%}",
+            "n points": str(len(actual)),
+        },
+        checks={
+            "pooled correlation at least 0.95": cv.pooled.correlation >= 0.95,
+            "at least 85% of points near the unity line": near_unity >= 0.85,
+        },
+        body=ascii_scatter(actual, predicted),
+    )

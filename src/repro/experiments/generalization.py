@@ -1,0 +1,83 @@
+"""E3 — leave-one-workload-out generalization.
+
+The paper validates with 10-fold CV over *sections*, which mixes every
+workload into both train and test folds.  A deployed performance model
+faces a harder case: a program it never saw.  This experiment holds out
+each workload in turn, trains on the other ten, and measures prediction
+on the unseen program — quantifying how far the class structure
+transfers beyond its training population.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.tree import M5Prime
+from repro.evaluation import evaluate_predictions
+from repro.evaluation.tables import render_table
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import suite_dataset
+from repro.experiments.report import ExperimentReport
+
+
+def run_leave_one_workload_out(
+    config: Optional[ExperimentConfig] = None,
+) -> ExperimentReport:
+    cfg = config or ExperimentConfig.quick()
+    dataset = suite_dataset(cfg)
+    labels = dataset.meta["workload"]
+    workloads = sorted(set(labels.tolist()))
+
+    rows = []
+    correlations = {}
+    relative_errors = {}
+    for held_out in workloads:
+        mask = labels == held_out
+        train = dataset.subset(~mask)
+        test = dataset.subset(mask)
+        model = M5Prime(min_instances=cfg.min_instances).fit(train)
+        predictions = model.predict(test.X)
+        mae = float(np.mean(np.abs(predictions - test.y)))
+        mean_cpi = float(np.mean(test.y))
+        correlations[held_out] = float(
+            np.corrcoef(predictions, test.y)[0, 1]
+        ) if np.std(predictions) > 0 and np.std(test.y) > 0 else 0.0
+        relative_errors[held_out] = mae / mean_cpi if mean_cpi else float("inf")
+        rows.append(
+            [
+                held_out,
+                f"{mean_cpi:.2f}",
+                f"{float(np.mean(predictions)):.2f}",
+                f"{mae:.3f}",
+                f"{100 * relative_errors[held_out]:.1f}",
+            ]
+        )
+    table = render_table(
+        ["held-out workload", "true CPI", "predicted", "MAE", "rel err %"], rows
+    )
+
+    median_rel = float(np.median(list(relative_errors.values())))
+    worst = max(relative_errors, key=lambda w: relative_errors[w])
+    return ExperimentReport(
+        experiment_id="E3",
+        title="Extension: leave-one-workload-out generalization",
+        paper_claim="(not evaluated in the paper) — CV mixes workloads "
+        "across folds; a deployed model must price programs it never saw",
+        measured={
+            "median relative error": f"{100 * median_rel:.1f}%",
+            "hardest workload": (
+                f"{worst} ({100 * relative_errors[worst]:.1f}%)"
+            ),
+            "workloads": str(len(workloads)),
+        },
+        checks={
+            "median relative error under 40%": median_rel < 0.40,
+            "most workloads transfer (rel err < 60%)": (
+                sum(1 for v in relative_errors.values() if v < 0.6)
+                >= len(workloads) - 2
+            ),
+        },
+        body=table,
+    )

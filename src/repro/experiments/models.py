@@ -1,0 +1,23 @@
+"""Shared fitted models for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.tree import M5Prime
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import suite_dataset
+
+_FITTED: Dict[Tuple, M5Prime] = {}
+
+
+def fitted_tree(config: Optional[ExperimentConfig] = None) -> M5Prime:
+    """The M5' tree fitted on the config's suite dataset (memoized)."""
+    cfg = config or ExperimentConfig.quick()
+    key = cfg.cache_key() + (cfg.min_instances,)
+    if key not in _FITTED:
+        dataset = suite_dataset(cfg)
+        model = M5Prime(min_instances=cfg.min_instances)
+        model.fit(dataset)
+        _FITTED[key] = model
+    return _FITTED[key]

@@ -1,0 +1,77 @@
+"""R5 — the motivating claim: fixed-penalty accounting is inaccurate.
+
+Section I: "the traditional approach of assigning a uniform estimated
+penalty to each event does not accurately identify and quantify
+performance limiters", because dynamic and speculative execution elide
+penalties depending on ILP and event interactions.  The reproduction
+quantifies the gap on identical data: the naive model's error against
+the model tree's, plus the naive model's systematic *overestimation* of
+high-MLP sections (the streaming workloads whose misses overlap).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines import NaiveFixedPenaltyModel
+from repro.core.tree import M5Prime
+from repro.evaluation import cross_validate
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data import suite_dataset, workload_mask
+from repro.experiments.report import ExperimentReport
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
+    cfg = config or ExperimentConfig.quick()
+    dataset = suite_dataset(cfg)
+
+    naive_cv = cross_validate(
+        NaiveFixedPenaltyModel, dataset, n_folds=cfg.n_folds, rng=cfg.seed
+    )
+    tree_cv = cross_validate(
+        lambda: M5Prime(min_instances=cfg.min_instances),
+        dataset,
+        n_folds=cfg.n_folds,
+        rng=cfg.seed,
+    )
+
+    # Overestimation on the high-MLP streaming workloads: architectural
+    # penalties assume every L2 miss pays full memory latency.  Use the
+    # unfitted model (fixed architectural base CPI) for this part — a
+    # fitted intercept would just shift the overestimate onto everyone.
+    architectural = NaiveFixedPenaltyModel(base_cpi=0.3).fit(dataset)
+    streaming = workload_mask(dataset, "libq_like") | workload_mask(
+        dataset, "lbm_like"
+    )
+    naive_bias = float(
+        np.mean(architectural.predict(dataset.X[streaming]) - dataset.y[streaming])
+    )
+    mean_streaming_cpi = float(np.mean(dataset.y[streaming]))
+
+    ratio = naive_cv.mean.rae / tree_cv.mean.rae if tree_cv.mean.rae else float("inf")
+    return ExperimentReport(
+        experiment_id="R5",
+        title="Naive fixed-penalty model vs model tree",
+        paper_claim="uniform per-event penalties mis-state performance "
+        "because penalties overlap and interact (Section I)",
+        measured={
+            "naive RAE": f"{100 * naive_cv.mean.rae:.1f}%",
+            "model tree RAE": f"{100 * tree_cv.mean.rae:.1f}%",
+            "error ratio naive/tree": f"{ratio:.1f}x",
+            "naive bias on streaming workloads": (
+                f"{naive_bias:+.2f} CPI on a mean of {mean_streaming_cpi:.2f}"
+            ),
+        },
+        checks={
+            "naive error at least 2x the tree's": ratio >= 2.0,
+            "naive overestimates high-MLP sections": naive_bias > 0.0,
+        },
+        body=(
+            "naive: "
+            + naive_cv.mean.describe()
+            + "\ntree:  "
+            + tree_cv.mean.describe()
+        ),
+    )

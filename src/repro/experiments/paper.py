@@ -1,0 +1,58 @@
+"""Numbers the paper reports, collected in one place.
+
+Every experiment cites these constants so EXPERIMENTS.md and the
+benchmark output can print paper-vs-measured rows from a single source.
+"""
+
+#: 10-fold CV correlation coefficient (Sections I and V-B; V-B also
+#: quotes 0.9845 in the conclusion).
+CORRELATION = 0.98
+
+#: 10-fold CV mean absolute error (Section V-B).
+MAE = 0.05
+
+#: 10-fold CV relative absolute error, as a fraction (Section V-B: 7.83%).
+RAE = 0.0783
+
+#: Comparison methods (Section V-B, citing the companion study [23]).
+ANN_CORRELATION = 0.99
+SVM_CORRELATION = 0.98
+
+#: LM18: the constant-CPI class of high-L1IM x high-L2M sections
+#: (436.cactusADM); the paper reports CPI = 2.2 and >95% of cactusADM
+#: sections in this class.
+LM18_CPI = 2.2
+CACTUS_DOMINANT_SHARE = 0.95
+
+#: LM17: the high-L2M + high-L1DM class holding >70% of 429.mcf sections.
+MCF_DOMINANT_SHARE = 0.70
+
+#: LM10: the LCP-stall class; ~20% of 403.gcc sections are affected.
+GCC_LCP_SHARE = 0.20
+
+#: Worked contribution example (Section V-A2, Equation 4 / LM8):
+#: CPI = 0.52 + 139.91*ItlbM + 2.22*DtlbL0LdM + 28.21*DtlbLdReM
+#:       + 6.69*L1IM + 1.08*InstLd;
+#: with CPI=1.0 and L1IM=0.03 the L1IM term contributes 6.69*0.03 = 20%.
+LM8_L1IM_COEFFICIENT = 6.69
+LM8_EXAMPLE_L1IM = 0.03
+LM8_EXAMPLE_CONTRIBUTION = 0.20
+
+#: LM11 (Equation 5): a single-event leaf model,
+#: CPI = 0.75 + 193.98 * DtlbLdReM.
+LM11_COEFFICIENT = 193.98
+
+#: Split-variable impact example (Section V-A2): the LdBlSta split in the
+#: left subtree; left-class means 0.57 and 0.51 vs right mean 0.84 give
+#: an impact of ~0.30 CPI, ~35% of the right-side CPI.
+SPLIT_IMPACT_EXAMPLE_CPI = 0.30
+SPLIT_IMPACT_EXAMPLE_FRACTION = 0.35
+
+#: The tree's qualitative structure (Section V-A1): L2M is the root
+#: split; DTLB-family events come next; branch events follow; rare events
+#: (LCP, misalignment, load blocks) appear deeper.
+ROOT_SPLIT = "L2M"
+SECOND_LEVEL_FAMILIES = ("Dtlb", "L1IM", "L1DM", "BrMisPr")
+
+#: Pre-pruning minimum instances the paper derived for its dataset.
+MIN_INSTANCES = 430

@@ -1,0 +1,62 @@
+"""Experiment registry: id -> runner."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    ablations,
+    extensions,
+    generalization,
+    accuracy,
+    comparison,
+    figure1,
+    figure2,
+    figure3,
+    lm_examples,
+    naive_gap,
+    splitimpact,
+    table1,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import ExperimentReport
+
+Runner = Callable[[Optional[ExperimentConfig]], ExperimentReport]
+
+EXPERIMENTS: Dict[str, Runner] = {
+    "T1": table1.run,
+    "F1": figure1.run,
+    "F2": figure2.run,
+    "F3": figure3.run,
+    "R1": accuracy.run,
+    "R2": comparison.run,
+    "R3": lm_examples.run,
+    "R4": splitimpact.run,
+    "R5": naive_gap.run,
+    "A1": ablations.run_pruning,
+    "A2": ablations.run_min_instances,
+    "A3": ablations.run_smoothing,
+    "A4": ablations.run_section_size,
+    "E1": extensions.run_platform_comparison,
+    "E2": extensions.run_phase_tracking,
+    "E3": generalization.run_leave_one_workload_out,
+}
+
+
+def get_experiment(experiment_id: str) -> Runner:
+    """The runner for an experiment id (case-insensitive)."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r}; known: "
+            + ", ".join(sorted(EXPERIMENTS))
+        )
+    return EXPERIMENTS[key]
+
+
+def run_experiment(
+    experiment_id: str, config: Optional[ExperimentConfig] = None
+) -> ExperimentReport:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id)(config)

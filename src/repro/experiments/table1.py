@@ -1,0 +1,66 @@
+"""T1 — Table I: the selected metrics and their event formulas.
+
+Reproduces the metric catalogue and verifies the full collection path:
+the simulator must emit every raw event Table I references, and the
+derivation layer must produce all 20 predictors plus CPI.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.counters import ALL_METRICS, PREDICTOR_METRICS, metric_row
+from repro.evaluation.tables import render_table
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import ExperimentReport
+from repro.simulator import MachineConfig, SimulatedCore
+from repro.workloads.phases import PhaseParams
+from repro.workloads.stream import synthesize_block
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
+    """Render Table I and check the simulator covers it."""
+    rows = [
+        [metric.name, metric.formula, metric.description]
+        for metric in ALL_METRICS
+    ]
+    table = render_table(["Metric", "Corresponding event(s)", "Description"], rows)
+
+    # Collection check: one simulated section must yield every metric.
+    core = SimulatedCore(MachineConfig(), rng=np.random.default_rng(0))
+    params = PhaseParams(
+        lcp_fraction=0.02,
+        misalign_fraction=0.05,
+        wide_access_fraction=0.2,
+        store_load_alias_fraction=0.2,
+        sta_fraction=0.3,
+        std_fraction=0.3,
+        data_footprint=8 << 20,
+        hot_fraction=0.6,
+    )
+    block = synthesize_block(params, 4096, np.random.default_rng(1))
+    result = core.run_block(block)
+    derived = metric_row(result.counts)
+
+    missing = [m.name for m in ALL_METRICS if m.name not in derived]
+    inactive = [
+        m.name for m in PREDICTOR_METRICS if derived.get(m.name, 0.0) == 0.0
+    ]
+    return ExperimentReport(
+        experiment_id="T1",
+        title="Table I: selected metrics",
+        paper_claim="20 per-instruction predictor metrics plus CPI, each "
+        "defined over named Core 2 PMU events",
+        measured={
+            "metrics defined": str(len(ALL_METRICS)),
+            "metrics emitted by simulator": str(len(derived)),
+            "inactive under stress section": ", ".join(inactive) or "none",
+        },
+        checks={
+            "all 21 metrics derivable from simulated counts": not missing,
+            "every predictor observable under a stress workload": not inactive,
+        },
+        body=table,
+    )

@@ -1,0 +1,55 @@
+"""Trace-driven Core 2 Duo-like processor model.
+
+The paper collects PMU counters on a physical 2.4 GHz Intel Core 2 Duo.
+Without that hardware, this package provides the substitute: component
+models for the caches, TLBs, branch predictor and memory-dependence
+machinery of a Core 2-class machine, driven by synthetic instruction
+blocks, plus a cycle-accounting pipeline model in which event penalties
+*overlap and interact* — reproducing the phenomenon (non-additive
+penalties) that motivates the paper's model-tree approach.
+"""
+
+from repro.simulator.config import CacheConfig, LatencyConfig, MachineConfig, TLBConfig
+from repro.simulator.isa import (
+    InstructionBlock,
+    KIND_BRANCH,
+    KIND_LOAD,
+    KIND_OTHER,
+    KIND_STORE,
+)
+from repro.simulator.cache import SetAssociativeCache
+from repro.simulator.tlb import TranslationBuffer, TwoLevelDTLB
+from repro.simulator.branch import GsharePredictor
+from repro.simulator.memdep import StoreBuffer
+from repro.simulator.counterbank import CounterBank
+from repro.simulator.pipeline import CycleAccounting, CycleBreakdown, SectionEvents
+from repro.simulator.core import SimulatedCore
+from repro.simulator.stats import ComponentStats, CoreStats, collect_stats
+from repro.simulator.trace import event_totals, render_trace
+
+__all__ = [
+    "CacheConfig",
+    "ComponentStats",
+    "CoreStats",
+    "CounterBank",
+    "CycleAccounting",
+    "CycleBreakdown",
+    "collect_stats",
+    "event_totals",
+    "GsharePredictor",
+    "InstructionBlock",
+    "KIND_BRANCH",
+    "KIND_LOAD",
+    "KIND_OTHER",
+    "KIND_STORE",
+    "LatencyConfig",
+    "MachineConfig",
+    "SectionEvents",
+    "SetAssociativeCache",
+    "SimulatedCore",
+    "render_trace",
+    "StoreBuffer",
+    "TLBConfig",
+    "TranslationBuffer",
+    "TwoLevelDTLB",
+]

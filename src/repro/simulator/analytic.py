@@ -1,0 +1,172 @@
+"""Closed-form expectations for the component models.
+
+For the synthetic access patterns of :mod:`repro.workloads.stream`, the
+steady-state miss rates of an LRU cache or TLB have simple closed forms:
+a hot set that fits a level always hits; uniform traffic over a region
+larger than a level hits with probability ``capacity / region`` (any
+resident subset is as good as any other under uniform re-reference);
+streaming traffic misses once per line, minus what the stream prefetcher
+hides.
+
+These expressions serve two purposes:
+
+* **cross-validation** — `tests/test_analytic_validation.py` runs the
+  trace-driven simulator against these expectations and fails if the
+  machinery drifts (a physics regression net independent of the learner
+  stack);
+* **planning** — estimating a profile's event rates before paying for a
+  simulation (`expected_profile_rates`).
+
+They are *expectations*, not the simulator: conflict misses, warmup,
+prefetch interactions and cross-phase pollution make real rates deviate
+by design.  The validation bands are accordingly loose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.simulator.config import CacheConfig, MachineConfig, TLBConfig
+from repro.workloads.phases import PhaseParams
+
+#: Stride of streaming accesses (must match repro.workloads.stream).
+STREAM_STRIDE = 16
+
+#: Fraction of a detected ascending stream's line misses the run-ahead
+#: prefetcher hides (two misses start the stream, then ~8 lines are
+#: covered per re-detection; empirically ~0.75-0.9 of stream misses).
+STREAM_PREFETCH_COVERAGE = 0.8
+
+
+def uniform_hit_probability(capacity_bytes: int, region_bytes: int) -> float:
+    """Steady-state hit probability of uniform traffic over a region.
+
+    Under uniform random re-reference, whatever ``capacity`` worth of the
+    region is resident is hit with probability ``capacity / region``;
+    a region that fits is always resident.
+    """
+    if region_bytes <= 0:
+        return 1.0
+    return min(1.0, capacity_bytes / region_bytes)
+
+
+def expected_data_miss_rates(
+    params: PhaseParams, config: MachineConfig
+) -> Dict[str, float]:
+    """Expected per-memory-access miss probabilities for the data side.
+
+    Returns probabilities for ``l1d`` and ``l2`` (per access, demand
+    misses after prefetch coverage) under the phase's mix of hot,
+    streaming and uniform-cold traffic.
+    """
+    line = config.l1d.line_bytes
+    hot = params.hot_fraction
+    cold = 1.0 - hot
+    streaming = cold * params.stride_fraction
+    jumping = cold * (1.0 - params.stride_fraction)
+
+    # Hot set: hits whichever levels it fits in.
+    hot_l1_miss = 0.0 if params.hot_set_bytes <= config.l1d.size_bytes else (
+        1.0 - uniform_hit_probability(config.l1d.size_bytes, params.hot_set_bytes)
+    )
+    hot_l2_miss = 0.0 if params.hot_set_bytes <= config.l2.size_bytes else (
+        1.0 - uniform_hit_probability(config.l2.size_bytes, params.hot_set_bytes)
+    )
+
+    # Streaming: one compulsory miss per line (STREAM_STRIDE bytes per
+    # access, line/STRIDE accesses per line), mostly prefetched away.
+    accesses_per_line = max(line // STREAM_STRIDE, 1)
+    stream_miss = (1.0 / accesses_per_line) * (
+        1.0 - (STREAM_PREFETCH_COVERAGE if config.prefetch_next_line else 0.0)
+    )
+
+    # Uniform cold jumps over the full footprint.
+    jump_l1_miss = 1.0 - uniform_hit_probability(
+        config.l1d.size_bytes, params.data_footprint
+    )
+    jump_l2_miss = 1.0 - uniform_hit_probability(
+        config.l2.size_bytes, params.data_footprint
+    )
+
+    l1d = hot * hot_l1_miss + streaming * stream_miss + jumping * jump_l1_miss
+    # An L2 miss requires missing L1 first; for our patterns the L2 miss
+    # probability is bounded by the L1 one per traffic class.
+    l2 = (
+        hot * hot_l2_miss
+        + streaming * stream_miss
+        + jumping * jump_l1_miss * jump_l2_miss / max(jump_l1_miss, 1e-12)
+        if jumping > 0
+        else hot * hot_l2_miss + streaming * stream_miss
+    )
+    return {"l1d": float(l1d), "l2": float(min(l2, l1d))}
+
+
+def expected_dtlb_walk_rate(params: PhaseParams, config: MachineConfig) -> float:
+    """Expected page-walk probability per data access."""
+    reach = config.dtlb.entries * config.dtlb.page_bytes
+    hot = params.hot_fraction
+    cold = 1.0 - hot
+    hot_walk = 0.0 if params.hot_set_bytes <= reach else (
+        1.0 - uniform_hit_probability(reach, params.hot_set_bytes)
+    )
+    # Streaming reuses each page for page/STRIDE accesses.
+    accesses_per_page = max(config.dtlb.page_bytes // STREAM_STRIDE, 1)
+    stream_walk = (1.0 / accesses_per_page) * (
+        1.0 - uniform_hit_probability(reach, params.data_footprint)
+    )
+    jump_walk = 1.0 - uniform_hit_probability(reach, params.data_footprint)
+    return float(
+        hot * hot_walk
+        + cold * params.stride_fraction * stream_walk
+        + cold * (1.0 - params.stride_fraction) * jump_walk
+    )
+
+
+def expected_branch_mispredict_rate(params: PhaseParams) -> float:
+    """Expected mispredicts per branch for a trained gshare.
+
+    Hard (50/50) branches mispredict half the time; biased branches
+    mispredict roughly at their minority rate once trained.
+    """
+    biased_miss = min(params.branch_bias, 1.0 - params.branch_bias)
+    return float(
+        params.hard_branch_fraction * 0.5
+        + (1.0 - params.hard_branch_fraction) * biased_miss
+    )
+
+
+@dataclass(frozen=True)
+class ExpectedRates:
+    """Per-instruction expected event rates for one phase."""
+
+    l1dm: float
+    l2m: float
+    dtlb_walk: float
+    mispredict: float
+    lcp: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "L1DM": self.l1dm,
+            "L2M": self.l2m,
+            "DtlbLdM": self.dtlb_walk,
+            "BrMisPr": self.mispredict,
+            "LCP": self.lcp,
+        }
+
+
+def expected_profile_rates(
+    params: PhaseParams, config: MachineConfig
+) -> ExpectedRates:
+    """Expected per-instruction metric rates for a phase (loads side)."""
+    data = expected_data_miss_rates(params, config)
+    loads = params.load_fraction
+    return ExpectedRates(
+        l1dm=loads * data["l1d"],
+        l2m=loads * data["l2"],
+        dtlb_walk=loads * expected_dtlb_walk_rate(params, config),
+        mispredict=params.branch_fraction
+        * expected_branch_mispredict_rate(params),
+        lcp=params.lcp_fraction,
+    )

@@ -1,0 +1,314 @@
+"""The simulated core: replays instruction blocks through all components.
+
+:class:`SimulatedCore` owns the caches, TLBs, branch predictor and store
+buffer, replays an :class:`~repro.simulator.isa.InstructionBlock` through
+them in program order, hands the resulting event flags to the
+cycle-accounting pipeline, and emits raw PMU counts with the exact
+architectural event names of Table I.
+
+Component state persists across blocks (warm caches), mirroring
+continuous collection on real hardware; call :meth:`reset` between
+unrelated workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro._util import RandomState, check_random_state
+from repro.counters import events as ev
+from repro.simulator.branch import GsharePredictor
+from repro.simulator.cache import SetAssociativeCache
+from repro.simulator.config import MachineConfig
+from repro.simulator.isa import (
+    InstructionBlock,
+    KIND_BRANCH,
+    KIND_LOAD,
+    KIND_STORE,
+)
+from repro.simulator.memdep import (
+    BLOCK_OVERLAP,
+    BLOCK_STA,
+    BLOCK_STD,
+    StoreBuffer,
+)
+from repro.simulator.pipeline import CycleAccounting, CycleBreakdown, SectionEvents
+from repro.simulator.tlb import TranslationBuffer, TwoLevelDTLB
+
+#: Wrong-path instructions executed per branch mispredict before the flush,
+#: used to model the speculative component of the DTLB_MISSES events
+#: (which, unlike MEM_LOAD_RETIRED.DTLB_MISS, count speculative activity).
+WRONG_PATH_DEPTH = 6
+
+
+@dataclass
+class BlockResult:
+    """Everything the core produces for one replayed block."""
+
+    counts: Dict[str, float]
+    cycles: float
+    breakdown: CycleBreakdown
+    events: SectionEvents
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.counts[ev.INST_RETIRED_ANY.name]
+
+
+class SimulatedCore:
+    """A Core 2 Duo-like core with PMU-style event collection."""
+
+    def __init__(self, config: Optional[MachineConfig] = None, rng: RandomState = None) -> None:
+        self.config = config or MachineConfig()
+        self.rng = check_random_state(rng)
+        self.l1i = SetAssociativeCache(self.config.l1i)
+        self.l1d = SetAssociativeCache(self.config.l1d)
+        self.l2 = SetAssociativeCache(self.config.l2)
+        self.dtlb = TwoLevelDTLB(self.config.dtlb0, self.config.dtlb)
+        self.itlb = TranslationBuffer(self.config.itlb)
+        self.predictor = GsharePredictor(self.config.branch_history_bits)
+        self.store_buffer = StoreBuffer(self.config.store_buffer_window)
+        self.accounting = CycleAccounting(self.config)
+
+    def statistics(self):
+        """Hit/miss statistics of every component since construction/reset."""
+        from repro.simulator.stats import collect_stats
+
+        return collect_stats(self)
+
+    def reset(self) -> None:
+        """Cold-start all micro-architectural state."""
+        self.l1i.flush()
+        self.l1d.flush()
+        self.l2.flush()
+        self.dtlb.flush()
+        self.itlb.flush()
+        self.predictor.reset()
+        self.store_buffer.clear()
+
+    # ------------------------------------------------------------------
+    def run_block(self, block: InstructionBlock) -> BlockResult:
+        """Replay one block and return counts, cycles and event detail."""
+        n = len(block)
+        line_bytes = self.config.l1d.line_bytes
+
+        l1dm = np.zeros(n, dtype=bool)
+        l2m = np.zeros(n, dtype=bool)
+        store_l1m = np.zeros(n, dtype=bool)
+        store_l2m = np.zeros(n, dtype=bool)
+        l1im = np.zeros(n, dtype=bool)
+        l2im = np.zeros(n, dtype=bool)
+        itlbm = np.zeros(n, dtype=bool)
+        dtlb0_ld = np.zeros(n, dtype=bool)
+        dtlb_walk_ld = np.zeros(n, dtype=bool)
+        dtlb_walk_st = np.zeros(n, dtype=bool)
+        mispred = np.zeros(n, dtype=bool)
+        ldbl_sta = np.zeros(n, dtype=bool)
+        ldbl_std = np.zeros(n, dtype=bool)
+        ldbl_ov = np.zeros(n, dtype=bool)
+
+        misal = block.misaligned_mask()
+        split = block.split_mask(line_bytes)
+        is_load = block.kind == KIND_LOAD
+        is_store = block.kind == KIND_STORE
+        is_branch = block.kind == KIND_BRANCH
+        split_ld = split & is_load
+        split_st = split & is_store
+
+        # Local bindings keep the hot loop free of attribute lookups.
+        kinds = block.kind
+        pcs = block.pc
+        addrs = block.addr
+        sizes = block.size
+        takens = block.taken
+        stas = block.sta
+        stds = block.std
+        splits = split
+        l1i_access = self.l1i.access
+        l1d_access = self.l1d.access
+        l2_access = self.l2.access
+        l1i_fill = self.l1i.fill
+        l1d_fill = self.l1d.fill
+        l2_fill = self.l2.fill
+        itlb_access = self.itlb.access
+        dtlb_access = self.dtlb.access
+        predict = self.predictor.access
+        sb_check = self.store_buffer.check_load
+        sb_push = self.store_buffer.push_store
+        sb_advance = self.store_buffer.advance
+        prefetch = self.config.prefetch_next_line
+        # Stream-detector state for the data prefetcher: when consecutive
+        # demand misses hit adjacent lines (an ascending sweep), the
+        # prefetcher runs ahead several lines, like Core 2's DPL.
+        last_miss_line = -(1 << 60)
+        stream_depth = 8
+        line_shift = line_bytes.bit_length() - 1
+
+        for i in range(n):
+            pc = int(pcs[i])
+            if not itlb_access(pc):
+                itlbm[i] = True
+            if not l1i_access(pc):
+                l1im[i] = True
+                if not l2_access(pc):
+                    l2im[i] = True
+                if prefetch:
+                    # Sequential front-end prefetch: the next line follows
+                    # the demand miss into both cache levels.
+                    l1i_fill(pc + line_bytes)
+                    l2_fill(pc + line_bytes)
+            kind = kinds[i]
+            if kind == KIND_LOAD:
+                addr = int(addrs[i])
+                size = int(sizes[i])
+                blocked = sb_check(addr, size)
+                if blocked == BLOCK_STA:
+                    ldbl_sta[i] = True
+                elif blocked == BLOCK_STD:
+                    ldbl_std[i] = True
+                elif blocked == BLOCK_OVERLAP:
+                    ldbl_ov[i] = True
+                l0_miss, walk = dtlb_access(addr)
+                if l0_miss:
+                    dtlb0_ld[i] = True
+                    if walk:
+                        dtlb_walk_ld[i] = True
+                if not l1d_access(addr):
+                    l1dm[i] = True
+                    if not l2_access(addr):
+                        l2m[i] = True
+                    if prefetch:
+                        # Streamer: adjacent lines follow a demand miss, and
+                        # a detected ascending sweep is run ahead of (this
+                        # is what hides strided workloads on Core 2).
+                        miss_line = addr >> line_shift
+                        depth = (
+                            stream_depth
+                            if 0 < miss_line - last_miss_line <= 2
+                            else 1
+                        )
+                        last_miss_line = miss_line
+                        for ahead in range(1, depth + 1):
+                            l1d_fill(addr + ahead * line_bytes)
+                            l2_fill(addr + ahead * line_bytes)
+                if splits[i]:
+                    second = addr + size - 1
+                    if not l1d_access(second):
+                        l2_access(second)
+            elif kind == KIND_STORE:
+                addr = int(addrs[i])
+                size = int(sizes[i])
+                sb_push(addr, size, bool(stas[i]), bool(stds[i]))
+                l0_miss, walk = dtlb_access(addr)
+                if l0_miss and walk:
+                    dtlb_walk_st[i] = True
+                if not l1d_access(addr):
+                    store_l1m[i] = True
+                    if not l2_access(addr):
+                        store_l2m[i] = True
+                    if prefetch:
+                        miss_line = addr >> line_shift
+                        depth = (
+                            stream_depth
+                            if 0 < miss_line - last_miss_line <= 2
+                            else 1
+                        )
+                        last_miss_line = miss_line
+                        for ahead in range(1, depth + 1):
+                            l1d_fill(addr + ahead * line_bytes)
+                            l2_fill(addr + ahead * line_bytes)
+                if splits[i]:
+                    second = addr + size - 1
+                    if not l1d_access(second):
+                        l2_access(second)
+            else:
+                sb_advance(1)
+                if kind == KIND_BRANCH and not predict(pc, bool(takens[i])):
+                    mispred[i] = True
+
+        events = SectionEvents(
+            is_load=is_load,
+            is_store=is_store,
+            is_branch=is_branch,
+            l1dm=l1dm,
+            l2m=l2m,
+            store_l1m=store_l1m,
+            store_l2m=store_l2m,
+            l1im=l1im,
+            l2im=l2im,
+            itlbm=itlbm,
+            dtlb0_ld=dtlb0_ld,
+            dtlb_walk_ld=dtlb_walk_ld,
+            dtlb_walk_st=dtlb_walk_st,
+            mispred=mispred,
+            ldbl_sta=ldbl_sta,
+            ldbl_std=ldbl_std,
+            ldbl_ov=ldbl_ov,
+            misal=misal,
+            split_ld=split_ld,
+            split_st=split_st,
+            lcp=block.lcp,
+            ilp=block.ilp,
+            dependent_miss_fraction=block.dependent_miss_fraction,
+        )
+        breakdown = self.accounting.account(events)
+        cycles = breakdown.total
+        noise_sd = self.config.measurement_noise_sd
+        if noise_sd > 0:
+            cycles *= max(0.5, 1.0 + self.rng.normal(0.0, noise_sd))
+
+        counts = self._assemble_counts(block, events, cycles)
+        return BlockResult(counts=counts, cycles=cycles, breakdown=breakdown, events=events)
+
+    # ------------------------------------------------------------------
+    def _assemble_counts(
+        self, block: InstructionBlock, events: SectionEvents, cycles: float
+    ) -> Dict[str, float]:
+        """Translate event flags into raw PMU counter values."""
+        n = len(block)
+        n_loads = int(np.count_nonzero(events.is_load))
+        n_branches = int(np.count_nonzero(events.is_branch))
+        n_mispred = int(np.count_nonzero(events.mispred))
+        retired_walk_ld = int(np.count_nonzero(events.dtlb_walk_ld))
+        walk_st = int(np.count_nonzero(events.dtlb_walk_st))
+
+        # DTLB_MISSES.* count speculative activity as well; model the
+        # wrong-path component from the mispredict count, the load mix and
+        # the retired walk rate.
+        load_fraction = n_loads / n
+        walk_rate = retired_walk_ld / n_loads if n_loads else 0.0
+        speculative_walks = n_mispred * WRONG_PATH_DEPTH * load_fraction * walk_rate
+
+        return {
+            ev.CPU_CLK_UNHALTED_CORE.name: float(cycles),
+            ev.INST_RETIRED_ANY.name: float(n),
+            ev.INST_RETIRED_LOADS.name: float(n_loads),
+            ev.INST_RETIRED_STORES.name: float(np.count_nonzero(events.is_store)),
+            ev.BR_INST_RETIRED_ANY.name: float(n_branches),
+            ev.BR_INST_RETIRED_MISPRED.name: float(n_mispred),
+            ev.MEM_LOAD_RETIRED_L1D_LINE_MISS.name: float(np.count_nonzero(events.l1dm)),
+            ev.L1I_MISSES.name: float(np.count_nonzero(events.l1im)),
+            ev.MEM_LOAD_RETIRED_L2_LINE_MISS.name: float(np.count_nonzero(events.l2m)),
+            ev.DTLB_MISSES_L0_MISS_LD.name: float(np.count_nonzero(events.dtlb0_ld)),
+            ev.DTLB_MISSES_MISS_LD.name: float(retired_walk_ld + speculative_walks),
+            ev.MEM_LOAD_RETIRED_DTLB_MISS.name: float(retired_walk_ld),
+            ev.DTLB_MISSES_ANY.name: float(
+                retired_walk_ld + walk_st + speculative_walks
+            ),
+            ev.ITLB_MISS_RETIRED.name: float(np.count_nonzero(events.itlbm)),
+            ev.LOAD_BLOCK_STA.name: float(np.count_nonzero(events.ldbl_sta)),
+            ev.LOAD_BLOCK_STD.name: float(np.count_nonzero(events.ldbl_std)),
+            ev.LOAD_BLOCK_OVERLAP_STORE.name: float(np.count_nonzero(events.ldbl_ov)),
+            ev.MISALIGN_MEM_REF.name: float(np.count_nonzero(events.misal)),
+            ev.L1D_SPLIT_LOADS.name: float(np.count_nonzero(events.split_ld)),
+            ev.L1D_SPLIT_STORES.name: float(np.count_nonzero(events.split_st)),
+            ev.ILD_STALL.name: float(np.count_nonzero(events.lcp)),
+        }
+
+    # ------------------------------------------------------------------
+    def run_blocks(self, blocks: Iterable[InstructionBlock]) -> List[BlockResult]:
+        """Replay several blocks back to back (state carries over)."""
+        return [self.run_block(block) for block in blocks]

@@ -1,0 +1,62 @@
+"""Counter bank: the simulated PMU register file.
+
+Accumulates raw event counts with the exact architectural names from
+:mod:`repro.counters.events`, and produces snapshot dicts compatible with
+:func:`repro.counters.derive.sections_to_dataset`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from repro.counters.events import ALL_EVENTS
+from repro.errors import DataError
+
+
+class CounterBank:
+    """A named bank of monotonically increasing event counters."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, float] = {event.name: 0.0 for event in ALL_EVENTS}
+
+    def add(self, event_name: str, amount: float = 1.0) -> None:
+        """Increment one counter (the event must be a known PMU event)."""
+        if event_name not in self._counts:
+            raise DataError(f"unknown event {event_name!r}")
+        if amount < 0:
+            raise DataError("counters are monotonic; amount must be non-negative")
+        self._counts[event_name] += amount
+
+    def add_many(self, amounts: Mapping[str, float]) -> None:
+        """Increment several counters at once."""
+        for name, amount in amounts.items():
+            self.add(name, amount)
+
+    def value(self, event_name: str) -> float:
+        if event_name not in self._counts:
+            raise DataError(f"unknown event {event_name!r}")
+        return self._counts[event_name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """A copy of all current counts."""
+        return dict(self._counts)
+
+    def delta_since(self, previous: Mapping[str, float]) -> Dict[str, float]:
+        """Counts accumulated since a prior :meth:`snapshot`."""
+        return {name: self._counts[name] - previous.get(name, 0.0) for name in self._counts}
+
+    def reset(self) -> None:
+        for name in self._counts:
+            self._counts[name] = 0.0
+
+    def __getitem__(self, event_name: str) -> float:
+        return self.value(event_name)
+
+    def __iter__(self) -> Iterable[str]:
+        return iter(self._counts)
+
+    def __repr__(self) -> str:
+        nonzero = {k: v for k, v in self._counts.items() if v}
+        return f"CounterBank({nonzero!r})"

@@ -1,0 +1,115 @@
+"""Instruction block representation.
+
+The simulator is trace-driven: workload generators produce
+:class:`InstructionBlock` objects — column-oriented batches of decoded
+instructions — and the core replays them through its component models.
+Column orientation (parallel numpy arrays) keeps generation vectorized
+and the replay loop free of per-instruction object overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DataError
+
+#: Instruction kind codes stored in :attr:`InstructionBlock.kind`.
+KIND_LOAD = 0
+KIND_STORE = 1
+KIND_BRANCH = 2
+KIND_OTHER = 3
+
+#: Code addresses live in a distinct region so instruction lines share L2
+#: capacity with data lines without aliasing data addresses.
+CODE_REGION_BASE = 1 << 40
+
+
+@dataclass
+class InstructionBlock:
+    """A batch of decoded instructions in structure-of-arrays form.
+
+    Attributes:
+        kind: Per-instruction kind code (``KIND_LOAD`` .. ``KIND_OTHER``).
+        pc: Instruction addresses (already offset into the code region).
+        addr: Effective data address for loads/stores (0 otherwise).
+        size: Access size in bytes for loads/stores (0 otherwise).
+        taken: Actual branch outcome for branches (False otherwise).
+        lcp: True where the instruction carries a length-changing prefix.
+        sta: For stores: address generation is late (can block loads).
+        std: For stores: data is late (can block forwarding).
+        ilp: Scalar in [0, 1] — available instruction-level parallelism of
+            this block; the pipeline model uses it to hide short penalties.
+        dependent_miss_fraction: Scalar in [0, 1] — fraction of long-latency
+            misses that are serially dependent (pointer chasing), limiting
+            memory-level parallelism.
+    """
+
+    kind: np.ndarray
+    pc: np.ndarray
+    addr: np.ndarray
+    size: np.ndarray
+    taken: np.ndarray
+    lcp: np.ndarray
+    sta: np.ndarray
+    std: np.ndarray
+    ilp: float = 0.5
+    dependent_miss_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.kind = np.ascontiguousarray(self.kind, dtype=np.uint8)
+        self.pc = np.ascontiguousarray(self.pc, dtype=np.int64)
+        self.addr = np.ascontiguousarray(self.addr, dtype=np.int64)
+        self.size = np.ascontiguousarray(self.size, dtype=np.int64)
+        self.taken = np.ascontiguousarray(self.taken, dtype=bool)
+        self.lcp = np.ascontiguousarray(self.lcp, dtype=bool)
+        self.sta = np.ascontiguousarray(self.sta, dtype=bool)
+        self.std = np.ascontiguousarray(self.std, dtype=bool)
+        n = self.kind.shape[0]
+        columns = (self.pc, self.addr, self.size, self.taken, self.lcp, self.sta, self.std)
+        if any(col.shape[0] != n for col in columns):
+            raise DataError("all instruction block columns must share a length")
+        if n == 0:
+            raise DataError("instruction block must contain at least one instruction")
+        if self.kind.size and self.kind.max() > KIND_OTHER:
+            raise DataError("unknown instruction kind code")
+        if not 0.0 <= self.ilp <= 1.0:
+            raise DataError(f"ilp must lie in [0, 1], got {self.ilp}")
+        if not 0.0 <= self.dependent_miss_fraction <= 1.0:
+            raise DataError(
+                "dependent_miss_fraction must lie in [0, 1], got "
+                f"{self.dependent_miss_fraction}"
+            )
+        memory = (self.kind == KIND_LOAD) | (self.kind == KIND_STORE)
+        if np.any(self.size[memory] <= 0):
+            raise DataError("memory instructions must have a positive access size")
+
+    def __len__(self) -> int:
+        return int(self.kind.shape[0])
+
+    @property
+    def n_loads(self) -> int:
+        return int(np.count_nonzero(self.kind == KIND_LOAD))
+
+    @property
+    def n_stores(self) -> int:
+        return int(np.count_nonzero(self.kind == KIND_STORE))
+
+    @property
+    def n_branches(self) -> int:
+        return int(np.count_nonzero(self.kind == KIND_BRANCH))
+
+    def misaligned_mask(self) -> np.ndarray:
+        """Memory accesses whose address is not size-aligned."""
+        memory = (self.kind == KIND_LOAD) | (self.kind == KIND_STORE)
+        safe_size = np.where(self.size > 0, self.size, 1)
+        return memory & ((self.addr % safe_size) != 0)
+
+    def split_mask(self, line_bytes: int) -> np.ndarray:
+        """Memory accesses that straddle a cache-line boundary."""
+        memory = (self.kind == KIND_LOAD) | (self.kind == KIND_STORE)
+        first_line = self.addr // line_bytes
+        last_line = (self.addr + np.maximum(self.size, 1) - 1) // line_bytes
+        return memory & (first_line != last_line)

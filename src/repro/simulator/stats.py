@@ -1,0 +1,71 @@
+"""Component statistics summary for a simulated core.
+
+A performance engineer's first question after a run is "what were the
+hit rates?"; this module condenses every component's counters into one
+structured, renderable summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulator.core import SimulatedCore
+
+
+@dataclass(frozen=True)
+class ComponentStats:
+    """Accesses and misses of one hardware structure."""
+
+    name: str
+    accesses: int
+    misses: int
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.name:<16} {self.accesses:>12} accesses  "
+            f"{self.misses:>10} misses  ({100 * self.miss_rate:6.2f}%)"
+        )
+
+
+@dataclass(frozen=True)
+class CoreStats:
+    """All component statistics of a core, frozen at collection time."""
+
+    components: Dict[str, ComponentStats]
+
+    def __getitem__(self, name: str) -> ComponentStats:
+        return self.components[name]
+
+    def describe(self) -> str:
+        lines = [stats.describe() for stats in self.components.values()]
+        return "\n".join(lines)
+
+
+def collect_stats(core: "SimulatedCore") -> CoreStats:
+    """Snapshot every component's counters of ``core``."""
+    components = {
+        "L1I": ComponentStats("L1I", core.l1i.accesses, core.l1i.misses),
+        "L1D": ComponentStats("L1D", core.l1d.accesses, core.l1d.misses),
+        "L2": ComponentStats("L2", core.l2.accesses, core.l2.misses),
+        "DTLB-L0": ComponentStats(
+            "DTLB-L0", core.dtlb.level0.accesses, core.dtlb.level0.misses
+        ),
+        "DTLB-L1": ComponentStats(
+            "DTLB-L1", core.dtlb.level1.accesses, core.dtlb.level1.misses
+        ),
+        "ITLB": ComponentStats("ITLB", core.itlb.accesses, core.itlb.misses),
+        "branch": ComponentStats(
+            "branch", core.predictor.accesses, core.predictor.incorrect
+        ),
+    }
+    return CoreStats(components=components)

@@ -1,0 +1,117 @@
+"""Human-readable event traces for simulator debugging.
+
+`render_trace` turns one replayed block's event flags into a compact
+per-instruction listing — what a debugging architect reads when a
+counter looks wrong.  Only instructions that fired at least one event
+are shown by default, keeping the listing proportional to activity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.simulator.isa import (
+    InstructionBlock,
+    KIND_BRANCH,
+    KIND_LOAD,
+    KIND_OTHER,
+    KIND_STORE,
+)
+from repro.simulator.pipeline import SectionEvents
+
+_KIND_NAMES = {KIND_LOAD: "LD", KIND_STORE: "ST", KIND_BRANCH: "BR", KIND_OTHER: "OP"}
+
+#: (flag attribute on SectionEvents, short label in the listing)
+_EVENT_LABELS: Tuple[Tuple[str, str], ...] = (
+    ("l1dm", "L1Dm"),
+    ("l2m", "L2m"),
+    ("store_l1m", "stL1m"),
+    ("store_l2m", "stL2m"),
+    ("l1im", "L1Im"),
+    ("l2im", "L2Im"),
+    ("itlbm", "iTLBm"),
+    ("dtlb0_ld", "dTLB0"),
+    ("dtlb_walk_ld", "walk"),
+    ("dtlb_walk_st", "stWalk"),
+    ("mispred", "MISP"),
+    ("ldbl_sta", "blkSTA"),
+    ("ldbl_std", "blkSTD"),
+    ("ldbl_ov", "blkOV"),
+    ("misal", "misal"),
+    ("split_ld", "splitL"),
+    ("split_st", "splitS"),
+    ("lcp", "LCP"),
+)
+
+
+def event_labels(events: SectionEvents, index: int) -> List[str]:
+    """Short labels of every event instruction ``index`` fired."""
+    labels = []
+    for attribute, label in _EVENT_LABELS:
+        if bool(getattr(events, attribute)[index]):
+            labels.append(label)
+    return labels
+
+
+def render_trace(
+    block: InstructionBlock,
+    events: SectionEvents,
+    limit: int = 64,
+    only_events: bool = True,
+    start: int = 0,
+) -> str:
+    """Render a per-instruction event listing.
+
+    Args:
+        block: The replayed instruction block.
+        events: The event flags :meth:`SimulatedCore.run_block` returned
+            for it.
+        limit: Maximum lines emitted.
+        only_events: Skip instructions that fired nothing.
+        start: First instruction index to consider.
+    """
+    if len(block) != len(events):
+        raise DataError("block and events disagree on length")
+    if limit < 1:
+        raise DataError("limit must be at least 1")
+    if not 0 <= start < len(block):
+        raise DataError(f"start {start} out of range for {len(block)}")
+
+    lines: List[str] = []
+    shown = 0
+    skipped = 0
+    for index in range(start, len(block)):
+        labels = event_labels(events, index)
+        if only_events and not labels:
+            skipped += 1
+            continue
+        kind = _KIND_NAMES[int(block.kind[index])]
+        location = f"pc=0x{int(block.pc[index]):x}"
+        if kind in ("LD", "ST"):
+            location += f" addr=0x{int(block.addr[index]):x}/{int(block.size[index])}"
+        elif kind == "BR":
+            location += " taken" if bool(block.taken[index]) else " not-taken"
+        event_text = " ".join(labels) if labels else "-"
+        lines.append(f"{index:>6} {kind} {location:<42} {event_text}")
+        shown += 1
+        if shown >= limit:
+            remaining = len(block) - index - 1
+            if remaining > 0:
+                lines.append(f"... ({remaining} more instructions)")
+            break
+    if only_events and skipped and shown < limit:
+        lines.append(f"({skipped} event-free instructions hidden)")
+    if not lines:
+        lines.append("(no instructions matched)")
+    return "\n".join(lines)
+
+
+def event_totals(events: SectionEvents) -> dict:
+    """Count of each event class in one section (label -> count)."""
+    return {
+        label: int(np.count_nonzero(getattr(events, attribute)))
+        for attribute, label in _EVENT_LABELS
+    }

@@ -1,0 +1,29 @@
+"""Synthetic SPEC CPU2006-like workloads.
+
+SPEC CPU2006 is proprietary, so the paper's training suite is replaced by
+parameterized synthetic workloads whose micro-architectural signatures
+mimic the benchmarks the paper names (429.mcf, 436.cactusADM, 403.gcc,
+...).  Each workload is a :class:`WorkloadProfile`: a phase schedule over
+:class:`PhaseParams`, rendered into instruction blocks by
+:mod:`repro.workloads.stream` and replayed by the simulator.
+"""
+
+from repro.workloads.phases import PhaseParams, PhaseSchedule, perturbed
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.stream import synthesize_block
+from repro.workloads.spec import spec_like_suite, workload_by_name
+from repro.workloads.extended import extended_suite
+from repro.workloads.suite import SuiteResult, simulate_suite
+
+__all__ = [
+    "PhaseParams",
+    "PhaseSchedule",
+    "SuiteResult",
+    "WorkloadProfile",
+    "extended_suite",
+    "perturbed",
+    "simulate_suite",
+    "spec_like_suite",
+    "synthesize_block",
+    "workload_by_name",
+]

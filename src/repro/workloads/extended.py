@@ -1,0 +1,196 @@
+"""Additional SPEC CPU2006-like profiles beyond the paper's subset.
+
+The paper evaluates on a subset of the suite; these extra profiles cover
+more of CPU2006's documented behaviour space for users who want a richer
+training population.  They are *not* part of the default
+:func:`repro.workloads.spec_like_suite` — the reproduction experiments
+are calibrated against the paper's subset — but
+:func:`extended_suite` appends them for larger studies.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.phases import PhaseParams, PhaseSchedule
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.spec import spec_like_suite
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+def povray_like() -> WorkloadProfile:
+    """453.povray: ray tracing — FP compute, tiny data, superb prediction."""
+    params = PhaseParams(
+        load_fraction=0.30,
+        store_fraction=0.09,
+        branch_fraction=0.12,
+        data_footprint=256 * KIB,
+        hot_fraction=0.97,
+        hot_set_bytes=28 * KIB,
+        stride_fraction=0.60,
+        dependent_miss_fraction=0.15,
+        ilp=0.80,
+        code_footprint=192 * KIB,
+        code_hot_fraction=0.93,
+        code_hot_bytes=16 * KIB,
+        basic_block_length=28,
+        branch_bias=0.96,
+        hard_branch_fraction=0.03,
+    )
+    return WorkloadProfile.single_phase(
+        "povray_like", params, "Ray tracer: compute-dense, cache-friendly"
+    )
+
+
+def omnetpp_like() -> WorkloadProfile:
+    """471.omnetpp: discrete-event simulation — pointer soup, DTLB-bound."""
+    events = PhaseParams(
+        load_fraction=0.31,
+        store_fraction=0.13,
+        branch_fraction=0.19,
+        data_footprint=16 * MIB,
+        hot_fraction=0.88,
+        hot_set_bytes=20 * KIB,
+        stride_fraction=0.12,
+        dependent_miss_fraction=0.80,
+        ilp=0.35,
+        code_footprint=384 * KIB,
+        code_hot_fraction=0.86,
+        code_hot_bytes=20 * KIB,
+        basic_block_length=12,
+        branch_bias=0.89,
+        hard_branch_fraction=0.12,
+        store_load_alias_fraction=0.12,
+        sta_fraction=0.20,
+        std_fraction=0.15,
+    )
+    return WorkloadProfile.single_phase(
+        "omnetpp_like", events, "Event-queue simulator: serialized heap walks"
+    )
+
+
+def xalanc_like() -> WorkloadProfile:
+    """483.xalancbmk: XSLT — branchy tree walking over a mid-size DOM."""
+    transform = PhaseParams(
+        load_fraction=0.30,
+        store_fraction=0.11,
+        branch_fraction=0.23,
+        data_footprint=3 * MIB,
+        hot_fraction=0.87,
+        hot_set_bytes=24 * KIB,
+        stride_fraction=0.25,
+        dependent_miss_fraction=0.55,
+        ilp=0.40,
+        code_footprint=768 * KIB,
+        code_hot_fraction=0.84,
+        code_hot_bytes=24 * KIB,
+        basic_block_length=9,
+        branch_bias=0.88,
+        hard_branch_fraction=0.14,
+        store_load_alias_fraction=0.15,
+        sta_fraction=0.22,
+        std_fraction=0.18,
+    )
+    parse = PhaseParams(
+        load_fraction=0.28,
+        store_fraction=0.16,
+        branch_fraction=0.21,
+        data_footprint=1 * MIB,
+        hot_fraction=0.92,
+        hot_set_bytes=32 * KIB,
+        stride_fraction=0.55,
+        dependent_miss_fraction=0.25,
+        ilp=0.50,
+        code_footprint=256 * KIB,
+        code_hot_fraction=0.90,
+        code_hot_bytes=16 * KIB,
+        basic_block_length=11,
+        branch_bias=0.90,
+        hard_branch_fraction=0.10,
+    )
+    return WorkloadProfile(
+        "xalanc_like",
+        PhaseSchedule([(parse, 0.3), (transform, 0.7)]),
+        "XSLT processor: parse phase then branchy DOM transformation",
+    )
+
+
+def soplex_like() -> WorkloadProfile:
+    """450.soplex: simplex LP — sparse algebra alternating dense sweeps."""
+    factorize = PhaseParams(
+        load_fraction=0.35,
+        store_fraction=0.12,
+        branch_fraction=0.10,
+        data_footprint=8 * MIB,
+        hot_fraction=0.82,
+        hot_set_bytes=40 * KIB,
+        stride_fraction=0.80,
+        dependent_miss_fraction=0.20,
+        ilp=0.65,
+        code_footprint=96 * KIB,
+        code_hot_fraction=0.92,
+        code_hot_bytes=12 * KIB,
+        basic_block_length=30,
+        branch_bias=0.95,
+        hard_branch_fraction=0.04,
+    )
+    pricing = PhaseParams(
+        load_fraction=0.33,
+        store_fraction=0.08,
+        branch_fraction=0.18,
+        data_footprint=6 * MIB,
+        hot_fraction=0.86,
+        hot_set_bytes=24 * KIB,
+        stride_fraction=0.30,
+        dependent_miss_fraction=0.55,
+        ilp=0.45,
+        code_footprint=64 * KIB,
+        code_hot_fraction=0.93,
+        code_hot_bytes=12 * KIB,
+        basic_block_length=14,
+        branch_bias=0.88,
+        hard_branch_fraction=0.13,
+    )
+    return WorkloadProfile(
+        "soplex_like",
+        PhaseSchedule([(factorize, 0.45), (pricing, 0.55)]),
+        "LP solver: streaming factorization alternating with sparse pricing",
+    )
+
+
+def milc_like() -> WorkloadProfile:
+    """433.milc: lattice QCD — strided sweeps over a huge lattice."""
+    params = PhaseParams(
+        load_fraction=0.36,
+        store_fraction=0.18,
+        branch_fraction=0.04,
+        data_footprint=40 * MIB,
+        hot_fraction=0.68,
+        hot_set_bytes=16 * KIB,
+        stride_fraction=0.92,
+        dependent_miss_fraction=0.08,
+        ilp=0.70,
+        code_footprint=16 * KIB,
+        code_hot_fraction=0.97,
+        code_hot_bytes=8 * KIB,
+        basic_block_length=44,
+        branch_bias=0.99,
+        hard_branch_fraction=0.005,
+        wide_access_fraction=0.25,
+    )
+    return WorkloadProfile.single_phase(
+        "milc_like", params, "Lattice sweep: bandwidth-bound, prefetch-friendly"
+    )
+
+
+def extended_suite() -> List[WorkloadProfile]:
+    """The default suite plus the extra profiles above (16 workloads)."""
+    return spec_like_suite() + [
+        povray_like(),
+        omnetpp_like(),
+        xalanc_like(),
+        soplex_like(),
+        milc_like(),
+    ]

@@ -1,0 +1,42 @@
+"""Workload profiles: a named phase schedule plus provenance notes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.workloads.phases import PhaseParams, PhaseSchedule
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A complete synthetic workload.
+
+    Attributes:
+        name: Identifier used in dataset metadata (``"mcf_like"``).
+        schedule: Phase schedule governing its sections.
+        description: What real benchmark signature this profile mimics.
+    """
+
+    name: str
+    schedule: PhaseSchedule
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("workload name must be non-empty")
+
+    def section_params(self, section_index: int, n_sections: int) -> PhaseParams:
+        """Phase parameters governing one section of this workload."""
+        return self.schedule.params_for(section_index, n_sections)
+
+    def phase_index(self, section_index: int, n_sections: int) -> int:
+        """Phase number governing one section (for labeling)."""
+        return self.schedule.phase_index_for(section_index, n_sections)
+
+    @classmethod
+    def single_phase(
+        cls, name: str, params: PhaseParams, description: str = ""
+    ) -> "WorkloadProfile":
+        """Convenience constructor for a one-phase workload."""
+        return cls(name, PhaseSchedule([(params, 1.0)]), description)

@@ -1,0 +1,419 @@
+"""SPEC CPU2006-like workload profiles.
+
+Each profile mimics the micro-architectural *signature* of a SPEC
+CPU2006 component the paper names or that is well documented in the
+characterization literature — not its computation.  Footprints are chosen
+against the Core 2 Duo geometry of :class:`repro.simulator.MachineConfig`
+(32 KB L1s, 4 MB L2, 1 MB of DTLB reach), because the paper's tree
+structure hinges on those capacity relationships: e.g. workloads whose
+data fits L2 but overflows the DTLB populate the left-subtree DTLB
+classes, and 436.cactusADM's combination of L1I and L2 misses lands in
+the constant-CPI leaf LM18.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from typing import Dict, List
+
+from repro.errors import ConfigError
+from repro.workloads.phases import PhaseParams, PhaseSchedule
+from repro.workloads.profiles import WorkloadProfile
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+def mcf_like() -> WorkloadProfile:
+    """429.mcf: pointer-chasing over a huge graph; L2 and DTLB bound."""
+    chasing = PhaseParams(
+        load_fraction=0.32,
+        store_fraction=0.08,
+        branch_fraction=0.17,
+        data_footprint=64 * MIB,
+        hot_fraction=0.80,
+        hot_set_bytes=8 * KIB,
+        stride_fraction=0.05,
+        dependent_miss_fraction=0.95,
+        ilp=0.20,
+        code_footprint=16 * KIB,
+        code_hot_fraction=0.95,
+        code_hot_bytes=8 * KIB,
+        basic_block_length=14,
+        branch_bias=0.88,
+        hard_branch_fraction=0.12,
+    )
+    relaxed = PhaseParams(
+        load_fraction=0.30,
+        store_fraction=0.10,
+        branch_fraction=0.16,
+        data_footprint=8 * MIB,
+        hot_fraction=0.94,
+        hot_set_bytes=16 * KIB,
+        stride_fraction=0.30,
+        dependent_miss_fraction=0.50,
+        ilp=0.40,
+        code_footprint=16 * KIB,
+        code_hot_fraction=0.95,
+        code_hot_bytes=8 * KIB,
+        basic_block_length=16,
+        branch_bias=0.90,
+        hard_branch_fraction=0.10,
+    )
+    return WorkloadProfile(
+        "mcf_like",
+        PhaseSchedule([(chasing, 0.75), (relaxed, 0.25)]),
+        "Pointer-chasing network simplex: serialized L2 misses plus page walks",
+    )
+
+
+def cactus_like() -> WorkloadProfile:
+    """436.cactusADM: the paper's LM18 case — L1I misses on top of L2 misses."""
+    stencil = PhaseParams(
+        load_fraction=0.34,
+        store_fraction=0.14,
+        branch_fraction=0.14,
+        data_footprint=24 * MIB,
+        hot_fraction=0.84,
+        hot_set_bytes=24 * KIB,
+        stride_fraction=0.15,
+        dependent_miss_fraction=0.30,
+        ilp=0.55,
+        code_footprint=2 * MIB,
+        code_hot_fraction=0.32,
+        code_hot_bytes=256 * KIB,
+        basic_block_length=64,
+        branch_bias=0.97,
+        hard_branch_fraction=0.02,
+    )
+    setup = PhaseParams(
+        load_fraction=0.30,
+        store_fraction=0.12,
+        branch_fraction=0.14,
+        data_footprint=4 * MIB,
+        hot_fraction=0.92,
+        hot_set_bytes=32 * KIB,
+        stride_fraction=0.60,
+        dependent_miss_fraction=0.30,
+        ilp=0.55,
+        code_footprint=256 * KIB,
+        code_hot_fraction=0.80,
+        code_hot_bytes=24 * KIB,
+        basic_block_length=24,
+        branch_bias=0.93,
+        hard_branch_fraction=0.05,
+    )
+    return WorkloadProfile(
+        "cactus_like",
+        PhaseSchedule([(stencil, 0.95), (setup, 0.05)]),
+        "Large stencil kernel whose code footprint defeats L1I while data defeats L2",
+    )
+
+
+def gcc_like() -> WorkloadProfile:
+    """403.gcc: branchy integer code with an LCP-stall-prone phase (LM10)."""
+    compile_phase = PhaseParams(
+        load_fraction=0.26,
+        store_fraction=0.13,
+        branch_fraction=0.22,
+        data_footprint=4 * MIB,
+        hot_fraction=0.88,
+        hot_set_bytes=16 * KIB,
+        stride_fraction=0.40,
+        dependent_miss_fraction=0.45,
+        ilp=0.45,
+        code_footprint=640 * KIB,
+        code_hot_fraction=0.85,
+        code_hot_bytes=16 * KIB,
+        basic_block_length=10,
+        branch_bias=0.90,
+        hard_branch_fraction=0.10,
+        lcp_fraction=0.002,
+        store_load_alias_fraction=0.10,
+        sta_fraction=0.15,
+        std_fraction=0.12,
+    )
+    # Identical to the compile phase except for LCP density, so LCP is
+    # the distinguishing variable of this class (the paper's LM10).
+    lcp_phase = dataclasses.replace(compile_phase, lcp_fraction=0.18)
+    return WorkloadProfile(
+        "gcc_like",
+        PhaseSchedule([(compile_phase, 0.8), (lcp_phase, 0.2)]),
+        "Compiler: branchy, moderate misses, ~20% of sections hit by LCP stalls",
+    )
+
+
+def calm_like() -> WorkloadProfile:
+    """444.namd-like compute phase: everything hits, branches predict."""
+    params = PhaseParams(
+        load_fraction=0.28,
+        store_fraction=0.10,
+        branch_fraction=0.10,
+        data_footprint=192 * KIB,
+        hot_fraction=0.985,
+        hot_set_bytes=24 * KIB,
+        stride_fraction=0.90,
+        dependent_miss_fraction=0.05,
+        ilp=0.85,
+        code_footprint=24 * KIB,
+        code_hot_fraction=0.98,
+        code_hot_bytes=8 * KIB,
+        basic_block_length=40,
+        branch_bias=0.985,
+        hard_branch_fraction=0.01,
+    )
+    return WorkloadProfile.single_phase(
+        "calm_like", params, "Cache-resident FP kernel: the low-CPI anchor class"
+    )
+
+
+def bzip_like() -> WorkloadProfile:
+    """401.bzip2: data fits L2 but overflows DTLB reach; branchy."""
+    compress = PhaseParams(
+        load_fraction=0.30,
+        store_fraction=0.12,
+        branch_fraction=0.19,
+        data_footprint=2500 * KIB,
+        hot_fraction=0.80,
+        hot_set_bytes=48 * KIB,
+        stride_fraction=0.45,
+        dependent_miss_fraction=0.35,
+        ilp=0.50,
+        code_footprint=48 * KIB,
+        code_hot_fraction=0.92,
+        code_hot_bytes=12 * KIB,
+        basic_block_length=14,
+        branch_bias=0.85,
+        hard_branch_fraction=0.22,
+    )
+    huffman = PhaseParams(
+        load_fraction=0.27,
+        store_fraction=0.10,
+        branch_fraction=0.24,
+        data_footprint=1536 * KIB,
+        hot_fraction=0.85,
+        hot_set_bytes=32 * KIB,
+        stride_fraction=0.50,
+        dependent_miss_fraction=0.30,
+        ilp=0.45,
+        code_footprint=32 * KIB,
+        code_hot_fraction=0.94,
+        code_hot_bytes=8 * KIB,
+        basic_block_length=10,
+        branch_bias=0.82,
+        hard_branch_fraction=0.30,
+    )
+    return WorkloadProfile(
+        "bzip_like",
+        PhaseSchedule([(compress, 0.6), (huffman, 0.4)]),
+        "Compressor: DTLB pressure without L2 misses, plus hard branches",
+    )
+
+
+def lbm_like() -> WorkloadProfile:
+    """470.lbm: streaming stores with wide, split-prone accesses."""
+    params = PhaseParams(
+        load_fraction=0.30,
+        store_fraction=0.24,
+        branch_fraction=0.05,
+        data_footprint=32 * MIB,
+        hot_fraction=0.72,
+        hot_set_bytes=32 * KIB,
+        stride_fraction=0.96,
+        dependent_miss_fraction=0.05,
+        ilp=0.70,
+        code_footprint=12 * KIB,
+        code_hot_fraction=0.98,
+        code_hot_bytes=4 * KIB,
+        basic_block_length=56,
+        branch_bias=0.99,
+        hard_branch_fraction=0.01,
+        misalign_fraction=0.05,
+        wide_access_fraction=0.30,
+    )
+    return WorkloadProfile.single_phase(
+        "lbm_like", params, "Lattice-Boltzmann streaming: high-MLP misses, splits"
+    )
+
+
+def perl_like() -> WorkloadProfile:
+    """400.perlbench: interpreter — code footprint, aliasing store traffic.
+
+    The second phase models regex/pack-style byte twiddling whose
+    generated code is dense with 16-bit-immediate instructions, the
+    classic source of length-changing-prefix stalls on Core 2.
+    """
+    interpret = PhaseParams(
+        load_fraction=0.29,
+        store_fraction=0.14,
+        branch_fraction=0.21,
+        data_footprint=1 * MIB,
+        hot_fraction=0.90,
+        hot_set_bytes=40 * KIB,
+        stride_fraction=0.35,
+        dependent_miss_fraction=0.40,
+        ilp=0.45,
+        code_footprint=1 * MIB,
+        code_hot_fraction=0.80,
+        code_hot_bytes=24 * KIB,
+        basic_block_length=12,
+        branch_bias=0.89,
+        hard_branch_fraction=0.12,
+        store_load_alias_fraction=0.20,
+        sta_fraction=0.28,
+        std_fraction=0.22,
+        overlap_alias_fraction=0.15,
+    )
+    # The regex phase mirrors the interpreter phase but is dense with
+    # 16-bit-immediate instructions (LCP stalls).
+    regex = dataclasses.replace(interpret, lcp_fraction=0.16)
+    return WorkloadProfile(
+        "perl_like",
+        PhaseSchedule([(interpret, 0.65), (regex, 0.35)]),
+        "Interpreter: ITLB/L1I pressure, load blocks, LCP-dense regex phase",
+    )
+
+
+def astar_like() -> WorkloadProfile:
+    """473.astar: path search over a mid-size graph; mixed behaviour."""
+    params = PhaseParams(
+        load_fraction=0.31,
+        store_fraction=0.09,
+        branch_fraction=0.18,
+        data_footprint=10 * MIB,
+        hot_fraction=0.85,
+        hot_set_bytes=24 * KIB,
+        stride_fraction=0.25,
+        dependent_miss_fraction=0.75,
+        ilp=0.40,
+        code_footprint=32 * KIB,
+        code_hot_fraction=0.93,
+        code_hot_bytes=8 * KIB,
+        basic_block_length=14,
+        branch_bias=0.87,
+        hard_branch_fraction=0.16,
+    )
+    return WorkloadProfile.single_phase(
+        "astar_like", params, "Graph search: moderate serialized misses, hard branches"
+    )
+
+
+def libq_like() -> WorkloadProfile:
+    """462.libquantum: perfectly streaming loads — many L2 misses, all hidden."""
+    params = PhaseParams(
+        load_fraction=0.34,
+        store_fraction=0.11,
+        branch_fraction=0.12,
+        data_footprint=16 * MIB,
+        hot_fraction=0.70,
+        hot_set_bytes=16 * KIB,
+        stride_fraction=0.99,
+        dependent_miss_fraction=0.02,
+        ilp=0.80,
+        code_footprint=8 * KIB,
+        code_hot_fraction=0.98,
+        code_hot_bytes=4 * KIB,
+        basic_block_length=48,
+        branch_bias=0.99,
+        hard_branch_fraction=0.005,
+    )
+    return WorkloadProfile.single_phase(
+        "libq_like", params, "Streaming vector sweep: the high-MLP counterexample"
+    )
+
+
+def h264_like() -> WorkloadProfile:
+    """464.h264ref: motion estimation — misaligned and line-split accesses."""
+    params = PhaseParams(
+        load_fraction=0.33,
+        store_fraction=0.13,
+        branch_fraction=0.14,
+        data_footprint=768 * KIB,
+        hot_fraction=0.94,
+        hot_set_bytes=64 * KIB,
+        stride_fraction=0.70,
+        dependent_miss_fraction=0.15,
+        ilp=0.65,
+        code_footprint=96 * KIB,
+        code_hot_fraction=0.90,
+        code_hot_bytes=16 * KIB,
+        basic_block_length=20,
+        branch_bias=0.92,
+        hard_branch_fraction=0.08,
+        misalign_fraction=0.10,
+        wide_access_fraction=0.35,
+    )
+    return WorkloadProfile.single_phase(
+        "h264_like", params, "Video encoder: unaligned block reads, cache-resident"
+    )
+
+
+def sphinx_like() -> WorkloadProfile:
+    """482.sphinx3: speech recognition — mid-size data, mixed phases."""
+    search = PhaseParams(
+        load_fraction=0.32,
+        store_fraction=0.08,
+        branch_fraction=0.17,
+        data_footprint=3 * MIB,
+        hot_fraction=0.84,
+        hot_set_bytes=32 * KIB,
+        stride_fraction=0.55,
+        dependent_miss_fraction=0.40,
+        ilp=0.50,
+        code_footprint=64 * KIB,
+        code_hot_fraction=0.88,
+        code_hot_bytes=12 * KIB,
+        basic_block_length=16,
+        branch_bias=0.88,
+        hard_branch_fraction=0.14,
+    )
+    gaussian = PhaseParams(
+        load_fraction=0.36,
+        store_fraction=0.06,
+        branch_fraction=0.08,
+        data_footprint=1 * MIB,
+        hot_fraction=0.92,
+        hot_set_bytes=48 * KIB,
+        stride_fraction=0.85,
+        dependent_miss_fraction=0.10,
+        ilp=0.75,
+        code_footprint=24 * KIB,
+        code_hot_fraction=0.97,
+        code_hot_bytes=8 * KIB,
+        basic_block_length=36,
+        branch_bias=0.97,
+        hard_branch_fraction=0.02,
+    )
+    return WorkloadProfile(
+        "sphinx_like",
+        PhaseSchedule([(gaussian, 0.55), (search, 0.45)]),
+        "Speech decoder: a compute phase alternating with a searchy phase",
+    )
+
+
+def spec_like_suite() -> List[WorkloadProfile]:
+    """The full evaluation suite, mirroring the paper's SPEC subset."""
+    return [
+        mcf_like(),
+        cactus_like(),
+        gcc_like(),
+        calm_like(),
+        bzip_like(),
+        lbm_like(),
+        perl_like(),
+        astar_like(),
+        libq_like(),
+        h264_like(),
+        sphinx_like(),
+    ]
+
+
+def workload_by_name(name: str) -> WorkloadProfile:
+    """Look up a suite workload by its profile name."""
+    catalogue: Dict[str, WorkloadProfile] = {p.name: p for p in spec_like_suite()}
+    try:
+        return catalogue[name]
+    except KeyError:
+        known = ", ".join(sorted(catalogue))
+        raise ConfigError(f"unknown workload {name!r}; known: {known}") from None

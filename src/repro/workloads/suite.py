@@ -1,0 +1,204 @@
+"""Suite runner: workload profiles -> section dataset.
+
+This is the reproduction of the paper's data-collection campaign: run
+every workload, cut its execution into equal-instruction sections, and
+record the Table I counters per section.  Everything is seeded, so the
+same call always yields bit-identical datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.counters.derive import sections_to_dataset
+from repro.datasets.dataset import Dataset
+from repro.errors import ConfigError
+from repro.simulator.config import MachineConfig
+from repro.simulator.core import SimulatedCore
+from repro.workloads.phases import perturbed
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.spec import spec_like_suite
+from repro.workloads.stream import synthesize_block
+
+ProgressCallback = Callable[[str, int, int], None]
+
+#: Fraction of a cache's capacity prewarm fills with a phase's working set,
+#: leaving room for the conflict misses a real warm execution still has.
+_PREWARM_FILL = 0.8
+
+
+def prewarm(core: SimulatedCore, params) -> None:
+    """Bring the memory hierarchy to a steady state for a phase.
+
+    The paper's counters come from long-running executions whose caches
+    and TLBs are warm; replaying only a sampled slice per section would
+    otherwise overstate compulsory misses.  Prewarming fills each
+    structure with the phase's working set (or an evenly spaced sample of
+    it when the set exceeds capacity — future uniform accesses hit with
+    the same probability either way), cold regions first so the hot set
+    ends up most-recently used.
+    """
+    config = core.config
+    line = config.l1d.line_bytes
+    page = config.dtlb.page_bytes
+
+    def fill_lines(cache, base: int, span: int, budget: int) -> None:
+        total = max(span // line, 1)
+        step = max(total // max(budget, 1), 1)
+        for index in range(0, total, step):
+            cache.fill(base + index * line)
+
+    def fill_pages(tlb, base: int, span: int, budget: int) -> None:
+        total = max(span // page, 1)
+        step = max(total // max(budget, 1), 1)
+        for index in range(0, total, step):
+            tlb.access(base + index * page)
+
+    l2_budget = int(config.l2.size_bytes // line * _PREWARM_FILL)
+    l1d_budget = int(config.l1d.size_bytes // line * _PREWARM_FILL)
+    l1i_budget = int(config.l1i.size_bytes // line * _PREWARM_FILL)
+
+    from repro.simulator.isa import CODE_REGION_BASE
+
+    # Cold data into L2 (sampled to capacity), then hot code, then the hot
+    # data set last so it sits at the MRU end of both levels.
+    fill_lines(core.l2, 0, params.data_footprint, int(l2_budget * 0.75))
+    fill_lines(
+        core.l2, CODE_REGION_BASE, params.code_footprint, int(l2_budget * 0.25)
+    )
+    fill_lines(core.l1i, CODE_REGION_BASE, params.code_hot_bytes, l1i_budget)
+    fill_lines(core.l2, 0, params.hot_set_bytes, l2_budget)
+    fill_lines(core.l1d, 0, params.hot_set_bytes, l1d_budget)
+
+    fill_pages(core.dtlb.level1, 0, params.data_footprint, config.dtlb.entries)
+    fill_pages(core.dtlb.level1, 0, params.hot_set_bytes, config.dtlb.entries)
+    fill_pages(core.dtlb.level0, 0, params.hot_set_bytes, config.dtlb0.entries)
+    fill_pages(
+        core.itlb, CODE_REGION_BASE, params.code_footprint, config.itlb.entries
+    )
+    fill_pages(
+        core.itlb, CODE_REGION_BASE, params.code_hot_bytes, config.itlb.entries
+    )
+    core.dtlb.level1.reset_stats()
+    core.dtlb.level0.reset_stats()
+    core.itlb.reset_stats()
+
+
+@dataclass
+class SuiteResult:
+    """Output of a suite simulation run.
+
+    Attributes:
+        dataset: One row per section, Table I attributes, CPI target,
+            metadata columns ``workload``, ``section`` and ``phase``.
+        cpi_by_workload: Mean measured CPI per workload, a quick sanity
+            panel for calibration.
+    """
+
+    dataset: Dataset
+    cpi_by_workload: Dict[str, float]
+
+    def summary(self) -> str:
+        """Human-readable per-workload CPI panel."""
+        lines = ["workload          sections  mean CPI"]
+        labels = self.dataset.meta["workload"]
+        for name, cpi in sorted(self.cpi_by_workload.items()):
+            count = int(np.count_nonzero(labels == name))
+            lines.append(f"{name:<18}{count:>8}  {cpi:8.3f}")
+        return "\n".join(lines)
+
+
+def workload_fingerprint(profiles: Optional[Sequence[WorkloadProfile]] = None) -> str:
+    """A stable digest of the profile definitions (for dataset caching).
+
+    Any change to a phase parameter or schedule weight changes the
+    fingerprint, so cached datasets can never silently outlive the
+    workloads that produced them.
+    """
+    from repro._util import stable_hash
+
+    parts = []
+    for profile in profiles if profiles is not None else spec_like_suite():
+        parts.append(profile.name)
+        for params, weight in zip(profile.schedule.phases, profile.schedule.weights):
+            parts.append(f"{weight:.6f}")
+            parts.append(repr(params))
+    return stable_hash(parts)
+
+
+def simulate_suite(
+    profiles: Optional[Sequence[WorkloadProfile]] = None,
+    sections_per_workload: int = 120,
+    instructions_per_section: int = 2048,
+    config: Optional[MachineConfig] = None,
+    seed: int = 2007,
+    jitter: float = 0.08,
+    progress: Optional[ProgressCallback] = None,
+) -> SuiteResult:
+    """Simulate every profile and assemble the section dataset.
+
+    Args:
+        profiles: Workloads to run (defaults to the SPEC-like suite).
+        sections_per_workload: Sections collected per workload.
+        instructions_per_section: Instructions replayed per section.  Real
+            sections span millions of instructions; replaying a sampled
+            slice of this length per section yields the same per-
+            instruction ratios with realistic sampling noise.
+        config: Machine model (defaults to the Core 2 Duo configuration).
+        seed: Master seed; all randomness derives from it.
+        jitter: Section-to-section lognormal spread of phase parameters.
+        progress: Optional callback ``(workload, done_sections, total)``.
+
+    Returns:
+        A :class:`SuiteResult` with the dataset and per-workload CPI.
+    """
+    if profiles is None:
+        profiles = spec_like_suite()
+    if not profiles:
+        raise ConfigError("need at least one workload profile")
+    if sections_per_workload < 1:
+        raise ConfigError("sections_per_workload must be at least 1")
+    if instructions_per_section < 64:
+        raise ConfigError("instructions_per_section must be at least 64")
+    machine = config or MachineConfig()
+
+    seeds = np.random.SeedSequence(seed).spawn(len(profiles))
+    all_counts = []
+    labels: List[str] = []
+    section_ids: List[int] = []
+    phase_ids: List[int] = []
+    cpi_by_workload: Dict[str, float] = {}
+
+    for profile, seq in zip(profiles, seeds):
+        rng = np.random.default_rng(seq)
+        core = SimulatedCore(machine, rng=rng)
+        cycles_total = 0.0
+        previous_params = None
+        for index in range(sections_per_workload):
+            params = profile.section_params(index, sections_per_workload)
+            if params is not previous_params:
+                prewarm(core, params)
+                previous_params = params
+            section_params = perturbed(params, rng, jitter)
+            block = synthesize_block(section_params, instructions_per_section, rng)
+            result = core.run_block(block)
+            all_counts.append(result.counts)
+            labels.append(profile.name)
+            section_ids.append(index)
+            phase_ids.append(profile.phase_index(index, sections_per_workload))
+            cycles_total += result.cycles
+            if progress is not None:
+                progress(profile.name, index + 1, sections_per_workload)
+        cpi_by_workload[profile.name] = cycles_total / (
+            sections_per_workload * instructions_per_section
+        )
+
+    dataset = sections_to_dataset(all_counts, workloads=labels)
+    dataset = dataset.with_meta(
+        section=np.asarray(section_ids, dtype=object),
+        phase=np.asarray(phase_ids, dtype=object),
+    )
+    return SuiteResult(dataset=dataset, cpi_by_workload=cpi_by_workload)

@@ -1,0 +1,45 @@
+"""Shared fixtures: small deterministic datasets and fitted models."""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import M5Prime
+from repro.datasets.synthetic import figure1_dataset
+from repro.workloads import simulate_suite
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def suite_result():
+    """A small but phase-structured simulated suite (shared, read-only)."""
+    return simulate_suite(
+        sections_per_workload=12, instructions_per_section=384, seed=3
+    )
+
+
+@pytest.fixture(scope="session")
+def suite_dataset(suite_result):
+    return suite_result.dataset
+
+
+@pytest.fixture(scope="session")
+def figure1_data():
+    """Piecewise-linear ground truth matching the paper's Figure 1."""
+    return figure1_dataset(n=1500, noise_sd=0.05, rng=1)
+
+
+@pytest.fixture(scope="session")
+def figure1_tree(figure1_data):
+    """An M5' tree fitted on the Figure 1 data (shared, read-only)."""
+    return M5Prime(min_instances=40).fit(figure1_data)
+
+
+@pytest.fixture(scope="session")
+def suite_tree(suite_dataset):
+    """An M5' tree fitted on the small suite dataset (shared, read-only)."""
+    return M5Prime(min_instances=12).fit(suite_dataset)

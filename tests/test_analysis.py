@@ -1,0 +1,229 @@
+"""Tests for the performance-analysis layer (what / how much)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    PerformanceAnalyzer,
+    dominant_leaf,
+    leaf_contributions,
+    leaf_distribution,
+    rank_events,
+    split_impacts,
+    workload_leaf_table,
+)
+from repro.core.analysis.classes import leaf_mean_cpi
+from repro.core.tree import M5Prime
+from repro.datasets import Dataset
+from repro.errors import DataError, NotFittedError
+
+
+class TestLeafContributions:
+    def test_paper_arithmetic(self, suite_tree, suite_dataset):
+        """Contribution must equal coef * value / predicted CPI (Sec V-A2)."""
+        x = suite_dataset.X[0]
+        contributions = leaf_contributions(suite_tree, x)
+        leaf = suite_tree.leaf_for(x)
+        predicted = leaf.model.predict_one(x)
+        for contribution in contributions:
+            index = suite_tree.attributes_.index(contribution.event)
+            assert contribution.value == pytest.approx(x[index])
+            assert contribution.cycles == pytest.approx(
+                contribution.coefficient * contribution.value
+            )
+            assert contribution.fraction == pytest.approx(
+                contribution.cycles / predicted
+            )
+
+    def test_sorted_descending(self, suite_tree, suite_dataset):
+        contributions = leaf_contributions(suite_tree, suite_dataset.X[5])
+        cycles = [c.cycles for c in contributions]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_gain_percent(self):
+        from repro.core.analysis.contribution import EventContribution
+
+        c = EventContribution("L1IM", 6.69, 0.03, 0.2007, 0.2007)
+        assert c.potential_gain_percent == pytest.approx(20.07)
+        assert "L1IM" in c.describe()
+
+    def test_events_match_leaf_model(self, suite_tree, suite_dataset):
+        x = suite_dataset.X[10]
+        contributions = leaf_contributions(suite_tree, x)
+        leaf = suite_tree.leaf_for(x)
+        assert {c.event for c in contributions} == set(leaf.model.names)
+
+    def test_nonpositive_prediction_rejected(self):
+        ds = Dataset([[0.0], [1.0], [0.5], [0.7]], [-1.0, -2.0, -1.5, -1.7], ("a",))
+        model = M5Prime().fit(ds)
+        with pytest.raises(DataError):
+            leaf_contributions(model, [0.5])
+
+
+class TestRankEvents:
+    def test_aggregates_over_sections(self, suite_tree, suite_dataset):
+        ranked = rank_events(suite_tree, suite_dataset.X[:30])
+        assert ranked
+        cycles = [c.cycles for c in ranked]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_empty_rejected(self, suite_tree):
+        with pytest.raises(DataError):
+            rank_events(suite_tree, np.zeros((0, 20)))
+
+
+class TestSplitImpacts:
+    def test_covers_every_split(self, suite_tree, suite_dataset):
+        impacts = split_impacts(suite_tree, suite_dataset)
+        n_splits = sum(1 for n in suite_tree.root_.iter_nodes() if not n.is_leaf)
+        assert len(impacts) == n_splits
+
+    def test_weighted_matches_node_means(self, suite_tree):
+        impacts = split_impacts(suite_tree)
+        root = suite_tree.root_
+        assert impacts[0].impact_weighted == pytest.approx(
+            root.right.mean - root.left.mean
+        )
+
+    def test_simple_uses_leaf_means(self, suite_tree):
+        impacts = split_impacts(suite_tree)
+        root = suite_tree.root_
+        left_leaf_means = [leaf.mean for leaf in root.left.leaves()]
+        assert impacts[0].impact_simple == pytest.approx(
+            root.right.mean - float(np.mean(left_leaf_means))
+        )
+
+    def test_r2_requires_dataset(self, suite_tree, suite_dataset):
+        without = split_impacts(suite_tree)
+        assert all(i.r_squared is None for i in without)
+        with_data = split_impacts(suite_tree, suite_dataset)
+        assert all(i.r_squared is not None for i in with_data)
+        assert all(0.0 <= i.r_squared <= 1.0 for i in with_data)
+
+    def test_describe(self, suite_tree, suite_dataset):
+        impact = split_impacts(suite_tree, suite_dataset)[0]
+        assert impact.attribute in impact.describe()
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            split_impacts(M5Prime())
+
+    def test_width_mismatch_rejected(self, suite_tree):
+        bad = Dataset([[1.0]], [1.0], ("a",))
+        with pytest.raises(DataError):
+            split_impacts(suite_tree, bad)
+
+
+class TestClassTables:
+    def test_distribution_counts_everything(self, suite_tree, suite_dataset):
+        distribution = leaf_distribution(suite_tree, suite_dataset)
+        assert sum(distribution.values()) == suite_dataset.n_instances
+
+    def test_workload_table_fractions(self, suite_tree, suite_dataset):
+        table = workload_leaf_table(suite_tree, suite_dataset)
+        for shares in table.values():
+            assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_dominant_leaf(self, suite_tree, suite_dataset):
+        leaf, share = dominant_leaf(suite_tree, suite_dataset, "mcf_like")
+        assert 0.0 < share <= 1.0
+        table = workload_leaf_table(suite_tree, suite_dataset)
+        assert share == pytest.approx(max(table["mcf_like"].values()))
+
+    def test_unknown_workload(self, suite_tree, suite_dataset):
+        with pytest.raises(DataError):
+            dominant_leaf(suite_tree, suite_dataset, "quake_like")
+
+    def test_missing_meta_rejected(self, suite_tree, suite_dataset):
+        bare = Dataset(suite_dataset.X, suite_dataset.y, suite_dataset.attributes)
+        with pytest.raises(DataError):
+            workload_leaf_table(suite_tree, bare)
+
+    def test_leaf_mean_cpi(self, suite_tree, suite_dataset):
+        means = leaf_mean_cpi(suite_tree, suite_dataset)
+        assert all(m > 0 for m in means.values())
+
+
+class TestAnalyzer:
+    def test_requires_fitted_model(self):
+        with pytest.raises(DataError):
+            PerformanceAnalyzer(M5Prime())
+
+    def test_section_analysis_fields(self, suite_tree, suite_dataset):
+        analyzer = PerformanceAnalyzer(suite_tree)
+        analysis = analyzer.analyze_section(suite_dataset.X[0])
+        assert analysis.leaf_id >= 1
+        assert analysis.predicted > 0
+        assert len(analysis.conditions) == len(
+            suite_tree.decision_path(suite_dataset.X[0])
+        ) - 1
+
+    def test_high_side_conditions(self, suite_tree, suite_dataset):
+        analyzer = PerformanceAnalyzer(suite_tree)
+        x = suite_dataset.X[0]
+        analysis = analyzer.analyze_section(x)
+        for condition in analysis.conditions:
+            index = suite_tree.attributes_.index(condition.attribute)
+            assert condition.high_side == (x[index] > condition.threshold)
+
+    def test_implicit_issues_are_high_side(self, suite_tree, suite_dataset):
+        analyzer = PerformanceAnalyzer(suite_tree)
+        analysis = analyzer.analyze_section(suite_dataset.X[3])
+        assert set(analysis.implicit_issues) <= {
+            c.attribute for c in analysis.conditions
+        }
+
+    def test_render_is_readable(self, suite_tree, suite_dataset):
+        analyzer = PerformanceAnalyzer(suite_tree)
+        text = analyzer.analyze_section(suite_dataset.X[0]).render()
+        assert "class: LM" in text
+        assert "predicted CPI" in text
+
+    def test_top_issues_positive_only(self, suite_tree, suite_dataset):
+        analyzer = PerformanceAnalyzer(suite_tree)
+        analysis = analyzer.analyze_section(suite_dataset.X[0])
+        assert all(c.cycles > 0 for c in analysis.top_issues())
+
+    def test_analyze_dataset_groups_by_leaf(self, suite_tree, suite_dataset):
+        analyzer = PerformanceAnalyzer(suite_tree)
+        grouped = analyzer.analyze_dataset(suite_dataset.subset(range(40)))
+        assert sum(len(v) for v in grouped.values()) == 40
+
+    def test_summarize_dataset(self, suite_tree, suite_dataset):
+        analyzer = PerformanceAnalyzer(suite_tree)
+        text = analyzer.summarize_dataset(suite_dataset.subset(range(40)))
+        assert "LM" in text
+        assert "sections" in text
+
+
+class TestExtrapolatedSections:
+    def test_nonpositive_prediction_suppresses_contributions(self):
+        from repro.datasets import Dataset
+
+        ds = Dataset(
+            [[0.0], [0.1], [0.2], [0.9], [1.0], [0.95]],
+            [1.0, 1.1, 1.2, 3.0, 3.2, 3.1],
+            ("a",),
+        )
+        model = M5Prime(min_instances=3, ridge=0.0).fit(ds)
+        analyzer = PerformanceAnalyzer(model)
+        # Force an instance far outside the training region.
+        analysis = analyzer.analyze_section(np.array([-100.0]))
+        if analysis.predicted <= 0:
+            assert analysis.extrapolated
+            assert analysis.contributions == []
+            assert "outside its class" in analysis.render()
+
+    def test_summarize_survives_extrapolation(self, suite_tree, suite_dataset):
+        # Shift a copy of real sections far out of range: the summary must
+        # not raise even when some predictions go non-positive.
+        import numpy as np
+
+        shifted = suite_dataset.X.copy()
+        shifted[:, 0] = 10.0  # absurd InstLd
+        analyzer = PerformanceAnalyzer(suite_tree)
+        grouped = analyzer.analyze_dataset(
+            type(suite_dataset)(shifted[:20], suite_dataset.y[:20],
+                                suite_dataset.attributes)
+        )
+        assert sum(len(v) for v in grouped.values()) == 20

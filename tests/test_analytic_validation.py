@@ -1,0 +1,163 @@
+"""Cross-validation of the trace-driven simulator against closed forms.
+
+Each test drives the real components with a controlled access pattern
+and compares measured rates to the analytical expectation.  Bands are
+deliberately loose (conflict misses, warmup and prefetch interplay are
+real); a failure here means the machinery drifted, not that it is noisy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.counters import events as ev
+from repro.simulator import MachineConfig, SimulatedCore
+from repro.simulator.analytic import (
+    expected_branch_mispredict_rate,
+    expected_data_miss_rates,
+    expected_dtlb_walk_rate,
+    expected_profile_rates,
+    uniform_hit_probability,
+)
+from repro.workloads import PhaseParams, synthesize_block
+from repro.workloads.suite import prewarm
+
+
+def measured_rates(params, n=6144, seed=3, config=None):
+    machine = config or MachineConfig(measurement_noise_sd=0.0)
+    rng = np.random.default_rng(seed)
+    core = SimulatedCore(machine, rng=rng)
+    prewarm(core, params)
+    # One warmup block, then measure.
+    core.run_block(synthesize_block(params, n, rng))
+    result = core.run_block(synthesize_block(params, n, rng))
+    counts = result.counts
+    loads = max(counts[ev.INST_RETIRED_LOADS.name], 1.0)
+    branches = max(counts[ev.BR_INST_RETIRED_ANY.name], 1.0)
+    return {
+        "l1d_per_load": counts[ev.MEM_LOAD_RETIRED_L1D_LINE_MISS.name] / loads,
+        "l2_per_load": counts[ev.MEM_LOAD_RETIRED_L2_LINE_MISS.name] / loads,
+        "walk_per_load": counts[ev.MEM_LOAD_RETIRED_DTLB_MISS.name] / loads,
+        "mispredict_per_branch": counts[ev.BR_INST_RETIRED_MISPRED.name] / branches,
+    }
+
+
+class TestUniformHitProbability:
+    def test_fitting_region_always_hits(self):
+        assert uniform_hit_probability(1 << 20, 1 << 18) == 1.0
+
+    def test_proportional_when_overflowing(self):
+        assert uniform_hit_probability(1 << 20, 1 << 22) == pytest.approx(0.25)
+
+    def test_degenerate_region(self):
+        assert uniform_hit_probability(1024, 0) == 1.0
+
+
+class TestCacheValidation:
+    def test_hot_resident_set_rarely_misses(self):
+        params = PhaseParams(
+            hot_fraction=1.0, hot_set_bytes=8 << 10, data_footprint=8 << 10
+        )
+        rates = measured_rates(params)
+        assert rates["l1d_per_load"] < 0.02
+
+    def test_uniform_overflow_tracks_capacity_ratio(self):
+        footprint = 32 << 20  # 8x the 4MB L2
+        params = PhaseParams(
+            hot_fraction=0.0,
+            stride_fraction=0.0,
+            data_footprint=footprint,
+            hot_set_bytes=4 << 10,
+            misalign_fraction=0.0,
+            store_load_alias_fraction=0.0,
+        )
+        expected = expected_data_miss_rates(params, MachineConfig())
+        rates = measured_rates(params, n=8192)
+        # Uniform jumps: nearly every access misses L1; L2 hits ~1/8.
+        assert rates["l1d_per_load"] == pytest.approx(expected["l1d"], abs=0.08)
+        assert rates["l2_per_load"] == pytest.approx(expected["l2"], abs=0.15)
+
+    def test_streaming_mostly_prefetched(self):
+        params = PhaseParams(
+            hot_fraction=0.0,
+            stride_fraction=1.0,
+            data_footprint=32 << 20,
+            hot_set_bytes=4 << 10,
+            misalign_fraction=0.0,
+            store_load_alias_fraction=0.0,
+        )
+        expected = expected_data_miss_rates(params, MachineConfig())
+        rates = measured_rates(params, n=8192)
+        # One miss per 4 accesses without prefetch; far less with it.
+        assert rates["l1d_per_load"] < 0.15
+        assert rates["l1d_per_load"] == pytest.approx(expected["l1d"], abs=0.1)
+
+    def test_prefetcher_off_restores_compulsory_rate(self):
+        params = PhaseParams(
+            hot_fraction=0.0,
+            stride_fraction=1.0,
+            data_footprint=32 << 20,
+            hot_set_bytes=4 << 10,
+            misalign_fraction=0.0,
+            store_load_alias_fraction=0.0,
+        )
+        config = MachineConfig(prefetch_next_line=False, measurement_noise_sd=0.0)
+        rates = measured_rates(params, config=config)
+        # 16B stride over 64B lines: one compulsory miss per 4 accesses.
+        assert rates["l1d_per_load"] == pytest.approx(0.25, abs=0.06)
+
+
+class TestTlbValidation:
+    def test_walk_rate_tracks_reach_ratio(self):
+        footprint = 8 << 20  # 8x the 1MB DTLB reach
+        params = PhaseParams(
+            hot_fraction=0.0,
+            stride_fraction=0.0,
+            data_footprint=footprint,
+            hot_set_bytes=4 << 10,
+            misalign_fraction=0.0,
+            store_load_alias_fraction=0.0,
+        )
+        expected = expected_dtlb_walk_rate(params, MachineConfig())
+        rates = measured_rates(params, n=8192)
+        assert expected == pytest.approx(0.875, abs=0.01)
+        assert rates["walk_per_load"] == pytest.approx(expected, abs=0.12)
+
+    def test_resident_pages_never_walk(self):
+        params = PhaseParams(
+            hot_fraction=1.0, hot_set_bytes=64 << 10, data_footprint=64 << 10
+        )
+        rates = measured_rates(params)
+        assert rates["walk_per_load"] < 0.01
+
+
+class TestBranchValidation:
+    def test_biased_branches(self):
+        params = PhaseParams(branch_bias=0.9, hard_branch_fraction=0.0,
+                             branch_fraction=0.3)
+        expected = expected_branch_mispredict_rate(params)
+        rates = measured_rates(params)
+        assert expected == pytest.approx(0.1)
+        assert rates["mispredict_per_branch"] == pytest.approx(expected, abs=0.06)
+
+    def test_hard_branches(self):
+        params = PhaseParams(branch_bias=0.95, hard_branch_fraction=1.0,
+                             branch_fraction=0.3)
+        rates = measured_rates(params)
+        assert rates["mispredict_per_branch"] == pytest.approx(0.5, abs=0.08)
+
+
+class TestProfileRates:
+    def test_per_instruction_scaling(self):
+        params = PhaseParams(load_fraction=0.4, branch_fraction=0.2,
+                             lcp_fraction=0.1)
+        rates = expected_profile_rates(params, MachineConfig())
+        data = expected_data_miss_rates(params, MachineConfig())
+        assert rates.l1dm == pytest.approx(0.4 * data["l1d"])
+        assert rates.lcp == pytest.approx(0.1)
+        assert set(rates.as_dict()) == {"L1DM", "L2M", "DtlbLdM", "BrMisPr", "LCP"}
+
+    def test_l2_never_exceeds_l1(self):
+        for footprint in (1 << 20, 8 << 20, 64 << 20):
+            params = PhaseParams(data_footprint=footprint, hot_set_bytes=4 << 10)
+            data = expected_data_miss_rates(params, MachineConfig())
+            assert data["l2"] <= data["l1d"] + 1e-12

@@ -1,0 +1,123 @@
+"""Calibration regression tests: the suite's physics must stay in band.
+
+The reproduction's Figure 2 structure depends on relational facts about
+the simulated workloads (mcf-like is the serialized L2+DTLB extreme,
+bzip-like stresses the DTLB without L2 misses, ...).  These tests pin
+those facts with generous bands, so an innocent-looking change to the
+simulator or a profile cannot silently break the experiments.
+
+A dedicated medium-size suite is simulated once per module (a few
+seconds); the bands are intentionally loose — they encode ordering and
+magnitude class, not exact values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads import simulate_suite
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return simulate_suite(
+        sections_per_workload=30, instructions_per_section=2048, seed=2007
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset(calibration):
+    return calibration.dataset
+
+
+def column_mean(dataset, workload, metric):
+    mask = dataset.meta["workload"] == workload
+    return float(dataset.column(metric)[mask].mean())
+
+
+class TestCpiOrdering:
+    def test_mcf_is_the_most_expensive(self, calibration):
+        cpis = calibration.cpi_by_workload
+        assert cpis["mcf_like"] == max(cpis.values())
+
+    def test_calm_is_the_cheapest(self, calibration):
+        cpis = calibration.cpi_by_workload
+        assert cpis["calm_like"] == min(cpis.values())
+
+    def test_cpi_bands(self, calibration):
+        cpis = calibration.cpi_by_workload
+        assert 0.25 < cpis["calm_like"] < 0.8
+        assert 4.0 < cpis["mcf_like"] < 11.0
+        assert 2.0 < cpis["cactus_like"] < 7.0
+        assert 0.7 < cpis["libq_like"] < 2.2
+
+    def test_overall_range_spans_the_papers_figure3(self, dataset):
+        assert dataset.y.min() < 0.6
+        assert dataset.y.max() > 6.0
+
+
+class TestSignatureFacts:
+    def test_mcf_l2_and_dtlb_extremes(self, dataset):
+        l2 = {
+            w: column_mean(dataset, w, "L2M")
+            for w in set(dataset.meta["workload"])
+        }
+        # mcf and cactus share the high-L2M extreme; mcf must be in it.
+        assert l2["mcf_like"] >= 0.85 * max(l2.values())
+        assert l2["mcf_like"] > 0.02
+        assert column_mean(dataset, "mcf_like", "DtlbLdM") > 0.02
+
+    def test_bzip_dtlb_without_l2(self, dataset):
+        assert column_mean(dataset, "bzip_like", "L2M") < 0.002
+        assert column_mean(dataset, "bzip_like", "Dtlb") > 0.005
+
+    def test_cactus_instruction_side(self, dataset):
+        assert column_mean(dataset, "cactus_like", "L1IM") > 0.02
+        assert column_mean(dataset, "cactus_like", "L2M") > 0.015
+
+    def test_calm_is_eventless(self, dataset):
+        for metric in ("L2M", "Dtlb", "LCP"):
+            assert column_mean(dataset, "calm_like", metric) < 0.002
+        # A background misalignment rate of ~1% of memory ops remains.
+        assert column_mean(dataset, "calm_like", "MisalRef") < 0.01
+
+    def test_gcc_has_lcp_tail(self, dataset):
+        mask = dataset.meta["workload"] == "gcc_like"
+        lcp = dataset.column("LCP")[mask]
+        assert np.max(lcp) > 0.08
+        assert np.median(lcp) < 0.02
+
+    def test_h264_alignment_signature(self, dataset):
+        assert column_mean(dataset, "h264_like", "MisalRef") > 0.01
+        assert column_mean(dataset, "h264_like", "L1DSpLd") > 0.002
+
+    def test_perl_load_blocks(self, dataset):
+        assert column_mean(dataset, "perl_like", "LdBlSta") > 0.003
+
+    def test_bzip_branch_mispredicts(self, dataset):
+        assert column_mean(dataset, "bzip_like", "BrMisPr") > 0.03
+
+    def test_streaming_hides_misses(self, calibration, dataset):
+        """libq has real memory traffic but low CPI (the MLP story)."""
+        cpis = calibration.cpi_by_workload
+        libq_l1dm = column_mean(dataset, "libq_like", "L1DM")
+        calm_l1dm = column_mean(dataset, "calm_like", "L1DM")
+        assert libq_l1dm > 3 * calm_l1dm
+        assert cpis["libq_like"] < 2.5 * cpis["calm_like"] + 1.0
+
+
+class TestMixSanity:
+    def test_mix_fractions_sum_to_one(self, dataset):
+        mix = (
+            dataset.column("InstLd")
+            + dataset.column("InstSt")
+            + dataset.column("BrPred")
+            + dataset.column("BrMisPr")
+            + dataset.column("InstOther")
+        )
+        assert np.allclose(mix, 1.0, atol=1e-9)
+
+    def test_rates_are_per_instruction(self, dataset):
+        for metric in ("L2M", "L1DM", "BrMisPr", "Dtlb", "LCP"):
+            column = dataset.column(metric)
+            assert np.all(column >= 0)
+            assert np.all(column <= 1.0)

@@ -1,0 +1,163 @@
+"""Tests for the interpretability guards: collinearity filter, opposed-pair
+resolution and the standardized ridge."""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import M5Prime
+from repro.core.tree.linear import (
+    fit_linear_model,
+    resolve_opposed_pairs,
+    select_uncorrelated,
+)
+from repro.datasets import Dataset
+from repro.errors import ConfigError
+
+
+def collinear_data(n=300, seed=0, twin_noise=0.001):
+    """y driven by x0; x1 is a near-copy of x0; x2 is independent noise."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.uniform(0, 1, n)
+    x1 = x0 + rng.normal(0, twin_noise, n)
+    x2 = rng.uniform(0, 1, n)
+    y = 3.0 * x0 + rng.normal(0, 0.05, n)
+    return np.column_stack([x0, x1, x2]), y
+
+
+class TestSelectUncorrelated:
+    def test_drops_twin(self):
+        X, y = collinear_data()
+        kept = select_uncorrelated(X, y, [0, 1, 2], threshold=0.95)
+        assert 2 in kept
+        assert len([k for k in kept if k in (0, 1)]) == 1
+
+    def test_keeps_member_best_correlated_with_target(self):
+        X, y = collinear_data(twin_noise=0.05)
+        kept = select_uncorrelated(X, y, [0, 1, 2], threshold=0.9)
+        assert 0 in kept  # x0 is the true driver
+        assert 1 not in kept
+
+    def test_independent_attributes_all_kept(self, rng):
+        X = rng.uniform(size=(200, 3))
+        y = X.sum(axis=1)
+        kept = select_uncorrelated(X, y, [0, 1, 2], threshold=0.95)
+        assert kept == [0, 1, 2]
+
+    def test_threshold_one_keeps_everything(self):
+        X, y = collinear_data()
+        assert select_uncorrelated(X, y, [0, 1, 2], threshold=1.0) == [0, 1, 2]
+
+    def test_invalid_threshold(self):
+        X, y = collinear_data(n=10)
+        with pytest.raises(ConfigError):
+            select_uncorrelated(X, y, [0], threshold=0.0)
+
+    def test_constant_column_harmless(self):
+        X = np.column_stack([np.ones(50), np.linspace(0, 1, 50)])
+        y = X[:, 1]
+        kept = select_uncorrelated(X, y, [0, 1], threshold=0.9)
+        assert 1 in kept
+
+    def test_output_sorted(self):
+        X, y = collinear_data()
+        kept = select_uncorrelated(X, y, [2, 0], threshold=0.95)
+        assert kept == sorted(kept)
+
+
+class TestResolveOpposedPairs:
+    def test_dissolves_explosive_pair(self):
+        # y depends on x0 only, but x1 ~ x0 lets OLS fit a huge +/- pair.
+        rng = np.random.default_rng(1)
+        x0 = rng.uniform(0, 1, 400)
+        x1 = x0 + rng.normal(0, 0.02, 400)
+        y = 2.0 * x0 + rng.normal(0, 0.01, 400)
+        X = np.column_stack([x0, x1])
+        names = ("a", "b")
+        model = fit_linear_model(X, y, [0, 1], names)
+        resolved = resolve_opposed_pairs(model, X, y, names)
+        if len(model.coefficients) == 2 and model.coefficients[0] * model.coefficients[1] < 0:
+            assert len(resolved.coefficients) == 1
+        assert all(abs(c) < 50 for c in resolved.coefficients)
+
+    def test_same_sign_pair_untouched(self):
+        rng = np.random.default_rng(2)
+        x0 = rng.uniform(0, 1, 300)
+        x1 = x0 + rng.normal(0, 0.05, 300)
+        y = 1.0 * x0 + 1.0 * x1 + rng.normal(0, 0.01, 300)
+        X = np.column_stack([x0, x1])
+        names = ("a", "b")
+        model = fit_linear_model(X, y, [0, 1], names)
+        if model.coefficients[0] * model.coefficients[1] > 0:
+            resolved = resolve_opposed_pairs(model, X, y, names)
+            assert resolved.names == model.names
+
+    def test_uncorrelated_opposite_signs_untouched(self, rng):
+        X = rng.uniform(size=(300, 2))
+        y = 2.0 * X[:, 0] - 1.0 * X[:, 1]
+        names = ("a", "b")
+        model = fit_linear_model(X, y, [0, 1], names)
+        resolved = resolve_opposed_pairs(model, X, y, names)
+        assert set(resolved.names) == {"a", "b"}
+
+
+class TestRidge:
+    def test_zero_ridge_is_exact(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(100, 2))
+        y = 1.0 + 2.0 * X[:, 0] - 0.5 * X[:, 1]
+        model = fit_linear_model(X, y, [0, 1], ("a", "b"), ridge=0.0)
+        assert model.coefficients == pytest.approx((2.0, -0.5), abs=1e-9)
+
+    def test_small_ridge_barely_changes_clean_fit(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(200, 2))
+        y = 1.0 + 2.0 * X[:, 0] - 0.5 * X[:, 1]
+        model = fit_linear_model(X, y, [0, 1], ("a", "b"), ridge=1e-4)
+        assert model.coefficients == pytest.approx((2.0, -0.5), abs=0.01)
+
+    def test_large_ridge_shrinks(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(100, 1))
+        y = 5.0 * X[:, 0]
+        small = fit_linear_model(X, y, [0], ("a",), ridge=1e-6)
+        big = fit_linear_model(X, y, [0], ("a",), ridge=10.0)
+        assert abs(big.coefficients[0]) < abs(small.coefficients[0])
+
+    def test_negative_ridge_rejected(self):
+        X = np.ones((4, 1))
+        with pytest.raises(ConfigError):
+            fit_linear_model(X, np.ones(4), [0], ("a",), ridge=-1.0)
+
+
+class TestTreeIntegration:
+    def test_suite_leaf_models_have_sane_coefficients(self, suite_dataset):
+        model = M5Prime(min_instances=12).fit(suite_dataset)
+        for lm in model.leaf_models().values():
+            for coefficient in lm.coefficients:
+                assert abs(coefficient) < 2500
+
+    def test_no_opposed_near_duplicate_pairs_survive(self, suite_dataset):
+        model = M5Prime(min_instances=12).fit(suite_dataset)
+        ids = model.leaf_ids(suite_dataset.X)
+        for leaf_id, lm in model.leaf_models().items():
+            rows = suite_dataset.X[ids == leaf_id]
+            if rows.shape[0] < 3:
+                continue
+            for a in range(len(lm.indices)):
+                for b in range(a + 1, len(lm.indices)):
+                    if lm.coefficients[a] * lm.coefficients[b] >= 0:
+                        continue
+                    col_a = rows[:, lm.indices[a]]
+                    col_b = rows[:, lm.indices[b]]
+                    if np.ptp(col_a) <= 1e-15 or np.ptp(col_b) <= 1e-15:
+                        continue
+                    correlation = abs(np.corrcoef(col_a, col_b)[0, 1])
+                    # The guard used training-node rows; routed rows may
+                    # differ slightly, so allow a margin over 0.75.
+                    assert correlation < 0.9
+
+    def test_disable_guards_restores_classic_m5(self, suite_dataset):
+        classic = M5Prime(
+            min_instances=12, collinearity_threshold=1.0, ridge=0.0
+        ).fit(suite_dataset)
+        assert classic.n_leaves >= 1

@@ -1,0 +1,141 @@
+"""Tests for the Table I event/metric catalogue and derivation."""
+
+import numpy as np
+import pytest
+
+from repro.counters import (
+    ALL_EVENTS,
+    ALL_METRICS,
+    EVENT_BY_NAME,
+    METRIC_BY_NAME,
+    PREDICTOR_METRICS,
+    TARGET_METRIC,
+    metric_row,
+    metric_vector,
+    sections_to_dataset,
+    validate_counts,
+)
+from repro.counters import events as ev
+from repro.errors import DataError, MissingEventError
+
+
+def make_counts(**overrides):
+    """A complete, consistent raw-count snapshot for one section."""
+    counts = {event.name: 0.0 for event in ALL_EVENTS}
+    counts[ev.INST_RETIRED_ANY.name] = 1000.0
+    counts[ev.CPU_CLK_UNHALTED_CORE.name] = 800.0
+    counts[ev.INST_RETIRED_LOADS.name] = 300.0
+    counts[ev.INST_RETIRED_STORES.name] = 100.0
+    counts[ev.BR_INST_RETIRED_ANY.name] = 150.0
+    counts[ev.BR_INST_RETIRED_MISPRED.name] = 15.0
+    counts.update(overrides)
+    return counts
+
+
+class TestCatalogue:
+    def test_21_raw_events(self):
+        assert len(ALL_EVENTS) == 21
+
+    def test_event_names_unique(self):
+        names = [event.name for event in ALL_EVENTS]
+        assert len(set(names)) == len(names)
+
+    def test_20_predictors_plus_target(self):
+        assert len(PREDICTOR_METRICS) == 20
+        assert len(ALL_METRICS) == 21
+        assert ALL_METRICS[0] is TARGET_METRIC
+
+    def test_table1_order(self):
+        names = [metric.name for metric in PREDICTOR_METRICS]
+        assert names[:5] == ["InstLd", "InstSt", "BrMisPr", "BrPred", "InstOther"]
+        assert names[-1] == "LCP"
+
+    def test_lookup_maps(self):
+        assert EVENT_BY_NAME["L1I_MISSES"].name == "L1I_MISSES"
+        assert METRIC_BY_NAME["CPI"] is TARGET_METRIC
+
+    def test_every_metric_has_formula(self):
+        for metric in ALL_METRICS:
+            assert metric.formula
+            assert metric.description
+
+    def test_str_forms(self):
+        assert str(ev.L1I_MISSES) == "L1I_MISSES"
+        assert "L2M = " in str(METRIC_BY_NAME["L2M"])
+
+
+class TestFormulas:
+    def test_cpi(self):
+        counts = make_counts()
+        assert TARGET_METRIC.compute(counts) == pytest.approx(0.8)
+
+    def test_simple_ratio(self):
+        counts = make_counts(**{ev.L1I_MISSES.name: 20.0})
+        assert METRIC_BY_NAME["L1IM"].compute(counts) == pytest.approx(0.02)
+
+    def test_br_pred_subtracts_mispredicts(self):
+        counts = make_counts()
+        assert METRIC_BY_NAME["BrPred"].compute(counts) == pytest.approx(0.135)
+
+    def test_inst_other_complement(self):
+        counts = make_counts()
+        # 1000 - (300 + 100 + 150) = 450
+        assert METRIC_BY_NAME["InstOther"].compute(counts) == pytest.approx(0.45)
+
+    def test_mix_metrics_sum_to_one(self):
+        counts = make_counts()
+        mix = sum(
+            METRIC_BY_NAME[name].compute(counts)
+            for name in ("InstLd", "InstSt", "BrPred", "BrMisPr", "InstOther")
+        )
+        assert mix == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_missing_event_names_the_event(self):
+        counts = make_counts()
+        del counts[ev.ILD_STALL.name]
+        with pytest.raises(MissingEventError) as excinfo:
+            validate_counts(counts)
+        assert excinfo.value.event_name == ev.ILD_STALL.name
+
+    def test_negative_count_rejected(self):
+        counts = make_counts(**{ev.L1I_MISSES.name: -1.0})
+        with pytest.raises(DataError):
+            validate_counts(counts)
+
+    def test_zero_instructions_rejected(self):
+        counts = make_counts(**{ev.INST_RETIRED_ANY.name: 0.0})
+        with pytest.raises(DataError):
+            validate_counts(counts)
+
+
+class TestDerivation:
+    def test_vector_in_table_order(self):
+        counts = make_counts(**{ev.INST_RETIRED_LOADS.name: 500.0})
+        vector = metric_vector(counts)
+        assert vector.shape == (20,)
+        assert vector[0] == pytest.approx(0.5)  # InstLd first
+
+    def test_row_contains_target(self):
+        row = metric_row(make_counts())
+        assert row["CPI"] == pytest.approx(0.8)
+        assert len(row) == 21
+
+    def test_sections_to_dataset(self):
+        sections = [
+            make_counts(),
+            make_counts(**{ev.CPU_CLK_UNHALTED_CORE.name: 1600.0}),
+        ]
+        dataset = sections_to_dataset(sections, workloads=["a", "b"])
+        assert dataset.n_instances == 2
+        assert dataset.y[1] == pytest.approx(1.6)
+        assert list(dataset.meta["workload"]) == ["a", "b"]
+
+    def test_sections_to_dataset_empty_rejected(self):
+        with pytest.raises(DataError):
+            sections_to_dataset([])
+
+    def test_sections_to_dataset_label_mismatch(self):
+        with pytest.raises(DataError):
+            sections_to_dataset([make_counts()], workloads=["a", "b"])

@@ -1,0 +1,190 @@
+"""Tests for metrics, cross validation and the comparison harness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LinearRegressionBaseline
+from repro.core.tree import M5Prime
+from repro.datasets.synthetic import figure1_dataset, linear_dataset
+from repro.errors import ConfigError, DataError
+from repro.evaluation import (
+    ComparisonResult,
+    compare_estimators,
+    correlation_coefficient,
+    cross_validate,
+    evaluate_predictions,
+    mean_absolute_error,
+    relative_absolute_error,
+    render_table,
+    root_mean_squared_error,
+    root_relative_squared_error,
+)
+from repro.evaluation.metrics import mean_result
+
+
+class TestMetrics:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert correlation_coefficient(y, y) == pytest.approx(1.0)
+        assert mean_absolute_error(y, y) == 0.0
+        assert relative_absolute_error(y, y) == 0.0
+        assert root_mean_squared_error(y, y) == 0.0
+        assert root_relative_squared_error(y, y) == 0.0
+
+    def test_mean_predictor_has_unit_rae(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        predictions = np.full(4, y.mean())
+        assert relative_absolute_error(y, predictions) == pytest.approx(1.0)
+        assert root_relative_squared_error(y, predictions) == pytest.approx(1.0)
+
+    def test_mae_value(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 4.0]) == pytest.approx(1.5)
+
+    def test_rmse_value(self):
+        assert root_mean_squared_error([0.0, 0.0], [3.0, 4.0]) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_anticorrelation(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert correlation_coefficient(y, -y) == pytest.approx(-1.0)
+
+    def test_constant_prediction_zero_correlation(self):
+        assert correlation_coefficient([1.0, 2.0, 3.0], [5.0, 5.0, 5.0]) == 0.0
+
+    def test_rae_undefined_for_constant_target(self):
+        with pytest.raises(DataError):
+            relative_absolute_error([2.0, 2.0], [1.0, 3.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataError):
+            mean_absolute_error([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            mean_absolute_error([], [])
+
+    def test_evaluate_predictions_bundle(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        predictions = y + 0.1
+        result = evaluate_predictions(y, predictions)
+        assert result.correlation == pytest.approx(1.0)
+        assert result.mae == pytest.approx(0.1)
+        assert result.n == 4
+        assert "RAE" in result.describe()
+
+    def test_mean_result(self):
+        a = evaluate_predictions([1.0, 2.0], [1.0, 2.0])
+        b = evaluate_predictions([1.0, 3.0], [2.0, 2.0])
+        mean = mean_result([a, b])
+        assert mean.mae == pytest.approx((a.mae + b.mae) / 2)
+        assert mean.n == a.n + b.n
+
+    def test_mean_result_empty_rejected(self):
+        with pytest.raises(DataError):
+            mean_result([])
+
+
+class TestCrossValidate:
+    def test_out_of_fold_predictions_cover_dataset(self):
+        ds = linear_dataset([2.0], n=60, noise_sd=0.01, rng=0)
+        result = cross_validate(LinearRegressionBaseline, ds, n_folds=5, rng=0)
+        assert result.predictions.shape == (60,)
+        assert result.n_folds == 5
+        assert np.array_equal(result.actuals, ds.y)
+
+    def test_linear_data_high_accuracy(self):
+        ds = linear_dataset([2.0, 1.0], n=100, noise_sd=0.01, rng=0)
+        result = cross_validate(LinearRegressionBaseline, ds, n_folds=5, rng=0)
+        assert result.mean.correlation > 0.99
+        assert result.pooled.correlation > 0.99
+
+    def test_deterministic_given_seed(self):
+        ds = figure1_dataset(n=300, rng=0)
+        a = cross_validate(lambda: M5Prime(min_instances=20), ds, 4, rng=1)
+        b = cross_validate(lambda: M5Prime(min_instances=20), ds, 4, rng=1)
+        assert np.array_equal(a.predictions, b.predictions)
+
+    def test_describe(self):
+        ds = linear_dataset([1.0], n=40, rng=0)
+        result = cross_validate(LinearRegressionBaseline, ds, n_folds=4, rng=0)
+        assert "fold" in result.describe()
+
+    def test_fold_metrics_averaged(self):
+        ds = linear_dataset([1.0], n=40, noise_sd=0.1, rng=0)
+        result = cross_validate(LinearRegressionBaseline, ds, n_folds=4, rng=0)
+        assert result.mean.mae == pytest.approx(
+            float(np.mean([f.mae for f in result.folds]))
+        )
+
+
+class TestCompare:
+    def _dataset(self):
+        return figure1_dataset(n=240, rng=0)
+
+    def test_same_folds_for_all_methods(self):
+        ds = self._dataset()
+        result = compare_estimators(
+            {
+                "ols": LinearRegressionBaseline,
+                "tree": lambda: M5Prime(min_instances=20),
+            },
+            ds,
+            n_folds=4,
+            seed=0,
+        )
+        assert set(result.results) == {"ols", "tree"}
+        assert result.n_folds == 4
+
+    def test_ranking_orders(self):
+        ds = self._dataset()
+        result = compare_estimators(
+            {
+                "ols": LinearRegressionBaseline,
+                "tree": lambda: M5Prime(min_instances=20),
+            },
+            ds,
+            n_folds=4,
+            seed=0,
+        )
+        # The model tree must beat global OLS on piecewise-linear data.
+        assert result.ranking("rae")[0] == "tree"
+        assert result.ranking("correlation")[0] == "tree"
+
+    def test_unknown_metric(self):
+        result = ComparisonResult(results={}, n_folds=2)
+        with pytest.raises(ConfigError):
+            result.ranking("accuracy")
+
+    def test_table_rendering(self):
+        ds = self._dataset()
+        result = compare_estimators(
+            {"ols": LinearRegressionBaseline}, ds, n_folds=4, seed=0
+        )
+        table = result.to_table()
+        assert "method" in table
+        assert "ols" in table
+
+    def test_empty_factories_rejected(self):
+        with pytest.raises(ConfigError):
+            compare_estimators({}, self._dataset())
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(["a", "long header"], [["1", "2"]])
+        lines = table.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("a")
+
+    def test_empty_rows_ok(self):
+        table = render_table(["a"], [])
+        assert "a" in table
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(DataError):
+            render_table(["a", "b"], [["1"]])
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(DataError):
+            render_table([], [])

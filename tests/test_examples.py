@@ -1,0 +1,57 @@
+"""Smoke checks on the example scripts.
+
+Examples simulate full suites and are too slow for unit tests; these
+checks only verify they parse, import their dependencies correctly, and
+expose a ``main`` entry point.  The examples are executed for real in
+the final verification pass (see README / EXPERIMENTS).
+"""
+
+import ast
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+class TestExampleScripts:
+    def test_parses(self, path):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        assert tree.body, f"{path.name} is empty"
+
+    def test_has_module_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert isinstance(tree.body[0], ast.Expr), f"{path.name} lacks a docstring"
+
+    def test_defines_main_and_guard(self, path):
+        source = path.read_text()
+        assert "def main()" in source
+        assert '__name__ == "__main__"' in source
+
+    def test_imports_resolve(self, path):
+        """Compile and execute only the import statements."""
+        tree = ast.parse(path.read_text())
+        imports = [
+            node
+            for node in tree.body
+            if isinstance(node, (ast.Import, ast.ImportFrom))
+        ]
+        module = ast.Module(body=imports, type_ignores=[])
+        code = compile(module, str(path), "exec")
+        exec(code, {})  # noqa: S102 - our own example files
+
+
+def test_expected_example_set():
+    names = {path.stem for path in EXAMPLES}
+    assert names == {
+        "quickstart",
+        "analyze_mcf_like",
+        "compare_learners",
+        "custom_workload",
+        "phase_explorer",
+        "what_if_analysis",
+    }

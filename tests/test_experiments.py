@@ -1,0 +1,125 @@
+"""Tests for the experiment framework (configs, data cache, registry).
+
+Experiments themselves run at the ``tiny`` preset here — fast smoke
+coverage.  The quantitative shape checks run at the ``quick``/``paper``
+presets inside the benchmark suite, which is where their results are
+recorded for EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentConfig,
+    get_experiment,
+    run_experiment,
+    suite_dataset,
+)
+from repro.experiments.report import ExperimentReport
+
+
+class TestConfig:
+    def test_presets(self):
+        assert ExperimentConfig.paper().min_instances == 430
+        assert ExperimentConfig.quick().name == "quick"
+        assert ExperimentConfig.tiny().use_cache is False
+
+    def test_by_name(self):
+        assert ExperimentConfig.by_name("paper").name == "paper"
+        with pytest.raises(ConfigError):
+            ExperimentConfig.by_name("huge")
+
+    def test_overrides(self):
+        cfg = ExperimentConfig.tiny().with_overrides(seed=99)
+        assert cfg.seed == 99
+        assert cfg.name == "tiny"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(sections_per_workload=1)
+        with pytest.raises(ConfigError):
+            ExperimentConfig(n_folds=1)
+
+    def test_cache_key_ignores_model_params(self):
+        a = ExperimentConfig.tiny()
+        b = a.with_overrides(min_instances=99)
+        assert a.cache_key() == b.cache_key()
+
+
+class TestSuiteDataset:
+    def test_memoized_in_process(self):
+        cfg = ExperimentConfig.tiny()
+        a = suite_dataset(cfg)
+        b = suite_dataset(cfg)
+        assert a is b
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        cfg = ExperimentConfig.tiny().with_overrides(use_cache=True, seed=123)
+        first = suite_dataset(cfg, cache_dir=tmp_path)
+        # Clear the memory cache to force the disk path.
+        from repro.experiments import data as data_module
+
+        data_module._MEMORY_CACHE.clear()
+        second = suite_dataset(cfg, cache_dir=tmp_path)
+        assert np.allclose(first.X, second.X)
+        assert np.allclose(first.y, second.y)
+        data_module._MEMORY_CACHE.clear()
+
+    def test_different_seeds_not_shared(self):
+        a = suite_dataset(ExperimentConfig.tiny().with_overrides(seed=1))
+        b = suite_dataset(ExperimentConfig.tiny().with_overrides(seed=2))
+        assert not np.array_equal(a.y, b.y)
+
+
+class TestRegistry:
+    def test_all_ids_present(self):
+        expected = {"T1", "F1", "F2", "F3", "R1", "R2", "R3", "R4", "R5",
+                    "A1", "A2", "A3", "A4", "E1", "E2", "E3"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("f2") is EXPERIMENTS["F2"]
+
+    def test_unknown_id(self):
+        with pytest.raises(ConfigError):
+            get_experiment("Z9")
+
+
+class TestReports:
+    def test_table1_passes_fully(self):
+        report = run_experiment("T1", ExperimentConfig.tiny())
+        assert report.all_checks_pass
+        assert "L2M" in report.body
+        assert report.experiment_id == "T1"
+
+    def test_figure1_passes_fully(self):
+        report = run_experiment("F1", ExperimentConfig.tiny())
+        assert report.all_checks_pass
+        assert "LM" in report.body
+
+    @pytest.mark.parametrize("eid", ["F2", "F3", "R1", "R3", "R4", "R5"])
+    def test_suite_experiments_run_at_tiny_scale(self, eid):
+        report = run_experiment(eid, ExperimentConfig.tiny())
+        assert isinstance(report, ExperimentReport)
+        assert report.measured
+        assert report.checks
+
+    def test_render_format(self):
+        report = ExperimentReport(
+            experiment_id="X1",
+            title="demo",
+            paper_claim="something",
+            measured={"value": "1"},
+            checks={"ok": True, "bad": False},
+            body="details",
+        )
+        text = report.render()
+        assert "[PASS] ok" in text
+        assert "[FAIL] bad" in text
+        assert not report.all_checks_pass
+
+    def test_figure3_scatter_renders(self):
+        report = run_experiment("F3", ExperimentConfig.tiny())
+        assert "unity line" in report.body

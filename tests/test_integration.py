@@ -1,0 +1,99 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These walk the exact path the paper describes: run workloads on the
+simulated machine, cut equal-instruction sections, derive Table I
+metrics, train M5', and answer the what/how-much questions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NaiveFixedPenaltyModel, RegressionTree
+from repro.core.analysis import PerformanceAnalyzer, workload_leaf_table
+from repro.core.tree import M5Prime
+from repro.datasets import load_csv, save_csv
+from repro.evaluation import cross_validate
+from repro.workloads import simulate_suite, workload_by_name
+
+
+class TestFullPipeline:
+    def test_simulate_train_analyze(self, suite_dataset):
+        model = M5Prime(min_instances=12).fit(suite_dataset)
+        analyzer = PerformanceAnalyzer(model)
+        analysis = analyzer.analyze_section(suite_dataset.X[0])
+        assert analysis.predicted > 0
+        assert analysis.leaf_id >= 1
+
+    def test_tree_beats_naive_in_cv(self, suite_dataset):
+        tree = cross_validate(
+            lambda: M5Prime(min_instances=12), suite_dataset, n_folds=4, rng=0
+        )
+        naive = cross_validate(
+            NaiveFixedPenaltyModel, suite_dataset, n_folds=4, rng=0
+        )
+        assert tree.mean.rae < naive.mean.rae
+
+    def test_tree_beats_cart_in_cv(self, suite_dataset):
+        tree = cross_validate(
+            lambda: M5Prime(min_instances=12), suite_dataset, n_folds=4, rng=0
+        )
+        cart = cross_validate(
+            lambda: RegressionTree(min_instances=12), suite_dataset, n_folds=4, rng=0
+        )
+        assert tree.mean.rae < cart.mean.rae
+
+    def test_cv_correlation_reasonable_at_small_scale(self, suite_dataset):
+        result = cross_validate(
+            lambda: M5Prime(min_instances=12), suite_dataset, n_folds=4, rng=0
+        )
+        assert result.mean.correlation > 0.78
+
+    def test_round_trip_through_csv(self, tmp_path, suite_dataset):
+        path = tmp_path / "sections.csv"
+        save_csv(suite_dataset, path)
+        loaded = load_csv(path)
+        a = M5Prime(min_instances=12).fit(suite_dataset)
+        b = M5Prime(min_instances=12).fit(loaded)
+        assert a.to_text() == b.to_text()
+
+    def test_classification_links_leaves_to_workloads(
+        self, suite_tree, suite_dataset
+    ):
+        table = workload_leaf_table(suite_tree, suite_dataset)
+        # calm sections must concentrate away from mcf's dominant leaf.
+        calm_top = max(table["calm_like"], key=table["calm_like"].get)
+        mcf_top = max(table["mcf_like"], key=table["mcf_like"].get)
+        assert calm_top != mcf_top
+
+    def test_mcf_leaf_is_high_cpi(self, suite_tree, suite_dataset):
+        table = workload_leaf_table(suite_tree, suite_dataset)
+        mcf_top = max(table["mcf_like"], key=table["mcf_like"].get)
+        ids = suite_tree.leaf_ids(suite_dataset.X)
+        mcf_leaf_cpi = suite_dataset.y[ids == mcf_top].mean()
+        assert mcf_leaf_cpi > suite_dataset.y.mean()
+
+
+class TestCrossWorkloadGeneralization:
+    def test_model_predicts_unseen_workload_sections(self, suite_dataset):
+        """Train on 10 workloads, predict the 11th (harder than CV)."""
+        holdout = "sphinx_like"
+        mask = suite_dataset.meta["workload"] == holdout
+        train = suite_dataset.subset(~mask)
+        test = suite_dataset.subset(mask)
+        model = M5Prime(min_instances=12).fit(train)
+        predictions = model.predict(test.X)
+        # Unseen workload, but its sections resemble trained classes;
+        # predictions must at least be positive and in a sane CPI range.
+        assert np.all(predictions > 0)
+        assert np.all(predictions < 30)
+        error = np.mean(np.abs(predictions - test.y))
+        assert error < 2.0
+
+
+class TestSingleWorkloadRun:
+    def test_single_profile_collection(self):
+        result = simulate_suite([workload_by_name("calm_like")], 6, 256, seed=11)
+        ds = result.dataset
+        assert ds.n_instances == 6
+        assert set(ds.meta["workload"]) == {"calm_like"}
+        assert ds.y.mean() < 1.5  # calm workload stays low-CPI

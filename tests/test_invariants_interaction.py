@@ -1,0 +1,146 @@
+"""Tests for counter invariants and interaction-cost analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import interaction_cost, interaction_matrix
+from repro.counters import assert_invariants, check_invariants
+from repro.counters import events as ev
+from repro.errors import DataError
+from repro.simulator import MachineConfig, SimulatedCore
+from repro.workloads import PhaseParams, synthesize_block
+
+
+def clean_counts():
+    counts = {event.name: 0.0 for event in ev.ALL_EVENTS}
+    counts.update(
+        {
+            ev.INST_RETIRED_ANY.name: 1000.0,
+            ev.CPU_CLK_UNHALTED_CORE.name: 700.0,
+            ev.INST_RETIRED_LOADS.name: 300.0,
+            ev.INST_RETIRED_STORES.name: 100.0,
+            ev.BR_INST_RETIRED_ANY.name: 150.0,
+            ev.BR_INST_RETIRED_MISPRED.name: 10.0,
+            ev.MEM_LOAD_RETIRED_L1D_LINE_MISS.name: 30.0,
+            ev.MEM_LOAD_RETIRED_L2_LINE_MISS.name: 5.0,
+            ev.DTLB_MISSES_L0_MISS_LD.name: 20.0,
+            ev.DTLB_MISSES_MISS_LD.name: 8.0,
+            ev.MEM_LOAD_RETIRED_DTLB_MISS.name: 7.0,
+            ev.DTLB_MISSES_ANY.name: 10.0,
+        }
+    )
+    return counts
+
+
+class TestInvariants:
+    def test_clean_counts_pass(self):
+        assert check_invariants(clean_counts()) == []
+        assert_invariants(clean_counts())
+
+    def test_l2_exceeding_l1_flagged(self):
+        counts = clean_counts()
+        counts[ev.MEM_LOAD_RETIRED_L2_LINE_MISS.name] = 40.0
+        violations = check_invariants(counts)
+        assert any("L2" in v for v in violations)
+
+    def test_mispredicts_exceeding_branches_flagged(self):
+        counts = clean_counts()
+        counts[ev.BR_INST_RETIRED_MISPRED.name] = 200.0
+        assert any("branch" in v.lower() for v in check_invariants(counts))
+
+    def test_mix_exceeding_instructions_flagged(self):
+        counts = clean_counts()
+        counts[ev.INST_RETIRED_LOADS.name] = 900.0
+        assert any("mix" in v for v in check_invariants(counts))
+
+    def test_retired_dtlb_hierarchy_flagged(self):
+        counts = clean_counts()
+        counts[ev.MEM_LOAD_RETIRED_DTLB_MISS.name] = 50.0
+        violations = check_invariants(counts)
+        assert violations
+
+    def test_negative_count_flagged(self):
+        counts = clean_counts()
+        counts[ev.ILD_STALL.name] = -1.0
+        assert any("negative" in v for v in check_invariants(counts))
+
+    def test_assert_raises(self):
+        counts = clean_counts()
+        counts[ev.INST_RETIRED_ANY.name] = 0.0
+        with pytest.raises(DataError):
+            assert_invariants(counts)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_simulator_output_always_clean(self, seed):
+        """Every section the core emits must satisfy the architecture."""
+        rng = np.random.default_rng(seed)
+        core = SimulatedCore(MachineConfig.tiny(), rng=rng)
+        params = PhaseParams(
+            data_footprint=4 << 20,
+            hot_fraction=0.7,
+            lcp_fraction=0.05,
+            misalign_fraction=0.05,
+            store_load_alias_fraction=0.2,
+            sta_fraction=0.3,
+            std_fraction=0.3,
+        )
+        for _ in range(4):
+            block = synthesize_block(params, 512, rng)
+            result = core.run_block(block)
+            assert check_invariants(result.counts) == []
+
+    def test_suite_dataset_sections_clean(self, suite_result):
+        # Spot-check derived per-instruction rates against the hierarchy.
+        ds = suite_result.dataset
+        assert np.all(ds.column("L2M") <= ds.column("L1DM") + 1e-9)
+        assert np.all(ds.column("DtlbLdReM") <= ds.column("DtlbLdM") + 1e-9)
+        assert np.all(ds.column("DtlbLdM") <= ds.column("Dtlb") + 1e-9)
+        assert np.all(ds.column("L1DM") <= ds.column("InstLd") + 1e-9)
+
+
+class TestInteractionCost:
+    def test_gains_consistent_with_whatif(self, suite_tree, suite_dataset):
+        from repro.core.analysis import estimate_gain
+
+        x = suite_dataset.X[0]
+        result = interaction_cost(suite_tree, x, "L2M", "DtlbLdM")
+        solo = estimate_gain(suite_tree, x, "L2M", 1.0)
+        assert result.gain_a == pytest.approx(solo.gain_fraction, abs=1e-9)
+
+    def test_cost_formula(self, suite_tree, suite_dataset):
+        result = interaction_cost(suite_tree, suite_dataset.X[3], "L2M", "BrMisPr")
+        assert result.cost == pytest.approx(
+            result.gain_both - result.gain_a - result.gain_b
+        )
+
+    def test_absent_events_interact_zero(self, suite_tree, suite_dataset):
+        # calm sections have ~no LCP and ~no splits: zeroing them is a no-op.
+        labels = suite_dataset.meta["workload"]
+        x = suite_dataset.X[labels == "calm_like"][0]
+        result = interaction_cost(suite_tree, x, "LCP", "L1DSpSt")
+        assert result.gain_a == pytest.approx(0.0, abs=1e-9)
+        assert result.gain_b == pytest.approx(0.0, abs=1e-9)
+        assert result.cost == pytest.approx(0.0, abs=1e-9)
+
+    def test_same_event_rejected(self, suite_tree, suite_dataset):
+        with pytest.raises(DataError):
+            interaction_cost(suite_tree, suite_dataset.X[0], "L2M", "L2M")
+
+    def test_unknown_event_rejected(self, suite_tree, suite_dataset):
+        with pytest.raises(DataError):
+            interaction_cost(suite_tree, suite_dataset.X[0], "L2M", "Bogus")
+
+    def test_matrix_covers_all_pairs(self, suite_tree, suite_dataset):
+        events = ("L2M", "L1IM", "BrMisPr", "DtlbLdM")
+        results = interaction_matrix(suite_tree, suite_dataset.X[0], events)
+        assert len(results) == 6
+        costs = [abs(r.cost) for r in results]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_matrix_needs_two_events(self, suite_tree, suite_dataset):
+        with pytest.raises(DataError):
+            interaction_matrix(suite_tree, suite_dataset.X[0], ("L2M",))
+
+    def test_describe(self, suite_tree, suite_dataset):
+        result = interaction_cost(suite_tree, suite_dataset.X[0], "L2M", "L1IM")
+        assert "L2M x L1IM" in result.describe()

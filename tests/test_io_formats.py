@@ -1,0 +1,147 @@
+"""Tests for ARFF and CSV serialization round trips."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, load_arff, load_csv, save_arff, save_csv
+from repro.datasets.arff import dumps_arff, loads_arff
+from repro.errors import ParseError
+
+
+def sample_dataset():
+    return Dataset(
+        X=[[0.1, 2.0], [0.25, -1.5]],
+        y=[1.25, 0.75],
+        attributes=("L2M", "BrMisPr"),
+        target_name="CPI",
+        meta={"workload": ["mcf", "gcc"]},
+    )
+
+
+class TestArff:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "data.arff"
+        save_arff(sample_dataset(), path)
+        loaded = load_arff(path)
+        assert loaded.attributes == ("L2M", "BrMisPr")
+        assert loaded.target_name == "CPI"
+        assert np.allclose(loaded.X, sample_dataset().X)
+        assert np.allclose(loaded.y, sample_dataset().y)
+
+    def test_header_structure(self):
+        text = dumps_arff(sample_dataset(), relation="sections")
+        assert text.startswith("@relation sections")
+        assert "@attribute L2M numeric" in text
+        assert "@attribute CPI numeric" in text
+        assert "@data" in text
+
+    def test_quoted_names(self):
+        ds = Dataset([[1.0]], [2.0], ("name with space",))
+        text = dumps_arff(ds)
+        assert "'name with space'" in text
+        loaded = loads_arff(text)
+        assert loaded.attributes == ("name with space",)
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = (
+            "% comment\n@relation r\n\n@attribute a numeric\n"
+            "@attribute y numeric\n@data\n% data comment\n1,2\n"
+        )
+        loaded = loads_arff(text)
+        assert loaded.n_instances == 1
+
+    def test_rejects_nominal_attribute(self):
+        text = "@relation r\n@attribute a {x,y}\n@attribute y numeric\n@data\n"
+        with pytest.raises(ParseError):
+            loads_arff(text)
+
+    def test_rejects_missing_data(self):
+        text = "@relation r\n@attribute a numeric\n@attribute y numeric\n@data\n"
+        with pytest.raises(ParseError):
+            loads_arff(text)
+
+    def test_rejects_ragged_rows(self):
+        text = (
+            "@relation r\n@attribute a numeric\n@attribute y numeric\n"
+            "@data\n1,2\n1\n"
+        )
+        with pytest.raises(ParseError):
+            loads_arff(text)
+
+    def test_rejects_non_numeric_datum(self):
+        text = (
+            "@relation r\n@attribute a numeric\n@attribute y numeric\n"
+            "@data\n1,oops\n"
+        )
+        with pytest.raises(ParseError):
+            loads_arff(text)
+
+    def test_rejects_single_column(self):
+        text = "@relation r\n@attribute y numeric\n@data\n1\n"
+        with pytest.raises(ParseError):
+            loads_arff(text)
+
+
+class TestCsv:
+    def test_round_trip_with_meta(self, tmp_path):
+        path = tmp_path / "data.csv"
+        save_csv(sample_dataset(), path)
+        loaded = load_csv(path)
+        assert loaded.attributes == ("L2M", "BrMisPr")
+        assert np.allclose(loaded.X, sample_dataset().X)
+        assert np.allclose(loaded.y, sample_dataset().y)
+        assert list(loaded.meta["workload"]) == ["mcf", "gcc"]
+
+    def test_round_trip_without_meta(self, tmp_path):
+        ds = Dataset([[1.0]], [2.0], ("a",))
+        path = tmp_path / "plain.csv"
+        save_csv(ds, path)
+        loaded = load_csv(path)
+        assert loaded.meta == {}
+
+    def test_values_survive_exactly(self, tmp_path):
+        # repr round-trip must preserve float bits.
+        ds = Dataset([[0.1 + 0.2]], [1.0 / 3.0], ("a",))
+        path = tmp_path / "exact.csv"
+        save_csv(ds, path)
+        loaded = load_csv(path)
+        assert loaded.X[0, 0] == ds.X[0, 0]
+        assert loaded.y[0] == ds.y[0]
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ParseError):
+            load_csv(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("a,CPI\n")
+        with pytest.raises(ParseError):
+            load_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b,CPI\n1,2,3\n1,2\n")
+        with pytest.raises(ParseError):
+            load_csv(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,CPI\nx,1\n")
+        with pytest.raises(ParseError):
+            load_csv(path)
+
+    def test_meta_must_precede_numeric(self, tmp_path):
+        path = tmp_path / "order.csv"
+        path.write_text("a,#workload,CPI\n1,x,2\n")
+        with pytest.raises(ParseError):
+            load_csv(path)
+
+    def test_suite_dataset_round_trip(self, tmp_path, suite_dataset):
+        path = tmp_path / "suite.csv"
+        save_csv(suite_dataset, path)
+        loaded = load_csv(path)
+        assert loaded.n_instances == suite_dataset.n_instances
+        assert np.allclose(loaded.X, suite_dataset.X)
+        assert set(loaded.meta) >= {"workload", "section", "phase"}

@@ -1,0 +1,62 @@
+"""Tests for the learning-curve utility."""
+
+import pytest
+
+from repro.baselines import LinearRegressionBaseline
+from repro.core.tree import M5Prime
+from repro.datasets.synthetic import figure1_dataset
+from repro.errors import ConfigError
+from repro.evaluation import learning_curve
+
+
+@pytest.fixture(scope="module")
+def curve():
+    ds = figure1_dataset(n=1200, noise_sd=0.1, rng=0)
+    return learning_curve(
+        lambda: M5Prime(min_instances=20), ds, rng=0
+    )
+
+
+class TestLearningCurve:
+    def test_default_points(self, curve):
+        assert len(curve.points) == 4
+        sizes = [point.n_train for point in curve.points]
+        assert sizes == sorted(sizes)
+
+    def test_accuracy_improves_with_data(self, curve):
+        first, last = curve.points[0].result, curve.points[-1].result
+        assert last.rae <= first.rae + 0.02
+
+    def test_test_split_fixed(self, curve):
+        assert curve.n_test == 300  # 25% of 1200
+
+    def test_table(self, curve):
+        table = curve.to_table()
+        assert "n_train" in table
+        assert "RAE %" in table
+
+    def test_converged_flag(self, curve):
+        # The piecewise-linear problem saturates quickly.
+        assert curve.converged(tolerance=0.1)
+
+    def test_converged_needs_two_points(self):
+        ds = figure1_dataset(n=300, rng=1)
+        single = learning_curve(
+            LinearRegressionBaseline, ds, fractions=[1.0], rng=0
+        )
+        assert not single.converged()
+
+    def test_invalid_fractions(self):
+        ds = figure1_dataset(n=200, rng=0)
+        with pytest.raises(ConfigError):
+            learning_curve(LinearRegressionBaseline, ds, fractions=[0.5, 0.25])
+        with pytest.raises(ConfigError):
+            learning_curve(LinearRegressionBaseline, ds, fractions=[0.0, 1.0])
+        with pytest.raises(ConfigError):
+            learning_curve(LinearRegressionBaseline, ds, fractions=[])
+
+    def test_deterministic(self):
+        ds = figure1_dataset(n=400, rng=0)
+        a = learning_curve(LinearRegressionBaseline, ds, rng=5)
+        b = learning_curve(LinearRegressionBaseline, ds, rng=5)
+        assert a.to_table() == b.to_table()

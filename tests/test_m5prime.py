@@ -1,0 +1,160 @@
+"""Tests for the M5Prime estimator end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import M5Prime
+from repro.datasets import Dataset
+from repro.datasets.synthetic import (
+    constant_dataset,
+    figure1_dataset,
+    interaction_dataset,
+    linear_dataset,
+)
+from repro.errors import DataError, NotFittedError
+from repro.evaluation import evaluate_predictions
+
+
+class TestFitApi:
+    def test_fit_from_dataset(self, figure1_data, figure1_tree):
+        assert figure1_tree.attributes_ == figure1_data.attributes
+        assert figure1_tree.target_name_ == "Y"
+
+    def test_fit_from_arrays(self):
+        ds = linear_dataset([1.0, 2.0], n=100, rng=0)
+        model = M5Prime().fit(ds.X, ds.y, attribute_names=["p", "q"])
+        assert model.attributes_ == ("p", "q")
+
+    def test_fit_from_arrays_default_names(self):
+        ds = linear_dataset([1.0], n=100, rng=0)
+        model = M5Prime().fit(ds.X, ds.y)
+        assert model.attributes_ == ("X1",)
+
+    def test_dataset_plus_y_rejected(self, figure1_data):
+        with pytest.raises(DataError):
+            M5Prime().fit(figure1_data, figure1_data.y)
+
+    def test_missing_y_rejected(self):
+        with pytest.raises(DataError):
+            M5Prime().fit(np.zeros((5, 2)))
+
+    def test_fit_returns_self(self):
+        ds = linear_dataset([1.0], n=50, rng=0)
+        model = M5Prime()
+        assert model.fit(ds) is model
+
+
+class TestNotFitted:
+    def test_predict_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            M5Prime().predict(np.zeros((1, 2)))
+
+    def test_properties_require_fit(self):
+        with pytest.raises(NotFittedError):
+            _ = M5Prime().n_leaves
+        with pytest.raises(NotFittedError):
+            M5Prime().to_text()
+
+
+class TestAccuracy:
+    def test_figure1_structure_recovered(self, figure1_tree):
+        assert 3 <= figure1_tree.n_leaves <= 7
+        assert figure1_tree.root_.attribute_name == "X1"
+
+    def test_figure1_high_accuracy(self, figure1_data, figure1_tree):
+        result = evaluate_predictions(
+            figure1_data.y, figure1_tree.predict(figure1_data.X)
+        )
+        assert result.correlation > 0.99
+        assert result.rae < 0.08
+
+    def test_interaction_beats_constant_model(self):
+        ds = interaction_dataset(n=1500, noise_sd=0.01, rng=0)
+        model = M5Prime(min_instances=40).fit(ds)
+        result = evaluate_predictions(ds.y, model.predict(ds.X))
+        assert result.rae < 0.30  # a mean predictor would be 1.0
+
+    def test_constant_target_handled(self):
+        ds = constant_dataset(value=2.5)
+        model = M5Prime().fit(ds)
+        assert model.n_leaves == 1
+        assert model.predict(ds.X) == pytest.approx(np.full(len(ds), 2.5))
+
+    def test_single_instance(self):
+        ds = Dataset([[1.0]], [3.0], ("a",))
+        model = M5Prime().fit(ds)
+        assert model.predict_one([9.0]) == pytest.approx(3.0)
+
+
+class TestPrediction:
+    def test_width_checked(self, figure1_tree):
+        with pytest.raises(DataError):
+            figure1_tree.predict(np.zeros((2, 3)))
+
+    def test_predict_one_matches_predict(self, figure1_data, figure1_tree):
+        x = figure1_data.X[0]
+        assert figure1_tree.predict_one(x) == pytest.approx(
+            figure1_tree.predict([x])[0]
+        )
+
+    def test_smoothing_changes_predictions(self, figure1_data):
+        plain = M5Prime(min_instances=40, smoothing=False).fit(figure1_data)
+        smooth = M5Prime(min_instances=40, smoothing=True).fit(figure1_data)
+        a = plain.predict(figure1_data.X[:20])
+        b = smooth.predict(figure1_data.X[:20])
+        assert not np.allclose(a, b)
+
+    def test_smoothing_stays_accurate(self, figure1_data):
+        smooth = M5Prime(min_instances=40, smoothing=True).fit(figure1_data)
+        result = evaluate_predictions(
+            figure1_data.y, smooth.predict(figure1_data.X)
+        )
+        assert result.correlation > 0.99
+
+
+class TestClassification:
+    def test_leaf_ids_cover_all_leaves(self, figure1_data, figure1_tree):
+        ids = figure1_tree.leaf_ids(figure1_data.X)
+        assert set(ids) == set(range(1, figure1_tree.n_leaves + 1))
+
+    def test_leaf_for_consistent_with_leaf_ids(self, figure1_data, figure1_tree):
+        x = figure1_data.X[7]
+        leaf = figure1_tree.leaf_for(x)
+        assert leaf.leaf_id == figure1_tree.leaf_ids([x])[0]
+
+    def test_decision_path_ends_at_leaf(self, figure1_data, figure1_tree):
+        path = figure1_tree.decision_path(figure1_data.X[0])
+        assert path[-1].is_leaf
+        assert all(not node.is_leaf for node in path[:-1])
+
+    def test_leaf_models_keyed_by_id(self, figure1_tree):
+        models = figure1_tree.leaf_models()
+        assert set(models) == set(range(1, figure1_tree.n_leaves + 1))
+
+    def test_wrong_width_instance_rejected(self, figure1_tree):
+        with pytest.raises(DataError):
+            figure1_tree.leaf_for([1.0, 2.0])
+
+
+class TestText:
+    def test_contains_structure_and_models(self, figure1_tree):
+        text = figure1_tree.to_text()
+        assert "X1" in text
+        assert "LM1" in text
+        assert "Y = " in text
+
+    def test_single_leaf_rendering(self):
+        ds = constant_dataset()
+        model = M5Prime().fit(ds)
+        assert "LM1" in model.to_text()
+
+    def test_repr(self, figure1_tree):
+        assert "fitted" in repr(figure1_tree)
+        assert "unfitted" in repr(M5Prime())
+
+
+class TestNoPruneOption:
+    def test_unpruned_has_at_least_as_many_leaves(self, figure1_data):
+        pruned = M5Prime(min_instances=40, prune=True).fit(figure1_data)
+        unpruned = M5Prime(min_instances=40, prune=False).fit(figure1_data)
+        assert unpruned.n_leaves >= pruned.n_leaves

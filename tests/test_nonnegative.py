@@ -1,0 +1,104 @@
+"""Tests for the non-negative stall-coefficient option."""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import M5Prime
+from repro.core.tree.linear import fit_linear_model
+from repro.counters import PREDICTOR_NAMES, STALL_METRICS
+from repro.errors import DataError
+
+
+class TestStallMetricCatalogue:
+    def test_stall_metrics_are_predictors(self):
+        assert set(STALL_METRICS) <= set(PREDICTOR_NAMES)
+
+    def test_mix_metrics_excluded(self):
+        for mix in ("InstLd", "InstSt", "BrPred", "InstOther"):
+            assert mix not in STALL_METRICS
+
+    def test_count(self):
+        assert len(STALL_METRICS) == 16
+
+
+class TestBoundedFit:
+    def test_constraint_enforced(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(200, 2))
+        # y genuinely *decreases* with x0; the constraint must clamp it.
+        y = -2.0 * X[:, 0] + 1.0 * X[:, 1]
+        model = fit_linear_model(X, y, [0, 1], ("a", "b"), nonnegative=[0])
+        coefs = dict(zip(model.names, model.coefficients))
+        assert coefs.get("a", 0.0) >= -1e-9
+        # With a clamped at zero, b stays positive and absorbs the rest.
+        assert coefs["b"] > 0.5
+
+    def test_unconstrained_columns_free(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(200, 2))
+        y = 2.0 * X[:, 0] - 1.5 * X[:, 1]
+        model = fit_linear_model(X, y, [0, 1], ("a", "b"), nonnegative=[0])
+        coefs = dict(zip(model.names, model.coefficients))
+        assert coefs["a"] == pytest.approx(2.0, abs=0.01)
+        assert coefs["b"] == pytest.approx(-1.5, abs=0.01)
+
+    def test_inactive_constraint_matches_ols(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(200, 2))
+        y = 1.0 + 2.0 * X[:, 0] + 3.0 * X[:, 1]
+        free = fit_linear_model(X, y, [0, 1], ("a", "b"))
+        bounded = fit_linear_model(X, y, [0, 1], ("a", "b"), nonnegative=[0, 1])
+        assert bounded.coefficients == pytest.approx(free.coefficients, abs=1e-6)
+        assert bounded.intercept == pytest.approx(free.intercept, abs=1e-6)
+
+    def test_with_ridge(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(200, 1))
+        y = -3.0 * X[:, 0]
+        model = fit_linear_model(X, y, [0], ("a",), ridge=1e-3, nonnegative=[0])
+        assert all(c >= -1e-9 for c in model.coefficients)
+
+
+class TestTreeNonnegative:
+    def test_all_stall_coefficients_nonnegative(self, suite_dataset):
+        model = M5Prime(
+            min_instances=12, nonnegative_attributes=STALL_METRICS
+        ).fit(suite_dataset)
+        for lm in model.leaf_models().values():
+            for name, coefficient in zip(lm.names, lm.coefficients):
+                if name in STALL_METRICS:
+                    assert coefficient >= -1e-9
+
+    def test_accuracy_cost_is_modest(self, suite_dataset):
+        from repro.evaluation import evaluate_predictions
+
+        free = M5Prime(min_instances=12).fit(suite_dataset)
+        bounded = M5Prime(
+            min_instances=12, nonnegative_attributes=STALL_METRICS
+        ).fit(suite_dataset)
+        free_rae = evaluate_predictions(
+            suite_dataset.y, free.predict(suite_dataset.X)
+        ).rae
+        bounded_rae = evaluate_predictions(
+            suite_dataset.y, bounded.predict(suite_dataset.X)
+        ).rae
+        assert bounded_rae <= free_rae * 1.5 + 0.02
+
+    def test_unknown_attribute_rejected(self, suite_dataset):
+        model = M5Prime(min_instances=12, nonnegative_attributes=("Bogus",))
+        with pytest.raises(DataError):
+            model.fit(suite_dataset)
+
+    def test_round_trips_through_serialization(self, suite_dataset, tmp_path):
+        from repro.core.tree import load_model, save_model
+
+        model = M5Prime(
+            min_instances=12, nonnegative_attributes=STALL_METRICS
+        ).fit(suite_dataset)
+        path = tmp_path / "nn.json"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert tuple(loaded.nonnegative_attributes) == STALL_METRICS
+        assert np.allclose(
+            model.predict(suite_dataset.X), loaded.predict(suite_dataset.X)
+        )

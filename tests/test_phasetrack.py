@@ -1,0 +1,122 @@
+"""Tests for phase tracking over section timelines."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import PhaseSegment, detect_phases, render_phases
+from repro.core.analysis.phasetrack import _majority_filter
+from repro.core.tree import M5Prime
+from repro.datasets import Dataset
+from repro.errors import ConfigError, DataError
+
+
+def two_phase_timeline(n_per_phase=30, seed=0):
+    """Sections alternating between a low class and a high class."""
+    rng = np.random.default_rng(seed)
+    low = rng.normal(0.1, 0.02, size=(n_per_phase, 1))
+    high = rng.normal(0.9, 0.02, size=(n_per_phase, 1))
+    X = np.vstack([low, high])
+    y = np.concatenate(
+        [rng.normal(1.0, 0.05, n_per_phase), rng.normal(3.0, 0.05, n_per_phase)]
+    )
+    return Dataset(X, y, ("L2M",))
+
+
+class TestMajorityFilter:
+    def test_window_one_is_identity(self):
+        labels = np.array([1, 2, 1, 2])
+        assert np.array_equal(_majority_filter(labels, 1), labels)
+
+    def test_suppresses_single_flicker(self):
+        labels = np.array([1, 1, 2, 1, 1])
+        assert np.array_equal(_majority_filter(labels, 3), np.ones(5, dtype=int))
+
+    def test_preserves_true_transition(self):
+        labels = np.array([1, 1, 1, 2, 2, 2])
+        smoothed = _majority_filter(labels, 3)
+        assert smoothed[0] == 1
+        assert smoothed[-1] == 2
+
+
+class TestDetectPhases:
+    def test_recovers_two_phases(self):
+        timeline = two_phase_timeline()
+        model = M5Prime(min_instances=10).fit(timeline)
+        segments = detect_phases(model, timeline, smoothing_window=3)
+        assert len(segments) == 2
+        assert segments[0].leaf_id != segments[1].leaf_id
+        assert abs(segments[1].start - 30) <= 2
+
+    def test_segments_cover_timeline(self):
+        timeline = two_phase_timeline()
+        model = M5Prime(min_instances=10).fit(timeline)
+        segments = detect_phases(model, timeline)
+        assert segments[0].start == 0
+        assert segments[-1].end == timeline.n_instances
+        for prev, nxt in zip(segments, segments[1:]):
+            assert prev.end == nxt.start
+
+    def test_single_phase_single_segment(self):
+        rng = np.random.default_rng(0)
+        # A constant attribute leaves the tree nothing to split on, so
+        # the whole timeline is one class.
+        X = np.full((40, 1), 0.5)
+        y = rng.normal(1.0, 0.01, 40)
+        timeline = Dataset(X, y, ("L2M",))
+        model = M5Prime(min_instances=10).fit(timeline)
+        segments = detect_phases(model, timeline)
+        assert len(segments) == 1
+        assert segments[0].length == 40
+
+    def test_purity_and_mean(self):
+        timeline = two_phase_timeline()
+        model = M5Prime(min_instances=10).fit(timeline)
+        segments = detect_phases(model, timeline, smoothing_window=3)
+        for segment in segments:
+            assert 0.5 <= segment.purity <= 1.0
+        assert segments[0].mean_cpi < segments[1].mean_cpi
+
+    def test_min_segment_merges_short_runs(self):
+        timeline = two_phase_timeline(n_per_phase=30)
+        model = M5Prime(min_instances=10).fit(timeline)
+        segments = detect_phases(
+            model, timeline, smoothing_window=1, min_segment=40
+        )
+        # No segment other than the first can be shorter than min_segment,
+        # so everything merges into one.
+        assert len(segments) == 1
+
+    def test_validation(self):
+        timeline = two_phase_timeline()
+        model = M5Prime(min_instances=10).fit(timeline)
+        with pytest.raises(ConfigError):
+            detect_phases(model, timeline, smoothing_window=0)
+        with pytest.raises(ConfigError):
+            detect_phases(model, timeline, min_segment=0)
+
+    def test_render(self):
+        timeline = two_phase_timeline()
+        model = M5Prime(min_instances=10).fit(timeline)
+        text = render_phases(detect_phases(model, timeline))
+        assert "class LM" in text
+        assert render_phases([]) == "(no segments)"
+
+    def test_segment_describe(self):
+        segment = PhaseSegment(0, 10, 3, 1.5, 0.9)
+        assert "LM3" in segment.describe()
+        assert segment.length == 10
+
+
+class TestExtensionExperiments:
+    def test_platform_comparison_tiny(self):
+        from repro.experiments import ExperimentConfig, run_experiment
+
+        report = run_experiment("E1", ExperimentConfig.tiny())
+        assert report.measured
+        assert "workload" in report.body
+
+    def test_phase_tracking_tiny(self):
+        from repro.experiments import ExperimentConfig, run_experiment
+
+        report = run_experiment("E2", ExperimentConfig.tiny())
+        assert report.measured["true phases"] == "2"

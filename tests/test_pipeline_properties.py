@@ -1,0 +1,86 @@
+"""Property-based tests on the cycle-accounting model's physical invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator import CycleAccounting, MachineConfig, SectionEvents
+
+ACCOUNTING = CycleAccounting(MachineConfig())
+
+EVENT_FIELDS = [
+    "l1dm", "l2m", "store_l1m", "store_l2m", "l1im", "l2im", "itlbm",
+    "dtlb0_ld", "dtlb_walk_ld", "dtlb_walk_st", "mispred",
+    "ldbl_sta", "ldbl_std", "ldbl_ov", "misal", "split_ld", "split_st", "lcp",
+]
+
+
+@st.composite
+def random_events(draw, n=128):
+    rng_seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(rng_seed)
+    fields = {}
+    mix = rng.dirichlet([3, 1, 1, 4])  # load, store, branch, other
+    kinds = rng.choice(4, size=n, p=mix)
+    fields["is_load"] = kinds == 0
+    fields["is_store"] = kinds == 1
+    fields["is_branch"] = kinds == 2
+    for name in EVENT_FIELDS:
+        rate = draw(st.floats(0.0, 0.3))
+        fields[name] = rng.random(n) < rate
+    # Keep the event hierarchy consistent: an L2 miss implies an L1 miss,
+    # and load events only occur on loads (approximately; the accounting
+    # does not require it, but realistic inputs should satisfy it).
+    fields["l1dm"] = fields["l1dm"] | fields["l2m"]
+    fields["store_l1m"] = fields["store_l1m"] | fields["store_l2m"]
+    fields["l1im"] = fields["l1im"] | fields["l2im"]
+    ilp = draw(st.floats(0.0, 1.0))
+    dep = draw(st.floats(0.0, 1.0))
+    return SectionEvents(ilp=ilp, dependent_miss_fraction=dep, **fields)
+
+
+class TestPhysicalInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(random_events())
+    def test_all_breakdown_categories_nonnegative(self, events):
+        breakdown = ACCOUNTING.account(events)
+        for name, value in breakdown.as_dict().items():
+            assert value >= -1e-9, f"{name} went negative"
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_events())
+    def test_total_is_sum_of_categories(self, events):
+        breakdown = ACCOUNTING.account(events)
+        assert breakdown.total >= 0
+        assert breakdown.total == sum(breakdown.as_dict().values())
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_events())
+    def test_cpi_at_least_issue_width_floor(self, events):
+        cpi = ACCOUNTING.cpi(events)
+        assert cpi >= 1.0 / ACCOUNTING.config.issue_width - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_events())
+    def test_more_ilp_never_costs_cycles(self, events):
+        import dataclasses
+
+        low = dataclasses.replace(events, ilp=0.1)
+        high = dataclasses.replace(events, ilp=0.9)
+        assert ACCOUNTING.cycles(high) <= ACCOUNTING.cycles(low) + 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_events())
+    def test_serialized_misses_never_cheaper(self, events):
+        import dataclasses
+
+        parallel = dataclasses.replace(events, dependent_miss_fraction=0.0)
+        serialized = dataclasses.replace(events, dependent_miss_fraction=1.0)
+        assert (
+            ACCOUNTING.cycles(serialized) >= ACCOUNTING.cycles(parallel) - 1e-6
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_events())
+    def test_deterministic(self, events):
+        assert ACCOUNTING.cycles(events) == ACCOUNTING.cycles(events)

@@ -1,0 +1,97 @@
+"""Tests for dataset profiling and GraphViz export."""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import M5Prime, render_dot
+from repro.datasets import Dataset, profile_dataset
+from repro.datasets.synthetic import constant_dataset
+from repro.errors import NotFittedError
+
+
+class TestProfileDataset:
+    def test_column_statistics(self):
+        ds = Dataset(
+            X=[[0.0, 1.0], [1.0, 1.0], [2.0, 1.0], [3.0, 1.0]],
+            y=[1.0, 2.0, 3.0, 4.0],
+            attributes=("a", "b"),
+        )
+        profile = profile_dataset(ds)
+        column_a = profile.columns[0]
+        assert column_a.minimum == 0.0
+        assert column_a.maximum == 3.0
+        assert column_a.mean == pytest.approx(1.5)
+        assert column_a.median == pytest.approx(1.5)
+        assert column_a.zero_fraction == pytest.approx(0.25)
+
+    def test_target_profiled(self):
+        ds = constant_dataset(value=2.0, n=10)
+        profile = profile_dataset(ds)
+        assert profile.target.mean == 2.0
+        assert profile.target.sd == 0.0
+
+    def test_dead_columns_detected(self):
+        ds = Dataset(
+            X=[[0.0, 1.0], [0.0, 2.0]], y=[1.0, 2.0], attributes=("dead", "live")
+        )
+        profile = profile_dataset(ds)
+        assert profile.dead_columns() == ["dead"]
+        assert "WARNING" in profile.render()
+
+    def test_workload_means(self, suite_dataset):
+        profile = profile_dataset(suite_dataset)
+        assert "mcf_like" in profile.workload_target_means
+        mask = suite_dataset.meta["workload"] == "mcf_like"
+        assert profile.workload_target_means["mcf_like"] == pytest.approx(
+            float(suite_dataset.y[mask].mean())
+        )
+
+    def test_render_contains_table(self, suite_dataset):
+        text = profile_dataset(suite_dataset).render()
+        assert "column" in text
+        assert "L2M" in text
+        assert "per-workload mean CPI" in text
+
+    def test_no_meta_no_workload_section(self):
+        ds = constant_dataset()
+        profile = profile_dataset(ds)
+        assert profile.workload_target_means == {}
+
+
+class TestRenderDot:
+    def test_structure(self, figure1_tree):
+        dot = render_dot(figure1_tree)
+        assert dot.startswith("digraph m5prime {")
+        assert dot.rstrip().endswith("}")
+        # One box per leaf, one diamond per split.
+        assert dot.count("shape=box") == figure1_tree.n_leaves
+        n_splits = sum(
+            1 for node in figure1_tree.root_.iter_nodes() if not node.is_leaf
+        )
+        assert dot.count("shape=diamond") == n_splits
+        # Two edges per split.
+        assert dot.count(" -> ") == 2 * n_splits
+
+    def test_equations_included_and_truncated(self, figure1_tree):
+        dot = render_dot(figure1_tree, max_equation_terms=1)
+        assert "Y = " in dot
+
+    def test_equations_can_be_omitted(self, figure1_tree):
+        dot = render_dot(figure1_tree, include_equations=False)
+        assert "Y = " not in dot
+
+    def test_single_leaf(self):
+        model = M5Prime().fit(constant_dataset())
+        dot = render_dot(model)
+        assert dot.count("shape=box") == 1
+        assert " -> " not in dot
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            render_dot(M5Prime())
+
+    def test_quotes_escaped(self, figure1_tree):
+        # No raw unescaped quotes that would break DOT parsing.
+        dot = render_dot(figure1_tree)
+        for line in dot.splitlines():
+            assert line.count('"') % 2 == 0

@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro._util import check_random_state
+from repro.core.tree import M5Prime
+from repro.core.tree.splitting import find_best_split
+from repro.core.tree.linear import adjusted_error, fit_linear_model, simplify_model
+from repro.datasets import Dataset, SectionRecorder, kfold_indices
+from repro.evaluation.metrics import (
+    mean_absolute_error,
+    relative_absolute_error,
+)
+from repro.simulator import CacheConfig, SetAssociativeCache, GsharePredictor
+
+finite_floats = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def xy_data(draw, max_rows=60, max_cols=4):
+    n = draw(st.integers(4, max_rows))
+    p = draw(st.integers(1, max_cols))
+    X = draw(
+        hnp.arrays(np.float64, (n, p), elements=st.floats(0, 100, allow_nan=False))
+    )
+    y = draw(hnp.arrays(np.float64, (n,), elements=st.floats(-100, 100, allow_nan=False)))
+    return X, y
+
+
+class TestSplittingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(xy_data())
+    def test_split_is_valid_partition(self, data):
+        X, y = data
+        split = find_best_split(X, y, min_leaf=2)
+        if split is None:
+            return
+        left = X[:, split.attribute_index] <= split.threshold
+        assert split.n_left == int(np.count_nonzero(left))
+        assert split.n_right == len(y) - split.n_left
+        assert split.n_left >= 2 and split.n_right >= 2
+        assert split.sdr > 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(xy_data())
+    def test_sdr_never_exceeds_total_sd(self, data):
+        X, y = data
+        split = find_best_split(X, y, min_leaf=2)
+        if split is not None:
+            assert split.sdr <= np.std(y) + 1e-9
+
+
+class TestLinearModelProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(xy_data())
+    def test_fit_never_beats_zero_error_unfairly(self, data):
+        X, y = data
+        model = fit_linear_model(X, y, list(range(X.shape[1])), tuple(
+            f"a{i}" for i in range(X.shape[1])
+        ))
+        assert model.training_error >= -1e-12
+        residual = y - model.predict(X)
+        recomputed = float(np.mean(np.abs(residual)))
+        assert abs(recomputed - model.training_error) <= 1e-9 * (1.0 + recomputed)
+
+    @settings(max_examples=40, deadline=None)
+    @given(xy_data())
+    def test_simplify_never_raises_adjusted_error(self, data):
+        X, y = data
+        names = tuple(f"a{i}" for i in range(X.shape[1]))
+        model = fit_linear_model(X, y, list(range(X.shape[1])), names)
+        simplified = simplify_model(model, X, y, names)
+        assert simplified.adjusted_error() <= model.adjusted_error() + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(0, 1e6), st.integers(1, 1000), st.integers(1, 50))
+    def test_adjusted_error_at_least_raw(self, error, n, v):
+        assert adjusted_error(error, n, v) >= error - 1e-12
+
+
+class TestTreeProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(xy_data(max_rows=80, max_cols=3), st.integers(2, 10))
+    def test_leaf_populations_partition_training_set(self, data, min_instances):
+        X, y = data
+        if np.std(y) == 0:
+            return
+        names = tuple(f"a{i}" for i in range(X.shape[1]))
+        model = M5Prime(min_instances=min_instances).fit(X, y, names)
+        root = model.root_
+        assert sum(leaf.n_instances for leaf in root.leaves()) == len(y)
+        for leaf in root.leaves():
+            assert leaf.n_instances >= 1
+        # Every training instance routes to some leaf with finite output.
+        predictions = model.predict(X)
+        assert np.all(np.isfinite(predictions))
+
+    @settings(max_examples=20, deadline=None)
+    @given(xy_data(max_rows=60, max_cols=3))
+    def test_leaf_ids_consistent_with_predict(self, data):
+        X, y = data
+        if np.std(y) == 0:
+            return
+        model = M5Prime(min_instances=3).fit(X, y)
+        ids = model.leaf_ids(X)
+        models = model.leaf_models()
+        for x, leaf_id, prediction in zip(X, ids, model.predict(X)):
+            assert models[leaf_id].predict_one(x) == np.float64(prediction)
+
+
+class TestMetricsProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        hnp.arrays(np.float64, 10, elements=st.floats(-100, 100, allow_nan=False)),
+        hnp.arrays(np.float64, 10, elements=st.floats(-100, 100, allow_nan=False)),
+    )
+    def test_mae_symmetry_and_triangle(self, a, b):
+        assert mean_absolute_error(a, b) == np.float64(mean_absolute_error(b, a))
+        assert mean_absolute_error(a, a) == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(hnp.arrays(np.float64, 12, elements=st.floats(-50, 50, allow_nan=False)))
+    def test_rae_of_mean_predictor_is_one(self, y):
+        # Guard against (sub)normal spreads below the RAE definedness floor.
+        if np.sum(np.abs(y - y.mean())) <= 1e-12:
+            return
+        predictions = np.full_like(y, y.mean())
+        assert relative_absolute_error(y, predictions) == np.float64(1.0)
+
+
+class TestKFoldProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(4, 200), st.integers(2, 10), st.integers(0, 1000))
+    def test_folds_partition_exactly(self, n, k, seed):
+        if n < k:
+            return
+        folds = kfold_indices(n, k, rng=seed)
+        combined = np.concatenate(folds)
+        assert len(combined) == n
+        assert len(np.unique(combined)) == n
+        sizes = [len(f) for f in folds]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestSectioningProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(1, 300), st.floats(0, 50)), min_size=1, max_size=30),
+        st.integers(10, 200),
+    )
+    def test_counts_are_conserved(self, deltas, per_section):
+        recorder = SectionRecorder(per_section)
+        total_event = 0.0
+        total_instructions = 0
+        for instructions, events in deltas:
+            recorder.record({"INST_RETIRED.ANY": instructions, "E": events})
+            total_event += events
+            total_instructions += instructions
+        sections = recorder.finalize(keep_partial=True)
+        recovered = sum(s.get("E", 0.0) for s in sections)
+        assert recovered == np.float64(total_event) or abs(
+            recovered - total_event
+        ) < 1e-6 * max(total_event, 1)
+        instructions = sum(s["INST_RETIRED.ANY"] for s in sections)
+        assert abs(instructions - total_instructions) < 1e-6 * max(
+            total_instructions, 1
+        )
+
+
+class TestCacheProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(0, 1 << 20), min_size=1, max_size=400),
+        st.sampled_from([1, 2, 4]),
+        st.sampled_from([2, 4, 8]),
+    )
+    def test_occupancy_never_exceeds_capacity(self, addresses, assoc, sets):
+        cache = SetAssociativeCache(CacheConfig(64 * assoc * sets, assoc, 64))
+        for addr in addresses:
+            cache.access(addr)
+        assert cache.occupancy <= assoc * sets
+        assert cache.hits + cache.misses == len(addresses)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200))
+    def test_immediate_rereference_always_hits(self, addresses):
+        cache = SetAssociativeCache(CacheConfig(4096, 4, 64))
+        for addr in addresses:
+            cache.access(addr)
+            assert cache.access(addr) is True
+
+
+class TestPredictorProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=500), st.integers(0, 100))
+    def test_stats_always_balance(self, outcomes, pc):
+        predictor = GsharePredictor(8)
+        for taken in outcomes:
+            predictor.access(pc * 4, taken)
+        assert predictor.correct + predictor.incorrect == len(outcomes)
+        assert 0.0 <= predictor.mispredict_rate <= 1.0

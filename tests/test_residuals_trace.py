@@ -1,0 +1,152 @@
+"""Tests for residual analysis and the trace renderer."""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import M5Prime
+from repro.datasets import Dataset
+from repro.errors import DataError
+from repro.evaluation import cross_validate, residual_report
+from repro.simulator import (
+    MachineConfig,
+    SimulatedCore,
+    event_totals,
+    render_trace,
+)
+from repro.simulator.trace import event_labels
+from repro.workloads import PhaseParams, synthesize_block
+
+
+class TestResidualReport:
+    @pytest.fixture(scope="class")
+    def report(self, suite_dataset, suite_tree):
+        cv = cross_validate(
+            lambda: M5Prime(min_instances=12), suite_dataset, n_folds=4, rng=0
+        )
+        return residual_report(suite_dataset, cv.predictions, model=suite_tree)
+
+    def test_overall_statistics(self, report, suite_dataset):
+        assert report.overall.n == suite_dataset.n_instances
+        assert report.overall.mae > 0
+        assert report.overall.worst >= report.overall.mae
+
+    def test_workload_groups_cover_dataset(self, report, suite_dataset):
+        assert sum(g.n for g in report.by_workload) == suite_dataset.n_instances
+        names = {g.name for g in report.by_workload}
+        assert "mcf_like" in names
+
+    def test_leaf_groups_cover_dataset(self, report, suite_dataset):
+        assert sum(g.n for g in report.by_leaf) == suite_dataset.n_instances
+        assert all(g.name.startswith("LM") for g in report.by_leaf)
+
+    def test_bias_definition(self, suite_dataset):
+        predictions = suite_dataset.y + 0.5  # uniform overestimate
+        report = residual_report(suite_dataset, predictions)
+        assert report.overall.bias == pytest.approx(0.5)
+        assert report.overall.mae == pytest.approx(0.5)
+
+    def test_biased_groups_detected(self, suite_dataset):
+        predictions = suite_dataset.y * 1.5
+        report = residual_report(suite_dataset, predictions)
+        assert report.biased_groups(threshold=0.2)
+
+    def test_unbiased_passes(self, suite_dataset):
+        report = residual_report(suite_dataset, suite_dataset.y)
+        assert report.biased_groups() == []
+
+    def test_worst_workload(self, report):
+        worst = report.worst_workload()
+        assert worst is not None
+        assert worst.relative_mae == max(
+            g.relative_mae for g in report.by_workload
+        )
+
+    def test_render(self, report):
+        text = report.render()
+        assert "by workload:" in text
+        assert "by tree class:" in text
+        assert "overall:" in text
+
+    def test_no_meta_no_workload_section(self):
+        ds = Dataset([[1.0], [2.0]], [1.0, 2.0], ("a",))
+        report = residual_report(ds, [1.0, 2.0])
+        assert report.by_workload == []
+        assert report.worst_workload() is None
+
+    def test_length_mismatch(self, suite_dataset):
+        with pytest.raises(DataError):
+            residual_report(suite_dataset, [1.0, 2.0])
+
+
+class TestTraceRenderer:
+    @pytest.fixture(scope="class")
+    def replay(self):
+        core = SimulatedCore(MachineConfig.tiny(), rng=0)
+        block = synthesize_block(
+            PhaseParams(lcp_fraction=0.1, misalign_fraction=0.1), 256, rng=0
+        )
+        return block, core.run_block(block)
+
+    def test_lines_reference_real_events(self, replay):
+        block, result = replay
+        text = render_trace(block, result.events, limit=10)
+        assert "pc=0x" in text
+
+    def test_limit_respected(self, replay):
+        block, result = replay
+        text = render_trace(block, result.events, limit=5)
+        event_lines = [
+            line for line in text.splitlines() if not line.startswith(("(", "..."))
+        ]
+        assert len(event_lines) <= 5
+
+    def test_only_events_filter(self, replay):
+        block, result = replay
+        everything = render_trace(
+            block, result.events, limit=10_000, only_events=False
+        )
+        event_lines = [
+            line for line in everything.splitlines()
+            if not line.startswith(("(", "..."))
+        ]
+        assert len(event_lines) == len(block)
+
+    def test_event_labels_match_flags(self, replay):
+        block, result = replay
+        for index in range(20):
+            labels = event_labels(result.events, index)
+            assert ("LCP" in labels) == bool(result.events.lcp[index])
+            assert ("MISP" in labels) == bool(result.events.mispred[index])
+
+    def test_event_totals_match_counts(self, replay):
+        block, result = replay
+        totals = event_totals(result.events)
+        assert totals["L1Dm"] == int(np.count_nonzero(result.events.l1dm))
+        assert totals["LCP"] == int(np.count_nonzero(result.events.lcp))
+
+    def test_validation(self, replay):
+        block, result = replay
+        with pytest.raises(DataError):
+            render_trace(block, result.events, limit=0)
+        with pytest.raises(DataError):
+            render_trace(block, result.events, start=len(block))
+
+    def test_empty_result_message(self):
+        core = SimulatedCore(MachineConfig(), rng=0)
+        calm = synthesize_block(
+            PhaseParams(
+                data_footprint=1024,
+                hot_set_bytes=1024,
+                hot_fraction=1.0,
+                branch_fraction=0.0,
+                misalign_fraction=0.0,
+                store_load_alias_fraction=0.0,
+            ),
+            64,
+            rng=0,
+        )
+        # Warm up fully, then replay: almost nothing fires.
+        core.run_block(calm)
+        result = core.run_block(calm)
+        text = render_trace(calm, result.events, limit=5)
+        assert text  # never empty: either lines or the placeholder

@@ -1,0 +1,68 @@
+"""Property-based round-trip tests for serialization layers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.tree import M5Prime, model_from_dict, model_to_dict
+from repro.datasets import Dataset
+from repro.datasets.arff import dumps_arff, loads_arff
+from repro.datasets.csvio import load_csv, save_csv
+
+# Values that survive repr() round trips and keep learners numerically sane.
+values = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False, width=64)
+
+
+@st.composite
+def datasets(draw, max_rows=25, max_cols=4):
+    n = draw(st.integers(1, max_rows))
+    p = draw(st.integers(1, max_cols))
+    X = draw(hnp.arrays(np.float64, (n, p), elements=values))
+    y = draw(hnp.arrays(np.float64, (n,), elements=values))
+    names = tuple(f"attr{i}" for i in range(p))
+    return Dataset(X, y, names, target_name="T")
+
+
+class TestArffRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(datasets())
+    def test_exact_round_trip(self, dataset):
+        loaded = loads_arff(dumps_arff(dataset))
+        assert loaded.attributes == dataset.attributes
+        assert loaded.target_name == dataset.target_name
+        assert np.array_equal(loaded.X, dataset.X)
+        assert np.array_equal(loaded.y, dataset.y)
+
+
+class TestCsvRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(datasets())
+    def test_exact_round_trip(self, dataset):
+        import os
+        import tempfile
+
+        handle, path = tempfile.mkstemp(suffix=".csv")
+        os.close(handle)
+        try:
+            save_csv(dataset, path)
+            loaded = load_csv(path)
+        finally:
+            os.unlink(path)
+        assert loaded.attributes == dataset.attributes
+        assert np.array_equal(loaded.X, dataset.X)
+        assert np.array_equal(loaded.y, dataset.y)
+
+
+class TestModelRoundTrip:
+    @settings(max_examples=15, deadline=None)
+    @given(datasets(max_rows=40, max_cols=3), st.integers(2, 8))
+    def test_predictions_survive_serialization(self, dataset, min_instances):
+        if np.std(dataset.y) == 0:
+            return
+        model = M5Prime(min_instances=min_instances).fit(dataset)
+        restored = model_from_dict(model_to_dict(model))
+        assert np.allclose(
+            model.predict(dataset.X), restored.predict(dataset.X)
+        )
+        assert restored.n_leaves == model.n_leaves

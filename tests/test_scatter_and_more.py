@@ -1,0 +1,125 @@
+"""Tests for the Figure 3 ASCII scatter and assorted smaller surfaces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.experiments.figure3 import ascii_scatter
+from repro.simulator import StoreBuffer
+from repro.simulator.memdep import NO_BLOCK
+
+
+class TestAsciiScatter:
+    def test_dimensions(self):
+        x = np.linspace(0, 10, 200)
+        text = ascii_scatter(x, x, width=40, height=10)
+        lines = text.splitlines()
+        assert len(lines) == 12  # grid + rule + caption
+        assert all(len(line) == 40 for line in lines[:10])
+
+    def test_unity_line_present(self):
+        x = np.linspace(0, 10, 50)
+        text = ascii_scatter(x, x)
+        assert "/" in text
+        assert "unity line" in text
+
+    def test_perfect_predictions_hug_the_diagonal(self):
+        x = np.linspace(0.5, 9.5, 500)
+        text = ascii_scatter(x, x, width=30, height=15)
+        grid = text.splitlines()[:15]
+        # Every shaded cell must be adjacent to a diagonal cell; in a
+        # perfect scatter the marks sit on the unity line itself, so the
+        # diagonal characters get overdrawn by shades.
+        shades = set(".:*#")
+        marked = [
+            (r, c)
+            for r, row in enumerate(grid)
+            for c, ch in enumerate(row)
+            if ch in shades
+        ]
+        assert marked
+        for row, col in marked:
+            expected_col_lo = (15 - 1 - row - 1) / 15 * 29
+            expected_col_hi = (15 - row + 1) / 15 * 29
+            assert expected_col_lo - 3 <= col <= expected_col_hi + 3
+
+    def test_handles_constant_series(self):
+        x = np.full(10, 2.0)
+        text = ascii_scatter(x, x)
+        assert text  # must not divide by zero
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=2, max_size=200)
+    )
+    def test_never_crashes(self, values):
+        x = np.asarray(values)
+        text = ascii_scatter(x, x * 0.9 + 0.1)
+        assert "unity line" in text
+
+
+class TestStoreBufferProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["load", "store", "advance"]),
+                st.integers(0, 1 << 12),
+                st.sampled_from([4, 8, 16]),
+                st.booleans(),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=100,
+        ),
+        st.integers(1, 64),
+    )
+    def test_never_blocks_without_a_store(self, operations, window):
+        """A load can only block if *some* store preceded it in-window."""
+        buffer = StoreBuffer(window)
+        stores_seen = 0
+        for op, addr, size, sta, std in operations:
+            if op == "store":
+                buffer.push_store(addr, size, sta, std)
+                stores_seen += 1
+            elif op == "advance":
+                buffer.advance(1)
+            else:
+                outcome = buffer.check_load(addr, size)
+                if stores_seen == 0:
+                    assert outcome == NO_BLOCK
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 1 << 12), st.sampled_from([4, 8]), st.integers(1, 32))
+    def test_expiry_is_complete(self, addr, size, window):
+        buffer = StoreBuffer(window)
+        buffer.push_store(addr, size, sta=True, std=True)
+        buffer.advance(window + 1)
+        assert buffer.check_load(addr, size) == NO_BLOCK
+        assert buffer.occupancy == 0
+
+
+class TestCliDescribe:
+    def test_describe_prints_profile(self, tmp_path, capsys, suite_dataset):
+        from repro.datasets.csvio import save_csv
+
+        path = tmp_path / "d.csv"
+        save_csv(suite_dataset, path)
+        assert main(["describe", "--data", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "column" in out
+        assert "per-workload mean CPI" in out
+
+    def test_train_dot_output(self, tmp_path, capsys, suite_dataset):
+        from repro.datasets.csvio import save_csv
+
+        data_path = tmp_path / "d.csv"
+        save_csv(suite_dataset, data_path)
+        dot_path = tmp_path / "tree.dot"
+        assert main([
+            "train", "--data", str(data_path), "--min-instances", "12",
+            "--dot", str(dot_path),
+        ]) == 0
+        assert dot_path.read_text().startswith("digraph m5prime")

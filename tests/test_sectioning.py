@@ -1,0 +1,107 @@
+"""Tests for equal-instruction sectioning."""
+
+import pytest
+
+from repro.counters.events import INST_RETIRED_ANY
+from repro.datasets import SectionRecorder, section_boundaries
+from repro.errors import ConfigError, DataError
+
+INST = INST_RETIRED_ANY.name
+
+
+class TestSectionBoundaries:
+    def test_exact_division(self):
+        assert section_boundaries(300, 100) == [(0, 100), (100, 200), (200, 300)]
+
+    def test_remainder_dropped(self):
+        assert section_boundaries(250, 100) == [(0, 100), (100, 200)]
+
+    def test_zero_instructions(self):
+        assert section_boundaries(0, 100) == []
+
+    def test_invalid_per_section(self):
+        with pytest.raises(ConfigError):
+            section_boundaries(100, 0)
+
+    def test_negative_total(self):
+        with pytest.raises(ConfigError):
+            section_boundaries(-1, 100)
+
+
+class TestSectionRecorder:
+    def test_exact_fill_cuts_section(self):
+        recorder = SectionRecorder(100)
+        recorder.record({INST: 100, "E": 7})
+        assert len(recorder.sections) == 1
+        assert recorder.sections[0]["E"] == pytest.approx(7)
+
+    def test_accumulates_until_boundary(self):
+        recorder = SectionRecorder(100)
+        recorder.record({INST: 60, "E": 3})
+        assert recorder.sections == []
+        recorder.record({INST: 40, "E": 2})
+        assert len(recorder.sections) == 1
+        assert recorder.sections[0]["E"] == pytest.approx(5)
+
+    def test_straddling_delta_split_proportionally(self):
+        recorder = SectionRecorder(100)
+        recorder.record({INST: 150, "E": 30})
+        # First section takes 100/150 of the delta.
+        assert len(recorder.sections) == 1
+        assert recorder.sections[0]["E"] == pytest.approx(20)
+        assert recorder.pending_instructions == pytest.approx(50)
+
+    def test_multiple_sections_from_one_delta(self):
+        recorder = SectionRecorder(100)
+        recorder.record({INST: 350, "E": 35})
+        assert len(recorder.sections) == 3
+        for section in recorder.sections:
+            assert section["E"] == pytest.approx(10)
+
+    def test_conservation_of_counts(self):
+        recorder = SectionRecorder(64)
+        total = 0.0
+        for i in range(20):
+            recorder.record({INST: 37, "E": float(i)})
+            total += i
+        sections = recorder.finalize(keep_partial=True)
+        assert sum(s["E"] for s in sections) == pytest.approx(total)
+
+    def test_sections_have_exact_instruction_counts(self):
+        recorder = SectionRecorder(128)
+        for _ in range(10):
+            recorder.record({INST: 100, "E": 1})
+        for section in recorder.sections:
+            assert section[INST] == pytest.approx(128)
+
+    def test_zero_instruction_delta_absorbed(self):
+        recorder = SectionRecorder(100)
+        recorder.record({INST: 0, "STALL": 9})
+        recorder.record({INST: 100})
+        assert recorder.sections[0]["STALL"] == pytest.approx(9)
+
+    def test_finalize_partial(self):
+        recorder = SectionRecorder(100)
+        recorder.record({INST: 130, "E": 13})
+        sections = recorder.finalize(keep_partial=True)
+        assert len(sections) == 2
+        assert sections[1][INST] == pytest.approx(30)
+
+    def test_finalize_without_partial(self):
+        recorder = SectionRecorder(100)
+        recorder.record({INST: 130, "E": 13})
+        assert len(recorder.finalize(keep_partial=False)) == 1
+
+    def test_missing_instruction_count_rejected(self):
+        recorder = SectionRecorder(100)
+        with pytest.raises(DataError):
+            recorder.record({"E": 5})
+
+    def test_negative_instructions_rejected(self):
+        recorder = SectionRecorder(100)
+        with pytest.raises(DataError):
+            recorder.record({INST: -5})
+
+    def test_invalid_section_size(self):
+        with pytest.raises(ConfigError):
+            SectionRecorder(0)

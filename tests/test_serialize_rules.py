@@ -1,0 +1,136 @@
+"""Tests for model persistence and rule extraction."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import extract_rules, render_rules
+from repro.core.tree import M5Prime, load_model, model_from_dict, model_to_dict, save_model
+from repro.core.tree.serialize import FORMAT_VERSION
+from repro.datasets.synthetic import constant_dataset
+from repro.errors import NotFittedError, ParseError
+
+
+class TestSerialization:
+    def test_round_trip_predictions(self, figure1_data, figure1_tree, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(figure1_tree, path)
+        loaded = load_model(path)
+        assert np.allclose(
+            figure1_tree.predict(figure1_data.X), loaded.predict(figure1_data.X)
+        )
+
+    def test_round_trip_structure(self, figure1_tree, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(figure1_tree, path)
+        loaded = load_model(path)
+        assert loaded.n_leaves == figure1_tree.n_leaves
+        assert loaded.depth == figure1_tree.depth
+        assert loaded.attributes_ == figure1_tree.attributes_
+        assert loaded.target_name_ == figure1_tree.target_name_
+        assert loaded.to_text() == figure1_tree.to_text()
+
+    def test_round_trip_params(self, figure1_data, tmp_path):
+        model = M5Prime(min_instances=50, smoothing=True, smoothing_k=7.0)
+        model.fit(figure1_data)
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.min_instances == 50
+        assert loaded.smoothing is True
+        assert loaded.smoothing_k == 7.0
+        # Smoothing must work on the reloaded tree too.
+        assert np.allclose(
+            model.predict(figure1_data.X[:5]), loaded.predict(figure1_data.X[:5])
+        )
+
+    def test_single_leaf_round_trip(self, tmp_path):
+        model = M5Prime().fit(constant_dataset(value=3.0))
+        path = tmp_path / "flat.json"
+        save_model(model, path)
+        assert load_model(path).predict_one([0.1, 0.2, 0.3]) == pytest.approx(3.0)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            model_to_dict(M5Prime())
+
+    def test_version_checked(self, figure1_tree):
+        payload = model_to_dict(figure1_tree)
+        payload["version"] = FORMAT_VERSION + 1
+        with pytest.raises(ParseError):
+            model_from_dict(payload)
+
+    def test_format_checked(self, figure1_tree):
+        payload = model_to_dict(figure1_tree)
+        payload["format"] = "something-else"
+        with pytest.raises(ParseError):
+            model_from_dict(payload)
+
+    def test_malformed_document(self):
+        with pytest.raises(ParseError):
+            model_from_dict({"format": "repro-m5prime", "version": FORMAT_VERSION})
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ParseError):
+            load_model(path)
+
+    def test_document_is_plain_json(self, figure1_tree):
+        payload = model_to_dict(figure1_tree)
+        json.dumps(payload)  # must not contain numpy scalars etc.
+
+
+class TestRules:
+    def test_one_rule_per_leaf(self, figure1_tree):
+        rules = extract_rules(figure1_tree)
+        assert len(rules) == figure1_tree.n_leaves
+        assert [rule.leaf_id for rule in rules] == list(
+            range(1, figure1_tree.n_leaves + 1)
+        )
+
+    def test_rules_cover_and_agree_with_routing(self, figure1_data, figure1_tree):
+        rules = {rule.leaf_id: rule for rule in extract_rules(figure1_tree)}
+        ids = figure1_tree.leaf_ids(figure1_data.X)
+        for x, leaf_id in zip(figure1_data.X[:100], ids[:100]):
+            rule = rules[int(leaf_id)]
+            for condition in rule.conditions:
+                value = x[figure1_tree.attributes_.index(condition.attribute)]
+                if condition.operator == "<=":
+                    assert value <= condition.threshold
+                else:
+                    assert value > condition.threshold
+
+    def test_rule_model_matches_leaf_model(self, figure1_tree):
+        rules = extract_rules(figure1_tree)
+        models = figure1_tree.leaf_models()
+        for rule in rules:
+            assert rule.model is models[rule.leaf_id]
+
+    def test_populations_sum_to_training_set(self, figure1_data, figure1_tree):
+        rules = extract_rules(figure1_tree)
+        assert sum(rule.n_instances for rule in rules) == figure1_data.n_instances
+
+    def test_high_side_attributes(self, figure1_tree):
+        rules = extract_rules(figure1_tree)
+        last = rules[-1]  # rightmost leaf: all conditions are high-side
+        assert set(last.high_side_attributes) == {
+            c.attribute for c in last.conditions
+        }
+
+    def test_single_leaf_rule_is_true(self):
+        model = M5Prime().fit(constant_dataset())
+        rules = extract_rules(model)
+        assert len(rules) == 1
+        assert rules[0].conditions == ()
+        assert "IF   TRUE" in rules[0].describe()
+
+    def test_render(self, figure1_tree):
+        text = render_rules(figure1_tree)
+        assert "RULE 1" in text
+        assert " AND " in text
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            extract_rules(M5Prime())

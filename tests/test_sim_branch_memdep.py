@@ -1,0 +1,137 @@
+"""Tests for the branch predictor and the store buffer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.simulator import GsharePredictor, StoreBuffer
+from repro.simulator.memdep import (
+    BLOCK_OVERLAP,
+    BLOCK_STA,
+    BLOCK_STD,
+    NO_BLOCK,
+)
+
+
+class TestGshare:
+    def test_learns_always_taken(self):
+        predictor = GsharePredictor(8)
+        for _ in range(100):
+            predictor.access(0x400, True)
+        # After warmup, an always-taken branch should be near-perfect.
+        predictor.reset()
+        for _ in range(50):
+            predictor.access(0x400, True)
+        late = [predictor.access(0x400, True) for _ in range(50)]
+        assert sum(late) >= 49
+
+    def test_learns_alternating_pattern(self):
+        predictor = GsharePredictor(10)
+        outcomes = [bool(i % 2) for i in range(400)]
+        results = [predictor.access(0x400, t) for t in outcomes]
+        # Global history makes alternation learnable.
+        assert sum(results[200:]) >= 190
+
+    def test_random_branches_mispredict_half(self, rng):
+        predictor = GsharePredictor(12)
+        outcomes = rng.random(4000) < 0.5
+        correct = sum(predictor.access(0x400, bool(t)) for t in outcomes)
+        assert 0.4 < correct / 4000 < 0.6
+
+    def test_biased_branch_accuracy_tracks_bias(self, rng):
+        predictor = GsharePredictor(12)
+        outcomes = rng.random(4000) < 0.9
+        correct = sum(predictor.access(0x400, bool(t)) for t in outcomes)
+        assert correct / 4000 > 0.75
+
+    def test_stats(self):
+        predictor = GsharePredictor(4)
+        predictor.access(0, True)
+        assert predictor.accesses == 1
+        assert predictor.mispredict_rate in (0.0, 1.0)
+
+    def test_reset_clears(self):
+        predictor = GsharePredictor(4)
+        predictor.access(0, True)
+        predictor.reset()
+        assert predictor.accesses == 0
+
+    def test_invalid_history_bits(self):
+        with pytest.raises(ConfigError):
+            GsharePredictor(0)
+        with pytest.raises(ConfigError):
+            GsharePredictor(30)
+
+    def test_empty_rate_is_zero(self):
+        assert GsharePredictor(4).mispredict_rate == 0.0
+
+
+class TestStoreBuffer:
+    def test_no_store_no_block(self):
+        buffer = StoreBuffer(8)
+        assert buffer.check_load(0x100, 8) == NO_BLOCK
+
+    def test_clean_forwarding_not_blocked(self):
+        buffer = StoreBuffer(8)
+        buffer.push_store(0x100, 8, sta=False, std=False)
+        assert buffer.check_load(0x100, 8) == NO_BLOCK
+
+    def test_sta_blocks(self):
+        buffer = StoreBuffer(8)
+        buffer.push_store(0x100, 8, sta=True, std=False)
+        assert buffer.check_load(0x100, 8) == BLOCK_STA
+
+    def test_std_blocks(self):
+        buffer = StoreBuffer(8)
+        buffer.push_store(0x100, 8, sta=False, std=True)
+        assert buffer.check_load(0x100, 8) == BLOCK_STD
+
+    def test_sta_takes_priority_over_std(self):
+        buffer = StoreBuffer(8)
+        buffer.push_store(0x100, 8, sta=True, std=True)
+        assert buffer.check_load(0x100, 8) == BLOCK_STA
+
+    def test_partial_overlap_blocks(self):
+        buffer = StoreBuffer(8)
+        buffer.push_store(0x100, 4, sta=False, std=False)
+        # Load reads 8 bytes; store covers only the first 4.
+        assert buffer.check_load(0x100, 8) == BLOCK_OVERLAP
+
+    def test_store_covering_load_forwards(self):
+        buffer = StoreBuffer(8)
+        buffer.push_store(0x100, 8, sta=False, std=False)
+        assert buffer.check_load(0x104, 4) == NO_BLOCK
+
+    def test_unrelated_address_not_blocked(self):
+        buffer = StoreBuffer(8)
+        buffer.push_store(0x100, 8, sta=True, std=True)
+        assert buffer.check_load(0x900, 8) == NO_BLOCK
+
+    def test_newest_store_wins(self):
+        buffer = StoreBuffer(16)
+        buffer.push_store(0x100, 8, sta=True, std=False)
+        buffer.push_store(0x100, 8, sta=False, std=False)
+        assert buffer.check_load(0x100, 8) == NO_BLOCK
+
+    def test_window_expiry(self):
+        buffer = StoreBuffer(window=4)
+        buffer.push_store(0x100, 8, sta=True, std=False)
+        buffer.advance(10)
+        assert buffer.check_load(0x100, 8) == NO_BLOCK
+
+    def test_occupancy_tracks_distinct_granules(self):
+        buffer = StoreBuffer(32)
+        buffer.push_store(0x100, 8, False, False)
+        buffer.push_store(0x200, 8, False, False)
+        assert buffer.occupancy == 2
+
+    def test_clear(self):
+        buffer = StoreBuffer(8)
+        buffer.push_store(0x100, 8, sta=True, std=False)
+        buffer.clear()
+        assert buffer.check_load(0x100, 8) == NO_BLOCK
+
+    def test_wide_store_spans_granules(self):
+        buffer = StoreBuffer(8)
+        buffer.push_store(0x100, 16, sta=True, std=False)
+        assert buffer.check_load(0x108, 8) == BLOCK_STA

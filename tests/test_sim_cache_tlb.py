@@ -1,0 +1,190 @@
+"""Tests for the cache and TLB models (exact LRU behaviour)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simulator import (
+    CacheConfig,
+    SetAssociativeCache,
+    TLBConfig,
+    TranslationBuffer,
+    TwoLevelDTLB,
+)
+
+
+def tiny_cache(assoc=2, sets=4, line=64):
+    return SetAssociativeCache(CacheConfig(line * assoc * sets, assoc, line))
+
+
+class TestCacheConfig:
+    def test_n_sets(self):
+        assert CacheConfig(32 * 1024, 8, 64).n_sets == 64
+
+    def test_bad_line_size(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(1024, 2, 48)
+
+    def test_size_not_multiple(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(1000, 2, 64)
+
+    def test_non_power_of_two_sets(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(3 * 64 * 2, 2, 64)
+
+
+class TestCacheBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = tiny_cache()
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+
+    def test_same_line_hits(self):
+        cache = tiny_cache(line=64)
+        cache.access(0x1000)
+        assert cache.access(0x103F) is True  # same 64B line
+
+    def test_adjacent_line_misses(self):
+        cache = tiny_cache(line=64)
+        cache.access(0x1000)
+        assert cache.access(0x1040) is False
+
+    def test_lru_eviction_order(self):
+        cache = tiny_cache(assoc=2, sets=1)
+        a, b, c = 0x0, 0x40, 0x80  # all map to the single set
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)  # evicts a (LRU)
+        assert cache.access(b) is True
+        assert cache.access(a) is False
+
+    def test_hit_refreshes_lru(self):
+        cache = tiny_cache(assoc=2, sets=1)
+        a, b, c = 0x0, 0x40, 0x80
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a becomes MRU
+        cache.access(c)  # evicts b now
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_set_indexing_isolates_sets(self):
+        cache = tiny_cache(assoc=1, sets=4, line=64)
+        # Addresses in different sets must not evict each other.
+        cache.access(0 * 64)
+        cache.access(1 * 64)
+        cache.access(2 * 64)
+        cache.access(3 * 64)
+        assert cache.access(0 * 64) is True
+
+    def test_capacity_respected(self):
+        cache = tiny_cache(assoc=2, sets=2)
+        for i in range(20):
+            cache.access(i * 64)
+        assert cache.occupancy <= 4
+
+    def test_stats_count(self):
+        cache = tiny_cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(64)
+        assert cache.misses == 2
+        assert cache.hits == 1
+        assert cache.accesses == 3
+
+    def test_probe_does_not_mutate(self):
+        cache = tiny_cache(assoc=2, sets=1)
+        cache.access(0x0)
+        cache.access(0x40)
+        assert cache.probe(0x0) is True
+        hits_before = cache.hits
+        cache.probe(0x0)
+        assert cache.hits == hits_before
+        # Probe must not refresh LRU: 0x0 is still LRU and gets evicted.
+        cache.access(0x80)
+        assert cache.probe(0x0) is False
+
+    def test_fill_inserts_without_stats(self):
+        cache = tiny_cache()
+        cache.fill(0x2000)
+        assert cache.misses == 0
+        assert cache.access(0x2000) is True
+
+    def test_fill_evicts_like_access(self):
+        cache = tiny_cache(assoc=1, sets=1)
+        cache.access(0x0)
+        cache.fill(0x40)
+        assert cache.probe(0x0) is False
+
+    def test_flush(self):
+        cache = tiny_cache()
+        cache.access(0x0)
+        cache.flush()
+        assert cache.access(0x0) is False
+        assert cache.occupancy == 1
+
+    def test_reset_stats(self):
+        cache = tiny_cache()
+        cache.access(0x0)
+        cache.reset_stats()
+        assert cache.accesses == 0
+
+
+class TestTLB:
+    def test_page_granularity(self):
+        tlb = TranslationBuffer(TLBConfig(4, 0, page_bytes=4096))
+        tlb.access(0x0)
+        assert tlb.access(0xFFF) is True
+        assert tlb.access(0x1000) is False
+
+    def test_fully_associative_lru(self):
+        tlb = TranslationBuffer(TLBConfig(2, 0))
+        tlb.access(0x0000)
+        tlb.access(0x1000)
+        tlb.access(0x2000)  # evicts page 0
+        assert tlb.access(0x1000) is True
+        assert tlb.access(0x0000) is False
+
+    def test_set_associative_geometry(self):
+        with pytest.raises(ConfigError):
+            TLBConfig(6, 4)  # entries not a multiple of associativity
+
+    def test_capacity(self):
+        tlb = TranslationBuffer(TLBConfig(8, 2))
+        for page in range(32):
+            tlb.access(page * 4096)
+        # All 32 pages were touched; only 8 entries can hit now.
+        hits = sum(tlb.access(page * 4096) for page in range(32))
+        assert hits <= 8
+
+
+class TestTwoLevelDTLB:
+    def make(self):
+        return TwoLevelDTLB(TLBConfig(2, 0), TLBConfig(8, 0))
+
+    def test_level0_hit_skips_level1(self):
+        dtlb = self.make()
+        dtlb.access(0x0)
+        level1_accesses = dtlb.level1.accesses
+        l0_miss, walk = dtlb.access(0x0)
+        assert (l0_miss, walk) == (False, False)
+        assert dtlb.level1.accesses == level1_accesses
+
+    def test_cold_access_walks(self):
+        dtlb = self.make()
+        assert dtlb.access(0x5000) == (True, True)
+
+    def test_level1_backs_level0(self):
+        dtlb = self.make()
+        dtlb.access(0x0000)
+        dtlb.access(0x1000)
+        dtlb.access(0x2000)  # page 0 falls out of L0 but stays in L1
+        l0_miss, walk = dtlb.access(0x0000)
+        assert l0_miss is True
+        assert walk is False
+
+    def test_flush(self):
+        dtlb = self.make()
+        dtlb.access(0x0)
+        dtlb.flush()
+        assert dtlb.access(0x0) == (True, True)

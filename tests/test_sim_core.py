@@ -1,0 +1,220 @@
+"""Tests for the simulated core, its config and the ISA block."""
+
+import numpy as np
+import pytest
+
+from repro.counters import validate_counts
+from repro.counters import events as ev
+from repro.errors import ConfigError, DataError
+from repro.simulator import (
+    InstructionBlock,
+    KIND_BRANCH,
+    KIND_LOAD,
+    KIND_OTHER,
+    KIND_STORE,
+    MachineConfig,
+    SimulatedCore,
+)
+from repro.simulator.isa import CODE_REGION_BASE
+
+
+def make_block(n=64, base_kind=KIND_OTHER, addr_fn=None, **kwargs):
+    kinds = np.full(n, base_kind, dtype=np.uint8)
+    addrs = np.zeros(n, dtype=np.int64)
+    sizes = np.zeros(n, dtype=np.int64)
+    if base_kind in (KIND_LOAD, KIND_STORE):
+        sizes[:] = 8
+        addrs[:] = [addr_fn(i) if addr_fn else i * 8 for i in range(n)]
+    defaults = dict(
+        kind=kinds,
+        pc=np.arange(n, dtype=np.int64) * 4 + CODE_REGION_BASE,
+        addr=addrs,
+        size=sizes,
+        taken=np.zeros(n, bool),
+        lcp=np.zeros(n, bool),
+        sta=np.zeros(n, bool),
+        std=np.zeros(n, bool),
+    )
+    defaults.update(kwargs)
+    return InstructionBlock(**defaults)
+
+
+class TestMachineConfig:
+    def test_default_is_core2duo_geometry(self):
+        config = MachineConfig()
+        assert config.l1i.size_bytes == 32 * 1024
+        assert config.l1d.size_bytes == 32 * 1024
+        assert config.l2.size_bytes == 4 * 1024 * 1024
+        assert config.frequency_ghz == 2.4
+
+    def test_dtlb_maps_quarter_of_l2(self):
+        config = MachineConfig()
+        reach = config.dtlb.entries * config.dtlb.page_bytes
+        assert reach == config.l2.size_bytes // 4
+
+    def test_tiny_preset_valid(self):
+        assert MachineConfig.tiny().l2.size_bytes == 16 * 1024
+
+    def test_invalid_issue_width(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(issue_width=0)
+
+    def test_line_size_mismatch_rejected(self):
+        from repro.simulator import CacheConfig
+
+        with pytest.raises(ConfigError):
+            MachineConfig(
+                l1d=CacheConfig(32 * 1024, 8, 32),
+                l2=CacheConfig(4 * 1024 * 1024, 16, 64),
+            )
+
+
+class TestInstructionBlock:
+    def test_length(self):
+        assert len(make_block(10)) == 10
+
+    def test_counts(self):
+        block = make_block(10, KIND_LOAD)
+        assert block.n_loads == 10
+        assert block.n_stores == 0
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(DataError):
+            make_block(10, pc=np.zeros(5, dtype=np.int64))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            make_block(0)
+
+    def test_zero_size_memory_op_rejected(self):
+        with pytest.raises(DataError):
+            make_block(4, KIND_LOAD, size=np.zeros(4, dtype=np.int64))
+
+    def test_bad_ilp_rejected(self):
+        with pytest.raises(DataError):
+            make_block(4, ilp=1.5)
+
+    def test_misaligned_mask(self):
+        block = make_block(2, KIND_LOAD, addr_fn=lambda i: 8 * i + (1 if i else 0))
+        assert list(block.misaligned_mask()) == [False, True]
+
+    def test_split_mask(self):
+        addrs = np.array([0, 60], dtype=np.int64)
+        block = make_block(2, KIND_LOAD)
+        block.addr = addrs
+        assert list(block.split_mask(64)) == [False, True]
+
+
+class TestSimulatedCore:
+    def test_counts_are_complete_and_valid(self, rng):
+        core = SimulatedCore(MachineConfig.tiny(), rng=rng)
+        result = core.run_block(make_block(128, KIND_LOAD))
+        validate_counts(result.counts)
+
+    def test_instruction_count(self, rng):
+        core = SimulatedCore(MachineConfig.tiny(), rng=rng)
+        result = core.run_block(make_block(128))
+        assert result.counts[ev.INST_RETIRED_ANY.name] == 128
+
+    def test_mix_counters(self, rng):
+        core = SimulatedCore(MachineConfig.tiny(), rng=rng)
+        kinds = np.array(
+            [KIND_LOAD] * 10 + [KIND_STORE] * 5 + [KIND_BRANCH] * 3 + [KIND_OTHER] * 2,
+            dtype=np.uint8,
+        )
+        sizes = np.where((kinds == KIND_LOAD) | (kinds == KIND_STORE), 8, 0)
+        block = make_block(20, kind=kinds, size=sizes.astype(np.int64))
+        result = core.run_block(block)
+        assert result.counts[ev.INST_RETIRED_LOADS.name] == 10
+        assert result.counts[ev.INST_RETIRED_STORES.name] == 5
+        assert result.counts[ev.BR_INST_RETIRED_ANY.name] == 3
+
+    def test_repeated_address_warms_cache(self, rng):
+        core = SimulatedCore(MachineConfig.tiny(), rng=rng)
+        block = make_block(64, KIND_LOAD, addr_fn=lambda i: 0x40)
+        result = core.run_block(block)
+        # One compulsory miss, the rest hit.
+        assert result.counts[ev.MEM_LOAD_RETIRED_L1D_LINE_MISS.name] <= 1
+
+    def test_streaming_detected_by_prefetcher(self, rng):
+        config = MachineConfig(measurement_noise_sd=0.0)
+        core = SimulatedCore(config, rng=rng)
+        stream = make_block(512, KIND_LOAD, addr_fn=lambda i: 0x100000 + i * 64)
+        result = core.run_block(stream)
+        miss_rate = result.counts[ev.MEM_LOAD_RETIRED_L1D_LINE_MISS.name] / 512
+        # Without prefetch every access misses (new line each time).
+        cold_core = SimulatedCore(
+            MachineConfig(prefetch_next_line=False, measurement_noise_sd=0.0),
+            rng=np.random.default_rng(0),
+        )
+        cold = cold_core.run_block(stream)
+        cold_rate = cold.counts[ev.MEM_LOAD_RETIRED_L1D_LINE_MISS.name] / 512
+        assert cold_rate == pytest.approx(1.0)
+        assert miss_rate < 0.5
+
+    def test_state_persists_across_blocks(self, rng):
+        core = SimulatedCore(MachineConfig.tiny(), rng=rng)
+        block = make_block(32, KIND_LOAD, addr_fn=lambda i: (i % 4) * 64)
+        first = core.run_block(block)
+        second = core.run_block(block)
+        assert (
+            second.counts[ev.MEM_LOAD_RETIRED_L1D_LINE_MISS.name]
+            <= first.counts[ev.MEM_LOAD_RETIRED_L1D_LINE_MISS.name]
+        )
+
+    def test_reset_cold_starts(self, rng):
+        core = SimulatedCore(MachineConfig.tiny(), rng=rng)
+        # Stride of four lines so the stream prefetcher cannot hide
+        # the compulsory misses after the reset.
+        block = make_block(32, KIND_LOAD, addr_fn=lambda i: (i % 4) * 256)
+        core.run_block(block)
+        core.reset()
+        result = core.run_block(block)
+        assert result.counts[ev.MEM_LOAD_RETIRED_L1D_LINE_MISS.name] >= 4
+
+    def test_load_blocks_from_flagged_stores(self, rng):
+        core = SimulatedCore(MachineConfig.tiny(), rng=rng)
+        n = 16
+        kinds = np.array([KIND_STORE, KIND_LOAD] * (n // 2), dtype=np.uint8)
+        addrs = np.repeat(np.arange(n // 2, dtype=np.int64) * 8, 2)
+        sta = np.zeros(n, bool)
+        sta[kinds == KIND_STORE] = True
+        sizes = np.full(n, 8, dtype=np.int64)
+        block = make_block(n, kind=kinds, sta=sta, size=sizes, addr=addrs)
+        result = core.run_block(block)
+        assert result.counts[ev.LOAD_BLOCK_STA.name] == n // 2
+
+    def test_lcp_counted(self, rng):
+        core = SimulatedCore(MachineConfig.tiny(), rng=rng)
+        lcp = np.zeros(64, bool)
+        lcp[:7] = True
+        result = core.run_block(make_block(64, lcp=lcp))
+        assert result.counts[ev.ILD_STALL.name] == 7
+
+    def test_retired_dtlb_subset_of_all_dtlb(self, rng):
+        core = SimulatedCore(MachineConfig.tiny(), rng=rng)
+        block = make_block(256, KIND_LOAD, addr_fn=lambda i: i * 4096)
+        result = core.run_block(block)
+        assert (
+            result.counts[ev.MEM_LOAD_RETIRED_DTLB_MISS.name]
+            <= result.counts[ev.DTLB_MISSES_MISS_LD.name]
+            <= result.counts[ev.DTLB_MISSES_ANY.name] + 1e-9
+        )
+
+    def test_cycles_positive_and_match_cpi(self, rng):
+        core = SimulatedCore(MachineConfig.tiny(), rng=rng)
+        result = core.run_block(make_block(64))
+        assert result.cycles > 0
+        assert result.cpi == pytest.approx(result.cycles / 64)
+
+    def test_noise_disabled_is_deterministic(self):
+        config = MachineConfig(measurement_noise_sd=0.0)
+        block = make_block(128, KIND_LOAD)
+        a = SimulatedCore(config, rng=1).run_block(block)
+        b = SimulatedCore(config, rng=2).run_block(block)
+        assert a.cycles == b.cycles
+
+    def test_run_blocks_returns_per_block_results(self, rng):
+        core = SimulatedCore(MachineConfig.tiny(), rng=rng)
+        results = core.run_blocks([make_block(32), make_block(32)])
+        assert len(results) == 2

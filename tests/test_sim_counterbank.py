@@ -1,0 +1,59 @@
+"""Tests for the CounterBank (simulated PMU registers)."""
+
+import pytest
+
+from repro.errors import DataError
+from repro.simulator import CounterBank
+
+
+class TestCounterBank:
+    def test_starts_at_zero(self):
+        bank = CounterBank()
+        assert bank.value("L1I_MISSES") == 0.0
+
+    def test_add(self):
+        bank = CounterBank()
+        bank.add("L1I_MISSES")
+        bank.add("L1I_MISSES", 2.0)
+        assert bank["L1I_MISSES"] == 3.0
+
+    def test_add_many(self):
+        bank = CounterBank()
+        bank.add_many({"L1I_MISSES": 2.0, "ILD_STALL": 1.0})
+        assert bank["ILD_STALL"] == 1.0
+
+    def test_unknown_event_rejected(self):
+        bank = CounterBank()
+        with pytest.raises(DataError):
+            bank.add("NOT_AN_EVENT")
+        with pytest.raises(DataError):
+            bank.value("NOT_AN_EVENT")
+
+    def test_negative_increment_rejected(self):
+        bank = CounterBank()
+        with pytest.raises(DataError):
+            bank.add("L1I_MISSES", -1.0)
+
+    def test_snapshot_is_a_copy(self):
+        bank = CounterBank()
+        snap = bank.snapshot()
+        bank.add("L1I_MISSES")
+        assert snap["L1I_MISSES"] == 0.0
+
+    def test_delta_since(self):
+        bank = CounterBank()
+        bank.add("L1I_MISSES", 5.0)
+        snap = bank.snapshot()
+        bank.add("L1I_MISSES", 3.0)
+        assert bank.delta_since(snap)["L1I_MISSES"] == 3.0
+
+    def test_reset(self):
+        bank = CounterBank()
+        bank.add("L1I_MISSES", 5.0)
+        bank.reset()
+        assert bank["L1I_MISSES"] == 0.0
+
+    def test_iterates_all_events(self):
+        from repro.counters import ALL_EVENTS
+
+        assert set(CounterBank()) == {e.name for e in ALL_EVENTS}

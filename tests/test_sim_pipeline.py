@@ -1,0 +1,209 @@
+"""Tests for the cycle-accounting pipeline model (overlap behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, DataError
+from repro.simulator import CycleAccounting, MachineConfig, SectionEvents
+from repro.simulator.pipeline import IssueCosts, OverlapModel
+
+
+def make_events(n=256, ilp=0.5, dep=0.0, **flags):
+    """SectionEvents with all-false flags except the named overrides.
+
+    An override may be a bool array or a set of indices to set True.
+    """
+    fields = dict(
+        is_load=np.zeros(n, bool),
+        is_store=np.zeros(n, bool),
+        is_branch=np.zeros(n, bool),
+        l1dm=np.zeros(n, bool),
+        l2m=np.zeros(n, bool),
+        store_l1m=np.zeros(n, bool),
+        store_l2m=np.zeros(n, bool),
+        l1im=np.zeros(n, bool),
+        l2im=np.zeros(n, bool),
+        itlbm=np.zeros(n, bool),
+        dtlb0_ld=np.zeros(n, bool),
+        dtlb_walk_ld=np.zeros(n, bool),
+        dtlb_walk_st=np.zeros(n, bool),
+        mispred=np.zeros(n, bool),
+        ldbl_sta=np.zeros(n, bool),
+        ldbl_std=np.zeros(n, bool),
+        ldbl_ov=np.zeros(n, bool),
+        misal=np.zeros(n, bool),
+        split_ld=np.zeros(n, bool),
+        split_st=np.zeros(n, bool),
+        lcp=np.zeros(n, bool),
+    )
+    for name, value in flags.items():
+        if isinstance(value, np.ndarray):
+            fields[name] = value
+        else:
+            arr = np.zeros(n, bool)
+            arr[list(value)] = True
+            fields[name] = arr
+    return SectionEvents(ilp=ilp, dependent_miss_fraction=dep, **fields)
+
+
+@pytest.fixture
+def accounting():
+    return CycleAccounting(MachineConfig())
+
+
+class TestBaseCost:
+    def test_clean_section_costs_base_only(self, accounting):
+        events = make_events()
+        breakdown = accounting.account(events)
+        assert breakdown.total == pytest.approx(breakdown.base)
+        assert breakdown.base == pytest.approx(256 * 0.25)
+
+    def test_mix_raises_base(self, accounting):
+        loads = make_events(is_load=np.ones(256, bool))
+        assert accounting.account(loads).base > 256 * 0.25
+
+    def test_cpi_helper(self, accounting):
+        events = make_events()
+        assert accounting.cpi(events) == pytest.approx(0.25)
+
+
+class TestLongMissOverlap:
+    def test_serialized_misses_pay_full_latency(self, accounting):
+        # Spread misses far apart so no window overlap, full dependence.
+        indices = list(range(0, 256, 128))
+        events = make_events(dep=1.0, l2m=indices, is_load=set(range(256)))
+        breakdown = accounting.account(events)
+        memory = accounting.config.latency.memory
+        assert breakdown.load_l2_miss == pytest.approx(len(indices) * memory)
+
+    def test_clustered_independent_misses_overlap(self, accounting):
+        clustered = make_events(dep=0.0, l2m=set(range(0, 32)), is_load=set(range(256)))
+        serialized = make_events(dep=1.0, l2m=set(range(0, 32)), is_load=set(range(256)))
+        cost_clustered = accounting.account(clustered).load_l2_miss
+        cost_serialized = accounting.account(serialized).load_l2_miss
+        assert cost_clustered < cost_serialized / 3
+
+    def test_mlp_capped_by_mshrs(self):
+        config = MachineConfig()
+        events = make_events(dep=0.0, l2m=set(range(0, 64)))
+        cost = CycleAccounting(config).account(events).load_l2_miss
+        floor = 64 * config.latency.memory / config.mshr_count
+        assert cost >= floor * 0.99
+
+    def test_store_misses_mostly_hidden(self, accounting):
+        loads = make_events(l2m={10}, dep=1.0)
+        stores = make_events(store_l2m={10}, dep=1.0)
+        assert (
+            accounting.account(stores).store_l2_miss
+            < accounting.account(loads).load_l2_miss / 2
+        )
+
+
+class TestShortPenalties:
+    def test_ilp_hides_l1_misses(self, accounting):
+        low = make_events(ilp=0.0, l1dm={5})
+        high = make_events(ilp=1.0, l1dm={5})
+        assert (
+            accounting.account(high).load_l1_miss
+            < accounting.account(low).load_l1_miss
+        )
+
+    def test_l1_only_excludes_l2_misses(self, accounting):
+        both = make_events(l1dm={5}, l2m={5}, dep=1.0)
+        breakdown = accounting.account(both)
+        assert breakdown.load_l1_miss == pytest.approx(0.0)
+        assert breakdown.load_l2_miss > 0
+
+    def test_shadow_discounts_branch_penalty(self, accounting):
+        alone = make_events(mispred={200})
+        shadowed = make_events(mispred={200}, l2m={195}, dep=1.0)
+        cost_alone = accounting.account(alone).branch
+        cost_shadowed = accounting.account(shadowed).branch
+        assert cost_shadowed < cost_alone
+
+    def test_page_walks_cost_cycles(self, accounting):
+        events = make_events(dtlb_walk_ld={3})
+        assert accounting.account(events).dtlb == pytest.approx(
+            accounting.config.latency.dtlb_walk
+        )
+
+    def test_load_blocks_scale_with_ilp(self, accounting):
+        low = make_events(ilp=0.1, ldbl_sta={1}, ldbl_std={2}, ldbl_ov={3})
+        high = make_events(ilp=0.9, ldbl_sta={1}, ldbl_std={2}, ldbl_ov={3})
+        assert accounting.account(high).load_block < accounting.account(low).load_block
+
+    def test_lcp_cost(self, accounting):
+        events = make_events(ilp=0.0, lcp=set(range(10)))
+        assert accounting.account(events).lcp == pytest.approx(
+            10 * accounting.config.latency.lcp_stall
+        )
+
+    def test_alignment_costs(self, accounting):
+        events = make_events(ilp=0.0, misal={1}, split_ld={2})
+        breakdown = accounting.account(events)
+        lat = accounting.config.latency
+        assert breakdown.alignment == pytest.approx(lat.misaligned + lat.split_access)
+
+
+class TestFrontEnd:
+    def test_l1i_refill_cost(self, accounting):
+        events = make_events(ilp=0.0, l1im={7})
+        assert accounting.account(events).ifetch == pytest.approx(
+            accounting.config.latency.l1i_refill
+        )
+
+    def test_instruction_l2_miss_starves(self, accounting):
+        events = make_events(l1im={7}, l2im={7})
+        assert accounting.account(events).ifetch == pytest.approx(
+            accounting.config.latency.ifetch_memory
+        )
+
+    def test_itlb_walk(self, accounting):
+        events = make_events(itlbm={1, 2})
+        assert accounting.account(events).itlb == pytest.approx(
+            2 * accounting.config.latency.itlb_walk
+        )
+
+    def test_fetch_and_data_stalls_overlap(self, accounting):
+        """The LM18 saturation: fetch + data stalls are less than their sum."""
+        fetch_only = make_events(l1im=set(range(0, 64)), l2im=set(range(0, 64)))
+        data_only = make_events(l2m=set(range(0, 64)), dep=1.0)
+        both = make_events(
+            l1im=set(range(0, 64)),
+            l2im=set(range(0, 64)),
+            l2m=set(range(0, 64)),
+            dep=1.0,
+        )
+        cost_fetch = accounting.account(fetch_only).total
+        cost_data = accounting.account(data_only).total
+        cost_both = accounting.account(both).total
+        assert cost_both < cost_fetch + cost_data - 256 * 0.25
+        assert cost_both >= max(cost_fetch, cost_data) * 0.95
+
+
+class TestValidation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DataError):
+            make_events(is_load=np.zeros(5, bool))
+
+    def test_bad_ilp_rejected(self):
+        with pytest.raises(DataError):
+            make_events(ilp=2.0)
+
+    def test_bad_dep_rejected(self):
+        with pytest.raises(DataError):
+            make_events(dep=-0.1)
+
+    def test_overlap_model_validation(self):
+        with pytest.raises(ConfigError):
+            OverlapModel(shadow_discount=1.5)
+
+    def test_issue_costs_validation(self):
+        with pytest.raises(ConfigError):
+            IssueCosts(load_extra=-1.0)
+
+    def test_breakdown_as_dict(self, accounting):
+        breakdown = accounting.account(make_events())
+        as_dict = breakdown.as_dict()
+        assert as_dict["base"] == pytest.approx(breakdown.base)
+        assert sum(as_dict.values()) == pytest.approx(breakdown.total)

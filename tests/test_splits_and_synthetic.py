@@ -1,0 +1,122 @@
+"""Tests for k-fold splitting and synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, kfold_indices, train_test_split
+from repro.datasets.splits import kfold_splits
+from repro.datasets.synthetic import (
+    PiecewiseRegion,
+    constant_dataset,
+    figure1_dataset,
+    figure1_regions,
+    interaction_dataset,
+    linear_dataset,
+    piecewise_linear_dataset,
+    step_dataset,
+)
+from repro.errors import ConfigError
+
+
+class TestKFold:
+    def test_partition_is_exact(self):
+        folds = kfold_indices(103, 10, rng=0)
+        combined = np.sort(np.concatenate(folds))
+        assert np.array_equal(combined, np.arange(103))
+
+    def test_fold_sizes_balanced(self):
+        folds = kfold_indices(103, 10, rng=0)
+        sizes = sorted(len(fold) for fold in folds)
+        assert sizes[0] >= sizes[-1] - 1
+
+    def test_deterministic_given_seed(self):
+        a = kfold_indices(50, 5, rng=7)
+        b = kfold_indices(50, 5, rng=7)
+        for fa, fb in zip(a, b):
+            assert np.array_equal(fa, fb)
+
+    def test_too_few_instances(self):
+        with pytest.raises(ConfigError):
+            kfold_indices(3, 4)
+
+    def test_too_few_folds(self):
+        with pytest.raises(ConfigError):
+            kfold_indices(10, 1)
+
+    def test_splits_are_complements(self):
+        for train, test in kfold_splits(40, 4, rng=0):
+            assert len(np.intersect1d(train, test)) == 0
+            assert len(train) + len(test) == 40
+
+
+class TestTrainTestSplit:
+    def _dataset(self, n=20):
+        return Dataset(np.arange(n, dtype=float).reshape(-1, 1), np.arange(n, dtype=float), ("a",))
+
+    def test_sizes(self):
+        train, test = train_test_split(self._dataset(), 0.25, rng=0)
+        assert test.n_instances == 5
+        assert train.n_instances == 15
+
+    def test_disjoint_and_complete(self):
+        train, test = train_test_split(self._dataset(), 0.3, rng=0)
+        union = sorted(list(train.y) + list(test.y))
+        assert union == list(range(20))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigError):
+            train_test_split(self._dataset(), 1.0)
+
+    def test_extreme_fraction_clamped(self):
+        train, test = train_test_split(self._dataset(), 0.001, rng=0)
+        assert test.n_instances == 1
+
+
+class TestSynthetic:
+    def test_figure1_regions_cover_unit_cube(self, rng):
+        regions = figure1_regions()
+        for _ in range(200):
+            x = rng.uniform(0, 1, 4)
+            assert sum(region.contains(x) for region in regions) == 1
+
+    def test_figure1_dataset_is_noiseless_piecewise(self):
+        ds = figure1_dataset(n=200, noise_sd=0.0, rng=0)
+        regions = figure1_regions()
+        for x, y in zip(ds.X, ds.y):
+            region = next(r for r in regions if r.contains(x))
+            assert y == pytest.approx(region.value(x))
+
+    def test_figure1_deterministic(self):
+        a = figure1_dataset(n=50, rng=5)
+        b = figure1_dataset(n=50, rng=5)
+        assert np.array_equal(a.X, b.X)
+        assert np.array_equal(a.y, b.y)
+
+    def test_linear_dataset_exact_without_noise(self):
+        ds = linear_dataset([2.0, -1.0], intercept=0.5, n=100, rng=0)
+        expected = 0.5 + ds.X @ np.array([2.0, -1.0])
+        assert np.allclose(ds.y, expected)
+
+    def test_step_dataset_levels(self):
+        ds = step_dataset(threshold=0.5, low_value=0.0, high_value=2.0, n=300, rng=0)
+        low = ds.y[ds.X[:, 0] < 0.5]
+        high = ds.y[ds.X[:, 0] >= 0.5]
+        assert np.all(low == 0.0)
+        assert np.all(high == 2.0)
+
+    def test_interaction_dataset_product(self):
+        ds = interaction_dataset(n=100, rng=0)
+        assert np.allclose(ds.y, ds.X[:, 0] * ds.X[:, 1])
+
+    def test_constant_dataset_flat(self):
+        ds = constant_dataset(value=1.5, n=50)
+        assert np.all(ds.y == 1.5)
+
+    def test_uncovered_region_rejected(self, rng):
+        region = PiecewiseRegion((0, 0), (0.5, 0.5), 0.0, (1.0, 1.0))
+        with pytest.raises(ConfigError):
+            piecewise_linear_dataset([region], ("X1", "X2"), 50, rng=rng)
+
+    def test_empty_regions_rejected(self):
+        with pytest.raises(ConfigError):
+            piecewise_linear_dataset([], ("X1",), 10)

@@ -1,0 +1,99 @@
+"""Tests for the suite runner (dataset collection campaign)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import simulate_suite, spec_like_suite
+from repro.workloads.spec import calm_like, mcf_like
+from repro.workloads.suite import workload_fingerprint
+
+
+class TestSimulateSuite:
+    def test_dataset_shape(self, suite_result):
+        dataset = suite_result.dataset
+        assert dataset.n_instances == 11 * 12
+        assert dataset.n_attributes == 20
+        assert dataset.target_name == "CPI"
+
+    def test_metadata_columns(self, suite_dataset):
+        assert set(suite_dataset.meta) == {"workload", "section", "phase"}
+        assert set(suite_dataset.meta["workload"]) == {
+            p.name for p in spec_like_suite()
+        }
+
+    def test_cpi_by_workload_matches_dataset(self, suite_result):
+        dataset = suite_result.dataset
+        for name, cpi in suite_result.cpi_by_workload.items():
+            mask = dataset.meta["workload"] == name
+            assert dataset.y[mask].mean() == pytest.approx(cpi, rel=0.02)
+
+    def test_deterministic(self):
+        profiles = [calm_like()]
+        a = simulate_suite(profiles, 4, 256, seed=9)
+        b = simulate_suite(profiles, 4, 256, seed=9)
+        assert np.array_equal(a.dataset.X, b.dataset.X)
+        assert np.array_equal(a.dataset.y, b.dataset.y)
+
+    def test_seed_changes_data(self):
+        profiles = [calm_like()]
+        a = simulate_suite(profiles, 4, 256, seed=1)
+        b = simulate_suite(profiles, 4, 256, seed=2)
+        assert not np.array_equal(a.dataset.y, b.dataset.y)
+
+    def test_mcf_cpi_exceeds_calm(self, suite_result):
+        cpis = suite_result.cpi_by_workload
+        assert cpis["mcf_like"] > 3 * cpis["calm_like"]
+
+    def test_bzip_has_dtlb_without_l2(self, suite_dataset):
+        mask = suite_dataset.meta["workload"] == "bzip_like"
+        assert suite_dataset.column("Dtlb")[mask].mean() > 0.003
+        assert suite_dataset.column("L2M")[mask].mean() < 0.005
+
+    def test_gcc_sections_include_lcp_phase(self, suite_dataset):
+        mask = suite_dataset.meta["workload"] == "gcc_like"
+        lcp = suite_dataset.column("LCP")[mask]
+        assert np.any(lcp > 0.05)
+
+    def test_progress_callback_invoked(self):
+        calls = []
+        simulate_suite(
+            [calm_like()], 3, 256, seed=0,
+            progress=lambda name, done, total: calls.append((name, done, total)),
+        )
+        assert calls == [("calm_like", 1, 3), ("calm_like", 2, 3), ("calm_like", 3, 3)]
+
+    def test_summary_text(self, suite_result):
+        text = suite_result.summary()
+        assert "mcf_like" in text
+        assert "mean CPI" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            simulate_suite([], 4, 256)
+        with pytest.raises(ConfigError):
+            simulate_suite([calm_like()], 0, 256)
+        with pytest.raises(ConfigError):
+            simulate_suite([calm_like()], 4, 32)
+
+
+class TestWorkloadFingerprint:
+    def test_stable(self):
+        assert workload_fingerprint() == workload_fingerprint()
+
+    def test_sensitive_to_profile_change(self):
+        import dataclasses
+
+        profile = mcf_like()
+        changed_params = dataclasses.replace(
+            profile.schedule.phases[0], ilp=0.123
+        )
+        from repro.workloads import PhaseSchedule, WorkloadProfile
+
+        changed = WorkloadProfile(
+            profile.name,
+            PhaseSchedule(
+                [(changed_params, 1.0)]
+            ),
+        )
+        assert workload_fingerprint([profile]) != workload_fingerprint([changed])

@@ -1,0 +1,139 @@
+"""Tests for node linear models and M5 term dropping."""
+
+import numpy as np
+import pytest
+
+from repro.core.tree.linear import (
+    LinearModel,
+    adjusted_error,
+    fit_linear_model,
+    simplify_model,
+)
+from repro.errors import DataError
+
+
+def exact_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, size=(n, 3))
+    y = 2.0 + 3.0 * X[:, 0] - 1.5 * X[:, 2]
+    return X, y
+
+
+class TestFit:
+    def test_recovers_exact_coefficients(self):
+        X, y = exact_data()
+        model = fit_linear_model(X, y, [0, 1, 2], ("a", "b", "c"))
+        assert model.intercept == pytest.approx(2.0, abs=1e-9)
+        coefs = dict(zip(model.names, model.coefficients))
+        assert coefs["a"] == pytest.approx(3.0, abs=1e-9)
+        assert coefs["c"] == pytest.approx(-1.5, abs=1e-9)
+        assert model.training_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_restricted_candidates(self):
+        X, y = exact_data()
+        model = fit_linear_model(X, y, [0], ("a", "b", "c"))
+        assert model.names == ("a",)
+
+    def test_no_candidates_gives_mean(self):
+        X, y = exact_data()
+        model = fit_linear_model(X, y, [], ("a", "b", "c"))
+        assert model.is_constant
+        assert model.intercept == pytest.approx(float(np.mean(y)))
+
+    def test_constant_column_dropped(self):
+        X = np.column_stack([np.ones(50), np.linspace(0, 1, 50)])
+        y = 2 * X[:, 1]
+        model = fit_linear_model(X, y, [0, 1], ("const", "x"))
+        assert "const" not in model.names
+
+    def test_zero_instances_rejected(self):
+        with pytest.raises(DataError):
+            fit_linear_model(np.zeros((0, 2)), np.zeros(0), [0], ("a", "b"))
+
+    def test_more_candidates_than_instances_guarded(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(3, 5))
+        y = rng.uniform(size=3)
+        model = fit_linear_model(X, y, [0, 1, 2, 3, 4], tuple("abcde"))
+        assert model.n_parameters <= 3
+
+
+class TestPredict:
+    def test_predict_matrix(self):
+        X, y = exact_data()
+        model = fit_linear_model(X, y, [0, 2], ("a", "b", "c"))
+        assert np.allclose(model.predict(X), y)
+
+    def test_predict_one(self):
+        X, y = exact_data()
+        model = fit_linear_model(X, y, [0, 2], ("a", "b", "c"))
+        assert model.predict_one(X[3]) == pytest.approx(y[3])
+
+    def test_misaligned_fields_rejected(self):
+        with pytest.raises(DataError):
+            LinearModel(0.0, (1,), ("a", "b"), (1.0,), 10, 0.0)
+
+
+class TestAdjustedError:
+    def test_inflation_factor(self):
+        assert adjusted_error(1.0, 100, 4) == pytest.approx(104 / 96)
+
+    def test_saturated_penalty(self):
+        assert adjusted_error(1.0, 3, 3) == pytest.approx(10.0)
+
+    def test_zero_instances_infinite(self):
+        assert adjusted_error(1.0, 0, 1) == float("inf")
+
+    def test_small_leaves_penalized_more(self):
+        assert adjusted_error(1.0, 20, 5) > adjusted_error(1.0, 200, 5)
+
+
+class TestSimplify:
+    def test_drops_irrelevant_terms(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(size=(300, 4))
+        y = 1.0 + 2.0 * X[:, 0] + rng.normal(0, 0.05, 300)
+        names = ("sig", "n1", "n2", "n3")
+        full = fit_linear_model(X, y, [0, 1, 2, 3], names)
+        simple = simplify_model(full, X, y, names)
+        assert "sig" in simple.names
+        assert len(simple.names) < 4
+
+    def test_keeps_all_needed_terms(self):
+        X, y = exact_data(300)
+        names = ("a", "b", "c")
+        full = fit_linear_model(X, y, [0, 1, 2], names)
+        simple = simplify_model(full, X, y, names)
+        assert set(simple.names) == {"a", "c"}
+
+    def test_pure_noise_collapses_to_constant(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(size=(40, 3))
+        y = np.full(40, 3.0) + rng.normal(0, 1e-12, 40)
+        names = ("a", "b", "c")
+        full = fit_linear_model(X, y, [0, 1, 2], names)
+        simple = simplify_model(full, X, y, names)
+        assert simple.is_constant
+        assert simple.intercept == pytest.approx(3.0, abs=1e-6)
+
+    def test_never_increases_adjusted_error(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(size=(100, 5))
+        y = X @ rng.uniform(-1, 1, 5) + rng.normal(0, 0.1, 100)
+        names = tuple("abcde")
+        full = fit_linear_model(X, y, list(range(5)), names)
+        simple = simplify_model(full, X, y, names)
+        assert simple.adjusted_error() <= full.adjusted_error() + 1e-12
+
+
+class TestDescribe:
+    def test_equation_format(self):
+        model = LinearModel(0.52, (0, 1), ("ItlbM", "L1IM"), (139.91, 6.69), 100, 0.1)
+        text = model.describe("CPI")
+        assert text.startswith("CPI = 0.52")
+        assert "+ 139.91 * ItlbM" in text
+        assert "+ 6.69 * L1IM" in text
+
+    def test_negative_coefficient_sign(self):
+        model = LinearModel(1.0, (0,), ("x",), (-2.5,), 10, 0.0)
+        assert "- 2.5 * x" in model.describe()

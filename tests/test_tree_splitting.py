@@ -1,0 +1,118 @@
+"""Tests for the SDR split search."""
+
+import numpy as np
+import pytest
+
+from repro.core.tree.splitting import find_best_split
+from repro.errors import ConfigError
+
+
+class TestFindBestSplit:
+    def test_perfect_step_found(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float)
+        split = find_best_split(X, y, min_leaf=2)
+        assert split is not None
+        assert split.attribute_index == 0
+        assert 0.45 < split.threshold < 0.55
+        assert split.n_left + split.n_right == 100
+
+    def test_picks_most_discriminative_attribute(self, rng):
+        X = rng.uniform(size=(200, 3))
+        y = np.where(X[:, 1] > 0.3, 5.0, 0.0) + rng.normal(0, 0.01, 200)
+        split = find_best_split(X, y, min_leaf=5)
+        assert split.attribute_index == 1
+
+    def test_constant_target_no_split(self, rng):
+        X = rng.uniform(size=(50, 2))
+        y = np.full(50, 2.0)
+        assert find_best_split(X, y) is None
+
+    def test_constant_attributes_no_split(self):
+        X = np.ones((50, 2))
+        y = np.arange(50, dtype=float)
+        assert find_best_split(X, y) is None
+
+    def test_min_leaf_respected(self):
+        X = np.linspace(0, 1, 20).reshape(-1, 1)
+        y = np.zeros(20)
+        y[0] = 100.0  # huge outlier tempts a 1-vs-19 split
+        split = find_best_split(X, y, min_leaf=5)
+        if split is not None:
+            assert split.n_left >= 5
+            assert split.n_right >= 5
+
+    def test_too_few_instances(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([1.0, 2.0, 3.0])
+        assert find_best_split(X, y, min_leaf=2) is None
+
+    def test_threshold_between_distinct_values(self):
+        X = np.array([[1.0], [1.0], [2.0], [2.0]])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        split = find_best_split(X, y, min_leaf=1)
+        assert split.threshold == pytest.approx(1.5)
+
+    def test_tied_values_cannot_split(self):
+        X = np.ones((10, 1))
+        X[5:] = 1.0  # all identical
+        y = np.arange(10, dtype=float)
+        assert find_best_split(X, y, min_leaf=1) is None
+
+    def test_sdr_positive(self):
+        X = np.linspace(0, 1, 50).reshape(-1, 1)
+        y = (X[:, 0] > 0.4).astype(float) * 3.0
+        split = find_best_split(X, y, min_leaf=2)
+        assert split.sdr > 0
+
+    def test_sdr_equals_manual_computation(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.0, 10.0, 10.0])
+        split = find_best_split(X, y, min_leaf=1)
+        sd_total = np.std(y)
+        expected = sd_total - 0.0  # children are pure
+        assert split.sdr == pytest.approx(expected)
+        assert split.threshold == pytest.approx(1.5)
+
+    def test_deterministic_tie_break_lowest_attribute(self):
+        # Two identical attributes: the lower index must win.
+        X = np.linspace(0, 1, 40).reshape(-1, 1)
+        X = np.hstack([X, X])
+        y = (X[:, 0] > 0.5).astype(float)
+        split = find_best_split(X, y, min_leaf=2)
+        assert split.attribute_index == 0
+
+    def test_invalid_min_leaf(self):
+        with pytest.raises(ConfigError):
+            find_best_split(np.ones((4, 1)), np.ones(4), min_leaf=0)
+
+    def test_unsorted_input_handled(self, rng):
+        X = rng.permutation(np.linspace(0, 1, 100)).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float)
+        split = find_best_split(X, y, min_leaf=2)
+        assert 0.45 < split.threshold < 0.55
+
+
+class TestAdjacentFloatValues:
+    def test_threshold_strictly_separates_neighbouring_floats(self):
+        # Two distinct but adjacent floats: the midpoint rounds to one of
+        # them; the split must still partition strictly.
+        lo = 1.0
+        hi = np.nextafter(lo, np.inf)
+        X = np.array([[lo]] * 5 + [[hi]] * 5)
+        y = np.array([0.0] * 5 + [1.0] * 5)
+        split = find_best_split(X, y, min_leaf=2)
+        assert split is not None
+        left = X[:, 0] <= split.threshold
+        assert 0 < np.count_nonzero(left) < len(y)
+
+    def test_tree_terminates_on_adjacent_floats(self):
+        from repro.core.tree import M5Prime
+
+        lo = 1.0
+        hi = np.nextafter(lo, np.inf)
+        X = np.array([[lo]] * 8 + [[hi]] * 8)
+        y = np.array([0.0] * 8 + [1.0] * 8)
+        model = M5Prime(min_instances=2).fit(X, y)
+        assert model.depth <= 2
+        assert np.allclose(model.predict(X), y, atol=1e-6)

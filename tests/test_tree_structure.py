@@ -1,0 +1,216 @@
+"""Tests for nodes, the builder, pruning and smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.core.tree.builder import TreeBuilder
+from repro.core.tree.linear import LinearModel
+from repro.core.tree.node import (
+    LeafNode,
+    SplitNode,
+    assign_leaf_ids,
+    path_to_leaf,
+    route,
+)
+from repro.core.tree.pruning import prune_tree
+from repro.core.tree.smoothing import smoothed_predict
+from repro.datasets.synthetic import figure1_dataset, linear_dataset, step_dataset
+from repro.errors import ConfigError, DataError
+
+
+def constant_model(value, n=10):
+    return LinearModel(value, (), (), (), n, 0.0)
+
+
+def two_leaf_tree():
+    left = LeafNode(10, 0.0, 1.0)
+    left.model = constant_model(1.0)
+    right = LeafNode(20, 0.0, 2.0)
+    right.model = constant_model(2.0)
+    root = SplitNode(30, 0.5, 1.67, 0, "x", 0.5, left, right)
+    root.model = constant_model(1.67, 30)
+    assign_leaf_ids(root)
+    return root
+
+
+class TestNodes:
+    def test_routing(self):
+        root = two_leaf_tree()
+        assert route(root, np.array([0.2])).mean == 1.0
+        assert route(root, np.array([0.9])).mean == 2.0
+
+    def test_boundary_goes_left(self):
+        root = two_leaf_tree()
+        assert route(root, np.array([0.5])).mean == 1.0
+
+    def test_path_to_leaf(self):
+        root = two_leaf_tree()
+        path = path_to_leaf(root, np.array([0.9]))
+        assert len(path) == 2
+        assert path[0] is root
+        assert path[1].is_leaf
+
+    def test_leaf_ids_left_to_right(self):
+        root = two_leaf_tree()
+        assert root.left.leaf_id == 1
+        assert root.right.leaf_id == 2
+        assert root.leaf_id == 0
+
+    def test_counts(self):
+        root = two_leaf_tree()
+        assert root.n_leaves() == 2
+        assert root.depth() == 1
+        assert len(list(root.iter_nodes())) == 3
+
+
+class TestBuilder:
+    def test_step_function_one_split(self):
+        ds = step_dataset(n=200, rng=0)
+        root = TreeBuilder(min_instances=10).build(ds.X, ds.y, ds.attributes)
+        assert isinstance(root, SplitNode)
+        assert root.attribute_name == "X1"
+
+    def test_linear_data_needs_no_split(self):
+        # Exact least squares (ridge=0): a noiseless line fits perfectly
+        # at the root, so pruning must collapse the whole tree.
+        ds = linear_dataset([2.0], n=200, rng=0)
+        root = TreeBuilder(min_instances=10, ridge=0.0).build(
+            ds.X, ds.y, ds.attributes
+        )
+        pruned = prune_tree(root)
+        assert pruned.is_leaf
+        assert pruned.model.names == ("X1",)
+
+    def test_noisy_linear_data_prunes_with_default_ridge(self):
+        ds = linear_dataset([2.0], n=200, noise_sd=0.1, rng=0)
+        root = TreeBuilder(min_instances=10).build(ds.X, ds.y, ds.attributes)
+        pruned = prune_tree(root)
+        assert pruned.n_leaves() <= 2
+
+    def test_min_instances_floor(self):
+        ds = figure1_dataset(n=300, rng=0)
+        root = TreeBuilder(min_instances=40).build(ds.X, ds.y, ds.attributes)
+        for leaf in root.leaves():
+            assert leaf.n_instances >= 40
+
+    def test_every_node_has_model(self):
+        ds = figure1_dataset(n=300, rng=0)
+        root = TreeBuilder(min_instances=40).build(ds.X, ds.y, ds.attributes)
+        for node in root.iter_nodes():
+            assert node.model is not None
+
+    def test_sd_fraction_stops_growth(self):
+        ds = step_dataset(n=200, noise_sd=0.001, rng=0)
+        root = TreeBuilder(min_instances=5, sd_fraction=0.05).build(
+            ds.X, ds.y, ds.attributes
+        )
+        # One split reduces sd to ~noise level; children must be leaves.
+        assert root.depth() == 1
+
+    def test_model_attribute_policies(self):
+        ds = figure1_dataset(n=500, rng=0)
+        for policy in ("subtree", "path", "path+subtree", "all"):
+            root = TreeBuilder(min_instances=60, model_attributes=policy).build(
+                ds.X, ds.y, ds.attributes
+            )
+            assert root.n_leaves() >= 2
+
+    def test_subtree_policy_leaves_constant(self):
+        ds = step_dataset(n=100, rng=0)
+        root = TreeBuilder(min_instances=10, model_attributes="subtree").build(
+            ds.X, ds.y, ds.attributes
+        )
+        for leaf in root.leaves():
+            assert leaf.model.is_constant
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            TreeBuilder(min_instances=0)
+        with pytest.raises(ConfigError):
+            TreeBuilder(sd_fraction=1.0)
+        with pytest.raises(ConfigError):
+            TreeBuilder(model_attributes="everything")
+
+    def test_shape_validation(self):
+        builder = TreeBuilder()
+        with pytest.raises(DataError):
+            builder.build(np.zeros((3, 2)), np.zeros(4), ("a", "b"))
+        with pytest.raises(DataError):
+            builder.build(np.zeros((3, 2)), np.zeros(3), ("a",))
+        with pytest.raises(DataError):
+            builder.build(np.zeros((0, 2)), np.zeros(0), ("a", "b"))
+
+
+class TestPruning:
+    def test_useless_split_pruned(self):
+        # A split whose children don't improve over the node model.
+        ds = linear_dataset([1.0, 0.5], n=400, noise_sd=0.2, rng=0)
+        root = TreeBuilder(min_instances=20, sd_fraction=0.0).build(
+            ds.X, ds.y, ds.attributes
+        )
+        pruned = prune_tree(root)
+        assert pruned.n_leaves() < root.n_leaves() or pruned.is_leaf
+
+    def test_useful_structure_survives(self):
+        ds = figure1_dataset(n=2000, noise_sd=0.02, rng=0)
+        root = TreeBuilder(min_instances=50).build(ds.X, ds.y, ds.attributes)
+        pruned = prune_tree(root)
+        assert pruned.n_leaves() >= 4
+
+    def test_leaf_ids_reassigned(self):
+        ds = figure1_dataset(n=800, rng=0)
+        root = TreeBuilder(min_instances=50).build(ds.X, ds.y, ds.attributes)
+        pruned = prune_tree(root)
+        ids = [leaf.leaf_id for leaf in pruned.leaves()]
+        assert ids == list(range(1, len(ids) + 1))
+
+    def test_pruned_leaf_keeps_node_model(self):
+        ds = linear_dataset([3.0], n=300, noise_sd=0.3, rng=1)
+        root = TreeBuilder(min_instances=10, sd_fraction=0.0).build(
+            ds.X, ds.y, ds.attributes
+        )
+        pruned = prune_tree(root)
+        if pruned.is_leaf:
+            assert pruned.model is not None
+
+    def test_estimated_error_set_everywhere(self):
+        ds = figure1_dataset(n=600, rng=0)
+        root = TreeBuilder(min_instances=50).build(ds.X, ds.y, ds.attributes)
+        pruned = prune_tree(root)
+        for node in pruned.iter_nodes():
+            assert np.isfinite(node.estimated_error)
+
+
+class TestSmoothing:
+    def test_single_leaf_unchanged(self):
+        leaf = LeafNode(10, 0.0, 5.0)
+        leaf.model = constant_model(5.0)
+        assert smoothed_predict(leaf, np.array([0.0])) == pytest.approx(5.0)
+
+    def test_blends_toward_parent(self):
+        root = two_leaf_tree()
+        raw = root.left.model.predict_one(np.array([0.2]))
+        smoothed = smoothed_predict(root, np.array([0.2]), k=15.0)
+        parent = root.model.predict_one(np.array([0.2]))
+        assert min(raw, parent) <= smoothed <= max(raw, parent)
+        assert smoothed != raw
+
+    def test_k_zero_is_raw_leaf(self):
+        root = two_leaf_tree()
+        assert smoothed_predict(root, np.array([0.2]), k=0.0) == pytest.approx(1.0)
+
+    def test_large_k_approaches_parent(self):
+        root = two_leaf_tree()
+        smoothed = smoothed_predict(root, np.array([0.2]), k=1e9)
+        assert smoothed == pytest.approx(root.model.predict_one(np.array([0.2])), rel=1e-6)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ConfigError):
+            smoothed_predict(two_leaf_tree(), np.array([0.2]), k=-1.0)
+
+    def test_exact_blend_formula(self):
+        root = two_leaf_tree()
+        k = 15.0
+        n = root.left.n_instances
+        expected = (n * 1.0 + k * 1.67) / (n + k)
+        assert smoothed_predict(root, np.array([0.2]), k=k) == pytest.approx(expected)

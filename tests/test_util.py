@@ -1,0 +1,134 @@
+"""Tests for repro._util helpers."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    as_float_matrix,
+    as_float_vector,
+    check_matching_lengths,
+    check_random_state,
+    ensure_fraction,
+    ensure_positive,
+    format_float,
+    sample_sd,
+    stable_hash,
+)
+from repro.errors import ConfigError, DataError
+
+
+class TestCheckRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = check_random_state(42).random(5)
+        b = check_random_state(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = check_random_state(1).random(5)
+        b = check_random_state(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        generator = np.random.default_rng(0)
+        assert check_random_state(generator) is generator
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            check_random_state("seed")
+
+
+class TestAsFloatMatrix:
+    def test_converts_lists(self):
+        matrix = as_float_matrix([[1, 2], [3, 4]])
+        assert matrix.shape == (2, 2)
+        assert matrix.dtype == np.float64
+
+    def test_promotes_1d_to_row(self):
+        assert as_float_matrix([1.0, 2.0, 3.0]).shape == (1, 3)
+
+    def test_rejects_3d(self):
+        with pytest.raises(DataError):
+            as_float_matrix(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataError):
+            as_float_matrix([[1.0, float("nan")]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(DataError):
+            as_float_matrix([[float("inf"), 1.0]])
+
+
+class TestAsFloatVector:
+    def test_flattens(self):
+        assert as_float_vector([[1.0], [2.0]]).shape == (2,)
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataError):
+            as_float_vector([1.0, float("nan")])
+
+
+def test_check_matching_lengths_raises_on_mismatch():
+    with pytest.raises(DataError):
+        check_matching_lengths(np.zeros((3, 2)), np.zeros(4))
+
+
+def test_check_matching_lengths_accepts_match():
+    check_matching_lengths(np.zeros((3, 2)), np.zeros(3))
+
+
+class TestSampleSd:
+    def test_empty_is_zero(self):
+        assert sample_sd(np.array([])) == 0.0
+
+    def test_single_is_zero(self):
+        assert sample_sd(np.array([5.0])) == 0.0
+
+    def test_matches_numpy_population_sd(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        assert sample_sd(values) == pytest.approx(np.std(values))
+
+
+class TestFormatFloat:
+    def test_strips_trailing_zeros(self):
+        assert format_float(1.5000) == "1.5"
+
+    def test_integer_value(self):
+        assert format_float(2.0) == "2"
+
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+    def test_negative_zero_normalized(self):
+        assert format_float(-0.00001, digits=2) == "0"
+
+    def test_digits_respected(self):
+        assert format_float(0.123456, digits=3) == "0.123"
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash(["a", 1]) == stable_hash(["a", 1])
+
+    def test_order_sensitive(self):
+        assert stable_hash(["a", "b"]) != stable_hash(["b", "a"])
+
+    def test_short_hex(self):
+        digest = stable_hash(["x"])
+        assert len(digest) == 16
+        int(digest, 16)  # must be valid hex
+
+
+def test_ensure_positive_rejects_zero():
+    with pytest.raises(ConfigError):
+        ensure_positive(0, "value")
+
+
+def test_ensure_fraction_bounds():
+    ensure_fraction(0.0, "f")
+    ensure_fraction(1.0, "f")
+    with pytest.raises(ConfigError):
+        ensure_fraction(1.5, "f")

@@ -1,0 +1,139 @@
+"""Tests for the what-if gain estimator and the bagged-tree ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BaggedM5
+from repro.core.analysis import estimate_gain, rank_gains
+from repro.core.analysis.whatif import CPI_FLOOR
+from repro.core.tree import M5Prime
+from repro.datasets.synthetic import figure1_dataset, linear_dataset
+from repro.errors import ConfigError, DataError
+from repro.evaluation import evaluate_predictions
+
+
+class TestEstimateGain:
+    def test_zero_reduction_is_identity(self, suite_tree, suite_dataset):
+        x = suite_dataset.X[0]
+        result = estimate_gain(suite_tree, x, "L2M", reduction=0.0)
+        assert result.modified_cpi == pytest.approx(result.baseline_cpi)
+        assert result.gain_fraction == pytest.approx(0.0)
+        assert not result.reclassified
+
+    def test_matches_linear_when_no_reclassification(
+        self, suite_tree, suite_dataset
+    ):
+        x = suite_dataset.X[0].copy()
+        leaf = suite_tree.leaf_for(x)
+        if not leaf.model.names:
+            pytest.skip("constant leaf")
+        event = leaf.model.names[0]
+        result = estimate_gain(suite_tree, x, event, reduction=0.05)
+        if not result.reclassified:
+            assert result.gain_fraction == pytest.approx(
+                result.linear_gain_fraction, abs=1e-9
+            )
+
+    def test_reclassification_detected_on_mcf(self, suite_tree, suite_dataset):
+        """Eliminating L2M must move a memory-bound section left of root."""
+        labels = suite_dataset.meta["workload"]
+        rows = suite_dataset.X[labels == "mcf_like"]
+        # Pick the highest-L2M section.
+        index = suite_dataset.attribute_index("L2M")
+        x = rows[np.argmax(rows[:, index])]
+        result = estimate_gain(suite_tree, x, "L2M", reduction=1.0)
+        root = suite_tree.root_
+        if root.attribute_name == "L2M" and x[index] > root.threshold:
+            assert result.reclassified
+            assert result.modified_cpi < result.baseline_cpi
+
+    def test_floor_clamps_extrapolation(self, suite_tree, suite_dataset):
+        for x in suite_dataset.X[:50]:
+            for event in ("L2M", "DtlbLdM"):
+                result = estimate_gain(suite_tree, x, event, reduction=1.0)
+                assert result.modified_cpi >= CPI_FLOOR - 1e-12
+
+    def test_unknown_event(self, suite_tree, suite_dataset):
+        with pytest.raises(DataError):
+            estimate_gain(suite_tree, suite_dataset.X[0], "Bogus")
+
+    def test_bad_reduction(self, suite_tree, suite_dataset):
+        with pytest.raises(ConfigError):
+            estimate_gain(suite_tree, suite_dataset.X[0], "L2M", reduction=1.5)
+
+    def test_width_mismatch(self, suite_tree):
+        with pytest.raises(DataError):
+            estimate_gain(suite_tree, [1.0, 2.0], "L2M")
+
+    def test_describe(self, suite_tree, suite_dataset):
+        result = estimate_gain(suite_tree, suite_dataset.X[0], "L2M")
+        assert "L2M" in result.describe()
+        assert "CPI" in result.describe()
+
+
+class TestRankGains:
+    def test_sorted_by_gain(self, suite_tree, suite_dataset):
+        results = rank_gains(suite_tree, suite_dataset.X[5])
+        gains = [result.gain_fraction for result in results]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_covers_all_attributes_by_default(self, suite_tree, suite_dataset):
+        results = rank_gains(suite_tree, suite_dataset.X[5])
+        assert len(results) == len(suite_tree.attributes_)
+
+    def test_event_subset(self, suite_tree, suite_dataset):
+        results = rank_gains(
+            suite_tree, suite_dataset.X[5], events=("L2M", "BrMisPr")
+        )
+        assert {result.event for result in results} == {"L2M", "BrMisPr"}
+
+
+class TestBaggedM5:
+    def test_matches_single_tree_on_easy_data(self):
+        ds = figure1_dataset(n=800, rng=0)
+        ensemble = BaggedM5(n_estimators=5, min_instances=40, seed=0).fit(ds)
+        result = evaluate_predictions(ds.y, ensemble.predict(ds.X))
+        assert result.correlation > 0.99
+
+    def test_improves_on_noisy_data(self):
+        ds = figure1_dataset(n=600, noise_sd=0.4, rng=0)
+        single = M5Prime(min_instances=30).fit(ds)
+        ensemble = BaggedM5(n_estimators=15, min_instances=30, seed=0).fit(ds)
+        from repro.datasets.synthetic import figure1_dataset as fresh
+
+        test = fresh(n=600, noise_sd=0.0, rng=99)
+        single_rae = evaluate_predictions(test.y, single.predict(test.X)).rae
+        ensemble_rae = evaluate_predictions(test.y, ensemble.predict(test.X)).rae
+        assert ensemble_rae <= single_rae * 1.05
+
+    def test_prediction_is_member_mean(self):
+        ds = linear_dataset([2.0], n=120, noise_sd=0.05, rng=0)
+        ensemble = BaggedM5(n_estimators=3, min_instances=10, seed=0).fit(ds)
+        stacked = np.vstack([m.predict(ds.X) for m in ensemble.estimators_])
+        assert np.allclose(ensemble.predict(ds.X), stacked.mean(axis=0))
+
+    def test_deterministic_given_seed(self):
+        ds = linear_dataset([1.0], n=100, noise_sd=0.1, rng=0)
+        a = BaggedM5(n_estimators=3, seed=7).fit(ds).predict(ds.X)
+        b = BaggedM5(n_estimators=3, seed=7).fit(ds).predict(ds.X)
+        assert np.array_equal(a, b)
+
+    def test_mean_leaves(self):
+        ds = figure1_dataset(n=400, rng=0)
+        ensemble = BaggedM5(n_estimators=4, min_instances=30, seed=0).fit(ds)
+        assert ensemble.mean_leaves_ >= 1.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            BaggedM5(n_estimators=0)
+        with pytest.raises(ConfigError):
+            BaggedM5(sample_fraction=0.0)
+
+
+class TestGeneralizationExperiment:
+    def test_runs_at_tiny_scale(self):
+        from repro.experiments import ExperimentConfig, run_experiment
+
+        report = run_experiment("E3", ExperimentConfig.tiny())
+        assert report.measured["workloads"] == "11"
+        assert "held-out workload" in report.body

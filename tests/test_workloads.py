@@ -1,0 +1,238 @@
+"""Tests for phase parameters, schedules, stream synthesis and profiles."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.simulator.isa import CODE_REGION_BASE, KIND_BRANCH, KIND_LOAD, KIND_STORE
+from repro.workloads import (
+    PhaseParams,
+    PhaseSchedule,
+    WorkloadProfile,
+    perturbed,
+    spec_like_suite,
+    synthesize_block,
+    workload_by_name,
+)
+
+
+class TestPhaseParams:
+    def test_defaults_valid(self):
+        PhaseParams()
+
+    def test_fraction_out_of_range(self):
+        with pytest.raises(ConfigError):
+            PhaseParams(load_fraction=1.5)
+
+    def test_mix_exceeding_one(self):
+        with pytest.raises(ConfigError):
+            PhaseParams(load_fraction=0.6, store_fraction=0.4, branch_fraction=0.2)
+
+    def test_hot_set_larger_than_footprint(self):
+        with pytest.raises(ConfigError):
+            PhaseParams(data_footprint=1024, hot_set_bytes=2048)
+
+    def test_hot_code_larger_than_code(self):
+        with pytest.raises(ConfigError):
+            PhaseParams(code_footprint=1024, code_hot_bytes=2048)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            PhaseParams().ilp = 0.9
+
+
+class TestPerturbed:
+    def test_zero_scale_is_identity(self):
+        params = PhaseParams()
+        assert perturbed(params, rng=0, scale=0.0) is params
+
+    def test_results_stay_valid(self):
+        params = PhaseParams(load_fraction=0.4, store_fraction=0.3, branch_fraction=0.25)
+        for seed in range(30):
+            jittered = perturbed(params, rng=seed, scale=0.3)
+            mix = (
+                jittered.load_fraction
+                + jittered.store_fraction
+                + jittered.branch_fraction
+            )
+            assert mix <= 1.0 + 1e-9
+
+    def test_hidden_fields_jittered_less(self):
+        params = PhaseParams(ilp=0.5, hot_fraction=0.5)
+        ilp_spread = np.std(
+            [perturbed(params, rng=s, scale=0.2).ilp for s in range(200)]
+        )
+        hot_spread = np.std(
+            [perturbed(params, rng=s, scale=0.2).hot_fraction for s in range(200)]
+        )
+        assert ilp_spread < hot_spread
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            perturbed(PhaseParams(), rng=0, scale=-0.1)
+
+    def test_deterministic(self):
+        a = perturbed(PhaseParams(), rng=3)
+        b = perturbed(PhaseParams(), rng=3)
+        assert a == b
+
+
+class TestPhaseSchedule:
+    def test_weights_normalized(self):
+        schedule = PhaseSchedule([(PhaseParams(), 2.0), (PhaseParams(ilp=0.9), 6.0)])
+        assert schedule.weights == pytest.approx([0.25, 0.75])
+
+    def test_contiguous_allocation(self):
+        a = PhaseParams(ilp=0.2)
+        b = PhaseParams(ilp=0.8)
+        schedule = PhaseSchedule([(a, 0.5), (b, 0.5)])
+        assignment = [schedule.params_for(i, 10) for i in range(10)]
+        assert assignment[:5] == [a] * 5
+        assert assignment[5:] == [b] * 5
+
+    def test_phase_index(self):
+        a, b = PhaseParams(ilp=0.2), PhaseParams(ilp=0.8)
+        schedule = PhaseSchedule([(a, 0.3), (b, 0.7)])
+        assert schedule.phase_index_for(0, 10) == 0
+        assert schedule.phase_index_for(9, 10) == 1
+
+    def test_out_of_range_section(self):
+        schedule = PhaseSchedule([(PhaseParams(), 1.0)])
+        with pytest.raises(ConfigError):
+            schedule.params_for(5, 5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            PhaseSchedule([])
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ConfigError):
+            PhaseSchedule([(PhaseParams(), 0.0)])
+
+
+class TestSynthesizeBlock:
+    def test_length_and_determinism(self):
+        a = synthesize_block(PhaseParams(), 512, rng=1)
+        b = synthesize_block(PhaseParams(), 512, rng=1)
+        assert len(a) == 512
+        assert np.array_equal(a.addr, b.addr)
+        assert np.array_equal(a.kind, b.kind)
+
+    def test_mix_approximates_fractions(self):
+        params = PhaseParams(load_fraction=0.4, store_fraction=0.2, branch_fraction=0.2)
+        block = synthesize_block(params, 8192, rng=0)
+        assert block.n_loads / 8192 == pytest.approx(0.4, abs=0.03)
+        assert block.n_stores / 8192 == pytest.approx(0.2, abs=0.03)
+        assert block.n_branches / 8192 == pytest.approx(0.2, abs=0.03)
+
+    def test_addresses_within_footprint(self):
+        params = PhaseParams(data_footprint=1 << 16)
+        block = synthesize_block(params, 2048, rng=0)
+        memory = (block.kind == KIND_LOAD) | (block.kind == KIND_STORE)
+        assert np.all(block.addr[memory] < (1 << 16) + 64)
+        assert np.all(block.addr[memory] >= 0)
+
+    def test_pcs_in_code_region(self):
+        block = synthesize_block(PhaseParams(), 512, rng=0)
+        assert np.all(block.pc >= CODE_REGION_BASE)
+        assert np.all(block.pc < CODE_REGION_BASE + PhaseParams().code_footprint)
+
+    def test_lcp_fraction_respected(self):
+        params = PhaseParams(lcp_fraction=0.25)
+        block = synthesize_block(params, 8192, rng=0)
+        assert np.mean(block.lcp) == pytest.approx(0.25, abs=0.03)
+
+    def test_misalignment_controlled(self):
+        # Disable aliasing: partially-overlapping alias loads are
+        # deliberately misaligned and would contaminate the count.
+        aligned = synthesize_block(
+            PhaseParams(misalign_fraction=0.0, store_load_alias_fraction=0.0),
+            4096,
+            rng=0,
+        )
+        assert not np.any(aligned.misaligned_mask())
+        skewed = synthesize_block(
+            PhaseParams(misalign_fraction=0.5, store_load_alias_fraction=0.0),
+            4096,
+            rng=0,
+        )
+        memory = (skewed.kind == KIND_LOAD) | (skewed.kind == KIND_STORE)
+        rate = np.count_nonzero(skewed.misaligned_mask()) / max(
+            np.count_nonzero(memory), 1
+        )
+        assert rate == pytest.approx(0.5, abs=0.1)
+
+    def test_aliasing_copies_store_addresses(self):
+        params = PhaseParams(
+            store_load_alias_fraction=1.0,
+            overlap_alias_fraction=0.0,
+            misalign_fraction=0.0,
+            load_fraction=0.4,
+            store_fraction=0.4,
+            branch_fraction=0.1,
+        )
+        block = synthesize_block(params, 2048, rng=0)
+        store_addrs = set(block.addr[block.kind == KIND_STORE].tolist())
+        load_addrs = block.addr[block.kind == KIND_LOAD]
+        # Nearly every load (those with a preceding store) reads a stored address.
+        matches = sum(1 for a in load_addrs.tolist() if a in store_addrs)
+        assert matches / len(load_addrs) > 0.9
+
+    def test_branch_bias_controls_taken_rate(self):
+        params = PhaseParams(branch_bias=0.95, hard_branch_fraction=0.0)
+        block = synthesize_block(params, 8192, rng=0)
+        taken = block.taken[block.kind == KIND_BRANCH]
+        assert np.mean(taken) == pytest.approx(0.95, abs=0.04)
+
+    def test_invalid_length(self):
+        with pytest.raises(ConfigError):
+            synthesize_block(PhaseParams(), 0)
+
+    def test_scalars_propagated(self):
+        params = PhaseParams(ilp=0.7, dependent_miss_fraction=0.4)
+        block = synthesize_block(params, 128, rng=0)
+        assert block.ilp == 0.7
+        assert block.dependent_miss_fraction == 0.4
+
+
+class TestProfiles:
+    def test_suite_has_eleven_workloads(self):
+        suite = spec_like_suite()
+        assert len(suite) == 11
+        names = [profile.name for profile in suite]
+        assert len(set(names)) == len(names)
+
+    def test_lookup_by_name(self):
+        assert workload_by_name("mcf_like").name == "mcf_like"
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            workload_by_name("doom_like")
+
+    def test_single_phase_constructor(self):
+        profile = WorkloadProfile.single_phase("x", PhaseParams(), "desc")
+        assert len(profile.schedule) == 1
+        assert profile.section_params(0, 10) is profile.schedule.phases[0]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError):
+            WorkloadProfile("", PhaseSchedule([(PhaseParams(), 1.0)]))
+
+    def test_gcc_has_lcp_phase(self):
+        profile = workload_by_name("gcc_like")
+        lcp_rates = [phase.lcp_fraction for phase in profile.schedule.phases]
+        assert max(lcp_rates) > 0.05
+        assert min(lcp_rates) < 0.01
+
+    def test_mcf_is_pointer_chasing(self):
+        profile = workload_by_name("mcf_like")
+        chasing = profile.schedule.phases[0]
+        assert chasing.dependent_miss_fraction > 0.8
+        assert chasing.data_footprint > 16 * 1024 * 1024
+
+    def test_cactus_has_large_code_footprint(self):
+        profile = workload_by_name("cactus_like")
+        stencil = profile.schedule.phases[0]
+        assert stencil.code_footprint > 1024 * 1024
