@@ -17,6 +17,8 @@ The package bundles everything the paper depends on:
   fixed-penalty model used for comparison.
 * :mod:`repro.evaluation` — metrics and 10-fold cross validation.
 * :mod:`repro.experiments` — one entry point per paper table/figure.
+* :mod:`repro.lint` — static verification of trees, datasets, and
+  model/data compatibility (``repro lint``).
 """
 
 from repro.counters import PREDICTOR_METRICS, TARGET_METRIC
@@ -24,6 +26,7 @@ from repro.core.analysis import PerformanceAnalyzer
 from repro.core.tree import M5Prime
 from repro.datasets import Dataset
 from repro.evaluation import EvaluationResult, cross_validate, evaluate_predictions
+from repro.lint import Diagnostic, LintReport, run_lint
 from repro.simulator import MachineConfig, SimulatedCore
 from repro.workloads import WorkloadProfile, simulate_suite, spec_like_suite
 
@@ -31,7 +34,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Dataset",
+    "Diagnostic",
     "EvaluationResult",
+    "LintReport",
     "M5Prime",
     "MachineConfig",
     "PREDICTOR_METRICS",
@@ -42,6 +47,7 @@ __all__ = [
     "__version__",
     "cross_validate",
     "evaluate_predictions",
+    "run_lint",
     "simulate_suite",
     "spec_like_suite",
 ]

@@ -8,7 +8,7 @@ to read the model" upper bound that still uses the paper's learner.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -9,7 +9,7 @@ closed-form soft-threshold update — simple, dependency-free and robust.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

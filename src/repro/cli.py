@@ -8,12 +8,14 @@ Subcommands mirror the paper's workflow:
 * ``repro evaluate``    — cross-validate one learner on a dataset
 * ``repro compare``     — the full method comparison table
 * ``repro experiments`` — run registered paper-artifact experiments
+* ``repro lint``        — statically verify models, datasets, compatibility
 * ``repro workloads``   — list the synthetic suite
 
 Example::
 
     repro collect --out sections.csv --sections 120
     repro train --data sections.csv --min-instances 25
+    repro lint --model model.json --data sections.csv --strict
     repro experiments --id F2 --preset quick
 """
 
@@ -73,6 +75,24 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--seed", type=int, default=0)
     evaluate.add_argument("--residuals", action="store_true",
                           help="break residuals down by workload and class")
+    evaluate.add_argument("--format", default="text", choices=["text", "json"],
+                          help="output format (json shares the repro-report "
+                          "envelope with `repro lint`)")
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically verify a saved model and/or a dataset",
+        description="Run the tree, dataset, and compatibility rule "
+        "families over a saved model and/or a section dataset. "
+        "Exit codes: 0 clean, 1 warnings with --strict, 2 errors.",
+    )
+    lint.add_argument("--model", help="saved model JSON to verify")
+    lint.add_argument("--data", help="dataset CSV to verify")
+    lint.add_argument("--format", default="text", choices=["text", "json"])
+    lint.add_argument("--strict", action="store_true",
+                      help="exit 1 when warnings are the worst finding")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
 
     compare = sub.add_parser("compare", help="method comparison table")
     compare.add_argument("--data", required=True)
@@ -210,6 +230,19 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     dataset = _load(args.data)
     factory = _make_learner(args.learner, args.min_instances, args.seed)
     result = cross_validate(factory, dataset, n_folds=args.folds, rng=args.seed)
+    if args.format == "json":
+        from repro.lint import json_document
+
+        print(json_document("evaluate", {
+            "learner": args.learner,
+            "data": args.data,
+            "folds": result.n_folds,
+            "seed": args.seed,
+            "mean": result.mean.to_dict(),
+            "pooled": result.pooled.to_dict(),
+            "per_fold": [fold.to_dict() for fold in result.folds],
+        }))
+        return 0
     print(result.describe())
     if args.residuals:
         model = factory()
@@ -218,6 +251,38 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         print()
         print(residual_report(dataset, result.predictions, model=tree).render())
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        all_rules,
+        load_table,
+        render_json,
+        render_text,
+        run_lint,
+    )
+
+    if args.list_rules:
+        for lint_rule in all_rules():
+            print(f"{lint_rule.rule_id:<10} {lint_rule.family:<8} "
+                  f"{lint_rule.severity.value:<8} {lint_rule.summary}")
+        return 0
+    if not args.model and not args.data:
+        raise ReproError("lint needs --model and/or --data (or --list-rules)")
+    model = None
+    if args.model:
+        from repro.core.tree import load_model
+
+        model = load_model(args.model)
+    # load_table, not _load: lint must *report* NaN/Inf cells, not crash
+    # on the validating Dataset constructor.
+    dataset = load_table(args.data) if args.data else None
+    report = run_lint(model=model, dataset=dataset)
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return report.exit_code(strict=args.strict)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -320,6 +385,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "analyze": _cmd_analyze,
     "evaluate": _cmd_evaluate,
+    "lint": _cmd_lint,
     "compare": _cmd_compare,
     "describe": _cmd_describe,
     "experiments": _cmd_experiments,

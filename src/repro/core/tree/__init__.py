@@ -23,7 +23,13 @@ from repro.core.tree.linear import (
     select_uncorrelated,
     simplify_model,
 )
-from repro.core.tree.node import LeafNode, Node, SplitNode
+from repro.core.tree.node import (
+    LeafNode,
+    Node,
+    SplitNode,
+    is_empty_bounds,
+    iter_nodes_with_bounds,
+)
 from repro.core.tree.splitting import Split, find_best_split
 from repro.core.tree.builder import TreeBuilder
 from repro.core.tree.pruning import prune_tree
@@ -42,6 +48,8 @@ __all__ = [
     "SplitNode",
     "TreeBuilder",
     "find_best_split",
+    "is_empty_bounds",
+    "iter_nodes_with_bounds",
     "load_model",
     "model_from_dict",
     "model_to_dict",

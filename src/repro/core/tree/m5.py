@@ -17,7 +17,15 @@ import numpy as np
 from repro._util import as_float_matrix
 from repro.core.tree.builder import TreeBuilder
 from repro.core.tree.linear import LinearModel
-from repro.core.tree.node import LeafNode, Node, path_to_leaf, route
+from repro.core.tree.node import (
+    Bounds,
+    LeafNode,
+    Node,
+    SplitNode,
+    iter_nodes_with_bounds,
+    path_to_leaf,
+    route,
+)
 from repro.core.tree.pruning import prune_tree
 from repro.core.tree.render import render_models, render_tree
 from repro.core.tree.smoothing import DEFAULT_SMOOTHING_K, smoothed_predict
@@ -85,6 +93,11 @@ class M5Prime:
         self.root_: Optional[Node] = None
         self.attributes_: Tuple[str, ...] = ()
         self.target_name_: str = "Y"
+        #: Per-attribute training (min, max), recorded at fit time and
+        #: persisted with the model so validators can check thresholds and
+        #: incoming data against the regime the tree was trained on.
+        #: ``None`` for models deserialized from pre-range documents.
+        self.feature_ranges_: Optional[Tuple[Tuple[float, float], ...]] = None
 
     # ------------------------------------------------------------------
     def fit(
@@ -112,6 +125,9 @@ class M5Prime:
         self.root_ = root
         self.attributes_ = names
         self.target_name_ = target_name
+        self.feature_ranges_ = tuple(
+            (float(np.min(column)), float(np.max(column))) for column in X.T
+        )
         return self
 
     def _require_fitted(self) -> Node:
@@ -174,6 +190,22 @@ class M5Prime:
         """Leaf id -> linear model, the paper's LM1..LMk."""
         root = self._require_fitted()
         return {leaf.leaf_id: leaf.model for leaf in root.leaves()}  # type: ignore[misc]
+
+    def splits(self) -> List[SplitNode]:
+        """All interior (split) nodes, pre-order — the tree's test set."""
+        return self._require_fitted().splits()
+
+    def iter_bounds(self):
+        """Yield ``(node, bounds)`` pairs over the whole tree.
+
+        ``bounds`` maps attribute index to the feasible ``(low, high)``
+        interval implied by the split tests above the node — the metadata
+        validators use to detect unreachable branches.  See
+        :func:`repro.core.tree.node.iter_nodes_with_bounds`.
+        """
+        root = self._require_fitted()
+        bounds: Bounds = {}
+        yield from iter_nodes_with_bounds(root, bounds)
 
     # ------------------------------------------------------------------
     @property

@@ -49,6 +49,11 @@ def model_to_dict(model: M5Prime) -> Dict[str, Any]:
                 else None
             ),
         },
+        "feature_ranges": (
+            [[low, high] for low, high in model.feature_ranges_]
+            if model.feature_ranges_ is not None
+            else None
+        ),
         "tree": _node_to_dict(model.root_),
     }
 
@@ -100,8 +105,13 @@ def model_from_dict(payload: Dict[str, Any]) -> M5Prime:
         model = M5Prime(**params)
         model.attributes_ = tuple(payload["attributes"])
         model.target_name_ = str(payload["target"])
+        ranges = payload.get("feature_ranges")
+        if ranges is not None:
+            model.feature_ranges_ = tuple(
+                (float(low), float(high)) for low, high in ranges
+            )
         model.root_ = _node_from_dict(payload["tree"])
-    except (KeyError, TypeError) as exc:
+    except (KeyError, TypeError, ValueError) as exc:
         raise ParseError(f"malformed model document: {exc}") from None
     assign_leaf_ids(model.root_)
     return model
@@ -145,10 +155,20 @@ def save_model(model: M5Prime, path: PathLike) -> None:
 
 
 def load_model(path: PathLike) -> M5Prime:
-    """Read a fitted model from a JSON file."""
+    """Read a fitted model from a JSON file.
+
+    Malformed files — invalid JSON, missing keys, an unknown format or
+    version — raise :class:`repro.errors.ParseError` naming the
+    offending path, never a raw ``KeyError``/``JSONDecodeError``.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         try:
             payload = json.load(handle)
         except json.JSONDecodeError as exc:
-            raise ParseError(f"invalid JSON: {exc}") from None
-    return model_from_dict(payload)
+            raise ParseError(f"{path}: invalid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ParseError(f"{path}: expected a JSON object at top level")
+    try:
+        return model_from_dict(payload)
+    except ParseError as exc:
+        raise ParseError(f"{path}: {exc}") from None

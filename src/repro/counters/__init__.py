@@ -32,7 +32,16 @@ from repro.counters.derive import (
     sections_to_dataset,
     validate_counts,
 )
-from repro.counters.invariants import assert_invariants, check_invariants
+from repro.counters.invariants import (
+    METRIC_INVARIANTS,
+    RAW_COUNT_INVARIANTS,
+    Invariant,
+    InvariantViolation,
+    applicable_invariants,
+    assert_invariants,
+    check_dataset,
+    check_invariants,
+)
 
 __all__ = [
     "ALL_EVENTS",
@@ -40,14 +49,20 @@ __all__ = [
     "EVENT_BY_NAME",
     "EventSpec",
     "INST_RETIRED_ANY",
+    "Invariant",
+    "InvariantViolation",
     "METRIC_BY_NAME",
+    "METRIC_INVARIANTS",
+    "RAW_COUNT_INVARIANTS",
     "METRIC_NAMES",
     "MetricSpec",
     "PREDICTOR_METRICS",
     "PREDICTOR_NAMES",
     "STALL_METRICS",
     "TARGET_METRIC",
+    "applicable_invariants",
     "assert_invariants",
+    "check_dataset",
     "check_invariants",
     "metric_row",
     "metric_vector",

@@ -9,7 +9,7 @@ a renderable report; the CLI exposes it as ``repro describe``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

@@ -33,3 +33,7 @@ class ConfigError(ReproError):
 
 class ParseError(ReproError):
     """A serialized artifact (ARFF, CSV, report) could not be parsed."""
+
+
+class LintError(ReproError):
+    """The lint subsystem was misused (no inputs, bad rule id, bad config)."""

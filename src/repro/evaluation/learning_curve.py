@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
-import numpy as np
 
 from repro._util import RandomState, check_random_state
 from repro.datasets.dataset import Dataset

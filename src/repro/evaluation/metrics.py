@@ -93,6 +93,17 @@ class EvaluationResult:
             f"RRSE={100 * self.rrse:.2f}%  (n={self.n})"
         )
 
+    def to_dict(self) -> dict:
+        """Plain-JSON form for machine-readable reporting."""
+        return {
+            "correlation": self.correlation,
+            "mae": self.mae,
+            "rae": self.rae,
+            "rmse": self.rmse,
+            "rrse": self.rrse,
+            "n": self.n,
+        }
+
 
 def evaluate_predictions(y_true: Sequence, y_pred: Sequence) -> EvaluationResult:
     """Compute every metric at once."""

@@ -11,7 +11,6 @@ corrected one by default.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 from scipy import stats

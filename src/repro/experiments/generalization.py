@@ -15,7 +15,6 @@ from typing import Optional
 import numpy as np
 
 from repro.core.tree import M5Prime
-from repro.evaluation import evaluate_predictions
 from repro.evaluation.tables import render_table
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.data import suite_dataset

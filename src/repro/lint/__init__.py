@@ -1,0 +1,202 @@
+"""Static analysis of trees, datasets, and model/data compatibility.
+
+The paper's value proposition is *trustworthy interpretation*: split
+variables and leaf coefficients are read off as micro-architectural
+explanations, so a malformed tree or a corrupt counter dataset silently
+poisons the "what" and "how much" answers.  This subsystem verifies the
+artifacts statically — before they are trained on, shipped, or loaded —
+through three rule families:
+
+* **tree** (``TREE0xx``): structural soundness of a fitted/deserialized
+  :class:`~repro.core.tree.m5.M5Prime` — feature indices, reachability,
+  leaf populations, coefficient sanity, serialization round trips.
+* **dataset** (``DATA0xx``): section-dataset hygiene — non-finite
+  values, constant/duplicate columns, per-instruction ratio bounds, the
+  Table I event hierarchy, target outliers and leakage.
+* **compat** (``COMPAT0xx``): model vs. dataset — attribute name/order
+  agreement, values inside the trained regime, finite predictions.
+
+Usage::
+
+    from repro.lint import run_lint
+    report = run_lint(model=model, dataset=dataset)
+    print(report.summary())
+    assert report.exit_code(strict=True) == 0
+
+or from the command line::
+
+    repro lint --model model.json --data sections.csv --strict
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.datasets.dataset import Dataset
+from repro.core.tree.m5 import M5Prime
+from repro.errors import LintError
+from repro.lint.context import LintConfig, LintContext
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.lint.loading import Table, as_table, load_table
+from repro.lint.registry import (
+    ALL_FAMILIES,
+    FAMILY_COMPAT,
+    FAMILY_DATASET,
+    FAMILY_TREE,
+    LintRule,
+    all_rules,
+    get_rule,
+    rule,
+    rules_for,
+)
+from repro.lint.reporters import (
+    json_document,
+    render_json,
+    render_text,
+)
+
+# Importing the rule modules registers their rules.
+from repro.lint import tree_rules as _tree_rules  # noqa: F401
+from repro.lint import data_rules as _data_rules  # noqa: F401
+from repro.lint import compat_rules as _compat_rules  # noqa: F401
+
+__all__ = [
+    "ALL_FAMILIES",
+    "Diagnostic",
+    "LintConfig",
+    "LintContext",
+    "LintReport",
+    "LintRule",
+    "Severity",
+    "Table",
+    "all_rules",
+    "as_table",
+    "get_rule",
+    "json_document",
+    "load_table",
+    "lint_compatibility",
+    "lint_dataset",
+    "lint_model",
+    "render_json",
+    "render_text",
+    "rule",
+    "rules_for",
+    "run_lint",
+]
+
+
+def _resolve_families(
+    model: Optional[M5Prime],
+    dataset: Optional[Table],
+    families: Optional[Sequence[str]],
+) -> tuple:
+    available = []
+    if model is not None:
+        available.append(FAMILY_TREE)
+    if dataset is not None:
+        available.append(FAMILY_DATASET)
+    if model is not None and dataset is not None:
+        available.append(FAMILY_COMPAT)
+    if families is None:
+        return tuple(available)
+    for family in families:
+        if family not in ALL_FAMILIES:
+            raise LintError(f"unknown rule family {family!r}")
+        if family not in available:
+            raise LintError(
+                f"family {family!r} needs "
+                + (
+                    "both a model and a dataset"
+                    if family == FAMILY_COMPAT
+                    else f"a {'model' if family == FAMILY_TREE else 'dataset'}"
+                )
+            )
+    return tuple(f for f in ALL_FAMILIES if f in families)
+
+
+def run_lint(
+    model: Optional[M5Prime] = None,
+    dataset: Optional[Union[Dataset, Table]] = None,
+    config: Optional[LintConfig] = None,
+    families: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Run every applicable lint rule and collect the findings.
+
+    Args:
+        model: A *fitted* :class:`M5Prime` (enables the tree family).
+        dataset: A section :class:`Dataset`, or the lenient
+            :class:`Table` view from :func:`load_table` for files a
+            validating Dataset would refuse (enables the dataset family;
+            together with ``model``, the compat family).
+        config: Threshold overrides; defaults to :class:`LintConfig`.
+        families: Restrict to these families instead of everything the
+            inputs allow.
+
+    Returns:
+        A :class:`LintReport`; ``report.exit_code(strict)`` maps it to
+        the CLI contract (0 clean, 1 warnings under strict, 2 errors).
+
+    Raises:
+        LintError: No inputs given, an unfitted model, or a requested
+            family its inputs cannot support.
+    """
+    if model is None and dataset is None:
+        raise LintError("lint needs a model, a dataset, or both")
+    if model is not None and model.root_ is None:
+        raise LintError("cannot lint an unfitted model")
+    table = as_table(dataset) if dataset is not None else None
+    selected = _resolve_families(model, table, families)
+    context = LintContext(
+        model=model, dataset=table, config=config or LintConfig()
+    )
+    report = LintReport(families=selected)
+    for family in selected:
+        for lint_rule in rules_for(family):
+            report.n_rules += 1
+            try:
+                findings = lint_rule.check(context)
+            except LintError:
+                raise
+            except Exception as exc:
+                raise LintError(
+                    f"lint rule {lint_rule.rule_id} crashed: {exc!r}"
+                ) from exc
+            for finding in findings:
+                if isinstance(finding, Diagnostic):
+                    report.diagnostics.append(finding)
+                else:
+                    message, location = finding
+                    report.diagnostics.append(
+                        Diagnostic(
+                            rule_id=lint_rule.rule_id,
+                            severity=lint_rule.severity,
+                            message=message,
+                            location=location,
+                        )
+                    )
+    return report
+
+
+def lint_model(
+    model: M5Prime, config: Optional[LintConfig] = None
+) -> LintReport:
+    """Run the tree rules alone."""
+    return run_lint(model=model, config=config, families=(FAMILY_TREE,))
+
+
+def lint_dataset(
+    dataset: Union[Dataset, Table], config: Optional[LintConfig] = None
+) -> LintReport:
+    """Run the dataset rules alone."""
+    return run_lint(dataset=dataset, config=config, families=(FAMILY_DATASET,))
+
+
+def lint_compatibility(
+    model: M5Prime,
+    dataset: Union[Dataset, Table],
+    config: Optional[LintConfig] = None,
+) -> LintReport:
+    """Run the model-vs-dataset compatibility rules alone."""
+    return run_lint(
+        model=model, dataset=dataset, config=config, families=(FAMILY_COMPAT,)
+    )

@@ -1,0 +1,179 @@
+"""Compatibility rules: is this dataset safe to feed to this model?
+
+A serialized tree is only as trustworthy as the match between the data
+it was trained on and the data it is asked to classify.  These rules
+cross-check a fitted :class:`~repro.core.tree.m5.M5Prime` against a
+:class:`~repro.datasets.dataset.Dataset`: name/order agreement first,
+then whether the data actually lives in the regime the tree's splits
+and training ranges describe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.tree.m5 import M5Prime
+from repro.datasets.dataset import Dataset
+from repro.lint.context import LintContext
+from repro.lint.diagnostics import Severity
+from repro.lint.registry import FAMILY_COMPAT, rule
+
+Finding = Tuple[str, str]
+
+
+def _aligned(model: M5Prime, dataset: Dataset) -> bool:
+    return tuple(dataset.attributes) == tuple(model.attributes_)
+
+
+@rule(
+    "COMPAT001",
+    FAMILY_COMPAT,
+    Severity.ERROR,
+    "dataset attributes match the model's training attributes, in order",
+)
+def attribute_mismatch(ctx: LintContext) -> Iterator[Finding]:
+    model, dataset = ctx.model, ctx.dataset
+    assert model is not None and dataset is not None
+    trained = tuple(model.attributes_)
+    given = tuple(dataset.attributes)
+    if given == trained:
+        return
+    missing = [name for name in trained if name not in given]
+    extra = [name for name in given if name not in trained]
+    if missing:
+        yield (
+            f"dataset lacks attribute(s) the model was trained on: "
+            f"{', '.join(missing)}",
+            "",
+        )
+    if extra:
+        yield (
+            f"dataset carries attribute(s) unknown to the model: "
+            f"{', '.join(extra)}",
+            "",
+        )
+    if not missing and not extra:
+        yield (
+            "dataset has the model's attributes but in a different order; "
+            "column positions would be misread",
+            "",
+        )
+
+
+@rule(
+    "COMPAT002",
+    FAMILY_COMPAT,
+    Severity.WARNING,
+    "dataset target name matches the model's",
+)
+def target_mismatch(ctx: LintContext) -> Iterator[Finding]:
+    model, dataset = ctx.model, ctx.dataset
+    assert model is not None and dataset is not None
+    if dataset.target_name != model.target_name_:
+        yield (
+            f"dataset target is {dataset.target_name!r} but the model "
+            f"predicts {model.target_name_!r}",
+            "",
+        )
+
+
+def _model_ranges(model: M5Prime) -> Optional[Dict[int, Tuple[float, float]]]:
+    """Per-attribute range the model knows: training range, else split span."""
+    if model.feature_ranges_ is not None:
+        return dict(enumerate(model.feature_ranges_))
+    assert model.root_ is not None
+    spans: Dict[int, List[float]] = {}
+    for node in model.root_.splits():
+        spans.setdefault(node.attribute_index, []).append(node.threshold)
+    if not spans:
+        return None
+    return {
+        index: (min(thresholds), max(thresholds))
+        for index, thresholds in spans.items()
+    }
+
+
+@rule(
+    "COMPAT003",
+    FAMILY_COMPAT,
+    Severity.WARNING,
+    "dataset values stay near the ranges the tree was trained on",
+)
+def data_outside_trained_range(ctx: LintContext) -> Iterator[Finding]:
+    model, dataset = ctx.model, ctx.dataset
+    assert model is not None and dataset is not None
+    if not _aligned(model, dataset):
+        return  # COMPAT001 already reported the real problem
+    ranges = _model_ranges(model)
+    if ranges is None:
+        return  # single-leaf pre-range artifact: nothing to compare against
+    slack = ctx.config.range_slack
+    for index, (low, high) in sorted(ranges.items()):
+        if not 0 <= index < dataset.n_attributes:
+            continue  # TREE001 territory
+        span = high - low
+        margin = slack * (span if span > 0 else max(abs(high), 1.0))
+        column = dataset.X[:, index]
+        finite = np.isfinite(column)
+        bad = np.flatnonzero(
+            finite & ((column < low - margin) | (column > high + margin))
+        )
+        if bad.size:
+            fraction = bad.size / max(dataset.n_instances, 1)
+            yield (
+                f"{bad.size} value(s) ({100 * fraction:.1f}%) fall outside "
+                f"[{low:.6g}, {high:.6g}] (+{100 * slack:.0f}% slack) the "
+                "model was trained on; its predictions extrapolate there",
+                f"column {dataset.attributes[index]}",
+            )
+
+
+@rule(
+    "COMPAT004",
+    FAMILY_COMPAT,
+    Severity.WARNING,
+    "a multi-leaf tree spreads the dataset over more than one class",
+)
+def single_leaf_concentration(ctx: LintContext) -> Iterator[Finding]:
+    model, dataset = ctx.model, ctx.dataset
+    assert model is not None and dataset is not None
+    if not _aligned(model, dataset) or model.n_leaves < 2:
+        return
+    if not np.isfinite(dataset.X).all():
+        return  # DATA001 territory; routing NaNs is undefined
+    leaf_ids = model.leaf_ids(dataset.X)
+    distinct = np.unique(leaf_ids)
+    if distinct.size == 1:
+        yield (
+            f"all {dataset.n_instances} instances route to leaf "
+            f"LM{int(distinct[0])} of a {model.n_leaves}-leaf tree; the "
+            "dataset does not exercise the model's class structure",
+            "",
+        )
+
+
+@rule(
+    "COMPAT005",
+    FAMILY_COMPAT,
+    Severity.ERROR,
+    "the model produces finite predictions on the dataset",
+)
+def non_finite_predictions(ctx: LintContext) -> Iterator[Finding]:
+    model, dataset = ctx.model, ctx.dataset
+    assert model is not None and dataset is not None
+    if not _aligned(model, dataset):
+        return  # COMPAT001 already reported the real problem
+    if not np.isfinite(dataset.X).all():
+        return  # DATA001 territory; NaN inputs trivially break predictions
+    predictions = model.predict(dataset.X)
+    bad = np.flatnonzero(~np.isfinite(predictions))
+    if bad.size:
+        shown = ", ".join(str(int(i)) for i in bad[:6])
+        extra = bad.size - 6
+        rows = shown + (f" (+{extra} more)" if extra > 0 else "")
+        yield (
+            f"{bad.size} non-finite prediction(s) at rows {rows}",
+            "",
+        )

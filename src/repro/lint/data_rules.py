@@ -1,0 +1,238 @@
+"""Dataset rules: vetting section datasets before (or after) modeling.
+
+CounterPoint-style hygiene for counter data: raw hardware-counter
+collections routinely violate architectural invariants, and a model fit
+on corrupt sections inherits the corruption invisibly.  These rules run
+vectorized over a whole :class:`~repro.datasets.dataset.Dataset` and
+reuse the same declarative invariant table the per-snapshot collection
+checks use (:mod:`repro.counters.invariants`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.counters.invariants import (
+    METRIC_INVARIANTS,
+    applicable_invariants,
+    check_dataset,
+)
+from repro.counters.metrics import PREDICTOR_NAMES, TARGET_METRIC
+from repro.lint.context import LintContext
+from repro.lint.diagnostics import Severity
+from repro.lint.registry import FAMILY_DATASET, rule
+
+Finding = Tuple[str, str]
+
+#: Numerical spread below which a column counts as constant.
+_CONSTANT_EPS = 1e-15
+
+
+def _row_list(rows: Sequence[int], limit: int = 6) -> str:
+    shown = ", ".join(str(r) for r in rows[:limit])
+    extra = len(rows) - limit
+    return shown + (f" (+{extra} more)" if extra > 0 else "")
+
+
+@rule(
+    "DATA001",
+    FAMILY_DATASET,
+    Severity.ERROR,
+    "no NaN or infinite values in attributes or target",
+)
+def non_finite_values(ctx: LintContext) -> Iterator[Finding]:
+    dataset = ctx.dataset
+    assert dataset is not None
+    for name, column in zip(dataset.attributes, dataset.X.T):
+        bad = np.flatnonzero(~np.isfinite(column))
+        if bad.size:
+            yield (
+                f"{bad.size} non-finite value(s) at rows {_row_list(bad)}",
+                f"column {name}",
+            )
+    bad = np.flatnonzero(~np.isfinite(dataset.y))
+    if bad.size:
+        yield (
+            f"{bad.size} non-finite value(s) at rows {_row_list(bad)}",
+            f"column {dataset.target_name}",
+        )
+
+
+@rule(
+    "DATA002",
+    FAMILY_DATASET,
+    Severity.WARNING,
+    "no attribute column is constant",
+)
+def constant_column(ctx: LintContext) -> Iterator[Finding]:
+    dataset = ctx.dataset
+    assert dataset is not None
+    for name, column in zip(dataset.attributes, dataset.X.T):
+        finite = column[np.isfinite(column)]
+        if finite.size and np.ptp(finite) <= _CONSTANT_EPS:
+            yield (
+                f"column is constant at {finite[0]:.6g}; it cannot inform "
+                "any split or model term",
+                f"column {name}",
+            )
+
+
+@rule(
+    "DATA003",
+    FAMILY_DATASET,
+    Severity.WARNING,
+    "no two attribute columns are identical",
+)
+def duplicate_columns(ctx: LintContext) -> Iterator[Finding]:
+    dataset = ctx.dataset
+    assert dataset is not None
+    columns = dataset.X.T
+    names = dataset.attributes
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            with np.errstate(invalid="ignore"):
+                if np.array_equal(columns[i], columns[j], equal_nan=True):
+                    yield (
+                        f"columns {names[i]} and {names[j]} are identical; "
+                        "one is redundant and will destabilize node models",
+                        f"column {names[j]}",
+                    )
+
+
+@rule(
+    "DATA004",
+    FAMILY_DATASET,
+    Severity.ERROR,
+    "per-instruction ratio columns stay inside [0, bound]",
+)
+def ratio_out_of_bounds(ctx: LintContext) -> Iterator[Finding]:
+    dataset = ctx.dataset
+    assert dataset is not None
+    bound = ctx.config.ratio_bound
+    known = set(PREDICTOR_NAMES)
+    for name, column in zip(dataset.attributes, dataset.X.T):
+        if name not in known:
+            continue
+        finite = np.isfinite(column)
+        tolerance = 1e-6 * max(1.0, bound)
+        bad = np.flatnonzero(
+            finite & ((column < -tolerance) | (column > bound + tolerance))
+        )
+        if bad.size:
+            yield (
+                f"{bad.size} value(s) outside [0, {bound:g}] at rows "
+                f"{_row_list(bad)}; per-instruction ratios cannot leave "
+                "that interval",
+                f"column {name}",
+            )
+
+
+@rule(
+    "DATA005",
+    FAMILY_DATASET,
+    Severity.ERROR,
+    "the Table I event hierarchy holds across columns",
+)
+def hierarchy_violation(ctx: LintContext) -> Iterator[Finding]:
+    dataset = ctx.dataset
+    assert dataset is not None
+    invariants = applicable_invariants(METRIC_INVARIANTS, dataset.attributes)
+    if not invariants:
+        return
+    columns = {
+        name: dataset.X[:, i]
+        for i, name in enumerate(dataset.attributes)
+    }
+    for violation in check_dataset(columns, invariants, check_negative=False):
+        yield (
+            f"{violation.message} at rows {_row_list(violation.rows)}",
+            f"invariant {violation.invariant}",
+        )
+
+
+@rule(
+    "DATA006",
+    FAMILY_DATASET,
+    Severity.ERROR,
+    "a CPI target is strictly positive",
+)
+def nonpositive_target(ctx: LintContext) -> Iterator[Finding]:
+    dataset = ctx.dataset
+    assert dataset is not None
+    if dataset.target_name != TARGET_METRIC.name:
+        return  # only CPI carries the physical positivity constraint
+    finite = np.isfinite(dataset.y)
+    bad = np.flatnonzero(finite & (dataset.y <= 0))
+    if bad.size:
+        yield (
+            f"{bad.size} non-positive CPI value(s) at rows {_row_list(bad)}; "
+            "cycles per instruction must be positive",
+            f"column {dataset.target_name}",
+        )
+
+
+@rule(
+    "DATA007",
+    FAMILY_DATASET,
+    Severity.WARNING,
+    "the target has no extreme outliers (robust z-score)",
+)
+def target_outliers(ctx: LintContext) -> Iterator[Finding]:
+    dataset = ctx.dataset
+    assert dataset is not None
+    finite = np.isfinite(dataset.y)
+    values = dataset.y[finite]
+    if values.size < 8:
+        return  # too few rows for a meaningful robust spread
+    # CPI-like targets are positive and heavy-tailed (a memory-bound
+    # workload legitimately runs at 10x the median CPI), so judge spread
+    # on the log scale when possible; fall back to linear otherwise.
+    if np.all(values > 0):
+        transformed = np.where(finite & (dataset.y > 0), dataset.y, 1.0)
+        samples = np.log(transformed)
+        reference = np.log(values)
+    else:
+        samples = dataset.y
+        reference = values
+    median = float(np.median(reference))
+    mad = float(np.median(np.abs(reference - median)))
+    if mad <= _CONSTANT_EPS:
+        return
+    scores = np.abs(samples - median) / (1.4826 * mad)
+    bad = np.flatnonzero(finite & (scores > ctx.config.outlier_z))
+    if bad.size:
+        worst = float(np.max(scores[bad]))
+        yield (
+            f"{bad.size} outlier(s) beyond {ctx.config.outlier_z:g} robust "
+            f"sigma (worst {worst:.1f}) at rows {_row_list(bad)}",
+            f"column {dataset.target_name}",
+        )
+
+
+@rule(
+    "DATA008",
+    FAMILY_DATASET,
+    Severity.WARNING,
+    "no attribute column is a near-copy of the target (leakage)",
+)
+def target_leakage(ctx: LintContext) -> Iterator[Finding]:
+    dataset = ctx.dataset
+    assert dataset is not None
+    y = dataset.y
+    finite_y = y[np.isfinite(y)]
+    if finite_y.size == 0 or np.ptp(finite_y) <= _CONSTANT_EPS:
+        return
+    for name, column in zip(dataset.attributes, dataset.X.T):
+        mask = np.isfinite(column) & np.isfinite(y)
+        if mask.sum() < 3 or np.ptp(column[mask]) <= _CONSTANT_EPS:
+            continue
+        correlation = abs(float(np.corrcoef(column[mask], y[mask])[0, 1]))
+        if correlation >= ctx.config.leakage_corr:
+            yield (
+                f"|correlation| with target {dataset.target_name} is "
+                f"{correlation:.6f} (>= {ctx.config.leakage_corr:g}); the "
+                "column likely leaks the target",
+                f"column {name}",
+            )

@@ -1,0 +1,120 @@
+"""Lenient table loading for lint.
+
+:class:`~repro.datasets.dataset.Dataset` validates on construction — it
+refuses NaN/Inf outright — which is the correct contract for modeling
+but useless for a linter whose job is to *report* such corruption.
+:class:`Table` is the permissive view the dataset rules operate on:
+same column layout as a dataset (attributes, target last), no value
+validation.  Unparseable numeric cells load as NaN so the NaN-scan rule
+pinpoints them instead of the loader crashing.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.errors import ParseError
+
+PathLike = Union[str, Path]
+
+_META_PREFIX = "#"
+
+
+@dataclass
+class Table:
+    """An unvalidated attribute matrix + target vector.
+
+    Structurally identical to :class:`Dataset` (and every dataset lint
+    rule accepts either), but values may be NaN/Inf — that is what the
+    rules are there to find.
+    """
+
+    attributes: Tuple[str, ...]
+    X: np.ndarray
+    y: np.ndarray
+    target_name: str
+
+    @property
+    def n_instances(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def n_attributes(self) -> int:
+        return self.X.shape[1]
+
+    def __repr__(self) -> str:
+        return (
+            f"Table(n_instances={self.n_instances}, "
+            f"n_attributes={self.n_attributes}, target={self.target_name!r})"
+        )
+
+
+def as_table(data: Union[Dataset, Table]) -> Table:
+    """View a :class:`Dataset` (or pass a :class:`Table` through) for lint."""
+    if isinstance(data, Table):
+        return data
+    return Table(
+        attributes=tuple(data.attributes),
+        X=np.asarray(data.X, dtype=np.float64),
+        y=np.asarray(data.y, dtype=np.float64),
+        target_name=data.target_name,
+    )
+
+
+def _cell(value: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        return float("nan")
+
+
+def load_table(path: PathLike) -> Table:
+    """Read a section CSV without value validation.
+
+    Structural problems (empty file, too few columns, ragged rows) still
+    raise :class:`ParseError` naming the path — a linter cannot work on
+    a table it cannot shape — but every numeric pathology (NaN, Inf,
+    unparseable cells) loads as NaN for the rules to report.
+    """
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ParseError(f"{path}: CSV file is empty") from None
+        rows = [row for row in reader if row]
+    if len(header) < 2:
+        raise ParseError(
+            f"{path}: CSV needs at least one attribute plus a target column"
+        )
+    meta_keys = [h for h in header if h.startswith(_META_PREFIX)]
+    n_meta = len(meta_keys)
+    attribute_names = header[n_meta:-1]
+    target_name = header[-1]
+    if not attribute_names:
+        raise ParseError(f"{path}: CSV has no attribute columns")
+    if not rows:
+        raise ParseError(f"{path}: CSV has a header but no rows")
+    X = np.empty((len(rows), len(attribute_names)))
+    y = np.empty(len(rows))
+    for i, row in enumerate(rows):
+        if len(row) != len(header):
+            raise ParseError(
+                f"{path}: row {i + 1} has {len(row)} cells, "
+                f"expected {len(header)}"
+            )
+        numeric = row[n_meta:]
+        X[i] = [_cell(v) for v in numeric[:-1]]
+        y[i] = _cell(numeric[-1])
+    return Table(
+        attributes=tuple(attribute_names),
+        X=X,
+        y=y,
+        target_name=target_name,
+    )

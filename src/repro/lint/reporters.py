@@ -1,0 +1,40 @@
+"""Text and JSON rendering of lint reports.
+
+The JSON envelope (:func:`json_document`) is shared with other
+subcommands (``repro evaluate --format json``) so every machine-readable
+``repro`` output carries the same ``format``/``version``/``kind`` header
+and can be routed by one consumer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.lint.diagnostics import LintReport
+
+#: Bump when the JSON envelope changes incompatibly.
+REPORT_FORMAT_VERSION = 1
+
+
+def json_document(kind: str, payload: Dict[str, Any]) -> str:
+    """Wrap ``payload`` in the shared machine-readable envelope."""
+    document = {
+        "format": "repro-report",
+        "version": REPORT_FORMAT_VERSION,
+        "kind": kind,
+    }
+    document.update(payload)
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable rendering: one line per finding plus a summary."""
+    lines = [diagnostic.render() for diagnostic in report.diagnostics]
+    lines.append(report.summary())
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable rendering in the shared envelope."""
+    return json_document("lint", report.to_dict())

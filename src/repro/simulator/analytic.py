@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-from repro.simulator.config import CacheConfig, MachineConfig, TLBConfig
+from repro.simulator.config import MachineConfig
 from repro.workloads.phases import PhaseParams
 
 #: Stride of streaming accesses (must match repro.workloads.stream).

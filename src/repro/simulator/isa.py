@@ -9,8 +9,7 @@ and the replay loop free of per-instruction object overhead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 import numpy as np
 

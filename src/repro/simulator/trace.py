@@ -8,7 +8,7 @@ are shown by default, keeping the listing proportional to activity.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

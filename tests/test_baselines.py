@@ -13,7 +13,6 @@ from repro.baselines import (
     default_penalty_table,
 )
 from repro.baselines.base import Standardizer
-from repro.datasets import Dataset
 from repro.datasets.synthetic import (
     figure1_dataset,
     interaction_dataset,

@@ -10,7 +10,6 @@ from repro.core.tree.linear import (
     resolve_opposed_pairs,
     select_uncorrelated,
 )
-from repro.datasets import Dataset
 from repro.errors import ConfigError
 
 

@@ -1,6 +1,5 @@
 """Tests for the Table I event/metric catalogue and derivation."""
 
-import numpy as np
 import pytest
 
 from repro.counters import (

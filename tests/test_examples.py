@@ -7,7 +7,6 @@ the final verification pass (see README / EXPERIMENTS).
 """
 
 import ast
-import importlib.util
 import pathlib
 
 import pytest

@@ -1,9 +1,8 @@
 """Tests for the extended workload catalogue and the core statistics API."""
 
-import numpy as np
 import pytest
 
-from repro.simulator import MachineConfig, SimulatedCore, collect_stats
+from repro.simulator import MachineConfig, SimulatedCore
 from repro.workloads import (
     PhaseParams,
     extended_suite,

@@ -6,7 +6,6 @@ metrics, train M5', and answer the what/how-much questions.
 """
 
 import numpy as np
-import pytest
 
 from repro.baselines import NaiveFixedPenaltyModel, RegressionTree
 from repro.core.analysis import PerformanceAnalyzer, workload_leaf_table

@@ -1,0 +1,123 @@
+"""CLI surface of the lint subsystem: exit codes, formats, rule listing."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    """A small collect -> train --save pipeline's CSV and model JSON."""
+    root = tmp_path_factory.mktemp("lint_cli")
+    csv_path = str(root / "sections.csv")
+    model_path = str(root / "model.json")
+    assert main([
+        "collect", "--out", csv_path, "--sections", "8",
+        "--instructions", "256", "--seed", "11",
+    ]) == 0
+    assert main([
+        "train", "--data", csv_path, "--min-instances", "10",
+        "--save", model_path,
+    ]) == 0
+    return csv_path, model_path
+
+
+class TestLintCommand:
+    def test_clean_artifacts_exit_zero(self, artifacts, capsys):
+        csv_path, model_path = artifacts
+        code = main(["lint", "--model", model_path, "--data", csv_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tree, dataset, compat" in out
+
+    def test_model_only_and_data_only(self, artifacts, capsys):
+        csv_path, model_path = artifacts
+        assert main(["lint", "--model", model_path]) == 0
+        assert "families tree" in capsys.readouterr().out
+        assert main(["lint", "--data", csv_path]) == 0
+        assert "families dataset" in capsys.readouterr().out
+
+    def test_no_inputs_is_an_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "lint needs" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("TREE001", "TREE007", "DATA001", "COMPAT001"):
+            assert rule_id in out
+
+    def test_json_format(self, artifacts, capsys):
+        csv_path, model_path = artifacts
+        code = main([
+            "lint", "--model", model_path, "--data", csv_path,
+            "--format", "json",
+        ])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["format"] == "repro-report"
+        assert doc["kind"] == "lint"
+        assert doc["clean"] is True
+
+    def test_corrupt_data_exits_two_with_diagnostics(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text(
+            "L1DM,L2M,CPI\n"
+            "0.02,0.01,0.8\n"
+            "nan,0.01,0.9\n"
+            "0.02,0.01,-1.0\n"
+        )
+        code = main(["lint", "--data", str(bad), "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 2
+        rule_ids = {d["rule_id"] for d in doc["diagnostics"]}
+        assert "DATA001" in rule_ids
+        assert "DATA006" in rule_ids
+
+    def test_strict_promotes_warnings(self, tmp_path, capsys):
+        warn_only = tmp_path / "warn.csv"
+        warn_only.write_text(
+            "a,b,Y\n"
+            "2.0,3.0,2.0\n"
+            "2.0,1.0,2.5\n"
+            "2.0,7.0,1.5\n"
+            "2.0,2.0,3.0\n"
+        )
+        assert main(["lint", "--data", str(warn_only)]) == 0
+        out = capsys.readouterr().out
+        assert "DATA002" in out
+        assert main(["lint", "--data", str(warn_only), "--strict"]) == 1
+
+    def test_corrupt_model_file_exits_two_naming_path(self, tmp_path, capsys):
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        assert main(["lint", "--model", str(broken)]) == 2
+        err = capsys.readouterr().err
+        assert str(broken) in err
+
+    def test_missing_data_file_exits_two(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.csv")
+        assert main(["lint", "--data", missing]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestEvaluateJson:
+    def test_shared_report_envelope(self, artifacts, capsys):
+        csv_path, _ = artifacts
+        code = main([
+            "evaluate", "--data", csv_path, "--learner", "ols",
+            "--folds", "3", "--format", "json",
+        ])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["format"] == "repro-report"
+        assert doc["kind"] == "evaluate"
+        assert doc["learner"] == "ols"
+        assert doc["folds"] == 3
+        assert len(doc["per_fold"]) == 3
+        for block in (doc["mean"], doc["pooled"]):
+            assert set(block) == {
+                "correlation", "mae", "rae", "rmse", "rrse", "n",
+            }

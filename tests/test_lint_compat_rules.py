@@ -1,0 +1,150 @@
+"""Compat-family lint rules: model-vs-dataset cross checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import M5Prime
+from repro.core.tree.linear import LinearModel
+from repro.core.tree.node import LeafNode, SplitNode, assign_leaf_ids
+from repro.lint import Table, lint_compatibility
+
+
+def lm(intercept=1.0, **kwargs):
+    defaults = dict(
+        indices=(), names=(), coefficients=(), n_training=10,
+        training_error=0.1,
+    )
+    defaults.update(kwargs)
+    return LinearModel(intercept=intercept, **defaults)
+
+
+def two_leaf_model(threshold=5.0, ranges=((0.0, 10.0), (0.0, 10.0))):
+    left, right = LeafNode(10, 0.1, 1.0), LeafNode(10, 0.1, 2.0)
+    left.model = lm(1.0)
+    right.model = lm(2.0)
+    root = SplitNode(20, 0.2, 1.5, 0, "f0", threshold, left, right)
+    root.model = lm(1.5)
+    assign_leaf_ids(root)
+    model = M5Prime(min_instances=2)
+    model.root_ = root
+    model.attributes_ = ("f0", "f1")
+    model.target_name_ = "CPI"
+    model.feature_ranges_ = ranges
+    return model
+
+
+def table(names, X, y, target_name="CPI"):
+    return Table(
+        attributes=tuple(names),
+        X=np.asarray(X, dtype=float),
+        y=np.asarray(y, dtype=float),
+        target_name=target_name,
+    )
+
+
+@pytest.fixture
+def model():
+    return two_leaf_model()
+
+
+@pytest.fixture
+def matched_table():
+    return table(
+        ("f0", "f1"),
+        [[2.0, 1.0], [8.0, 3.0], [4.0, 9.0], [7.0, 5.0]],
+        [1.0, 2.0, 1.1, 2.2],
+    )
+
+
+class TestCleanCompat:
+    def test_matched_pair_lints_clean(self, model, matched_table):
+        report = lint_compatibility(model, matched_table)
+        assert report.is_clean, [d.render() for d in report.diagnostics]
+        assert report.families == ("compat",)
+
+    def test_real_model_and_dataset(self, suite_tree, suite_dataset):
+        assert lint_compatibility(suite_tree, suite_dataset).is_clean
+
+
+class TestCompat001Attributes:
+    def test_missing_attribute(self, model):
+        t = table(("f0",), [[1.0], [2.0]], [1.0, 2.0])
+        found = lint_compatibility(model, t).by_rule("COMPAT001")
+        assert found and "lacks attribute(s)" in found[0].message
+        assert "f1" in found[0].message
+
+    def test_extra_attribute(self, model):
+        t = table(
+            ("f0", "f1", "f2"),
+            [[1.0, 2.0, 3.0], [2.0, 3.0, 4.0]],
+            [1.0, 2.0],
+        )
+        found = lint_compatibility(model, t).by_rule("COMPAT001")
+        assert found and "unknown to the model" in found[0].message
+
+    def test_reordered_attributes(self, model):
+        t = table(("f1", "f0"), [[1.0, 2.0], [2.0, 3.0]], [1.0, 2.0])
+        found = lint_compatibility(model, t).by_rule("COMPAT001")
+        assert found and "different order" in found[0].message
+
+
+class TestCompat002Target:
+    def test_target_name_mismatch(self, model):
+        t = table(("f0", "f1"), [[2.0, 1.0], [8.0, 3.0]], [1.0, 2.0],
+                  target_name="IPC")
+        found = lint_compatibility(model, t).by_rule("COMPAT002")
+        assert found and "'IPC'" in found[0].message and "'CPI'" in found[0].message
+
+
+class TestCompat003TrainedRange:
+    def test_values_far_outside_training_range(self, model):
+        t = table(
+            ("f0", "f1"),
+            [[2.0, 1.0], [100.0, 3.0], [4.0, 200.0]],
+            [1.0, 2.0, 1.5],
+        )
+        found = lint_compatibility(model, t).by_rule("COMPAT003")
+        locations = [d.location for d in found]
+        assert "column f0" in locations
+        assert "column f1" in locations
+
+    def test_slack_tolerates_mild_extrapolation(self, model):
+        # 10.5 is within the 10% slack over the [0, 10] training range
+        t = table(("f0", "f1"), [[10.5, 1.0], [2.0, 3.0]], [1.0, 2.0])
+        assert not lint_compatibility(model, t).by_rule("COMPAT003")
+
+    def test_skipped_when_attributes_mismatch(self, model):
+        t = table(("zz",), [[1e9], [2e9]], [1.0, 2.0])
+        assert not lint_compatibility(model, t).by_rule("COMPAT003")
+
+
+class TestCompat004LeafConcentration:
+    def test_all_rows_one_leaf(self, model):
+        t = table(
+            ("f0", "f1"),
+            [[8.0, 1.0], [9.0, 3.0], [7.0, 2.0]],
+            [2.0, 2.1, 1.9],
+        )
+        found = lint_compatibility(model, t).by_rule("COMPAT004")
+        assert found and "route to leaf LM2" in found[0].message
+
+    def test_spread_rows_clean(self, model, matched_table):
+        assert not lint_compatibility(model, matched_table).by_rule("COMPAT004")
+
+
+class TestCompat005FinitePredictions:
+    def test_infinite_leaf_prediction(self, matched_table):
+        model = two_leaf_model()
+        model.root_.left.model = lm(float("inf"))
+        found = lint_compatibility(model, matched_table).by_rule("COMPAT005")
+        assert found and "non-finite prediction(s)" in found[0].message
+
+    def test_skipped_on_non_finite_input(self, model):
+        # NaN inputs are DATA001's finding, not a compat crash
+        t = table(
+            ("f0", "f1"),
+            [[float("nan"), 1.0], [2.0, 3.0]],
+            [1.0, 2.0],
+        )
+        report = lint_compatibility(model, t)
+        assert not report.by_rule("COMPAT005")

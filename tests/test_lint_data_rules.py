@@ -1,0 +1,157 @@
+"""Dataset-family lint rules: one clean and one violating fixture per rule."""
+
+import numpy as np
+import pytest
+
+from repro.lint import LintConfig, Table, lint_dataset
+
+
+def table(columns, y, target_name="CPI"):
+    names = tuple(columns)
+    X = np.column_stack([np.asarray(v, dtype=float) for v in columns.values()])
+    return Table(
+        attributes=names,
+        X=X,
+        y=np.asarray(y, dtype=float),
+        target_name=target_name,
+    )
+
+
+@pytest.fixture
+def clean_table():
+    return table(
+        {"a": [0.1, 0.4, 0.2, 0.9], "b": [3.0, 1.0, 7.0, 2.0]},
+        [0.7, 1.3, 0.9, 2.1],
+    )
+
+
+class TestCleanData:
+    def test_clean_table_lints_clean(self, clean_table):
+        report = lint_dataset(clean_table)
+        assert report.is_clean, [d.render() for d in report.diagnostics]
+        assert report.families == ("dataset",)
+
+    def test_accepts_real_dataset(self, suite_dataset):
+        assert lint_dataset(suite_dataset).n_errors == 0
+
+
+class TestData001NonFinite:
+    def test_nan_in_attribute(self):
+        t = table({"a": [1.0, float("nan"), 3.0]}, [1.0, 2.0, 3.0])
+        found = lint_dataset(t).by_rule("DATA001")
+        assert found and found[0].location == "column a"
+        assert "rows 1" in found[0].message
+
+    def test_inf_in_target(self):
+        t = table({"a": [1.0, 2.0, 3.0]}, [1.0, float("inf"), 3.0])
+        found = lint_dataset(t).by_rule("DATA001")
+        assert found and found[0].location == "column CPI"
+
+
+class TestData002ConstantColumn:
+    def test_constant_column_flagged(self):
+        t = table({"a": [2.0, 2.0, 2.0], "b": [1.0, 2.0, 3.0]},
+                  [1.0, 2.0, 3.0])
+        found = lint_dataset(t).by_rule("DATA002")
+        assert found and found[0].location == "column a"
+
+
+class TestData003DuplicateColumns:
+    def test_identical_columns_flagged(self):
+        t = table({"a": [1.0, 2.0, 3.0], "b": [1.0, 2.0, 3.0]},
+                  [1.0, 2.0, 3.0])
+        found = lint_dataset(t).by_rule("DATA003")
+        assert found and "a and b are identical" in found[0].message
+
+
+class TestData004RatioBounds:
+    def test_ratio_above_one(self):
+        t = table({"L2M": [0.1, 1.5, 0.2]}, [1.0, 2.0, 3.0])
+        found = lint_dataset(t).by_rule("DATA004")
+        assert found and "outside [0, 1]" in found[0].message
+
+    def test_negative_ratio(self):
+        t = table({"L2M": [0.1, -0.5, 0.2]}, [1.0, 2.0, 3.0])
+        assert lint_dataset(t).by_rule("DATA004")
+
+    def test_non_table1_column_ignored(self):
+        t = table({"weird": [0.0, 5.0, -3.0]}, [1.0, 2.0, 3.0])
+        assert not lint_dataset(t).by_rule("DATA004")
+
+
+class TestData005Hierarchy:
+    def test_l2_exceeding_l1d(self):
+        t = table(
+            {"L1DM": [0.01, 0.02, 0.03], "L2M": [0.005, 0.05, 0.01]},
+            [1.0, 2.0, 3.0],
+        )
+        found = lint_dataset(t).by_rule("DATA005")
+        assert len(found) == 1
+        assert found[0].location == "invariant metric-l2-exceeds-l1d"
+        assert "rows 1" in found[0].message
+
+    def test_partial_column_set_not_flagged(self):
+        # L2M alone cannot express the L2M <= L1DM relation
+        t = table({"L2M": [0.9, 0.9, 0.9]}, [1.0, 2.0, 3.0])
+        assert not lint_dataset(t).by_rule("DATA005")
+
+    def test_mix_sum_above_one(self):
+        t = table(
+            {
+                "InstLd": [0.5, 0.3], "InstSt": [0.4, 0.2],
+                "BrMisPr": [0.2, 0.01], "BrPred": [0.2, 0.1],
+                "InstOther": [0.2, 0.3],
+            },
+            [1.0, 2.0],
+        )
+        found = lint_dataset(t).by_rule("DATA005")
+        locations = [d.location for d in found]
+        assert "invariant metric-mix-exceeds-one" in locations
+
+
+class TestData006TargetPositivity:
+    def test_nonpositive_cpi(self):
+        t = table({"a": [1.0, 2.0, 3.0]}, [1.0, -0.5, 0.0])
+        found = lint_dataset(t).by_rule("DATA006")
+        assert found and "rows 1, 2" in found[0].message
+
+    def test_only_applies_to_cpi(self):
+        t = table({"a": [1.0, 2.0]}, [-1.0, 1.0], target_name="Y")
+        assert not lint_dataset(t).by_rule("DATA006")
+
+
+class TestData007TargetOutliers:
+    def test_extreme_outlier_flagged(self):
+        y = [0.8, 0.9, 1.0, 1.1, 1.2, 0.95, 1.05, 1.15, 1e6]
+        t = table({"a": list(range(9))}, y)
+        found = lint_dataset(t).by_rule("DATA007")
+        assert found and "rows 8" in found[0].message
+
+    def test_heavy_tail_tolerated_in_log_space(self):
+        # a 6x CPI spread is a legitimate workload contrast, not noise
+        y = [0.5, 0.7, 0.9, 1.1, 0.6, 0.8, 1.0, 3.0, 6.5]
+        t = table({"a": list(range(9))}, y)
+        assert not lint_dataset(t).by_rule("DATA007")
+
+    def test_too_few_rows_skips(self):
+        t = table({"a": [1.0, 2.0, 3.0]}, [1.0, 1.0, 100.0])
+        assert not lint_dataset(t).by_rule("DATA007")
+
+
+class TestData008TargetLeakage:
+    def test_affine_copy_of_target_flagged(self):
+        y = [1.0, 2.0, 3.0, 4.0, 5.0]
+        t = table(
+            {"a": [2 * v + 1 for v in y], "b": [3.0, 1.0, 4.0, 1.0, 5.0]},
+            y,
+        )
+        found = lint_dataset(t).by_rule("DATA008")
+        assert len(found) == 1
+        assert found[0].location == "column a"
+
+    def test_threshold_configurable(self):
+        y = [1.0, 2.0, 3.0, 4.0, 5.0]
+        t = table({"a": [1.1, 1.9, 3.2, 3.8, 5.1]}, y)
+        assert not lint_dataset(t).by_rule("DATA008")
+        config = LintConfig(leakage_corr=0.9)
+        assert lint_dataset(t, config=config).by_rule("DATA008")

@@ -7,7 +7,6 @@ from repro.core.tree import M5Prime
 from repro.datasets import Dataset
 from repro.datasets.synthetic import (
     constant_dataset,
-    figure1_dataset,
     interaction_dataset,
     linear_dataset,
 )

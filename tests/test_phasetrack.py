@@ -7,7 +7,7 @@ from repro.core.analysis import PhaseSegment, detect_phases, render_phases
 from repro.core.analysis.phasetrack import _majority_filter
 from repro.core.tree import M5Prime
 from repro.datasets import Dataset
-from repro.errors import ConfigError, DataError
+from repro.errors import ConfigError
 
 
 def two_phase_timeline(n_per_phase=30, seed=0):

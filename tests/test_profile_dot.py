@@ -1,6 +1,5 @@
 """Tests for dataset profiling and GraphViz export."""
 
-import numpy as np
 import pytest
 
 from repro.core.tree import M5Prime, render_dot

@@ -5,11 +5,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro._util import check_random_state
 from repro.core.tree import M5Prime
 from repro.core.tree.splitting import find_best_split
 from repro.core.tree.linear import adjusted_error, fit_linear_model, simplify_model
-from repro.datasets import Dataset, SectionRecorder, kfold_indices
+from repro.datasets import SectionRecorder, kfold_indices
 from repro.evaluation.metrics import (
     mean_absolute_error,
     relative_absolute_error,

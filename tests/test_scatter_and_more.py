@@ -1,7 +1,6 @@
 """Tests for the Figure 3 ASCII scatter and assorted smaller surfaces."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

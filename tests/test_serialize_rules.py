@@ -77,6 +77,36 @@ class TestSerialization:
         with pytest.raises(ParseError):
             load_model(path)
 
+    def test_load_errors_name_the_offending_path(self, tmp_path):
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        with pytest.raises(ParseError, match="broken.json"):
+            load_model(broken)
+        not_dict = tmp_path / "list.json"
+        not_dict.write_text("[1, 2, 3]")
+        with pytest.raises(ParseError, match="list.json"):
+            load_model(not_dict)
+        truncated = tmp_path / "truncated.json"
+        truncated.write_text(
+            json.dumps({"format": "repro-m5prime", "version": FORMAT_VERSION})
+        )
+        with pytest.raises(ParseError, match="truncated.json"):
+            load_model(truncated)
+
+    def test_feature_ranges_round_trip(self, figure1_tree, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(figure1_tree, path)
+        loaded = load_model(path)
+        assert loaded.feature_ranges_ == figure1_tree.feature_ranges_
+        assert loaded.feature_ranges_ is not None
+
+    def test_pre_range_document_still_loads(self, figure1_tree):
+        # models saved before feature_ranges existed must stay loadable
+        payload = model_to_dict(figure1_tree)
+        del payload["feature_ranges"]
+        loaded = model_from_dict(payload)
+        assert loaded.feature_ranges_ is None
+
     def test_document_is_plain_json(self, figure1_tree):
         payload = model_to_dict(figure1_tree)
         json.dumps(payload)  # must not contain numpy scalars etc.

@@ -1,6 +1,5 @@
 """Tests for the paired significance machinery."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import LinearRegressionBaseline, NaiveFixedPenaltyModel

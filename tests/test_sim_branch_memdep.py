@@ -1,6 +1,5 @@
 """Tests for the branch predictor and the store buffer."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigError
