@@ -1,0 +1,183 @@
+"""The ``repro bench`` micro-benchmark set.
+
+A fixed, named set of timings over the package's hot paths — tree fit,
+prediction, cross validation, suite simulation — emitted in a stable
+JSON schema so runs are comparable across sessions, machines and
+commits (``benchmarks/compare.py`` consumes the same schema to gate
+regressions in CI).
+
+Schema (``repro-bench/1``)::
+
+    {
+      "schema": "repro-bench/1",
+      "created": "YYYY-MM-DD",
+      "preset": "quick",
+      "jobs": 4,
+      "rounds": 3,
+      "versions": {"repro": "...", "numpy": "...", "python": "..."},
+      "benchmarks": [
+        {"name": "fit_m5p", "rounds": 3,
+         "mean_s": 0.41, "min_s": 0.40, "max_s": 0.43}
+      ]
+    }
+
+``mean_s`` is the comparison key; ``min_s`` is the noise floor.  Names
+are append-only: a benchmark may be added but never renamed, so JSON
+files from different versions stay comparable.
+"""
+
+from __future__ import annotations
+
+import datetime as _datetime
+import json
+import platform
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro import __version__
+from repro.errors import ConfigError
+
+SCHEMA = "repro-bench/1"
+
+#: Sections/instructions for the ``suite_simulate`` micro-benchmark.
+#: Deliberately small and cache-free: it measures simulator throughput,
+#: not dataset reuse.
+_SIM_SECTIONS = 8
+_SIM_INSTRUCTIONS = 512
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Timings for one named micro-benchmark."""
+
+    name: str
+    rounds: int
+    mean_s: float
+    min_s: float
+    max_s: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "rounds": self.rounds,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+        }
+
+
+def _time(fn: Callable[[], object], rounds: int) -> BenchResult:
+    timings = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - start)
+    return BenchResult(
+        name="",
+        rounds=rounds,
+        mean_s=float(np.mean(timings)),
+        min_s=float(min(timings)),
+        max_s=float(max(timings)),
+    )
+
+
+def run_bench(
+    preset: str = "quick",
+    n_jobs: Optional[int] = None,
+    rounds: int = 3,
+) -> Dict[str, object]:
+    """Run the fixed micro-benchmark set; returns the schema document.
+
+    The suite dataset comes through the artifact cache, so the first
+    session pays for simulation once and later sessions measure only
+    the modeling paths.
+    """
+    if rounds < 1:
+        raise ConfigError(f"rounds must be at least 1, got {rounds}")
+    import functools
+
+    from repro.core.tree import M5Prime
+    from repro.evaluation import cross_validate
+    from repro.experiments import ExperimentConfig, suite_dataset
+    from repro.workloads import simulate_suite
+
+    config = ExperimentConfig.by_name(preset)
+    dataset = suite_dataset(config, n_jobs=n_jobs)
+    factory = functools.partial(M5Prime, min_instances=config.min_instances)
+    fitted = factory().fit(dataset)
+
+    cases: List = [
+        ("fit_m5p", lambda: factory().fit(dataset)),
+        ("predict_m5p", lambda: fitted.predict(dataset.X)),
+        (
+            "cross_validate",
+            lambda: cross_validate(
+                factory, dataset, n_folds=config.n_folds,
+                rng=config.seed, n_jobs=n_jobs,
+            ),
+        ),
+        (
+            "suite_simulate",
+            lambda: simulate_suite(
+                sections_per_workload=_SIM_SECTIONS,
+                instructions_per_section=_SIM_INSTRUCTIONS,
+                seed=config.seed,
+                n_jobs=n_jobs,
+            ),
+        ),
+    ]
+
+    results = []
+    for name, fn in cases:
+        timing = _time(fn, rounds)
+        results.append(
+            BenchResult(name, timing.rounds, timing.mean_s,
+                        timing.min_s, timing.max_s)
+        )
+
+    from repro.parallel import resolve_jobs
+
+    return {
+        "schema": SCHEMA,
+        "created": _datetime.date.today().isoformat(),
+        "preset": preset,
+        "jobs": resolve_jobs(n_jobs),
+        "rounds": rounds,
+        "versions": {
+            "repro": __version__,
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+        },
+        "benchmarks": [r.to_dict() for r in results],
+    }
+
+
+def default_output_path() -> str:
+    """``BENCH_<date>.json`` in the working directory."""
+    return f"BENCH_{_datetime.date.today().isoformat()}.json"
+
+
+def render_document(document: Dict[str, object]) -> str:
+    """Human-readable table for one bench document."""
+    lines = [
+        f"repro bench — preset {document['preset']}, "
+        f"jobs {document['jobs']}, rounds {document['rounds']}",
+        f"{'benchmark':<18}{'mean':>10}{'min':>10}{'max':>10}",
+    ]
+    for entry in document["benchmarks"]:  # type: ignore[index]
+        lines.append(
+            f"{entry['name']:<18}"
+            f"{entry['mean_s'] * 1000:>8.1f}ms"
+            f"{entry['min_s'] * 1000:>8.1f}ms"
+            f"{entry['max_s'] * 1000:>8.1f}ms"
+        )
+    return "\n".join(lines)
+
+
+def write_document(document: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")

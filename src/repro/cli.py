@@ -10,13 +10,21 @@ Subcommands mirror the paper's workflow:
 * ``repro experiments`` — run registered paper-artifact experiments
 * ``repro lint``        — statically verify models, datasets, compatibility
 * ``repro workloads``   — list the synthetic suite
+* ``repro bench``       — time the hot paths, write a BENCH_<date>.json
+* ``repro cache``       — inspect or clear the on-disk artifact cache
+
+Commands with repeated independent fits take ``--jobs N`` (``-1`` for
+all cores); the ``REPRO_JOBS`` environment variable sets the default.
+Results are bit-identical at any worker count.
 
 Example::
 
-    repro collect --out sections.csv --sections 120
+    repro collect --out sections.csv --sections 120 --jobs 4
     repro train --data sections.csv --min-instances 25
+    repro evaluate --data sections.csv --learner m5p --jobs 4
     repro lint --model model.json --data sections.csv --strict
     repro experiments --id F2 --preset quick
+    repro bench --preset quick --jobs 4
 """
 
 from __future__ import annotations
@@ -26,6 +34,14 @@ import sys
 from typing import List, Optional
 
 from repro.errors import ReproError
+
+
+def _add_jobs_argument(command_parser: argparse.ArgumentParser) -> None:
+    command_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel workers (-1 = all cores; default: $REPRO_JOBS or 1). "
+        "Results are bit-identical at any worker count.",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,6 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument("--seed", type=int, default=2007)
     collect.add_argument("--arff", action="store_true",
                          help="also write a WEKA .arff next to the CSV")
+    _add_jobs_argument(collect)
 
     train = sub.add_parser("train", help="fit an M5' tree and print it")
     train.add_argument("--data", required=True, help="dataset CSV path")
@@ -55,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--rules", action="store_true",
                        help="print the tree as an ordered rule list")
     train.add_argument("--dot", help="write GraphViz DOT source to this path")
+    _add_jobs_argument(train)
 
     analyze = sub.add_parser("analyze", help="what/how-much report for sections")
     analyze.add_argument("--data", required=True, help="dataset CSV to analyze")
@@ -78,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--format", default="text", choices=["text", "json"],
                           help="output format (json shares the repro-report "
                           "envelope with `repro lint`)")
+    _add_jobs_argument(evaluate)
 
     lint = sub.add_parser(
         "lint",
@@ -99,6 +118,33 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--folds", type=int, default=10)
     compare.add_argument("--min-instances", type=int, default=25)
     compare.add_argument("--seed", type=int, default=0)
+    _add_jobs_argument(compare)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the hot paths, write a BENCH_<date>.json",
+        description="Run the fixed micro-benchmark set (fit, predict, "
+        "cross validation, suite simulation) and emit a stable-schema "
+        "JSON document for regression tracking.",
+    )
+    bench.add_argument("--preset", default="quick",
+                       choices=["tiny", "quick", "paper"])
+    bench.add_argument("--rounds", type=int, default=3,
+                       help="timing rounds per benchmark (default 3)")
+    bench.add_argument("--out", default=None,
+                       help="output JSON path (default BENCH_<date>.json)")
+    _add_jobs_argument(bench)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the on-disk artifact cache",
+        description="The artifact cache stores simulated section "
+        "datasets and fitted-model JSON, content-addressed by "
+        "configuration and code fingerprints.  Location: "
+        "$REPRO_CACHE_DIR or ~/.cache/repro.",
+    )
+    cache.add_argument("action", choices=["info", "clear"],
+                       help="info: list entries; clear: delete them all")
 
     experiments = sub.add_parser("experiments", help="run paper-artifact experiments")
     experiments.add_argument("--id", action="append", dest="ids",
@@ -131,6 +177,7 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         sections_per_workload=args.sections,
         instructions_per_section=args.instructions,
         seed=args.seed,
+        n_jobs=args.jobs,
     )
     save_csv(result.dataset, args.out)
     print(result.summary())
@@ -148,10 +195,26 @@ def _load(path: str):
     return load_csv(path)
 
 
+def _set_default_jobs(n_jobs) -> None:
+    """Make ``--jobs`` the process-wide default via ``REPRO_JOBS``.
+
+    Commands whose parallelism lives below the direct call (ensemble
+    members, future nested fits) pick the value up through
+    :func:`repro.parallel.resolve_jobs`.
+    """
+    import os
+
+    from repro.parallel import JOBS_ENV, resolve_jobs
+
+    if n_jobs is not None:
+        os.environ[JOBS_ENV] = str(resolve_jobs(n_jobs))
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.core.analysis import render_rules
     from repro.core.tree import M5Prime, save_model
 
+    _set_default_jobs(args.jobs)
     dataset = _load(args.data)
     model = M5Prime(
         min_instances=args.min_instances,
@@ -202,6 +265,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _make_learner(name: str, min_instances: int, seed: int):
+    import functools
+
     from repro.baselines import (
         EpsilonSVR,
         KNNRegressor,
@@ -212,13 +277,15 @@ def _make_learner(name: str, min_instances: int, seed: int):
     )
     from repro.core.tree import M5Prime
 
+    # functools.partial (not lambda) keeps every factory picklable, so
+    # cross-validation folds can run in a process pool.
     factories = {
-        "m5p": lambda: M5Prime(min_instances=min_instances),
-        "cart": lambda: RegressionTree(min_instances=min_instances),
+        "m5p": functools.partial(M5Prime, min_instances=min_instances),
+        "cart": functools.partial(RegressionTree, min_instances=min_instances),
         "ols": LinearRegressionBaseline,
-        "knn": lambda: KNNRegressor(k=5),
-        "mlp": lambda: MLPRegressor(seed=seed),
-        "svr": lambda: EpsilonSVR(seed=seed),
+        "knn": functools.partial(KNNRegressor, k=5),
+        "mlp": functools.partial(MLPRegressor, seed=seed),
+        "svr": functools.partial(EpsilonSVR, seed=seed),
         "naive": NaiveFixedPenaltyModel,
     }
     return factories[name]
@@ -229,7 +296,9 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
     dataset = _load(args.data)
     factory = _make_learner(args.learner, args.min_instances, args.seed)
-    result = cross_validate(factory, dataset, n_folds=args.folds, rng=args.seed)
+    result = cross_validate(
+        factory, dataset, n_folds=args.folds, rng=args.seed, n_jobs=args.jobs
+    )
     if args.format == "json":
         from repro.lint import json_document
 
@@ -294,7 +363,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         name: _make_learner(name, args.min_instances, args.seed) for name in names
     }
     result = compare_estimators(
-        factories, dataset, n_folds=args.folds, seed=args.seed
+        factories, dataset, n_folds=args.folds, seed=args.seed, n_jobs=args.jobs
     )
     print(result.to_table())
     return 0
@@ -371,6 +440,36 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        default_output_path,
+        render_document,
+        run_bench,
+        write_document,
+    )
+
+    document = run_bench(
+        preset=args.preset, n_jobs=args.jobs, rounds=args.rounds
+    )
+    print(render_document(document))
+    out = args.out or default_output_path()
+    write_document(document, out)
+    print(f"wrote {out}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments.data import artifact_cache
+
+    cache = artifact_cache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached artifact(s) from {cache.directory}")
+        return 0
+    print(cache.info().render())
+    return 0
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     from repro.workloads import spec_like_suite
 
@@ -391,6 +490,8 @@ _COMMANDS = {
     "experiments": _cmd_experiments,
     "report": _cmd_report,
     "workloads": _cmd_workloads,
+    "bench": _cmd_bench,
+    "cache": _cmd_cache,
 }
 
 

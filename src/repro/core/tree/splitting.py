@@ -5,19 +5,27 @@ measure and picks the attribute/threshold pair that maximizes
 
     SDR = sd(T) - sum_i |T_i|/|T| * sd(T_i)
 
-over the two children.  For each attribute the scan sorts once and
-evaluates every boundary between distinct values with prefix sums, so a
-node costs O(p * n log n).
+over the two children.  Attributes are scanned in vectorized *chunks*:
+one ``argsort``/``cumsum``/SDR evaluation services a whole block of
+columns at once, so wide datasets pay one NumPy dispatch per chunk
+instead of one Python iteration per attribute.  A node costs
+O(p * n log n) arithmetic either way; the chunked path just removes the
+per-attribute interpreter overhead.  Results are bit-identical to the
+historical per-attribute loop for every chunk size.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.errors import ConfigError
+
+#: Columns scanned per vectorized block.  Bounds the scan's working
+#: memory at ``O(n * chunk)`` while amortizing NumPy dispatch overhead.
+DEFAULT_CHUNK_SIZE = 32
 
 
 @dataclass(frozen=True)
@@ -38,8 +46,84 @@ class Split:
     n_right: int
 
 
+def _scan_chunk(
+    Xc: np.ndarray,
+    y: np.ndarray,
+    boundaries: np.ndarray,
+    sd_total: float,
+    column_offset: int,
+) -> List[Optional[Split]]:
+    """Best split per column of ``Xc`` (``None`` where no valid one exists).
+
+    All columns share one sort, one pair of prefix-sum tables and one
+    SDR surface; per-column work is only the argmax and the threshold
+    arithmetic.
+    """
+    n = y.shape[0]
+    order = np.argsort(Xc, axis=0, kind="stable")
+    xs = np.take_along_axis(Xc, order, axis=0)
+    ys = y[order]
+
+    # (boundaries, columns): True where the boundary separates distinct
+    # attribute values, i.e. where a threshold can actually be placed.
+    distinct = xs[boundaries] < xs[boundaries + 1]
+
+    prefix_sum = np.cumsum(ys, axis=0)
+    prefix_sumsq = np.cumsum(ys * ys, axis=0)
+    total_sum = prefix_sum[-1]
+    total_sumsq = prefix_sumsq[-1]
+
+    n_left = (boundaries + 1).astype(np.float64)[:, None]
+    n_right = n - n_left
+    sum_left = prefix_sum[boundaries]
+    sum_right = total_sum - sum_left
+    sumsq_left = prefix_sumsq[boundaries]
+    sumsq_right = total_sumsq - sumsq_left
+
+    var_left = np.maximum(sumsq_left / n_left - (sum_left / n_left) ** 2, 0.0)
+    var_right = np.maximum(
+        sumsq_right / n_right - (sum_right / n_right) ** 2, 0.0
+    )
+    weighted_sd = (
+        n_left * np.sqrt(var_left) + n_right * np.sqrt(var_right)
+    ) / n
+    sdr = sd_total - weighted_sd
+    masked = np.where(distinct, sdr, -np.inf)
+
+    candidates: List[Optional[Split]] = []
+    for j in range(Xc.shape[1]):
+        if not np.any(distinct[:, j]):
+            candidates.append(None)
+            continue
+        position = int(np.argmax(masked[:, j]))
+        candidate_sdr = float(sdr[position, j])
+        if candidate_sdr <= 0.0:
+            candidates.append(None)
+            continue
+        index = int(boundaries[position])
+        threshold = float((xs[index, j] + xs[index + 1, j]) / 2.0)
+        if not threshold < xs[index + 1, j]:
+            # Adjacent floating-point values: the midpoint rounded up to
+            # the right value, which would send every instance left and
+            # recurse forever.  Cut exactly at the left value instead.
+            threshold = float(xs[index, j])
+        candidates.append(
+            Split(
+                attribute_index=column_offset + j,
+                threshold=threshold,
+                sdr=candidate_sdr,
+                n_left=index + 1,
+                n_right=n - index - 1,
+            )
+        )
+    return candidates
+
+
 def find_best_split(
-    X: np.ndarray, y: np.ndarray, min_leaf: int = 2
+    X: np.ndarray,
+    y: np.ndarray,
+    min_leaf: int = 2,
+    chunk_size: Optional[int] = None,
 ) -> Optional[Split]:
     """The SDR-maximizing split, or ``None`` if no valid split exists.
 
@@ -47,9 +131,18 @@ def find_best_split(
     instances and the threshold separates distinct attribute values.
     Ties in SDR resolve to the lowest attribute index, then the lowest
     threshold, keeping tree construction deterministic.
+
+    Args:
+        chunk_size: Columns evaluated per vectorized block (default
+            :data:`DEFAULT_CHUNK_SIZE`).  Any value returns the same
+            split; smaller chunks trade speed for peak memory.
     """
     if min_leaf < 1:
         raise ConfigError(f"min_leaf must be at least 1, got {min_leaf}")
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_SIZE
+    if chunk_size < 1:
+        raise ConfigError(f"chunk_size must be at least 1, got {chunk_size}")
     n = y.shape[0]
     if n < 2 * min_leaf:
         return None
@@ -58,59 +151,18 @@ def find_best_split(
     if sd_total <= 0.0:
         return None
 
-    best: Optional[Split] = None
     boundaries = np.arange(min_leaf - 1, n - min_leaf)
+    n_attributes = X.shape[1]
 
-    for attribute in range(X.shape[1]):
-        order = np.argsort(X[:, attribute], kind="stable")
-        xs = X[order, attribute]
-        ys = y[order]
-
-        distinct = xs[boundaries] < xs[boundaries + 1]
-        if not np.any(distinct):
-            continue
-        cut = boundaries[distinct]
-
-        prefix_sum = np.cumsum(ys)
-        prefix_sumsq = np.cumsum(ys * ys)
-        total_sum = prefix_sum[-1]
-        total_sumsq = prefix_sumsq[-1]
-
-        n_left = (cut + 1).astype(np.float64)
-        n_right = n - n_left
-        sum_left = prefix_sum[cut]
-        sum_right = total_sum - sum_left
-        sumsq_left = prefix_sumsq[cut]
-        sumsq_right = total_sumsq - sumsq_left
-
-        var_left = np.maximum(sumsq_left / n_left - (sum_left / n_left) ** 2, 0.0)
-        var_right = np.maximum(
-            sumsq_right / n_right - (sum_right / n_right) ** 2, 0.0
-        )
-        weighted_sd = (
-            n_left * np.sqrt(var_left) + n_right * np.sqrt(var_right)
-        ) / n
-        sdr = sd_total - weighted_sd
-
-        position = int(np.argmax(sdr))
-        candidate_sdr = float(sdr[position])
-        if candidate_sdr <= 0.0:
-            continue
-        index = int(cut[position])
-        threshold = float((xs[index] + xs[index + 1]) / 2.0)
-        if not threshold < xs[index + 1]:
-            # Adjacent floating-point values: the midpoint rounded up to
-            # the right value, which would send every instance left and
-            # recurse forever.  Cut exactly at the left value instead.
-            threshold = float(xs[index])
-        candidate = Split(
-            attribute_index=attribute,
-            threshold=threshold,
-            sdr=candidate_sdr,
-            n_left=index + 1,
-            n_right=n - index - 1,
-        )
-        if best is None or candidate.sdr > best.sdr + 1e-15:
-            best = candidate
+    best: Optional[Split] = None
+    for start in range(0, n_attributes, chunk_size):
+        stop = min(start + chunk_size, n_attributes)
+        for candidate in _scan_chunk(
+            X[:, start:stop], y, boundaries, sd_total, start
+        ):
+            if candidate is None:
+                continue
+            if best is None or candidate.sdr > best.sdr + 1e-15:
+                best = candidate
 
     return best

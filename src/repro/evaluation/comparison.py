@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional
 
 from repro._util import RandomState, check_random_state
 from repro.datasets.dataset import Dataset
@@ -80,12 +80,14 @@ def compare_estimators(
     dataset: Dataset,
     n_folds: int = 10,
     seed: RandomState = 0,
+    n_jobs: Optional[int] = None,
 ) -> ComparisonResult:
     """Cross-validate every factory on identical folds.
 
     Each method sees the same fold partition (the fold RNG is re-seeded
     per method from the same master), so differences are attributable to
-    the learners alone.
+    the learners alone.  ``n_jobs`` parallelizes each method's folds;
+    results are bit-identical at any worker count.
     """
     if not factories:
         raise ConfigError("need at least one estimator factory")
@@ -94,6 +96,6 @@ def compare_estimators(
     results = {}
     for name, factory in factories.items():
         results[name] = cross_validate(
-            factory, dataset, n_folds=n_folds, rng=fold_seed
+            factory, dataset, n_folds=n_folds, rng=fold_seed, n_jobs=n_jobs
         )
     return ComparisonResult(results=results, n_folds=n_folds)

@@ -1,23 +1,23 @@
 """Suite dataset construction with on-disk caching.
 
 The paper-regime dataset takes a minute or two of simulation; it is
-cached as CSV (with metadata columns) keyed by the generating
-parameters, so experiments and benchmarks share one copy.
+stored in the content-addressed artifact cache
+(:mod:`repro.parallel.cache`) keyed by the generating parameters plus
+every code-relevant fingerprint, so experiments, benchmarks and CLI
+sessions share one copy and any code change invalidates stale ones.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro import __version__
-from repro._util import stable_hash
-from repro.datasets.csvio import load_csv, save_csv
 from repro.datasets.dataset import Dataset
-from repro.errors import ReproError
 from repro.experiments.config import ExperimentConfig, default_cache_dir
+from repro.parallel import ArtifactCache
 from repro.workloads.suite import simulate_suite, workload_fingerprint
 
 #: In-process cache so repeated experiment calls share one dataset object.
@@ -31,50 +31,72 @@ def _machine_fingerprint() -> str:
     changes the CPI a simulation would produce, so it must invalidate
     cached datasets.
     """
+    from repro._util import stable_hash
     from repro.simulator.config import MachineConfig
     from repro.simulator.pipeline import IssueCosts, OverlapModel
 
     return stable_hash([repr(MachineConfig()), repr(OverlapModel()), repr(IssueCosts())])
 
 
+def experiment_fingerprint(config: ExperimentConfig) -> Tuple:
+    """The full identity of the dataset ``config`` produces.
+
+    Combines the config's own cache key with the package version and the
+    workload/machine fingerprints: equal tuples guarantee equal datasets,
+    and any code change that could alter the simulation changes the tuple.
+    """
+    return (
+        __version__,
+        workload_fingerprint(),
+        _machine_fingerprint(),
+    ) + config.cache_key()
+
+
+def artifact_cache(cache_dir: Optional[Path] = None) -> ArtifactCache:
+    """The artifact cache experiments read and write.
+
+    ``cache_dir`` overrides the root (tests use temporary directories);
+    the default lives under :func:`default_cache_dir`.
+    """
+    if cache_dir is not None:
+        return ArtifactCache(Path(cache_dir))
+    return ArtifactCache(default_cache_dir() / "artifacts")
+
+
 def suite_dataset(
     config: Optional[ExperimentConfig] = None,
     cache_dir: Optional[Path] = None,
+    n_jobs: Optional[int] = None,
 ) -> Dataset:
     """The section dataset for ``config`` (simulating it if needed).
 
+    Simulation fans out across workloads (``n_jobs``; ``None`` defers to
+    ``REPRO_JOBS``) and the result is bit-identical at any worker count.
     The disk cache key includes the package version: any code change
     that could alter the simulation invalidates old caches.
     """
     cfg = config or ExperimentConfig.quick()
-    key = (__version__, workload_fingerprint(), _machine_fingerprint()) + cfg.cache_key()
+    key = experiment_fingerprint(cfg)
     if key in _MEMORY_CACHE:
         return _MEMORY_CACHE[key]
 
-    path = None
-    if cfg.use_cache:
-        directory = cache_dir or default_cache_dir()
-        directory.mkdir(parents=True, exist_ok=True)
-        digest = stable_hash([str(part) for part in key])
-        path = directory / f"suite-{digest}.csv"
-        if path.exists():
-            try:
-                dataset = load_csv(path)
-            except ReproError:
-                path.unlink()
-            else:
-                _MEMORY_CACHE[key] = dataset
-                return dataset
+    cache = artifact_cache(cache_dir) if cfg.use_cache else None
+    if cache is not None:
+        dataset = cache.load_dataset(key)
+        if dataset is not None:
+            _MEMORY_CACHE[key] = dataset
+            return dataset
 
     result = simulate_suite(
         sections_per_workload=cfg.sections_per_workload,
         instructions_per_section=cfg.instructions_per_section,
         seed=cfg.seed,
         jitter=cfg.jitter,
+        n_jobs=n_jobs,
     )
     dataset = result.dataset
-    if path is not None:
-        save_csv(dataset, path)
+    if cache is not None:
+        cache.store_dataset(key, dataset)
     _MEMORY_CACHE[key] = dataset
     return dataset
 

@@ -1,4 +1,10 @@
-"""Shared fitted models for the experiment modules."""
+"""Shared fitted models for the experiment modules.
+
+Fitting the paper-regime tree is seconds of work repeated by every
+experiment and benchmark session; fitted models are therefore memoized
+in-process and persisted as JSON in the artifact cache, keyed by the
+dataset identity plus the tree parameters that shape the fit.
+"""
 
 from __future__ import annotations
 
@@ -6,18 +12,37 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.tree import M5Prime
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.data import suite_dataset
+from repro.experiments.data import (
+    artifact_cache,
+    experiment_fingerprint,
+    suite_dataset,
+)
 
 _FITTED: Dict[Tuple, M5Prime] = {}
 
 
 def fitted_tree(config: Optional[ExperimentConfig] = None) -> M5Prime:
-    """The M5' tree fitted on the config's suite dataset (memoized)."""
+    """The M5' tree fitted on the config's suite dataset (memoized).
+
+    With ``use_cache`` enabled the fitted model is also stored as JSON
+    in the artifact cache, so benchmark sessions skip refitting.
+    """
     cfg = config or ExperimentConfig.quick()
-    key = cfg.cache_key() + (cfg.min_instances,)
-    if key not in _FITTED:
-        dataset = suite_dataset(cfg)
-        model = M5Prime(min_instances=cfg.min_instances)
-        model.fit(dataset)
-        _FITTED[key] = model
-    return _FITTED[key]
+    key = experiment_fingerprint(cfg) + (cfg.min_instances,)
+    if key in _FITTED:
+        return _FITTED[key]
+
+    cache = artifact_cache() if cfg.use_cache else None
+    if cache is not None:
+        cached = cache.load_model(key)
+        if cached is not None:
+            _FITTED[key] = cached
+            return cached
+
+    dataset = suite_dataset(cfg)
+    model = M5Prime(min_instances=cfg.min_instances)
+    model.fit(dataset)
+    if cache is not None:
+        cache.store_model(key, model)
+    _FITTED[key] = model
+    return model

@@ -1,0 +1,42 @@
+"""Parallel execution and artifact caching for the hot paths.
+
+See :mod:`repro.parallel.executor` for the pluggable map layer,
+:mod:`repro.parallel.seeding` for the deterministic per-task seed
+derivation that keeps serial and parallel runs bit-identical, and
+:mod:`repro.parallel.cache` for the content-addressed on-disk store of
+simulated datasets and fitted models.
+"""
+
+from repro.parallel.cache import ArtifactCache, CacheInfo, get_artifact_cache
+from repro.parallel.executor import (
+    EXECUTOR_ENV,
+    EXECUTOR_KINDS,
+    JOBS_ENV,
+    parallel_map,
+    parallel_starmap,
+    resolve_executor,
+    resolve_jobs,
+)
+from repro.parallel.seeding import (
+    derive_fold_seeds,
+    generator_for,
+    seeds_as_ints,
+    spawn_seeds,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheInfo",
+    "EXECUTOR_ENV",
+    "EXECUTOR_KINDS",
+    "JOBS_ENV",
+    "derive_fold_seeds",
+    "generator_for",
+    "get_artifact_cache",
+    "parallel_map",
+    "parallel_starmap",
+    "resolve_executor",
+    "resolve_jobs",
+    "seeds_as_ints",
+    "spawn_seeds",
+]

@@ -1,0 +1,179 @@
+"""Content-addressed on-disk artifact cache.
+
+Simulating the suite dataset and fitting paper-regime trees are the two
+expensive steps every experiment, benchmark and CLI session repeats.
+This cache stores both — section datasets as CSV, fitted models as JSON
+— under names derived from a stable hash of everything that determines
+their content: the :class:`~repro.experiments.config.ExperimentConfig`
+fields, the workload and machine fingerprints, and the package version.
+Identical inputs always map to the same file, so concurrent sessions
+share artifacts; any input change produces a different digest, so stale
+artifacts are never served (they are merely orphaned until ``repro
+cache clear``).
+
+Layout (under :func:`repro.experiments.config.default_cache_dir`, i.e.
+``~/.cache/repro`` or ``$REPRO_CACHE_DIR``)::
+
+    artifacts/
+        dataset-<digest>.csv     simulated section datasets
+        model-<digest>.json      fitted model trees
+
+Corrupt entries are treated as misses and deleted, never raised.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro._util import stable_hash
+from repro.errors import ReproError
+
+KeyPart = Union[str, int, float]
+
+_SUFFIXES = {"dataset": ".csv", "model": ".json", "json": ".json"}
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """A snapshot of the cache directory's contents."""
+
+    directory: Path
+    n_entries: int
+    total_bytes: int
+    entries: Sequence[str]
+
+    def render(self) -> str:
+        lines = [
+            f"cache directory: {self.directory}",
+            f"entries: {self.n_entries}",
+            f"total size: {self.total_bytes / 1024:.1f} KiB",
+        ]
+        for name in self.entries:
+            lines.append(f"  {name}")
+        return "\n".join(lines)
+
+
+class ArtifactCache:
+    """Content-addressed store for datasets and fitted models.
+
+    Args:
+        directory: Cache root; defaults to ``<default_cache_dir>/artifacts``.
+    """
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        if directory is None:
+            from repro.experiments.config import default_cache_dir
+
+            directory = default_cache_dir() / "artifacts"
+        self.directory = Path(directory)
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def path_for(self, kind: str, key_parts: Sequence[KeyPart]) -> Path:
+        """The (deterministic) file path for an artifact identity.
+
+        ``kind`` namespaces the digest — a dataset and a model derived
+        from the same configuration never collide.
+        """
+        if kind not in _SUFFIXES:
+            raise ReproError(
+                f"unknown artifact kind {kind!r}; choose from {sorted(_SUFFIXES)}"
+            )
+        digest = stable_hash([kind] + [str(p) for p in key_parts])
+        return self.directory / f"{kind}-{digest}{_SUFFIXES[kind]}"
+
+    def has(self, kind: str, key_parts: Sequence[KeyPart]) -> bool:
+        return self.path_for(kind, key_parts).exists()
+
+    # ------------------------------------------------------------------
+    # Datasets
+    # ------------------------------------------------------------------
+    def load_dataset(self, key_parts: Sequence[KeyPart]):
+        """The cached dataset for this identity, or ``None`` on a miss."""
+        path = self.path_for("dataset", key_parts)
+        if not path.exists():
+            return None
+        from repro.datasets.csvio import load_csv
+
+        try:
+            return load_csv(path)
+        except ReproError:
+            path.unlink(missing_ok=True)
+            return None
+
+    def store_dataset(self, key_parts: Sequence[KeyPart], dataset) -> Path:
+        from repro.datasets.csvio import save_csv
+
+        path = self.path_for("dataset", key_parts)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        save_csv(dataset, tmp)
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    # Fitted models
+    # ------------------------------------------------------------------
+    def load_model(self, key_parts: Sequence[KeyPart]):
+        """The cached fitted model for this identity, or ``None``."""
+        path = self.path_for("model", key_parts)
+        if not path.exists():
+            return None
+        from repro.core.tree.serialize import load_model
+
+        try:
+            return load_model(path)
+        except ReproError:
+            path.unlink(missing_ok=True)
+            return None
+
+    def store_model(self, key_parts: Sequence[KeyPart], model) -> Path:
+        from repro.core.tree.serialize import model_to_dict
+
+        path = self.path_for("model", key_parts)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(model_to_dict(model), handle, indent=1)
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _entries(self) -> List[Path]:
+        if not self.directory.is_dir():
+            return []
+        return sorted(
+            p for p in self.directory.iterdir()
+            if p.is_file() and any(
+                p.name.startswith(k + "-") for k in _SUFFIXES
+            )
+        )
+
+    def info(self) -> CacheInfo:
+        entries = self._entries()
+        return CacheInfo(
+            directory=self.directory,
+            n_entries=len(entries),
+            total_bytes=sum(p.stat().st_size for p in entries),
+            entries=tuple(p.name for p in entries),
+        )
+
+    def clear(self) -> int:
+        """Delete every cached artifact; returns the number removed."""
+        removed = 0
+        for path in self._entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+def get_artifact_cache(directory: Optional[Path] = None) -> ArtifactCache:
+    """The artifact cache rooted at ``directory`` (or the default root)."""
+    return ArtifactCache(directory)

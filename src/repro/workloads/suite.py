@@ -129,6 +129,62 @@ def workload_fingerprint(profiles: Optional[Sequence[WorkloadProfile]] = None) -
     return stable_hash(parts)
 
 
+class _ProfileRun:
+    """One workload's full simulation, self-contained for any executor.
+
+    Each profile draws only from its own pre-spawned seed sequence, so
+    profile runs are order- and worker-independent: a parallel suite is
+    bit-identical to a serial one.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        sections_per_workload: int,
+        instructions_per_section: int,
+        jitter: float,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        self.machine = machine
+        self.sections_per_workload = sections_per_workload
+        self.instructions_per_section = instructions_per_section
+        self.jitter = jitter
+        self.progress = progress
+
+    def __call__(self, job):
+        profile, seq = job
+        rng = np.random.default_rng(seq)
+        core = SimulatedCore(self.machine, rng=rng)
+        counts = []
+        section_ids: List[int] = []
+        phase_ids: List[int] = []
+        cycles_total = 0.0
+        previous_params = None
+        for index in range(self.sections_per_workload):
+            params = profile.section_params(index, self.sections_per_workload)
+            if params is not previous_params:
+                prewarm(core, params)
+                previous_params = params
+            section_params = perturbed(params, rng, self.jitter)
+            block = synthesize_block(
+                section_params, self.instructions_per_section, rng
+            )
+            result = core.run_block(block)
+            counts.append(result.counts)
+            section_ids.append(index)
+            phase_ids.append(
+                profile.phase_index(index, self.sections_per_workload)
+            )
+            cycles_total += result.cycles
+            if self.progress is not None:
+                progress = self.progress
+                progress(profile.name, index + 1, self.sections_per_workload)
+        cpi = cycles_total / (
+            self.sections_per_workload * self.instructions_per_section
+        )
+        return counts, section_ids, phase_ids, cpi
+
+
 def simulate_suite(
     profiles: Optional[Sequence[WorkloadProfile]] = None,
     sections_per_workload: int = 120,
@@ -137,6 +193,7 @@ def simulate_suite(
     seed: int = 2007,
     jitter: float = 0.08,
     progress: Optional[ProgressCallback] = None,
+    n_jobs: Optional[int] = None,
 ) -> SuiteResult:
     """Simulate every profile and assemble the section dataset.
 
@@ -151,10 +208,18 @@ def simulate_suite(
         seed: Master seed; all randomness derives from it.
         jitter: Section-to-section lognormal spread of phase parameters.
         progress: Optional callback ``(workload, done_sections, total)``.
+            With ``n_jobs > 1`` it is invoked in the parent, once per
+            completed workload, rather than per section.
+        n_jobs: Workload-level parallelism — ``1`` serial, ``N`` workers,
+            ``-1`` all cores, ``None`` defers to ``REPRO_JOBS``.  The
+            dataset is bit-identical at any worker count because every
+            profile simulates from its own pre-spawned seed.
 
     Returns:
         A :class:`SuiteResult` with the dataset and per-workload CPI.
     """
+    from repro.parallel import parallel_map, resolve_jobs
+
     if profiles is None:
         profiles = spec_like_suite()
     if not profiles:
@@ -165,36 +230,31 @@ def simulate_suite(
         raise ConfigError("instructions_per_section must be at least 64")
     machine = config or MachineConfig()
 
+    jobs = resolve_jobs(n_jobs)
     seeds = np.random.SeedSequence(seed).spawn(len(profiles))
+    run = _ProfileRun(
+        machine,
+        sections_per_workload,
+        instructions_per_section,
+        jitter,
+        # Per-section callbacks cannot cross a process boundary.
+        progress=progress if jobs <= 1 else None,
+    )
+    outcomes = parallel_map(run, list(zip(profiles, seeds)), n_jobs=jobs)
+
     all_counts = []
     labels: List[str] = []
     section_ids: List[int] = []
     phase_ids: List[int] = []
     cpi_by_workload: Dict[str, float] = {}
-
-    for profile, seq in zip(profiles, seeds):
-        rng = np.random.default_rng(seq)
-        core = SimulatedCore(machine, rng=rng)
-        cycles_total = 0.0
-        previous_params = None
-        for index in range(sections_per_workload):
-            params = profile.section_params(index, sections_per_workload)
-            if params is not previous_params:
-                prewarm(core, params)
-                previous_params = params
-            section_params = perturbed(params, rng, jitter)
-            block = synthesize_block(section_params, instructions_per_section, rng)
-            result = core.run_block(block)
-            all_counts.append(result.counts)
-            labels.append(profile.name)
-            section_ids.append(index)
-            phase_ids.append(profile.phase_index(index, sections_per_workload))
-            cycles_total += result.cycles
-            if progress is not None:
-                progress(profile.name, index + 1, sections_per_workload)
-        cpi_by_workload[profile.name] = cycles_total / (
-            sections_per_workload * instructions_per_section
-        )
+    for profile, (counts, sections, phases, cpi) in zip(profiles, outcomes):
+        all_counts.extend(counts)
+        labels.extend([profile.name] * len(counts))
+        section_ids.extend(sections)
+        phase_ids.extend(phases)
+        cpi_by_workload[profile.name] = cpi
+        if progress is not None and jobs > 1:
+            progress(profile.name, sections_per_workload, sections_per_workload)
 
     dataset = sections_to_dataset(all_counts, workloads=labels)
     dataset = dataset.with_meta(

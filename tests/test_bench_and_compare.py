@@ -1,0 +1,147 @@
+"""Tests for `repro bench` (schema) and benchmarks/compare.py (CI gate)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import SCHEMA, render_document, run_bench, write_document
+from repro.errors import ConfigError
+
+
+def _load_compare_module():
+    path = Path(__file__).resolve().parent.parent / "benchmarks" / "compare.py"
+    spec = importlib.util.spec_from_file_location("bench_compare", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def bench_document():
+    return run_bench(preset="tiny", rounds=1)
+
+
+class TestRunBench:
+    def test_schema_shape(self, bench_document):
+        assert bench_document["schema"] == SCHEMA
+        assert bench_document["preset"] == "tiny"
+        assert bench_document["rounds"] == 1
+        assert set(bench_document["versions"]) == {"repro", "numpy", "python"}
+        names = [b["name"] for b in bench_document["benchmarks"]]
+        assert names == [
+            "fit_m5p", "predict_m5p", "cross_validate", "suite_simulate"
+        ]
+
+    def test_timings_positive_and_consistent(self, bench_document):
+        for entry in bench_document["benchmarks"]:
+            assert 0 < entry["min_s"] <= entry["mean_s"] <= entry["max_s"]
+            assert entry["rounds"] == 1
+
+    def test_document_is_json_serializable(self, bench_document, tmp_path):
+        out = tmp_path / "bench.json"
+        write_document(bench_document, str(out))
+        assert json.loads(out.read_text())["schema"] == SCHEMA
+
+    def test_render_mentions_every_benchmark(self, bench_document):
+        text = render_document(bench_document)
+        for entry in bench_document["benchmarks"]:
+            assert entry["name"] in text
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ConfigError):
+            run_bench(preset="tiny", rounds=0)
+
+
+class TestCompareScript:
+    @pytest.fixture(scope="class")
+    def compare(self):
+        return _load_compare_module()
+
+    def _write(self, path, entries, schema="repro"):
+        if schema == "repro":
+            payload = {
+                "benchmarks": [
+                    {"name": n, "mean_s": m} for n, m in entries.items()
+                ]
+            }
+        else:  # pytest-benchmark layout
+            payload = {
+                "benchmarks": [
+                    {"name": n, "stats": {"mean": m}} for n, m in entries.items()
+                ]
+            }
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_within_tolerance_passes(self, compare, tmp_path):
+        current = self._write(tmp_path / "c.json", {"fit": 1.2})
+        baseline = self._write(tmp_path / "b.json", {"fit": 1.0})
+        assert compare.main([current, baseline, "--tolerance", "0.30"]) == 0
+
+    def test_regression_fails(self, compare, tmp_path):
+        current = self._write(tmp_path / "c.json", {"fit": 1.5})
+        baseline = self._write(tmp_path / "b.json", {"fit": 1.0})
+        assert compare.main([current, baseline, "--tolerance", "0.30"]) == 1
+
+    def test_improvement_passes(self, compare, tmp_path):
+        current = self._write(tmp_path / "c.json", {"fit": 0.2})
+        baseline = self._write(tmp_path / "b.json", {"fit": 1.0})
+        assert compare.main([current, baseline]) == 0
+
+    def test_new_benchmark_passes(self, compare, tmp_path):
+        current = self._write(tmp_path / "c.json", {"fit": 1.0, "new": 9.0})
+        baseline = self._write(tmp_path / "b.json", {"fit": 1.0})
+        assert compare.main([current, baseline]) == 0
+
+    def test_pytest_benchmark_schema(self, compare, tmp_path):
+        current = self._write(
+            tmp_path / "c.json", {"fit": 2.0}, schema="pytest"
+        )
+        baseline = self._write(tmp_path / "b.json", {"fit": 1.0})
+        assert compare.main([current, baseline]) == 1
+
+    def test_update_rewrites_baseline(self, compare, tmp_path):
+        current = self._write(tmp_path / "c.json", {"fit": 2.0})
+        baseline = tmp_path / "b.json"
+        assert compare.main([current, str(baseline), "--update"]) == 0
+        means = compare.load_means(str(baseline))
+        assert means == {"fit": 2.0}
+
+    def test_checked_in_baseline_parses(self, compare):
+        baseline = (
+            Path(__file__).resolve().parent.parent / "benchmarks" / "baseline.json"
+        )
+        means = compare.load_means(str(baseline))
+        assert means and all(m > 0 for m in means.values())
+
+
+class TestCliBenchAndCache:
+    def test_bench_writes_json(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench", "--preset", "tiny", "--rounds", "1", "--out", str(out)
+        ]) == 0
+        document = json.loads(out.read_text())
+        assert document["schema"] == SCHEMA
+        assert "fit_m5p" in capsys.readouterr().out
+
+    def test_cache_info_and_clear(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+        from repro.experiments.data import artifact_cache
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = artifact_cache()
+        from tests.test_parallel_exec import _tiny_dataset
+
+        cache.store_dataset(["k"], _tiny_dataset())
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert cache.info().n_entries == 0

@@ -1,0 +1,204 @@
+"""Determinism suite: serial and parallel runs must be bit-identical.
+
+The contract the parallel layer sells is that ``n_jobs`` is purely an
+execution detail — every hot path pre-resolves its randomness, so worker
+count can never leak into results.  These tests pin that contract for
+cross validation, bagging and suite simulation, plus the artifact
+cache's hit/invalidate behavior.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.baselines import BaggedM5
+from repro.core.tree import M5Prime
+from repro.datasets.synthetic import figure1_dataset
+from repro.errors import ConfigError
+from repro.evaluation import cross_validate
+from repro.experiments import ExperimentConfig
+from repro.experiments import data as data_module
+from repro.experiments.data import experiment_fingerprint, suite_dataset
+from repro.workloads import simulate_suite
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return figure1_dataset(n=300, noise_sd=0.1, rng=0)
+
+
+FACTORY = functools.partial(M5Prime, min_instances=30)
+
+
+class TestCrossValidationDeterminism:
+    def test_parallel_matches_serial_bitwise(self, dataset):
+        serial = cross_validate(FACTORY, dataset, n_folds=5, rng=3, n_jobs=1)
+        threaded = cross_validate(FACTORY, dataset, n_folds=5, rng=3, n_jobs=2)
+        assert np.array_equal(serial.predictions, threaded.predictions)
+        assert np.array_equal(serial.actuals, threaded.actuals)
+        assert [f.to_dict() for f in serial.folds] == [
+            f.to_dict() for f in threaded.folds
+        ]
+
+    def test_process_pool_matches_serial(self, dataset):
+        serial = cross_validate(FACTORY, dataset, n_folds=4, rng=1, n_jobs=1)
+        pooled = cross_validate(
+            FACTORY, dataset, n_folds=4, rng=1, n_jobs=2
+        )
+        assert np.array_equal(serial.predictions, pooled.predictions)
+
+    @pytest.mark.filterwarnings("ignore:parallel_map.*not picklable")
+    def test_rng_taking_factory_is_reproducible(self, dataset):
+        def factory(rng):
+            # Derive the member seed from the fold's generator: a learner
+            # that is stochastic per fold but stable per (rng, n_folds).
+            return M5Prime(min_instances=20 + int(rng.integers(0, 2)))
+
+        a = cross_validate(factory, dataset, n_folds=4, rng=9, n_jobs=1)
+        b = cross_validate(factory, dataset, n_folds=4, rng=9, n_jobs=2)
+        assert np.array_equal(a.predictions, b.predictions)
+
+    def test_too_many_folds_raises_config_error(self, dataset):
+        subset = dataset.subset(np.arange(6))
+        with pytest.raises(ConfigError, match="6 instances"):
+            cross_validate(FACTORY, subset, n_folds=7)
+
+    def test_error_message_names_both_sides(self, dataset):
+        subset = dataset.subset(np.arange(4))
+        with pytest.raises(ConfigError, match="5-fold"):
+            cross_validate(FACTORY, subset, n_folds=5)
+
+
+class TestBaggingDeterminism:
+    def test_parallel_matches_serial_bitwise(self, dataset):
+        serial = BaggedM5(
+            n_estimators=4, min_instances=30, seed=5, n_jobs=1
+        ).fit(dataset)
+        parallel = BaggedM5(
+            n_estimators=4, min_instances=30, seed=5, n_jobs=2
+        ).fit(dataset)
+        assert np.array_equal(
+            serial.predict(dataset.X), parallel.predict(dataset.X)
+        )
+
+    def test_member_trees_identical(self, dataset):
+        serial = BaggedM5(n_estimators=3, min_instances=40, seed=2, n_jobs=1)
+        parallel = BaggedM5(n_estimators=3, min_instances=40, seed=2, n_jobs=2)
+        serial.fit(dataset)
+        parallel.fit(dataset)
+        for a, b in zip(serial.estimators_, parallel.estimators_):
+            assert a.to_text() == b.to_text()
+
+
+class TestSuiteDeterminism:
+    def test_parallel_matches_serial_bitwise(self):
+        kwargs = dict(
+            sections_per_workload=4, instructions_per_section=128, seed=9
+        )
+        serial = simulate_suite(n_jobs=1, **kwargs)
+        parallel = simulate_suite(n_jobs=2, **kwargs)
+        assert np.array_equal(serial.dataset.X, parallel.dataset.X)
+        assert np.array_equal(serial.dataset.y, parallel.dataset.y)
+        assert list(serial.dataset.meta["workload"]) == list(
+            parallel.dataset.meta["workload"]
+        )
+        assert serial.cpi_by_workload == parallel.cpi_by_workload
+
+    def test_parallel_progress_reports_per_workload(self):
+        calls = []
+        simulate_suite(
+            sections_per_workload=2,
+            instructions_per_section=128,
+            seed=1,
+            n_jobs=2,
+            progress=lambda name, done, total: calls.append((name, done, total)),
+        )
+        assert calls and all(done == total for _, done, total in calls)
+
+
+class TestDatasetCache:
+    def _config(self, **overrides):
+        base = dict(
+            name="cachetest",
+            sections_per_workload=4,
+            instructions_per_section=128,
+            min_instances=5,
+            n_folds=2,
+            seed=77,
+            use_cache=True,
+        )
+        base.update(overrides)
+        return ExperimentConfig(**base)
+
+    def test_disk_hit_skips_simulation(self, tmp_path, monkeypatch):
+        cfg = self._config()
+        first = suite_dataset(cfg, cache_dir=tmp_path)
+        data_module._MEMORY_CACHE.clear()
+
+        def exploding_simulate(*args, **kwargs):
+            raise AssertionError("cache miss: simulation re-ran")
+
+        monkeypatch.setattr(data_module, "simulate_suite", exploding_simulate)
+        second = suite_dataset(cfg, cache_dir=tmp_path)
+        assert np.array_equal(first.X, second.X)
+        assert np.array_equal(first.y, second.y)
+        data_module._MEMORY_CACHE.clear()
+
+    def test_config_change_invalidates(self, tmp_path):
+        cfg = self._config()
+        suite_dataset(cfg, cache_dir=tmp_path)
+        changed = cfg.with_overrides(seed=78)
+        suite_dataset(changed, cache_dir=tmp_path)
+        entries = list(tmp_path.glob("dataset-*.csv"))
+        assert len(entries) == 2
+        data_module._MEMORY_CACHE.clear()
+
+    def test_fingerprint_ignores_model_params(self):
+        cfg = self._config()
+        assert experiment_fingerprint(cfg) == experiment_fingerprint(
+            cfg.with_overrides(min_instances=99)
+        )
+
+    def test_fingerprint_sees_data_params(self):
+        cfg = self._config()
+        assert experiment_fingerprint(cfg) != experiment_fingerprint(
+            cfg.with_overrides(jitter=0.5)
+        )
+
+    def test_use_cache_false_writes_nothing(self, tmp_path):
+        cfg = self._config(use_cache=False)
+        suite_dataset(cfg, cache_dir=tmp_path)
+        assert list(tmp_path.iterdir()) == []
+        data_module._MEMORY_CACHE.clear()
+
+    def test_parallel_simulation_same_cache_key_content(self, tmp_path):
+        cfg = self._config()
+        first = suite_dataset(cfg, cache_dir=tmp_path, n_jobs=2)
+        data_module._MEMORY_CACHE.clear()
+        second = suite_dataset(cfg, cache_dir=tmp_path, n_jobs=1)
+        assert np.array_equal(first.X, second.X)
+        data_module._MEMORY_CACHE.clear()
+
+
+class TestFittedTreeCache:
+    def test_model_cache_round_trip(self, tmp_path, monkeypatch):
+        from repro.experiments import models as models_module
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cfg = ExperimentConfig(
+            name="modelcache",
+            sections_per_workload=4,
+            instructions_per_section=128,
+            min_instances=5,
+            n_folds=2,
+            seed=80,
+            use_cache=True,
+        )
+        first = models_module.fitted_tree(cfg)
+        models_module._FITTED.clear()
+        second = models_module.fitted_tree(cfg)
+        assert first.to_text() == second.to_text()
+        assert len(list((tmp_path / "artifacts").glob("model-*.json"))) == 1
+        models_module._FITTED.clear()
+        data_module._MEMORY_CACHE.clear()

@@ -116,3 +116,30 @@ class TestAdjacentFloatValues:
         model = M5Prime(min_instances=2).fit(X, y)
         assert model.depth <= 2
         assert np.allclose(model.predict(X), y, atol=1e-6)
+
+
+class TestChunkedScanEquivalence:
+    """Any chunk size must return the identical split (same tie-breaks)."""
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 5, 32, 1000])
+    def test_chunk_size_does_not_change_result(self, rng, chunk_size):
+        X = rng.normal(size=(80, 17))
+        y = X[:, 3] * 2.0 + rng.normal(scale=0.2, size=80)
+        reference = find_best_split(X, y, min_leaf=5, chunk_size=1)
+        assert find_best_split(X, y, min_leaf=5, chunk_size=chunk_size) == reference
+
+    def test_tied_attributes_resolve_to_lowest_index(self):
+        # Two identical columns: identical SDR everywhere; the scan must
+        # keep attribute 0 regardless of how columns are chunked.
+        x = np.linspace(0.0, 1.0, 40)
+        X = np.column_stack([x, x])
+        y = (x > 0.5).astype(float)
+        for chunk_size in (1, 2):
+            split = find_best_split(X, y, min_leaf=2, chunk_size=chunk_size)
+            assert split.attribute_index == 0
+
+    def test_invalid_chunk_size(self, rng):
+        X = rng.normal(size=(20, 3))
+        y = rng.normal(size=20)
+        with pytest.raises(ConfigError):
+            find_best_split(X, y, chunk_size=0)
