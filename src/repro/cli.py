@@ -12,16 +12,24 @@ Subcommands mirror the paper's workflow:
 * ``repro workloads``   — list the synthetic suite
 * ``repro bench``       — time the hot paths, write a BENCH_<date>.json
 * ``repro cache``       — inspect or clear the on-disk artifact cache
+* ``repro faults``      — describe the active fault-injection spec
 
 Commands with repeated independent fits take ``--jobs N`` (``-1`` for
 all cores); the ``REPRO_JOBS`` environment variable sets the default.
 Results are bit-identical at any worker count.
 
+The long-running commands (``collect``, ``evaluate``, ``compare``) are
+fault-tolerant: failing units (workloads, folds) are retried with
+backoff, ``--fail-policy`` decides what exhausted units mean, every
+completed unit is checkpointed, and ``--resume`` reuses checkpoints
+from an interrupted run — bit-identically (see ``docs/resilience.md``).
+
 Example::
 
     repro collect --out sections.csv --sections 120 --jobs 4
     repro train --data sections.csv --min-instances 25
-    repro evaluate --data sections.csv --learner m5p --jobs 4
+    repro evaluate --data sections.csv --learner m5p --jobs 4 --resume
+    repro compare --data sections.csv --fail-policy min_success:0.8
     repro lint --model model.json --data sections.csv --strict
     repro experiments --id F2 --preset quick
     repro bench --preset quick --jobs 4
@@ -31,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.errors import ReproError
@@ -41,6 +50,48 @@ def _add_jobs_argument(command_parser: argparse.ArgumentParser) -> None:
         "--jobs", type=int, default=None, metavar="N",
         help="parallel workers (-1 = all cores; default: $REPRO_JOBS or 1). "
         "Results are bit-identical at any worker count.",
+    )
+
+
+def _add_resilience_arguments(command_parser: argparse.ArgumentParser) -> None:
+    command_parser.add_argument(
+        "--resume", action="store_true",
+        help="reuse per-unit checkpoints from an interrupted run "
+        "(results are bit-identical to an uninterrupted run)",
+    )
+    command_parser.add_argument(
+        "--fail-policy", default="fail_fast", metavar="POLICY",
+        help="what exhausted retries mean: fail_fast (abort, default), "
+        "collect_errors (record and continue), or min_success:FRACTION "
+        "(continue unless fewer than FRACTION of units succeed)",
+    )
+    command_parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-unit wall-clock budget; a unit past it counts as failed "
+        "(and is retried)",
+    )
+    command_parser.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="attempts per unit before it counts as failed (default 3)",
+    )
+
+
+def _build_policy(args: argparse.Namespace, run_key: str):
+    """The :class:`~repro.resilience.RunPolicy` the flags describe."""
+    from repro.resilience import (
+        CheckpointStore,
+        FailPolicy,
+        RetryPolicy,
+        RunPolicy,
+    )
+
+    return RunPolicy(
+        retry=RetryPolicy(max_attempts=args.retries),
+        fail_policy=FailPolicy.parse(args.fail_policy),
+        task_timeout=args.task_timeout,
+        checkpoint=CheckpointStore(),
+        run_key=run_key,
+        resume=args.resume,
     )
 
 
@@ -62,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument("--arff", action="store_true",
                          help="also write a WEKA .arff next to the CSV")
     _add_jobs_argument(collect)
+    _add_resilience_arguments(collect)
 
     train = sub.add_parser("train", help="fit an M5' tree and print it")
     train.add_argument("--data", required=True, help="dataset CSV path")
@@ -97,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="output format (json shares the repro-report "
                           "envelope with `repro lint`)")
     _add_jobs_argument(evaluate)
+    _add_resilience_arguments(evaluate)
 
     lint = sub.add_parser(
         "lint",
@@ -107,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("--model", help="saved model JSON to verify")
     lint.add_argument("--data", help="dataset CSV to verify")
+    lint.add_argument("--cache-dir", help="artifact cache directory to verify")
     lint.add_argument("--format", default="text", choices=["text", "json"])
     lint.add_argument("--strict", action="store_true",
                       help="exit 1 when warnings are the worst finding")
@@ -118,7 +172,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--folds", type=int, default=10)
     compare.add_argument("--min-instances", type=int, default=25)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--format", default="text", choices=["text", "json"],
+                         help="output format (json lists failed units in a "
+                         "repro-report envelope)")
     _add_jobs_argument(compare)
+    _add_resilience_arguments(compare)
 
     bench = sub.add_parser(
         "bench",
@@ -146,6 +204,17 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("action", choices=["info", "clear"],
                        help="info: list entries; clear: delete them all")
 
+    faults = sub.add_parser(
+        "faults",
+        help="describe the active fault-injection spec",
+        description="Fault injection makes deliberately-broken runs "
+        "reproducible: $REPRO_FAULTS names sites and failure rates "
+        "(e.g. 'sim:0.2,cache_read:0.1,seed=7') and every decision is "
+        "a pure function of the spec's seed.",
+    )
+    faults.add_argument("--spec", default=None,
+                        help="describe this spec instead of $REPRO_FAULTS")
+
     experiments = sub.add_parser("experiments", help="run paper-artifact experiments")
     experiments.add_argument("--id", action="append", dest="ids",
                              help="experiment id (repeatable); default: all")
@@ -171,13 +240,18 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_collect(args: argparse.Namespace) -> int:
     from repro.datasets.arff import save_arff
     from repro.datasets.csvio import save_csv
+    from repro.experiments.data import collect_run_key
     from repro.workloads import simulate_suite
 
+    policy = _build_policy(args, collect_run_key(
+        args.sections, args.instructions, args.seed
+    ))
     result = simulate_suite(
         sections_per_workload=args.sections,
         instructions_per_section=args.instructions,
         seed=args.seed,
         n_jobs=args.jobs,
+        policy=policy,
     )
     save_csv(result.dataset, args.out)
     print(result.summary())
@@ -186,6 +260,11 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         arff_path = args.out.rsplit(".", 1)[0] + ".arff"
         save_arff(result.dataset, arff_path)
         print(f"wrote WEKA dataset to {arff_path}")
+    if result.failures:
+        print(f"{len(result.failures)} workload(s) failed; the dataset "
+              "is partial (rerun with --resume to fill it in)",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -291,13 +370,33 @@ def _make_learner(name: str, min_instances: int, seed: int):
     return factories[name]
 
 
+def _evaluation_run_key(prefix: str, dataset, args: argparse.Namespace) -> str:
+    """Checkpoint namespace for one CV identity over one dataset.
+
+    Content-fingerprinted (not path-based): the same data under a new
+    filename still resumes, and edited data never reuses stale folds.
+    """
+    from repro._util import stable_hash
+    from repro.resilience import dataset_fingerprint
+
+    return prefix + "-" + stable_hash([
+        dataset_fingerprint(dataset),
+        getattr(args, "learner", "all"),
+        args.folds,
+        args.seed,
+        args.min_instances,
+    ])
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.evaluation import cross_validate, residual_report
 
     dataset = _load(args.data)
     factory = _make_learner(args.learner, args.min_instances, args.seed)
+    policy = _build_policy(args, _evaluation_run_key("evaluate", dataset, args))
     result = cross_validate(
-        factory, dataset, n_folds=args.folds, rng=args.seed, n_jobs=args.jobs
+        factory, dataset, n_folds=args.folds, rng=args.seed,
+        n_jobs=args.jobs, policy=policy,
     )
     if args.format == "json":
         from repro.lint import json_document
@@ -310,6 +409,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             "mean": result.mean.to_dict(),
             "pooled": result.pooled.to_dict(),
             "per_fold": [fold.to_dict() for fold in result.folds],
+            "failed_units": [failure.to_dict() for failure in result.failures],
         }))
         return 0
     print(result.describe())
@@ -336,8 +436,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"{lint_rule.rule_id:<10} {lint_rule.family:<8} "
                   f"{lint_rule.severity.value:<8} {lint_rule.summary}")
         return 0
-    if not args.model and not args.data:
-        raise ReproError("lint needs --model and/or --data (or --list-rules)")
+    if not args.model and not args.data and not args.cache_dir:
+        raise ReproError(
+            "lint needs --model, --data, and/or --cache-dir (or --list-rules)"
+        )
     model = None
     if args.model:
         from repro.core.tree import load_model
@@ -346,7 +448,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     # load_table, not _load: lint must *report* NaN/Inf cells, not crash
     # on the validating Dataset constructor.
     dataset = load_table(args.data) if args.data else None
-    report = run_lint(model=model, dataset=dataset)
+    cache_dir = Path(args.cache_dir) if args.cache_dir else None
+    report = run_lint(model=model, dataset=dataset, cache_dir=cache_dir)
     if args.format == "json":
         print(render_json(report))
     else:
@@ -362,9 +465,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     factories = {
         name: _make_learner(name, args.min_instances, args.seed) for name in names
     }
+    policy = _build_policy(args, _evaluation_run_key("compare", dataset, args))
     result = compare_estimators(
-        factories, dataset, n_folds=args.folds, seed=args.seed, n_jobs=args.jobs
+        factories, dataset, n_folds=args.folds, seed=args.seed,
+        n_jobs=args.jobs, policy=policy,
     )
+    if args.format == "json":
+        from repro.lint import json_document
+
+        print(json_document("compare", result.to_payload()))
+        return 0
     print(result.to_table())
     return 0
 
@@ -460,13 +570,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.experiments.data import artifact_cache
+    from repro.resilience import CheckpointStore
 
     cache = artifact_cache()
+    store = CheckpointStore()
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached artifact(s) from {cache.directory}")
+        cleared = store.clear()
+        print(f"removed {cleared} checkpoint(s) from {store.directory}")
         return 0
     print(cache.info().render())
+    runs = store.runs()
+    if runs:
+        print(f"checkpoint runs in {store.directory}:")
+        for run_key, n_units in runs.items():
+            print(f"  {run_key}  ({n_units} unit(s))")
+    else:
+        print(f"no checkpoint runs in {store.directory}")
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.resilience.faults import FAULTS_ENV, KNOWN_SITES, FaultSpec
+
+    text = args.spec if args.spec is not None else os.environ.get(FAULTS_ENV, "")
+    if not text.strip():
+        print("fault injection is inactive (set $REPRO_FAULTS or pass --spec)")
+        print("known sites:")
+        for site, description in KNOWN_SITES.items():
+            print(f"  {site:<18} {description}")
+        return 0
+    print(FaultSpec.parse(text).describe())
     return 0
 
 
@@ -492,6 +629,7 @@ _COMMANDS = {
     "workloads": _cmd_workloads,
     "bench": _cmd_bench,
     "cache": _cmd_cache,
+    "faults": _cmd_faults,
 }
 
 
@@ -501,8 +639,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        print("interrupted — completed units are checkpointed; rerun "
+              "with --resume to continue", file=sys.stderr)
+        return 130
     except (ReproError, OSError) as error:
-        print(f"error: {error}", file=sys.stderr)
+        message = " ".join(str(error).split())
+        print(f"error: {message}", file=sys.stderr)
         return 2
 
 

@@ -37,3 +37,53 @@ class ParseError(ReproError):
 
 class LintError(ReproError):
     """The lint subsystem was misused (no inputs, bad rule id, bad config)."""
+
+
+class RetryExhaustedError(ReproError):
+    """A task kept failing after every allowed retry attempt.
+
+    Raised by the resilience layer when a unit of work (a fold, a
+    workload simulation, a cache write) has consumed its full retry
+    budget, or when a ``min_success_fraction`` failure policy finds too
+    few surviving units to produce a trustworthy result.  The original
+    error is chained as ``__cause__``.
+    """
+
+
+class TaskTimeoutError(ReproError):
+    """A task exceeded its per-task wall-clock timeout.
+
+    The resilience layer treats a timeout like any other transient
+    failure: the attempt is abandoned, retried under the active
+    :class:`~repro.resilience.retry.RetryPolicy`, and finally recorded
+    as a :class:`~repro.resilience.retry.TaskFailure` or re-raised,
+    depending on the failure policy.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written or the store was misused.
+
+    Unreadable or corrupt checkpoints on *load* are never raised — they
+    are quarantined and recomputed — so this error signals caller bugs
+    (bad run keys, unserializable payloads), not disk corruption.
+    """
+
+
+class FaultInjected(ReproError):
+    """An artificial failure raised by the fault-injection harness.
+
+    Only ever raised when ``REPRO_FAULTS`` names the site; production
+    code paths treat it exactly like the real failure it simulates, so
+    chaos tests exercise the same retry/quarantine/skip machinery that
+    genuine crashes would.
+    """
+
+    def __init__(self, site: str, key: str, occurrence: int) -> None:
+        super().__init__(
+            f"injected fault at site {site!r} (key {key!r}, "
+            f"occurrence {occurrence})"
+        )
+        self.site = site
+        self.key = key
+        self.occurrence = occurrence

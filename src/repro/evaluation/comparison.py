@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 from repro._util import RandomState, check_random_state
@@ -13,15 +13,26 @@ from repro.evaluation.crossval import (
     cross_validate,
 )
 from repro.evaluation.tables import render_table
-from repro.errors import ConfigError
+from repro.errors import ConfigError, RetryExhaustedError
+from repro.resilience import FAIL_FAST, RunPolicy, TaskFailure
 
 
 @dataclass
 class ComparisonResult:
-    """Cross-validation results per method name."""
+    """Cross-validation results per method name.
+
+    Attributes:
+        results: Completed methods only.
+        n_folds: The shared fold count.
+        failures: Units that failed under a capturing
+            :class:`~repro.resilience.RunPolicy`: fold-level failures
+            are keyed ``method/fold-NNN``; a method whose whole
+            cross-validation collapsed is keyed by its name alone.
+    """
 
     results: Dict[str, CrossValidationResult]
     n_folds: int
+    failures: List[TaskFailure] = field(default_factory=list)
 
     def ranking(self, metric: str = "rae") -> List[str]:
         """Method names sorted best-first by a mean-over-folds metric.
@@ -72,7 +83,34 @@ class ComparisonResult:
                     f"{100 * mean.rrse:.2f}",
                 ]
             )
-        return render_table(header, rows)
+        table = render_table(header, rows)
+        if self.failures:
+            lines = [table, ""]
+            for failure in self.failures:
+                lines.append(f"FAILED {failure.render()}")
+            return "\n".join(lines)
+        return table
+
+    def to_payload(self) -> dict:
+        """The comparison as a JSON-envelope payload (``repro compare``).
+
+        ``failed_units`` lists every unit a capturing failure policy
+        recorded, so automated consumers can tell a complete table from
+        a degraded one.
+        """
+        return {
+            "folds": self.n_folds,
+            "ranking": self.ranking("rae"),
+            "methods": {
+                name: {
+                    "mean": result.mean.to_dict(),
+                    "pooled": result.pooled.to_dict(),
+                    "n_completed_folds": result.n_folds,
+                }
+                for name, result in self.results.items()
+            },
+            "failed_units": [f.to_dict() for f in self.failures],
+        }
 
 
 def compare_estimators(
@@ -81,6 +119,7 @@ def compare_estimators(
     n_folds: int = 10,
     seed: RandomState = 0,
     n_jobs: Optional[int] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> ComparisonResult:
     """Cross-validate every factory on identical folds.
 
@@ -88,14 +127,59 @@ def compare_estimators(
     per method from the same master), so differences are attributable to
     the learners alone.  ``n_jobs`` parallelizes each method's folds;
     results are bit-identical at any worker count.
+
+    With a capturing :class:`~repro.resilience.RunPolicy`, a method
+    whose folds partially fail still contributes (its fold failures are
+    recorded under ``method/fold-NNN``); a method whose cross-validation
+    collapses entirely is dropped from the table and recorded under its
+    own name.  Checkpoints, when enabled, are scoped per method, so a
+    resumed comparison skips every fold any earlier attempt completed.
     """
     if not factories:
         raise ConfigError("need at least one estimator factory")
     master = check_random_state(seed)
     fold_seed = int(master.integers(0, 2**31 - 1))
     results = {}
+    failures: List[TaskFailure] = []
     for name, factory in factories.items():
-        results[name] = cross_validate(
-            factory, dataset, n_folds=n_folds, rng=fold_seed, n_jobs=n_jobs
+        method_policy = policy.scoped(name) if policy is not None else None
+        try:
+            result = cross_validate(
+                factory,
+                dataset,
+                n_folds=n_folds,
+                rng=fold_seed,
+                n_jobs=n_jobs,
+                policy=method_policy,
+            )
+        except RetryExhaustedError as error:
+            if policy is None or policy.fail_policy.kind == FAIL_FAST:
+                raise
+            failures.append(
+                TaskFailure(
+                    key=name,
+                    index=len(failures),
+                    error_type=type(error).__name__,
+                    message=str(error),
+                    attempts=policy.retry.max_attempts,
+                )
+            )
+            continue
+        results[name] = result
+        failures.extend(
+            TaskFailure(
+                key=f"{name}/{fold_failure.key}",
+                index=fold_failure.index,
+                error_type=fold_failure.error_type,
+                message=fold_failure.message,
+                attempts=fold_failure.attempts,
+            )
+            for fold_failure in result.failures
         )
-    return ComparisonResult(results=results, n_folds=n_folds)
+    if not results:
+        raise RetryExhaustedError(
+            "every method's cross-validation failed; no comparison possible"
+        )
+    return ComparisonResult(
+        results=results, n_folds=n_folds, failures=failures
+    )

@@ -9,12 +9,20 @@ run in parallel (``n_jobs``).  All randomness is resolved *before* any
 fold runs: the fold assignment comes from the caller's ``rng`` and each
 fold gets its own pre-spawned seed, which is why ``n_jobs=4`` returns
 bit-identical predictions to a serial run.
+
+The same pre-resolution makes folds *restartable*: with a
+:class:`~repro.resilience.RunPolicy` carrying a checkpoint store, every
+completed fold is persisted as it finishes and a resumed run recomputes
+only the missing ones — bit-identical to an uninterrupted run.  Failing
+folds are retried with backoff and, under a capturing failure policy,
+recorded as :class:`~repro.resilience.TaskFailure` entries in
+``result.failures`` instead of aborting the run.
 """
 
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -22,13 +30,15 @@ import numpy as np
 from repro._util import RandomState, check_random_state
 from repro.datasets.dataset import Dataset
 from repro.datasets.splits import kfold_splits
-from repro.errors import ConfigError
+from repro.errors import ConfigError, RetryExhaustedError
 from repro.evaluation.metrics import (
     EvaluationResult,
     evaluate_predictions,
     mean_result,
 )
 from repro.parallel import derive_fold_seeds, parallel_map
+from repro.resilience import RunPolicy, TaskFailure
+from repro.resilience.faults import maybe_inject
 
 EstimatorFactory = Callable[..., object]
 
@@ -38,12 +48,16 @@ class CrossValidationResult:
     """Outcome of one cross-validation run.
 
     Attributes:
-        folds: Per-fold metrics.
-        mean: Metrics averaged over folds (the paper's headline numbers).
+        folds: Per-fold metrics (completed folds only).
+        mean: Metrics averaged over completed folds (the paper's
+            headline numbers).
         pooled: Metrics computed once over all out-of-fold predictions.
         predictions: Out-of-fold prediction per dataset row, aligned with
-            the input dataset (Figure 3's y-axis).
+            the input dataset (Figure 3's y-axis).  Rows belonging to a
+            failed fold hold NaN.
         actuals: The corresponding measured targets (Figure 3's x-axis).
+        failures: Folds that exhausted their retries under a capturing
+            failure policy (empty on a clean or policy-free run).
     """
 
     folds: List[EvaluationResult]
@@ -51,6 +65,7 @@ class CrossValidationResult:
     pooled: EvaluationResult
     predictions: np.ndarray
     actuals: np.ndarray
+    failures: List[TaskFailure] = field(default_factory=list)
 
     @property
     def n_folds(self) -> int:
@@ -60,6 +75,8 @@ class CrossValidationResult:
         lines = [f"{self.n_folds}-fold cross validation"]
         lines.append(f"  mean over folds: {self.mean.describe()}")
         lines.append(f"  pooled:          {self.pooled.describe()}")
+        for failure in self.failures:
+            lines.append(f"  FAILED {failure.render()}")
         return "\n".join(lines)
 
 
@@ -96,7 +113,8 @@ class _FoldTask:
         self.pass_rng = pass_rng
 
     def __call__(self, job) -> np.ndarray:
-        train_idx, test_idx, fold_seed = job
+        fold_index, train_idx, test_idx, fold_seed = job
+        maybe_inject("fold", f"fold-{fold_index:03d}")
         if self.pass_rng:
             estimator = self.factory(np.random.default_rng(fold_seed))
         else:
@@ -107,12 +125,37 @@ class _FoldTask:
         )
 
 
+class _CheckpointedFoldTask:
+    """A fold task that persists its prediction as soon as it succeeds.
+
+    Writing from inside the task (in whatever worker runs it) is what
+    makes a killed run resumable: every fold that finished before the
+    kill is already durable.
+    """
+
+    def __init__(self, inner: _FoldTask, store, run_key: str) -> None:
+        self.inner = inner
+        self.store = store
+        self.run_key = run_key
+
+    def __call__(self, job) -> np.ndarray:
+        fold_index = job[0]
+        prediction = self.inner(job)
+        self.store.store(
+            self.run_key,
+            f"fold-{fold_index:03d}",
+            {"fold": fold_index, "predictions": prediction},
+        )
+        return prediction
+
+
 def cross_validate(
     factory: EstimatorFactory,
     dataset: Dataset,
     n_folds: int = 10,
     rng: RandomState = None,
     n_jobs: Optional[int] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> CrossValidationResult:
     """Run k-fold CV of ``factory()`` estimators over ``dataset``.
 
@@ -127,6 +170,11 @@ def cross_validate(
         n_jobs: Fold-level parallelism — ``1`` serial (default), ``N``
             workers, ``-1`` all cores, ``None`` defers to ``REPRO_JOBS``.
             Serial and parallel runs return bit-identical results.
+        policy: Optional :class:`~repro.resilience.RunPolicy`.  Adds
+            per-fold retries/timeouts, failure-policy handling, and —
+            with a checkpoint store — durable per-fold results that a
+            ``resume`` run reuses.  ``None`` keeps the historical
+            fail-on-first-error behavior exactly.
     """
     if n_folds > dataset.n_instances:
         raise ConfigError(
@@ -139,20 +187,87 @@ def cross_validate(
     fold_seeds = derive_fold_seeds(generator if rng is not None else None, n_folds)
     task = _FoldTask(factory, dataset, pass_rng=_wants_rng(factory))
     jobs = [
-        (train_idx, test_idx, seed)
-        for (train_idx, test_idx), seed in zip(splits, fold_seeds)
+        (index, train_idx, test_idx, seed)
+        for index, ((train_idx, test_idx), seed) in enumerate(
+            zip(splits, fold_seeds)
+        )
     ]
-    fold_predictions = parallel_map(task, jobs, n_jobs=n_jobs)
 
-    predictions = np.empty(dataset.n_instances)
+    if policy is None:
+        fold_predictions: List[Optional[np.ndarray]] = list(
+            parallel_map(task, jobs, n_jobs=n_jobs)
+        )
+        failures: List[TaskFailure] = []
+    else:
+        fold_predictions, failures = _run_folds_with_policy(
+            task, jobs, n_folds, n_jobs, policy
+        )
+
+    predictions = np.full(dataset.n_instances, np.nan)
     fold_results: List[EvaluationResult] = []
     for (train_idx, test_idx), fold_pred in zip(splits, fold_predictions):
+        if fold_pred is None:
+            continue
         predictions[test_idx] = fold_pred
         fold_results.append(evaluate_predictions(dataset.y[test_idx], fold_pred))
+    if not fold_results:
+        raise RetryExhaustedError(
+            f"all {n_folds} cross-validation folds failed; "
+            "no metrics can be computed"
+        )
+    covered = np.isfinite(predictions)
     return CrossValidationResult(
         folds=fold_results,
         mean=mean_result(fold_results),
-        pooled=evaluate_predictions(dataset.y, predictions),
+        pooled=evaluate_predictions(
+            dataset.y[covered], predictions[covered]
+        ),
         predictions=predictions,
         actuals=dataset.y.copy(),
+        failures=failures,
     )
+
+
+def _run_folds_with_policy(
+    task: _FoldTask,
+    jobs: List[tuple],
+    n_folds: int,
+    n_jobs: Optional[int],
+    policy: RunPolicy,
+) -> tuple:
+    """Execute folds under a :class:`RunPolicy`.
+
+    Returns ``(per-fold predictions or None, failures)`` with one entry
+    per fold in fold order.
+    """
+    unit_names = [f"fold-{index:03d}" for index in range(n_folds)]
+    predictions: List[Optional[np.ndarray]] = [None] * n_folds
+    run_task = task
+    if policy.checkpointing:
+        assert policy.checkpoint is not None
+        run_key = policy.require_run_key()
+        if policy.resume:
+            for index, unit in enumerate(unit_names):
+                payload = policy.checkpoint.load(run_key, unit)
+                if payload is not None:
+                    predictions[index] = np.asarray(
+                        payload["predictions"], dtype=np.float64
+                    )
+        run_task = _CheckpointedFoldTask(task, policy.checkpoint, run_key)
+    pending = [i for i in range(n_folds) if predictions[i] is None]
+    outcomes = parallel_map(
+        run_task,
+        [jobs[i] for i in pending],
+        n_jobs=n_jobs,
+        retry=policy.retry,
+        fail_policy=policy.fail_policy,
+        task_timeout=policy.task_timeout,
+        keys=[unit_names[i] for i in pending],
+    )
+    failures: List[TaskFailure] = []
+    for fold_index, outcome in zip(pending, outcomes):
+        if isinstance(outcome, TaskFailure):
+            failures.append(outcome)
+        else:
+            predictions[fold_index] = np.asarray(outcome, dtype=np.float64)
+    return predictions, failures

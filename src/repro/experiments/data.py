@@ -63,10 +63,36 @@ def artifact_cache(cache_dir: Optional[Path] = None) -> ArtifactCache:
     return ArtifactCache(default_cache_dir() / "artifacts")
 
 
+def collect_run_key(
+    sections_per_workload: int,
+    instructions_per_section: int,
+    seed: int,
+    jitter: float = 0.08,
+) -> str:
+    """Checkpoint run key for one suite-collection identity.
+
+    Everything that determines a workload unit's result participates —
+    the generating parameters plus the code fingerprints — so two runs
+    share checkpoints exactly when their units would be bit-identical.
+    """
+    from repro._util import stable_hash
+
+    return "collect-" + stable_hash([
+        __version__,
+        workload_fingerprint(),
+        _machine_fingerprint(),
+        sections_per_workload,
+        instructions_per_section,
+        seed,
+        jitter,
+    ])
+
+
 def suite_dataset(
     config: Optional[ExperimentConfig] = None,
     cache_dir: Optional[Path] = None,
     n_jobs: Optional[int] = None,
+    policy=None,
 ) -> Dataset:
     """The section dataset for ``config`` (simulating it if needed).
 
@@ -74,6 +100,11 @@ def suite_dataset(
     ``REPRO_JOBS``) and the result is bit-identical at any worker count.
     The disk cache key includes the package version: any code change
     that could alter the simulation invalidates old caches.
+
+    ``policy`` (a :class:`~repro.resilience.RunPolicy`) adds
+    per-workload retries, timeouts and checkpoint/resume to the
+    simulation leg; a policy without a ``run_key`` is automatically
+    scoped to this config's collection identity.
     """
     cfg = config or ExperimentConfig.quick()
     key = experiment_fingerprint(cfg)
@@ -87,14 +118,28 @@ def suite_dataset(
             _MEMORY_CACHE[key] = dataset
             return dataset
 
+    if policy is not None and policy.checkpointing and not policy.run_key:
+        from dataclasses import replace
+
+        policy = replace(policy, run_key=collect_run_key(
+            cfg.sections_per_workload,
+            cfg.instructions_per_section,
+            cfg.seed,
+            cfg.jitter,
+        ))
     result = simulate_suite(
         sections_per_workload=cfg.sections_per_workload,
         instructions_per_section=cfg.instructions_per_section,
         seed=cfg.seed,
         jitter=cfg.jitter,
         n_jobs=n_jobs,
+        policy=policy,
     )
     dataset = result.dataset
+    if result.failures:
+        # A partial dataset must never masquerade as the canonical one:
+        # neither cache layer may serve it for this fingerprint.
+        return dataset
     if cache is not None:
         cache.store_dataset(key, dataset)
     _MEMORY_CACHE[key] = dataset

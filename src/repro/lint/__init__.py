@@ -15,6 +15,8 @@ through three rule families:
   Table I event hierarchy, target outliers and leakage.
 * **compat** (``COMPAT0xx``): model vs. dataset — attribute name/order
   agreement, values inside the trained regime, finite predictions.
+* **cache** (``CACHE0xx``): artifact-cache integrity — entries without
+  checksum sidecars, checksum mismatches, quarantined entries.
 
 Usage::
 
@@ -30,6 +32,7 @@ or from the command line::
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from repro.datasets.dataset import Dataset
@@ -40,6 +43,7 @@ from repro.lint.diagnostics import Diagnostic, LintReport, Severity
 from repro.lint.loading import Table, as_table, load_table
 from repro.lint.registry import (
     ALL_FAMILIES,
+    FAMILY_CACHE,
     FAMILY_COMPAT,
     FAMILY_DATASET,
     FAMILY_TREE,
@@ -59,9 +63,11 @@ from repro.lint.reporters import (
 from repro.lint import tree_rules as _tree_rules  # noqa: F401
 from repro.lint import data_rules as _data_rules  # noqa: F401
 from repro.lint import compat_rules as _compat_rules  # noqa: F401
+from repro.lint import cache_rules as _cache_rules  # noqa: F401
 
 __all__ = [
     "ALL_FAMILIES",
+    "FAMILY_CACHE",
     "Diagnostic",
     "LintConfig",
     "LintContext",
@@ -74,6 +80,7 @@ __all__ = [
     "get_rule",
     "json_document",
     "load_table",
+    "lint_cache",
     "lint_compatibility",
     "lint_dataset",
     "lint_model",
@@ -88,6 +95,7 @@ __all__ = [
 def _resolve_families(
     model: Optional[M5Prime],
     dataset: Optional[Table],
+    cache_dir: Optional[Path],
     families: Optional[Sequence[str]],
 ) -> tuple:
     available = []
@@ -97,20 +105,21 @@ def _resolve_families(
         available.append(FAMILY_DATASET)
     if model is not None and dataset is not None:
         available.append(FAMILY_COMPAT)
+    if cache_dir is not None:
+        available.append(FAMILY_CACHE)
     if families is None:
         return tuple(available)
+    needs = {
+        FAMILY_TREE: "a model",
+        FAMILY_DATASET: "a dataset",
+        FAMILY_COMPAT: "both a model and a dataset",
+        FAMILY_CACHE: "a cache directory",
+    }
     for family in families:
         if family not in ALL_FAMILIES:
             raise LintError(f"unknown rule family {family!r}")
         if family not in available:
-            raise LintError(
-                f"family {family!r} needs "
-                + (
-                    "both a model and a dataset"
-                    if family == FAMILY_COMPAT
-                    else f"a {'model' if family == FAMILY_TREE else 'dataset'}"
-                )
-            )
+            raise LintError(f"family {family!r} needs {needs[family]}")
     return tuple(f for f in ALL_FAMILIES if f in families)
 
 
@@ -119,6 +128,7 @@ def run_lint(
     dataset: Optional[Union[Dataset, Table]] = None,
     config: Optional[LintConfig] = None,
     families: Optional[Sequence[str]] = None,
+    cache_dir: Optional[Path] = None,
 ) -> LintReport:
     """Run every applicable lint rule and collect the findings.
 
@@ -131,6 +141,8 @@ def run_lint(
         config: Threshold overrides; defaults to :class:`LintConfig`.
         families: Restrict to these families instead of everything the
             inputs allow.
+        cache_dir: An artifact-cache directory to audit (enables the
+            cache family: missing checksums, mismatches, quarantine).
 
     Returns:
         A :class:`LintReport`; ``report.exit_code(strict)`` maps it to
@@ -140,14 +152,15 @@ def run_lint(
         LintError: No inputs given, an unfitted model, or a requested
             family its inputs cannot support.
     """
-    if model is None and dataset is None:
-        raise LintError("lint needs a model, a dataset, or both")
+    if model is None and dataset is None and cache_dir is None:
+        raise LintError("lint needs a model, a dataset, or a cache directory")
     if model is not None and model.root_ is None:
         raise LintError("cannot lint an unfitted model")
     table = as_table(dataset) if dataset is not None else None
-    selected = _resolve_families(model, table, families)
+    selected = _resolve_families(model, table, cache_dir, families)
     context = LintContext(
-        model=model, dataset=table, config=config or LintConfig()
+        model=model, dataset=table, cache_dir=cache_dir,
+        config=config or LintConfig(),
     )
     report = LintReport(families=selected)
     for family in selected:
@@ -199,4 +212,13 @@ def lint_compatibility(
     """Run the model-vs-dataset compatibility rules alone."""
     return run_lint(
         model=model, dataset=dataset, config=config, families=(FAMILY_COMPAT,)
+    )
+
+
+def lint_cache(
+    cache_dir: Path, config: Optional[LintConfig] = None
+) -> LintReport:
+    """Run the artifact-cache integrity rules alone."""
+    return run_lint(
+        cache_dir=cache_dir, config=config, families=(FAMILY_CACHE,)
     )

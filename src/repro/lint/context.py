@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Optional
 
 from repro.core.tree.m5 import M5Prime
@@ -53,4 +54,5 @@ class LintContext:
 
     model: Optional[M5Prime] = None
     dataset: Optional[Table] = None
+    cache_dir: Optional[Path] = None
     config: LintConfig = field(default_factory=LintConfig)

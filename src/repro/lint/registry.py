@@ -18,11 +18,14 @@ from repro.errors import LintError
 from repro.lint.context import LintContext
 from repro.lint.diagnostics import Diagnostic, Severity
 
-#: The three rule families, in the order they run.
+#: The four rule families, in the order they run.
 FAMILY_TREE = "tree"
 FAMILY_DATASET = "dataset"
 FAMILY_COMPAT = "compat"
-ALL_FAMILIES: Tuple[str, ...] = (FAMILY_TREE, FAMILY_DATASET, FAMILY_COMPAT)
+FAMILY_CACHE = "cache"
+ALL_FAMILIES: Tuple[str, ...] = (
+    FAMILY_TREE, FAMILY_DATASET, FAMILY_COMPAT, FAMILY_CACHE
+)
 
 Finding = Union[Diagnostic, Tuple[str, str]]
 CheckFunction = Callable[[LintContext], Iterable[Finding]]

@@ -7,7 +7,12 @@ derivation that keeps serial and parallel runs bit-identical, and
 simulated datasets and fitted models.
 """
 
-from repro.parallel.cache import ArtifactCache, CacheInfo, get_artifact_cache
+from repro.parallel.cache import (
+    ArtifactCache,
+    CacheInfo,
+    EntryStatus,
+    get_artifact_cache,
+)
 from repro.parallel.executor import (
     EXECUTOR_ENV,
     EXECUTOR_KINDS,
@@ -29,6 +34,7 @@ __all__ = [
     "CacheInfo",
     "EXECUTOR_ENV",
     "EXECUTOR_KINDS",
+    "EntryStatus",
     "JOBS_ENV",
     "derive_fold_seeds",
     "generator_for",

@@ -1,0 +1,253 @@
+"""Checkpoint/resume for the long-running execution paths.
+
+A suite simulation or cross-validation run is a map of independent
+units (workloads, folds) whose randomness is fully resolved before any
+unit runs.  That makes per-unit checkpointing safe: a unit's result is
+identical whether it was computed in the original run or a resumed one,
+so a run killed mid-way and restarted with ``--resume`` reproduces the
+uninterrupted result bit for bit.
+
+Layout (under ``<default_cache_dir>/checkpoints`` or an explicit
+directory)::
+
+    checkpoints/
+        <run-key>/
+            <unit>.json              one completed unit's payload
+            <unit>.json.quarantined  a corrupt checkpoint, kept for autopsy
+
+Every checkpoint embeds a SHA-256 checksum of its canonical payload
+JSON.  A truncated, tampered, or unparsable checkpoint is *quarantined*
+(renamed aside) and treated as missing — the unit is simply recomputed,
+never trusted, never fatal.
+
+Payloads survive a JSON round trip exactly: Python floats serialize via
+``repr`` and parse back to the identical double, so checkpointed
+predictions and counter values are bit-identical to freshly computed
+ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import warnings
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import CheckpointError, FaultInjected
+from repro.resilience.faults import maybe_inject
+
+#: Format marker written into every checkpoint file.
+CHECKPOINT_FORMAT = "repro-checkpoint"
+CHECKPOINT_VERSION = 1
+
+_SAFE_SEGMENT = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def _safe_segment(name: str) -> str:
+    """A filesystem-safe rendition of one run-key/unit segment."""
+    cleaned = _SAFE_SEGMENT.sub("_", name)
+    if not cleaned or cleaned in (".", ".."):
+        raise CheckpointError(f"unusable checkpoint name {name!r}")
+    return cleaned
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively convert numpy containers/scalars for JSON storage."""
+    if isinstance(value, np.ndarray):
+        return [jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    return value
+
+
+def _canonical(payload: Any) -> str:
+    """The canonical JSON text a checkpoint's checksum covers."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def dataset_fingerprint(dataset: Any) -> str:
+    """A short content digest of a dataset, for run-key derivation.
+
+    Two runs resume each other only when they operate on the same data;
+    hashing the actual matrix (not the file path) makes that exact.
+    """
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(dataset.X).tobytes())
+    digest.update(np.ascontiguousarray(dataset.y).tobytes())
+    digest.update("|".join(dataset.attributes).encode())
+    digest.update(str(dataset.target_name).encode())
+    return digest.hexdigest()[:16]
+
+
+class CheckpointStore:
+    """Per-unit durable results for one or more named runs.
+
+    Args:
+        directory: Store root; defaults to
+            ``<default_cache_dir>/checkpoints`` so checkpoints live
+            beside the artifact cache and honor ``REPRO_CACHE_DIR``.
+    """
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        if directory is None:
+            from repro.experiments.config import default_cache_dir
+
+            directory = default_cache_dir() / "checkpoints"
+        self.directory = Path(directory)
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def run_dir(self, run_key: str) -> Path:
+        parts = [_safe_segment(p) for p in str(run_key).split("/") if p]
+        if not parts:
+            raise CheckpointError("run key must not be empty")
+        return self.directory.joinpath(*parts)
+
+    def unit_path(self, run_key: str, unit: str) -> Path:
+        return self.run_dir(run_key) / f"{_safe_segment(unit)}.json"
+
+    # ------------------------------------------------------------------
+    # Round trip
+    # ------------------------------------------------------------------
+    def store(self, run_key: str, unit: str, payload: Any) -> Path:
+        """Atomically persist one unit's result.
+
+        The payload must be JSON-serializable after
+        :func:`jsonable` conversion; anything else is a caller bug and
+        raises :class:`~repro.errors.CheckpointError`.
+        """
+        maybe_inject("checkpoint_write", f"{run_key}/{unit}")
+        clean = jsonable(payload)
+        try:
+            body = _canonical(clean)
+        except (TypeError, ValueError) as error:
+            raise CheckpointError(
+                f"checkpoint payload for {unit!r} is not serializable: "
+                f"{error}"
+            ) from error
+        document = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "unit": unit,
+            "checksum": hashlib.sha256(body.encode()).hexdigest(),
+            "payload": clean,
+        }
+        path = self.unit_path(run_key, unit)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        os.replace(tmp, path)
+        return path
+
+    def load(self, run_key: str, unit: str) -> Optional[Any]:
+        """One unit's payload, or ``None`` when absent or untrustworthy.
+
+        A missing file is a plain miss.  A corrupt one — unparsable,
+        wrong format, failed checksum — is quarantined with a warning
+        and reported as a miss, so the unit is recomputed rather than
+        poisoning the run.
+        """
+        path = self.unit_path(run_key, unit)
+        if not path.exists():
+            return None
+        try:
+            maybe_inject("checkpoint_read", f"{run_key}/{unit}")
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            if document.get("format") != CHECKPOINT_FORMAT:
+                raise ValueError("not a repro checkpoint")
+            payload = document["payload"]
+            expected = document["checksum"]
+        except FaultInjected:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            return None
+        if hashlib.sha256(_canonical(payload).encode()).hexdigest() != expected:
+            self._quarantine(path)
+            return None
+        return payload
+
+    def _quarantine(self, path: Path) -> None:
+        quarantined = path.with_suffix(path.suffix + ".quarantined")
+        try:
+            os.replace(path, quarantined)
+        except OSError:
+            path.unlink(missing_ok=True)
+        warnings.warn(
+            f"quarantined corrupt checkpoint {path.name}; the unit will "
+            "be recomputed",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    # ------------------------------------------------------------------
+    # Inspection and maintenance
+    # ------------------------------------------------------------------
+    def completed_units(self, run_key: str) -> List[str]:
+        """Unit names with a (present, unquarantined) checkpoint file."""
+        run_dir = self.run_dir(run_key)
+        if not run_dir.is_dir():
+            return []
+        return sorted(
+            p.stem for p in run_dir.iterdir()
+            if p.is_file() and p.suffix == ".json"
+        )
+
+    def runs(self) -> Dict[str, int]:
+        """Run key -> number of completed units, for ``repro cache info``."""
+        if not self.directory.is_dir():
+            return {}
+        found: Dict[str, int] = {}
+        for run_dir in sorted(self.directory.rglob("*")):
+            if not run_dir.is_dir():
+                continue
+            units = [
+                p for p in run_dir.iterdir()
+                if p.is_file() and p.suffix == ".json"
+            ]
+            if units:
+                key = str(run_dir.relative_to(self.directory))
+                found[key] = len(units)
+        return found
+
+    def clear(self, run_key: Optional[str] = None) -> int:
+        """Delete checkpoints (for one run, or all); returns files removed.
+
+        Quarantined copies are removed along with live checkpoints.
+        """
+        if run_key is not None:
+            roots = [self.run_dir(run_key)]
+        elif self.directory.is_dir():
+            roots = [self.directory]
+        else:
+            return 0
+        removed = 0
+        for root in roots:
+            if not root.is_dir():
+                continue
+            for path in sorted(root.rglob("*"), reverse=True):
+                if path.is_file():
+                    path.unlink(missing_ok=True)
+                    removed += 1
+                elif path.is_dir():
+                    try:
+                        path.rmdir()
+                    except OSError:
+                        pass
+        return removed

@@ -1,0 +1,71 @@
+"""The one object callers pass to make a long path fault-tolerant.
+
+:class:`RunPolicy` bundles the retry schedule, the failure policy, the
+per-task timeout, and (optionally) a checkpoint store plus the run key
+that scopes it.  ``cross_validate``, ``simulate_suite``,
+``suite_dataset`` and ``compare_estimators`` all accept
+``policy=RunPolicy(...)``; passing ``None`` (the default everywhere)
+keeps the historical fail-on-first-error behavior byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import CheckpointError
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.retry import FailPolicy, RetryPolicy
+
+
+@dataclass(frozen=True)
+class RunPolicy:
+    """Fault-tolerance configuration for one mapped run.
+
+    Attributes:
+        retry: Per-unit retry schedule (default: 3 attempts with
+            exponential backoff and seeded jitter).
+        fail_policy: What to do about units that exhaust their retries.
+        task_timeout: Per-unit wall-clock budget in seconds (``None``
+            disables timeouts).
+        checkpoint: Store for per-unit durable results; ``None``
+            disables checkpointing.
+        run_key: Namespace for this run's checkpoints.  Needed (by
+            execution time) whenever ``checkpoint`` is set; two runs
+            share completed units exactly when they share a run key, so
+            keys must encode everything that determines unit results
+            (the CLI derives them from content fingerprints, and
+            ``suite_dataset`` fills a missing key in automatically).
+        resume: Reuse completed units already in the store.  When
+            false, checkpoints are still *written* (so a later resumed
+            run can pick them up) but never read.
+    """
+
+    retry: RetryPolicy = RetryPolicy()
+    fail_policy: FailPolicy = FailPolicy()
+    task_timeout: Optional[float] = None
+    checkpoint: Optional[CheckpointStore] = None
+    run_key: Optional[str] = None
+    resume: bool = False
+
+    def scoped(self, suffix: str) -> "RunPolicy":
+        """This policy with its run key narrowed by ``suffix``.
+
+        Used by multi-stage callers (``compare_estimators`` gives each
+        method its own checkpoint namespace under the shared run).
+        """
+        if self.checkpoint is None:
+            return self
+        return replace(self, run_key=f"{self.require_run_key()}/{suffix}")
+
+    def require_run_key(self) -> str:
+        """The run key, or :class:`CheckpointError` when unset."""
+        if not self.run_key:
+            raise CheckpointError(
+                "a RunPolicy with a checkpoint store needs a run_key"
+            )
+        return self.run_key
+
+    @property
+    def checkpointing(self) -> bool:
+        return self.checkpoint is not None

@@ -8,14 +8,16 @@ same call always yields bit-identical datasets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.counters.derive import sections_to_dataset
 from repro.datasets.dataset import Dataset
-from repro.errors import ConfigError
+from repro.errors import ConfigError, RetryExhaustedError
+from repro.resilience import RunPolicy, TaskFailure
+from repro.resilience.faults import maybe_inject
 from repro.simulator.config import MachineConfig
 from repro.simulator.core import SimulatedCore
 from repro.workloads.phases import perturbed
@@ -96,10 +98,14 @@ class SuiteResult:
             metadata columns ``workload``, ``section`` and ``phase``.
         cpi_by_workload: Mean measured CPI per workload, a quick sanity
             panel for calibration.
+        failures: Workloads that exhausted their retries under a
+            capturing failure policy; their sections are absent from
+            ``dataset``.  Empty on a clean or policy-free run.
     """
 
     dataset: Dataset
     cpi_by_workload: Dict[str, float]
+    failures: List[TaskFailure] = field(default_factory=list)
 
     def summary(self) -> str:
         """Human-readable per-workload CPI panel."""
@@ -108,6 +114,8 @@ class SuiteResult:
         for name, cpi in sorted(self.cpi_by_workload.items()):
             count = int(np.count_nonzero(labels == name))
             lines.append(f"{name:<18}{count:>8}  {cpi:8.3f}")
+        for failure in self.failures:
+            lines.append(f"FAILED {failure.render()}")
         return "\n".join(lines)
 
 
@@ -153,6 +161,7 @@ class _ProfileRun:
 
     def __call__(self, job):
         profile, seq = job
+        maybe_inject("sim", profile.name)
         rng = np.random.default_rng(seq)
         core = SimulatedCore(self.machine, rng=rng)
         counts = []
@@ -185,6 +194,45 @@ class _ProfileRun:
         return counts, section_ids, phase_ids, cpi
 
 
+class _CheckpointedProfileRun:
+    """A profile run that persists its outcome as soon as it succeeds.
+
+    Writing from inside the task makes a killed suite run resumable:
+    every workload simulated before the kill is already durable, and a
+    ``--resume`` run recomputes only the missing ones.
+    """
+
+    def __init__(self, inner: _ProfileRun, store, run_key: str) -> None:
+        self.inner = inner
+        self.store = store
+        self.run_key = run_key
+
+    def __call__(self, job):
+        profile, _seq = job
+        counts, section_ids, phase_ids, cpi = self.inner(job)
+        self.store.store(
+            self.run_key,
+            f"wl-{profile.name}",
+            {
+                "counts": counts,
+                "sections": section_ids,
+                "phases": phase_ids,
+                "cpi": cpi,
+            },
+        )
+        return counts, section_ids, phase_ids, cpi
+
+
+def _payload_to_outcome(payload) -> Tuple[list, list, list, float]:
+    """Reconstruct a profile run outcome from its checkpoint payload."""
+    return (
+        list(payload["counts"]),
+        [int(s) for s in payload["sections"]],
+        [int(p) for p in payload["phases"]],
+        float(payload["cpi"]),
+    )
+
+
 def simulate_suite(
     profiles: Optional[Sequence[WorkloadProfile]] = None,
     sections_per_workload: int = 120,
@@ -194,6 +242,7 @@ def simulate_suite(
     jitter: float = 0.08,
     progress: Optional[ProgressCallback] = None,
     n_jobs: Optional[int] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> SuiteResult:
     """Simulate every profile and assemble the section dataset.
 
@@ -214,9 +263,17 @@ def simulate_suite(
             ``-1`` all cores, ``None`` defers to ``REPRO_JOBS``.  The
             dataset is bit-identical at any worker count because every
             profile simulates from its own pre-spawned seed.
+        policy: Optional :class:`~repro.resilience.RunPolicy`: per-
+            workload retries/timeouts, failure-policy handling, and —
+            with a checkpoint store — durable per-workload results a
+            resumed run reuses.  Since each profile simulates from its
+            own pre-spawned seed, a resumed or retried run that
+            completes is bit-identical to an uninterrupted one.
+            ``None`` keeps the historical behavior exactly.
 
     Returns:
-        A :class:`SuiteResult` with the dataset and per-workload CPI.
+        A :class:`SuiteResult` with the dataset, per-workload CPI, and
+        any per-workload failures the policy captured.
     """
     from repro.parallel import parallel_map, resolve_jobs
 
@@ -240,14 +297,49 @@ def simulate_suite(
         # Per-section callbacks cannot cross a process boundary.
         progress=progress if jobs <= 1 else None,
     )
-    outcomes = parallel_map(run, list(zip(profiles, seeds)), n_jobs=jobs)
+    all_jobs = list(zip(profiles, seeds))
+    unit_names = [f"wl-{profile.name}" for profile in profiles]
+    outcomes: List[Optional[tuple]] = [None] * len(profiles)
+    failures: List[TaskFailure] = []
+
+    if policy is None:
+        outcomes = list(parallel_map(run, all_jobs, n_jobs=jobs))
+    else:
+        task = run
+        if policy.checkpointing:
+            assert policy.checkpoint is not None
+            run_key = policy.require_run_key()
+            if policy.resume:
+                for index, unit in enumerate(unit_names):
+                    payload = policy.checkpoint.load(run_key, unit)
+                    if payload is not None:
+                        outcomes[index] = _payload_to_outcome(payload)
+            task = _CheckpointedProfileRun(run, policy.checkpoint, run_key)
+        pending = [i for i in range(len(profiles)) if outcomes[i] is None]
+        mapped = parallel_map(
+            task,
+            [all_jobs[i] for i in pending],
+            n_jobs=jobs,
+            retry=policy.retry,
+            fail_policy=policy.fail_policy,
+            task_timeout=policy.task_timeout,
+            keys=[unit_names[i] for i in pending],
+        )
+        for index, outcome in zip(pending, mapped):
+            if isinstance(outcome, TaskFailure):
+                failures.append(outcome)
+            else:
+                outcomes[index] = outcome
 
     all_counts = []
     labels: List[str] = []
     section_ids: List[int] = []
     phase_ids: List[int] = []
     cpi_by_workload: Dict[str, float] = {}
-    for profile, (counts, sections, phases, cpi) in zip(profiles, outcomes):
+    for profile, outcome in zip(profiles, outcomes):
+        if outcome is None:
+            continue
+        counts, sections, phases, cpi = outcome
         all_counts.extend(counts)
         labels.extend([profile.name] * len(counts))
         section_ids.extend(sections)
@@ -256,9 +348,18 @@ def simulate_suite(
         if progress is not None and jobs > 1:
             progress(profile.name, sections_per_workload, sections_per_workload)
 
+    if not all_counts:
+        raise RetryExhaustedError(
+            f"all {len(profiles)} workload simulations failed; "
+            "no dataset can be assembled"
+        )
     dataset = sections_to_dataset(all_counts, workloads=labels)
     dataset = dataset.with_meta(
         section=np.asarray(section_ids, dtype=object),
         phase=np.asarray(phase_ids, dtype=object),
     )
-    return SuiteResult(dataset=dataset, cpi_by_workload=cpi_by_workload)
+    return SuiteResult(
+        dataset=dataset,
+        cpi_by_workload=cpi_by_workload,
+        failures=failures,
+    )

@@ -138,3 +138,129 @@ class TestNewCommands:
         out = capsys.readouterr().out
         assert "by workload:" in out
         assert "by tree class:" in out
+
+
+class TestResilienceCli:
+    """The fault-tolerance surface: flags, faults command, exit codes."""
+
+    def test_resilience_flags_parse(self):
+        args = build_parser().parse_args([
+            "evaluate", "--data", "x.csv", "--resume",
+            "--fail-policy", "min_success:0.8",
+            "--task-timeout", "30", "--retries", "5",
+        ])
+        assert args.resume is True
+        assert args.fail_policy == "min_success:0.8"
+        assert args.task_timeout == 30.0
+        assert args.retries == 5
+
+    def test_resilience_flag_defaults(self):
+        args = build_parser().parse_args(["compare", "--data", "x.csv"])
+        assert args.resume is False
+        assert args.fail_policy == "fail_fast"
+        assert args.task_timeout is None
+        assert args.retries == 3
+
+    def test_faults_inactive(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert main(["faults"]) == 0
+        out = capsys.readouterr().out
+        assert "inactive" in out
+        assert "sim" in out and "checkpoint_write" in out
+
+    def test_faults_describe_spec(self, capsys):
+        assert main(["faults", "--spec", "sim:0.2,seed=7"]) == 0
+        out = capsys.readouterr().out
+        assert "seed 7" in out and "20.0%" in out
+
+    def test_faults_env_spec(self, monkeypatch, capsys):
+        from repro.resilience.faults import reset_faults
+
+        monkeypatch.setenv("REPRO_FAULTS", "fold:0.5")
+        reset_faults()
+        assert main(["faults"]) == 0
+        assert "fold" in capsys.readouterr().out
+        monkeypatch.delenv("REPRO_FAULTS")
+        reset_faults()
+
+    def test_bad_fault_spec_is_clean_single_line_error(self, capsys):
+        assert main(["faults", "--spec", "warp_core:0.5"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "unknown fault site" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_bad_fail_policy_is_clean_error(self, dataset_csv, capsys):
+        assert main([
+            "evaluate", "--data", dataset_csv, "--fail-policy", "bogus",
+        ]) == 2
+        assert "unknown failure policy" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        from repro import cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli._COMMANDS, "workloads", interrupted)
+        assert main(["workloads"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "--resume" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_multiline_error_collapsed_to_one_line(self, monkeypatch, capsys):
+        from repro import cli
+        from repro.errors import ReproError
+
+        def failing(args):
+            raise ReproError("first line\nsecond line\nthird")
+
+        monkeypatch.setitem(cli._COMMANDS, "workloads", failing)
+        assert main(["workloads"]) == 2
+        err = capsys.readouterr().err
+        assert len(err.strip().splitlines()) == 1
+        assert "first line second line third" in err
+
+    def test_cache_info_lists_checkpoint_runs(self, monkeypatch, tmp_path, capsys):
+        from repro.resilience import CheckpointStore
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        CheckpointStore().store("demo-run", "unit-a", {"x": 1})
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "demo-run" in out
+        assert "1 unit(s)" in out
+
+    def test_cache_clear_removes_checkpoints(self, monkeypatch, tmp_path, capsys):
+        from repro.resilience import CheckpointStore
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        store = CheckpointStore()
+        store.store("demo-run", "unit-a", {"x": 1})
+        assert main(["cache", "clear"]) == 0
+        assert "checkpoint" in capsys.readouterr().out
+        assert store.runs() == {}
+
+    def test_evaluate_json_includes_failed_units_key(self, dataset_csv, capsys):
+        import json
+
+        assert main([
+            "evaluate", "--data", dataset_csv, "--learner", "ols",
+            "--folds", "3", "--format", "json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["failed_units"] == []
+
+    def test_compare_json_envelope(self, dataset_csv, capsys):
+        import json
+
+        assert main([
+            "compare", "--data", dataset_csv, "--folds", "3",
+            "--min-instances", "12", "--format", "json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "compare"
+        assert document["format"] == "repro-report"
+        assert set(document["ranking"]) == set(document["methods"])
+        assert document["failed_units"] == []

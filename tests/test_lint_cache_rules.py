@@ -1,0 +1,89 @@
+"""The CACHE0xx lint family: artifact-cache integrity auditing."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import LintError
+from repro.lint import FAMILY_CACHE, lint_cache, run_lint
+from repro.parallel.cache import ArtifactCache
+
+
+@pytest.fixture
+def cache(tmp_path, suite_dataset):
+    """A cache holding one checksummed dataset entry."""
+    cache = ArtifactCache(tmp_path / "artifacts")
+    cache.store_dataset(["lint-cache-test"], suite_dataset)
+    return cache
+
+
+def _rule_ids(report):
+    return sorted({d.rule_id for d in report.diagnostics})
+
+
+def _entry(cache):
+    (path,) = cache._entries()
+    return path
+
+
+class TestCacheRules:
+    def test_clean_cache_is_clean(self, cache):
+        report = lint_cache(cache.directory)
+        assert report.diagnostics == []
+        assert report.exit_code(strict=True) == 0
+
+    def test_missing_sidecar_warns_cache001(self, cache):
+        cache.checksum_path(_entry(cache)).unlink()
+        report = lint_cache(cache.directory)
+        assert _rule_ids(report) == ["CACHE001"]
+        assert report.exit_code(strict=False) == 0
+        assert report.exit_code(strict=True) == 1
+
+    def test_corrupt_entry_errors_cache002(self, cache):
+        path = _entry(cache)
+        path.write_bytes(path.read_bytes()[:-20] + b"x" * 20)
+        report = lint_cache(cache.directory)
+        assert "CACHE002" in _rule_ids(report)
+        assert report.exit_code(strict=False) == 2
+
+    def test_quarantined_entries_warn_cache003(self, cache):
+        cache.quarantine_directory.mkdir(parents=True, exist_ok=True)
+        (cache.quarantine_directory / "dataset-old.csv").write_text("junk")
+        report = lint_cache(cache.directory)
+        assert _rule_ids(report) == ["CACHE003"]
+        assert "1 quarantined entry" in report.diagnostics[0].message
+
+    def test_empty_cache_directory_is_clean(self, tmp_path):
+        report = lint_cache(tmp_path / "nothing-here")
+        assert report.diagnostics == []
+
+
+class TestFamilyResolution:
+    def test_cache_family_enabled_by_cache_dir(self, cache):
+        report = run_lint(cache_dir=cache.directory)
+        assert report.families == (FAMILY_CACHE,)
+
+    def test_cache_family_needs_cache_dir(self, suite_dataset):
+        with pytest.raises(LintError, match="cache directory"):
+            run_lint(dataset=suite_dataset, families=(FAMILY_CACHE,))
+
+    def test_no_inputs_still_rejected(self):
+        with pytest.raises(LintError):
+            run_lint()
+
+
+class TestCli:
+    def test_lint_cache_dir_clean(self, cache, capsys):
+        assert main(["lint", "--cache-dir", str(cache.directory)]) == 0
+        assert "cache" in capsys.readouterr().out
+
+    def test_lint_cache_dir_corrupt_exits_2(self, cache, capsys):
+        path = _entry(cache)
+        path.write_bytes(b"not the original bytes")
+        assert main(["lint", "--cache-dir", str(cache.directory)]) == 2
+        assert "CACHE002" in capsys.readouterr().out
+
+    def test_list_rules_includes_cache_family(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("CACHE001", "CACHE002", "CACHE003"):
+            assert rule_id in out

@@ -1,0 +1,171 @@
+"""Checkpoint store: round trips, corruption quarantine, maintenance."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.resilience.checkpoint import (
+    CheckpointStore,
+    dataset_fingerprint,
+    jsonable,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CheckpointStore(tmp_path / "checkpoints")
+
+
+# ---------------------------------------------------------------------------
+# Round trips
+# ---------------------------------------------------------------------------
+class TestRoundTrip:
+    def test_store_and_load(self, store):
+        payload = {"fold": 3, "predictions": [1.25, -0.5]}
+        store.store("run", "fold-003", payload)
+        assert store.load("run", "fold-003") == payload
+
+    def test_floats_survive_bit_exactly(self, store):
+        # Shortest-round-trip repr: every double comes back identical.
+        values = np.random.default_rng(0).normal(size=256)
+        store.store("run", "unit", {"values": values})
+        loaded = np.asarray(store.load("run", "unit")["values"])
+        assert loaded.dtype == np.float64
+        np.testing.assert_array_equal(loaded, values)
+
+    def test_numpy_scalars_and_arrays_become_json(self, store):
+        payload = {
+            "f": np.float64(1.5), "i": np.int64(3), "b": np.bool_(True),
+            "a": np.arange(3), "nested": [np.float32(0.5), (1, 2)],
+        }
+        clean = jsonable(payload)
+        json.dumps(clean)  # must be serializable as-is
+        assert clean["f"] == 1.5 and clean["i"] == 3 and clean["b"] is True
+        assert clean["a"] == [0, 1, 2]
+
+    def test_missing_unit_is_none(self, store):
+        assert store.load("run", "absent") is None
+
+    def test_unserializable_payload_raises(self, store):
+        with pytest.raises(CheckpointError, match="not serializable"):
+            store.store("run", "unit", {"bad": object()})
+
+
+# ---------------------------------------------------------------------------
+# Corruption handling
+# ---------------------------------------------------------------------------
+class TestCorruption:
+    def _checkpoint(self, store):
+        store.store("run", "unit", {"x": 1.0})
+        return store.unit_path("run", "unit")
+
+    def test_truncated_file_quarantined(self, store):
+        path = self._checkpoint(store)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert store.load("run", "unit") is None
+        assert not path.exists()
+        assert path.with_suffix(".json.quarantined").exists()
+
+    def test_tampered_payload_fails_checksum(self, store):
+        path = self._checkpoint(store)
+        document = json.loads(path.read_text())
+        document["payload"]["x"] = 2.0
+        path.write_text(json.dumps(document))
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert store.load("run", "unit") is None
+
+    def test_foreign_json_rejected(self, store):
+        path = self._checkpoint(store)
+        path.write_text(json.dumps({"something": "else"}))
+        with pytest.warns(RuntimeWarning):
+            assert store.load("run", "unit") is None
+
+    def test_quarantined_unit_recomputes_and_stores_again(self, store):
+        path = self._checkpoint(store)
+        path.write_text("garbage")
+        with pytest.warns(RuntimeWarning):
+            assert store.load("run", "unit") is None
+        store.store("run", "unit", {"x": 3.0})
+        assert store.load("run", "unit") == {"x": 3.0}
+
+
+# ---------------------------------------------------------------------------
+# Addressing
+# ---------------------------------------------------------------------------
+class TestAddressing:
+    def test_run_key_slashes_nest_directories(self, store):
+        store.store("compare-abc/m5p", "fold-000", {"x": 1})
+        assert store.unit_path("compare-abc/m5p", "fold-000").exists()
+        assert (store.directory / "compare-abc" / "m5p").is_dir()
+
+    def test_hostile_names_are_sanitized(self, store):
+        store.store("run", "wl-a b/c", {"x": 1})
+        (unit,) = store.completed_units("run")
+        assert "/" not in unit and " " not in unit
+
+    def test_empty_run_key_rejected(self, store):
+        with pytest.raises(CheckpointError):
+            store.store("", "unit", {})
+
+    def test_dot_segments_rejected(self, store):
+        with pytest.raises(CheckpointError):
+            store.store("..", "unit", {})
+
+
+# ---------------------------------------------------------------------------
+# Inspection and maintenance
+# ---------------------------------------------------------------------------
+class TestMaintenance:
+    def test_completed_units_sorted(self, store):
+        for name in ("fold-002", "fold-000", "fold-001"):
+            store.store("run", name, {})
+        assert store.completed_units("run") == [
+            "fold-000", "fold-001", "fold-002"
+        ]
+
+    def test_runs_counts_units(self, store):
+        store.store("collect-1", "wl-a", {})
+        store.store("collect-1", "wl-b", {})
+        store.store("compare-2/ols", "fold-000", {})
+        assert store.runs() == {"collect-1": 2, "compare-2/ols": 1}
+
+    def test_clear_one_run(self, store):
+        store.store("a", "u", {})
+        store.store("b", "u", {})
+        assert store.clear("a") == 1
+        assert store.load("a", "u") is None
+        assert store.load("b", "u") == {}
+
+    def test_clear_all(self, store):
+        store.store("a", "u", {})
+        store.store("b/nested", "u", {})
+        assert store.clear() >= 2
+        assert store.runs() == {}
+
+    def test_clear_empty_store(self, tmp_path):
+        assert CheckpointStore(tmp_path / "never-created").clear() == 0
+
+
+# ---------------------------------------------------------------------------
+# Dataset fingerprints
+# ---------------------------------------------------------------------------
+class TestDatasetFingerprint:
+    def test_content_addressed(self, suite_dataset):
+        assert dataset_fingerprint(suite_dataset) == dataset_fingerprint(
+            suite_dataset
+        )
+        assert len(dataset_fingerprint(suite_dataset)) == 16
+
+    def test_changed_target_changes_fingerprint(self, suite_dataset):
+        from repro.datasets.dataset import Dataset
+
+        bumped = Dataset(
+            X=suite_dataset.X.copy(),
+            y=suite_dataset.y + 1e-9,
+            attributes=list(suite_dataset.attributes),
+            target_name=suite_dataset.target_name,
+        )
+        assert dataset_fingerprint(bumped) != dataset_fingerprint(suite_dataset)
