@@ -1,0 +1,75 @@
+"""Serving-layer benchmarks: predict throughput, compiled vs interpreted.
+
+The acceptance bar for the compiled evaluator is a >= 10x speedup over
+the per-row interpreted walk on a 10k-row batch; these benchmarks keep
+both sides measured so the regression gate catches the compiled path
+drifting back toward interpreted cost (and the speedup assertion fails
+the suite outright if the bar is ever lost).
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.core.tree import M5Prime
+from repro.core.tree.node import route
+
+ROWS = 10_000
+
+
+@pytest.fixture(scope="module")
+def fitted(config, bench_dataset):
+    model = M5Prime(min_instances=config.min_instances).fit(bench_dataset)
+    model.compiled_  # compile outside every timed region
+    return model
+
+
+@pytest.fixture(scope="module")
+def batch(bench_dataset):
+    X = bench_dataset.X
+    repeats = -(-ROWS // X.shape[0])
+    return np.tile(X, (repeats, 1))[:ROWS]
+
+
+def interpreted_predict(model, X):
+    root = model.root_
+    return np.array(
+        [route(root, x).model.predict_one(x) for x in X], dtype=np.float64
+    )
+
+
+def test_serve_predict_compiled_10k(benchmark, fitted, batch):
+    predictions = benchmark(functools.partial(fitted.compiled_.predict, batch))
+    assert predictions.shape == (ROWS,)
+
+
+def test_serve_predict_interpreted_10k(benchmark, fitted, batch):
+    predictions = benchmark.pedantic(
+        functools.partial(interpreted_predict, fitted, batch),
+        rounds=3, iterations=1,
+    )
+    assert predictions.shape == (ROWS,)
+
+
+def test_serve_compiled_speedup(fitted, batch):
+    """The ISSUE acceptance bar: compiled >= 10x interpreted on 10k rows."""
+    import time
+
+    def best_of(fn, rounds=3):
+        timings = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            timings.append(time.perf_counter() - start)
+        return min(timings)
+
+    compiled_s = best_of(lambda: fitted.compiled_.predict(batch))
+    interpreted_s = best_of(lambda: interpreted_predict(fitted, batch))
+    speedup = interpreted_s / compiled_s
+    print(f"\ncompiled {compiled_s * 1000:.2f}ms, "
+          f"interpreted {interpreted_s * 1000:.2f}ms, x{speedup:.1f}")
+    assert np.array_equal(
+        fitted.compiled_.predict(batch), interpreted_predict(fitted, batch)
+    )
+    assert speedup >= 10.0, f"compiled speedup x{speedup:.1f} below the 10x bar"

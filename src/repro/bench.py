@@ -23,7 +23,9 @@ Schema (``repro-bench/1``)::
 
 ``mean_s`` is the comparison key; ``min_s`` is the noise floor.  Names
 are append-only: a benchmark may be added but never renamed, so JSON
-files from different versions stay comparable.
+files from different versions stay comparable.  Throughput benchmarks
+additionally carry ``rows_per_s`` (rows / ``mean_s``) — informational,
+never a comparison key.
 """
 
 from __future__ import annotations
@@ -48,25 +50,37 @@ SCHEMA = "repro-bench/1"
 _SIM_SECTIONS = 8
 _SIM_INSTRUCTIONS = 512
 
+#: Batch size for the predict-throughput benchmarks (the acceptance
+#: batch the compiled predictor must beat the interpreted walk on).
+_THROUGHPUT_ROWS = 10_000
+
 
 @dataclass(frozen=True)
 class BenchResult:
-    """Timings for one named micro-benchmark."""
+    """Timings for one named micro-benchmark.
+
+    ``rows_per_s`` is set only for throughput benchmarks (rows /
+    ``mean_s``); it is informational and never compared by the gate.
+    """
 
     name: str
     rounds: int
     mean_s: float
     min_s: float
     max_s: float
+    rows_per_s: Optional[float] = None
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "name": self.name,
             "rounds": self.rounds,
             "mean_s": self.mean_s,
             "min_s": self.min_s,
             "max_s": self.max_s,
         }
+        if self.rows_per_s is not None:
+            payload["rows_per_s"] = self.rows_per_s
+        return payload
 
 
 def _time(fn: Callable[[], object], rounds: int) -> BenchResult:
@@ -81,6 +95,22 @@ def _time(fn: Callable[[], object], rounds: int) -> BenchResult:
         mean_s=float(np.mean(timings)),
         min_s=float(min(timings)),
         max_s=float(max(timings)),
+    )
+
+
+def _throughput_matrix(X: np.ndarray, rows: int = _THROUGHPUT_ROWS) -> np.ndarray:
+    """Tile the suite matrix up to a fixed row count."""
+    repeats = -(-rows // X.shape[0])
+    return np.tile(X, (repeats, 1))[:rows]
+
+
+def _interpreted_predict(model, X: np.ndarray) -> np.ndarray:
+    """The pre-compilation per-row walk, kept as the throughput baseline."""
+    from repro.core.tree.node import route
+
+    root = model.root_
+    return np.array(
+        [route(root, x).model.predict_one(x) for x in X], dtype=np.float64
     )
 
 
@@ -108,10 +138,20 @@ def run_bench(
     dataset = suite_dataset(config, n_jobs=n_jobs)
     factory = functools.partial(M5Prime, min_instances=config.min_instances)
     fitted = factory().fit(dataset)
+    X_throughput = _throughput_matrix(dataset.X)
+    fitted.compiled_  # compile outside the timed region
 
     cases: List = [
         ("fit_m5p", lambda: factory().fit(dataset)),
         ("predict_m5p", lambda: fitted.predict(dataset.X)),
+        (
+            "predict_compiled_10k",
+            lambda: fitted.compiled_.predict(X_throughput),
+        ),
+        (
+            "predict_interpreted_10k",
+            lambda: _interpreted_predict(fitted, X_throughput),
+        ),
         (
             "cross_validate",
             lambda: cross_validate(
@@ -133,9 +173,12 @@ def run_bench(
     results = []
     for name, fn in cases:
         timing = _time(fn, rounds)
+        rows_per_s = (
+            _THROUGHPUT_ROWS / timing.mean_s if name.endswith("_10k") else None
+        )
         results.append(
             BenchResult(name, timing.rounds, timing.mean_s,
-                        timing.min_s, timing.max_s)
+                        timing.min_s, timing.max_s, rows_per_s)
         )
 
     from repro.parallel import resolve_jobs
@@ -165,14 +208,16 @@ def render_document(document: Dict[str, object]) -> str:
     lines = [
         f"repro bench — preset {document['preset']}, "
         f"jobs {document['jobs']}, rounds {document['rounds']}",
-        f"{'benchmark':<18}{'mean':>10}{'min':>10}{'max':>10}",
+        f"{'benchmark':<24}{'mean':>10}{'min':>10}{'max':>10}{'rows/s':>12}",
     ]
     for entry in document["benchmarks"]:  # type: ignore[index]
+        rate = entry.get("rows_per_s")  # type: ignore[union-attr]
         lines.append(
-            f"{entry['name']:<18}"
+            f"{entry['name']:<24}"
             f"{entry['mean_s'] * 1000:>8.1f}ms"
             f"{entry['min_s'] * 1000:>8.1f}ms"
             f"{entry['max_s'] * 1000:>8.1f}ms"
+            + (f"{rate:>12,.0f}" if rate is not None else f"{'':>12}")
         )
     return "\n".join(lines)
 

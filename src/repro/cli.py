@@ -9,6 +9,7 @@ Subcommands mirror the paper's workflow:
 * ``repro compare``     — the full method comparison table
 * ``repro experiments`` — run registered paper-artifact experiments
 * ``repro lint``        — statically verify models, datasets, compatibility
+* ``repro serve``       — batched HTTP model server over the registry
 * ``repro workloads``   — list the synthetic suite
 * ``repro bench``       — time the hot paths, write a BENCH_<date>.json
 * ``repro cache``       — inspect or clear the on-disk artifact cache
@@ -33,6 +34,8 @@ Example::
     repro lint --model model.json --data sections.csv --strict
     repro experiments --id F2 --preset quick
     repro bench --preset quick --jobs 4
+    repro train --data sections.csv --publish cpi-tree
+    repro serve --model cpi-tree@latest --port 8377
 """
 
 from __future__ import annotations
@@ -124,6 +127,12 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--rules", action="store_true",
                        help="print the tree as an ordered rule list")
     train.add_argument("--dot", help="write GraphViz DOT source to this path")
+    train.add_argument("--publish", metavar="NAME",
+                       help="publish the fitted model to the registry under "
+                       "this name (serve it with `repro serve --model NAME`)")
+    train.add_argument("--registry", metavar="DIR", default=None,
+                       help="registry directory for --publish "
+                       "(default: <cache>/registry)")
     _add_jobs_argument(train)
 
     analyze = sub.add_parser("analyze", help="what/how-much report for sections")
@@ -161,6 +170,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--model", help="saved model JSON to verify")
     lint.add_argument("--data", help="dataset CSV to verify")
     lint.add_argument("--cache-dir", help="artifact cache directory to verify")
+    lint.add_argument("--registry", metavar="DIR", nargs="?", const="",
+                      default=None,
+                      help="model registry directory to verify (no value: "
+                      "the default registry); with --data, also checks "
+                      "entries' feature sets against the dataset")
     lint.add_argument("--format", default="text", choices=["text", "json"])
     lint.add_argument("--strict", action="store_true",
                       help="exit 1 when warnings are the worst finding")
@@ -232,6 +246,39 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", required=True, help="output markdown path")
     report.add_argument("--preset", default="quick",
                         choices=["tiny", "quick", "paper"])
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve registry models over batched JSON HTTP",
+        description="Answer /predict, /explain, /models, /healthz and "
+        "/metrics from published registry models, coalescing concurrent "
+        "requests into compiled-tree batches.  Publish with "
+        "`repro train --publish NAME` first.",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8377,
+                       help="bind port (default 8377; 0 picks a free port)")
+    serve.add_argument("--model", metavar="SPEC", default=None,
+                       help="model spec to load at startup and use when "
+                       "requests name none (e.g. cpi-tree@latest)")
+    serve.add_argument("--registry", metavar="DIR", default=None,
+                       help="registry directory (default: <cache>/registry)")
+    serve.add_argument("--max-batch", type=int, default=256,
+                       help="rows per coalesced predictor batch (default 256)")
+    serve.add_argument("--max-wait", type=float, default=0.002,
+                       metavar="SECONDS",
+                       help="how long a batch holds for stragglers "
+                       "(default 0.002)")
+    serve.add_argument("--task-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-request wall-clock budget; past it the "
+                       "request fails with 503 (default: none)")
+    serve.add_argument("--check", action="store_true",
+                       help="run the startup preflight (registry, "
+                       "integrity, compiled-vs-interpreted parity) and "
+                       "exit instead of serving")
+    _add_jobs_argument(serve)
 
     sub.add_parser("workloads", help="list the synthetic SPEC-like suite")
     return parser
@@ -311,6 +358,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if args.save:
         save_model(model, args.save)
         print(f"saved model to {args.save}")
+    if args.publish:
+        from repro.serve import ModelRegistry
+
+        registry = ModelRegistry(Path(args.registry) if args.registry else None)
+        record = registry.publish(args.publish, model)
+        print(f"published {record.spec} to {registry.directory}")
     if args.dot:
         from repro.core.tree import render_dot
 
@@ -436,9 +489,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"{lint_rule.rule_id:<10} {lint_rule.family:<8} "
                   f"{lint_rule.severity.value:<8} {lint_rule.summary}")
         return 0
-    if not args.model and not args.data and not args.cache_dir:
+    if (not args.model and not args.data and not args.cache_dir
+            and args.registry is None):
         raise ReproError(
-            "lint needs --model, --data, and/or --cache-dir (or --list-rules)"
+            "lint needs --model, --data, --cache-dir, and/or --registry "
+            "(or --list-rules)"
         )
     model = None
     if args.model:
@@ -449,7 +504,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     # on the validating Dataset constructor.
     dataset = load_table(args.data) if args.data else None
     cache_dir = Path(args.cache_dir) if args.cache_dir else None
-    report = run_lint(model=model, dataset=dataset, cache_dir=cache_dir)
+    registry_dir = None
+    if args.registry is not None:
+        if args.registry:
+            registry_dir = Path(args.registry)
+        else:
+            from repro.serve import ModelRegistry
+
+            registry_dir = ModelRegistry().directory
+    report = run_lint(
+        model=model, dataset=dataset, cache_dir=cache_dir,
+        registry_dir=registry_dir,
+    )
     if args.format == "json":
         print(render_json(report))
     else:
@@ -588,6 +654,63 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(f"  {run_key}  ({n_units} unit(s))")
     else:
         print(f"no checkpoint runs in {store.directory}")
+    from repro.serve import ModelRegistry
+
+    registry = ModelRegistry()
+    if registry.manifest_path.exists():
+        print(registry.render())
+    else:
+        print(f"no model registry at {registry.directory}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        ModelRegistry,
+        ModelServer,
+        preflight,
+        render_preflight,
+    )
+
+    _set_default_jobs(args.jobs)
+    registry = ModelRegistry(Path(args.registry) if args.registry else None)
+    if args.check:
+        results = preflight(registry, model_spec=args.model)
+        print(render_preflight(results))
+        return 0 if all(r.ok for r in results) else 2
+    server = ModelServer(
+        registry=registry,
+        default_model=args.model,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait,
+        task_timeout=args.task_timeout,
+    )
+    server.start()
+    # SIGTERM (systemd, docker stop, CI cleanup) gets the same graceful
+    # path as Ctrl-C; background shells may start children with SIGINT
+    # ignored, so TERM is often the only signal that arrives.
+    import signal
+
+    def _terminate(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    if args.model is not None:
+        # Fail at startup, not on the first request.
+        served = server.get_model(args.model)
+        print(f"serving {served.label} ({served.model.n_leaves} leaves)")
+    print(f"listening on http://{args.host}:{server.bound_port} "
+          "(endpoints: /predict /explain /models /healthz /metrics; "
+          "Ctrl-C stops)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+        server.shutdown()
+        return 130
+    server.shutdown()
     return 0
 
 
@@ -629,6 +752,7 @@ _COMMANDS = {
     "workloads": _cmd_workloads,
     "bench": _cmd_bench,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
     "faults": _cmd_faults,
 }
 

@@ -10,7 +10,7 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -28,10 +28,13 @@ from repro.core.tree.node import (
 )
 from repro.core.tree.pruning import prune_tree
 from repro.core.tree.render import render_models, render_tree
-from repro.core.tree.smoothing import DEFAULT_SMOOTHING_K, smoothed_predict
+from repro.core.tree.smoothing import DEFAULT_SMOOTHING_K
 from repro.datasets.dataset import Dataset
 from repro.datasets.unpack import unpack_training_data
 from repro.errors import DataError, NotFittedError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serve -> core)
+    from repro.serve.compiled import CompiledTree
 
 
 class M5Prime:
@@ -98,6 +101,8 @@ class M5Prime:
         #: incoming data against the regime the tree was trained on.
         #: ``None`` for models deserialized from pre-range documents.
         self.feature_ranges_: Optional[Tuple[Tuple[float, float], ...]] = None
+        # (root, CompiledTree) pair; rebuilt whenever root_ is replaced.
+        self._compiled_cache: Optional[Tuple[Node, "CompiledTree"]] = None
 
     # ------------------------------------------------------------------
     def fit(
@@ -143,20 +148,37 @@ class M5Prime:
             )
 
     # ------------------------------------------------------------------
-    def predict(self, X: Union[np.ndarray, Sequence]) -> np.ndarray:
-        """Predict targets for an attribute matrix."""
+    @property
+    def compiled_(self) -> "CompiledTree":
+        """The flat-array form of the fitted tree (compiled lazily).
+
+        Compilation is cached per ``root_`` object: refitting, loading,
+        or assigning a new tree invalidates it automatically.  Callers
+        that mutate nodes *in place* must drop ``_compiled_cache``
+        themselves (normal use never does this).
+        """
         root = self._require_fitted()
+        cached = self._compiled_cache
+        if cached is not None and cached[0] is root:
+            return cached[1]
+        from repro.serve.compiled import compile_tree
+
+        compiled = compile_tree(root, len(self.attributes_))
+        self._compiled_cache = (root, compiled)
+        return compiled
+
+    def predict(self, X: Union[np.ndarray, Sequence]) -> np.ndarray:
+        """Predict targets for an attribute matrix.
+
+        Evaluation runs through the compiled flat-array representation
+        (:mod:`repro.serve.compiled`), bit-identical to walking the
+        linked tree row by row — including the smoothing path.
+        """
+        self._require_fitted()
         X = as_float_matrix(X)
         self._check_width(X)
-        if self.smoothing:
-            return np.array(
-                [smoothed_predict(root, x, self.smoothing_k) for x in X]
-            )
-        predictions = np.empty(X.shape[0])
-        for i, x in enumerate(X):
-            leaf = route(root, x)
-            predictions[i] = leaf.model.predict_one(x)  # type: ignore[union-attr]
-        return predictions
+        smoothing_k = self.smoothing_k if self.smoothing else None
+        return self.compiled_.predict(X, smoothing_k=smoothing_k)
 
     def predict_one(self, x: Sequence) -> float:
         """Predict a single instance (1-D attribute vector)."""
@@ -180,11 +202,11 @@ class M5Prime:
         return path_to_leaf(root, arr)
 
     def leaf_ids(self, X: Union[np.ndarray, Sequence]) -> np.ndarray:
-        """Leaf (class) id per row of ``X``."""
-        root = self._require_fitted()
+        """Leaf (class) id per row of ``X`` (vectorized routing)."""
+        self._require_fitted()
         X = as_float_matrix(X)
         self._check_width(X)
-        return np.array([route(root, x).leaf_id for x in X], dtype=np.int64)
+        return self.compiled_.leaf_ids(X)
 
     def leaf_models(self) -> Dict[int, LinearModel]:
         """Leaf id -> linear model, the paper's LM1..LMk."""

@@ -107,6 +107,11 @@ def model_from_dict(payload: Dict[str, Any]) -> M5Prime:
         model.target_name_ = str(payload["target"])
         ranges = payload.get("feature_ranges")
         if ranges is not None:
+            if len(ranges) != len(model.attributes_):
+                raise ParseError(
+                    f"feature_ranges has {len(ranges)} entries for "
+                    f"{len(model.attributes_)} attributes"
+                )
             model.feature_ranges_ = tuple(
                 (float(low), float(high)) for low, high in ranges
             )

@@ -70,6 +70,24 @@ class CheckpointError(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """The serving layer was misconfigured or a request is invalid.
+
+    Raised for bad server configuration (ports, batch limits) and for
+    malformed request payloads; the HTTP layer maps it to a 400-class
+    JSON error envelope rather than a stack trace.
+    """
+
+
+class RegistryError(ServeError):
+    """The model registry refused an operation.
+
+    Unknown names/versions, malformed manifests, publishing unfitted
+    models, and blobs that failed their integrity check all land here —
+    never a raw ``KeyError`` or a silently wrong model.
+    """
+
+
 class FaultInjected(ReproError):
     """An artificial failure raised by the fault-injection harness.
 

@@ -17,6 +17,9 @@ through three rule families:
   agreement, values inside the trained regime, finite predictions.
 * **cache** (``CACHE0xx``): artifact-cache integrity — entries without
   checksum sidecars, checksum mismatches, quarantined entries.
+* **serve** (``SERVE0xx``): model-registry integrity — manifest
+  well-formedness, missing/corrupt blobs, manifest-vs-blob agreement,
+  registry entries whose feature set no longer matches the dataset.
 
 Usage::
 
@@ -46,6 +49,7 @@ from repro.lint.registry import (
     FAMILY_CACHE,
     FAMILY_COMPAT,
     FAMILY_DATASET,
+    FAMILY_SERVE,
     FAMILY_TREE,
     LintRule,
     all_rules,
@@ -64,10 +68,12 @@ from repro.lint import tree_rules as _tree_rules  # noqa: F401
 from repro.lint import data_rules as _data_rules  # noqa: F401
 from repro.lint import compat_rules as _compat_rules  # noqa: F401
 from repro.lint import cache_rules as _cache_rules  # noqa: F401
+from repro.lint import serve_rules as _serve_rules  # noqa: F401
 
 __all__ = [
     "ALL_FAMILIES",
     "FAMILY_CACHE",
+    "FAMILY_SERVE",
     "Diagnostic",
     "LintConfig",
     "LintContext",
@@ -84,6 +90,7 @@ __all__ = [
     "lint_compatibility",
     "lint_dataset",
     "lint_model",
+    "lint_registry",
     "render_json",
     "render_text",
     "rule",
@@ -96,6 +103,7 @@ def _resolve_families(
     model: Optional[M5Prime],
     dataset: Optional[Table],
     cache_dir: Optional[Path],
+    registry_dir: Optional[Path],
     families: Optional[Sequence[str]],
 ) -> tuple:
     available = []
@@ -107,6 +115,8 @@ def _resolve_families(
         available.append(FAMILY_COMPAT)
     if cache_dir is not None:
         available.append(FAMILY_CACHE)
+    if registry_dir is not None:
+        available.append(FAMILY_SERVE)
     if families is None:
         return tuple(available)
     needs = {
@@ -114,6 +124,7 @@ def _resolve_families(
         FAMILY_DATASET: "a dataset",
         FAMILY_COMPAT: "both a model and a dataset",
         FAMILY_CACHE: "a cache directory",
+        FAMILY_SERVE: "a registry directory",
     }
     for family in families:
         if family not in ALL_FAMILIES:
@@ -129,6 +140,7 @@ def run_lint(
     config: Optional[LintConfig] = None,
     families: Optional[Sequence[str]] = None,
     cache_dir: Optional[Path] = None,
+    registry_dir: Optional[Path] = None,
 ) -> LintReport:
     """Run every applicable lint rule and collect the findings.
 
@@ -143,6 +155,10 @@ def run_lint(
             inputs allow.
         cache_dir: An artifact-cache directory to audit (enables the
             cache family: missing checksums, mismatches, quarantine).
+        registry_dir: A model-registry directory to audit (enables the
+            serve family: manifest integrity, blob checksums,
+            manifest-vs-blob agreement; with ``dataset``, feature-set
+            drift against the data).
 
     Returns:
         A :class:`LintReport`; ``report.exit_code(strict)`` maps it to
@@ -152,15 +168,21 @@ def run_lint(
         LintError: No inputs given, an unfitted model, or a requested
             family its inputs cannot support.
     """
-    if model is None and dataset is None and cache_dir is None:
-        raise LintError("lint needs a model, a dataset, or a cache directory")
+    if (model is None and dataset is None and cache_dir is None
+            and registry_dir is None):
+        raise LintError(
+            "lint needs a model, a dataset, a cache directory, or a "
+            "registry directory"
+        )
     if model is not None and model.root_ is None:
         raise LintError("cannot lint an unfitted model")
     table = as_table(dataset) if dataset is not None else None
-    selected = _resolve_families(model, table, cache_dir, families)
+    selected = _resolve_families(
+        model, table, cache_dir, registry_dir, families
+    )
     context = LintContext(
         model=model, dataset=table, cache_dir=cache_dir,
-        config=config or LintConfig(),
+        registry_dir=registry_dir, config=config or LintConfig(),
     )
     report = LintReport(families=selected)
     for family in selected:
@@ -221,4 +243,20 @@ def lint_cache(
     """Run the artifact-cache integrity rules alone."""
     return run_lint(
         cache_dir=cache_dir, config=config, families=(FAMILY_CACHE,)
+    )
+
+
+def lint_registry(
+    registry_dir: Path,
+    dataset: Optional[Union[Dataset, Table]] = None,
+    config: Optional[LintConfig] = None,
+) -> LintReport:
+    """Run the model-registry (serve) rules alone.
+
+    With ``dataset``, SERVE005 additionally checks every registry
+    entry's feature set against the data it would be asked to score.
+    """
+    return run_lint(
+        dataset=dataset, registry_dir=registry_dir, config=config,
+        families=(FAMILY_SERVE,),
     )

@@ -55,4 +55,5 @@ class LintContext:
     model: Optional[M5Prime] = None
     dataset: Optional[Table] = None
     cache_dir: Optional[Path] = None
+    registry_dir: Optional[Path] = None
     config: LintConfig = field(default_factory=LintConfig)

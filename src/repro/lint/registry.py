@@ -18,13 +18,14 @@ from repro.errors import LintError
 from repro.lint.context import LintContext
 from repro.lint.diagnostics import Diagnostic, Severity
 
-#: The four rule families, in the order they run.
+#: The five rule families, in the order they run.
 FAMILY_TREE = "tree"
 FAMILY_DATASET = "dataset"
 FAMILY_COMPAT = "compat"
 FAMILY_CACHE = "cache"
+FAMILY_SERVE = "serve"
 ALL_FAMILIES: Tuple[str, ...] = (
-    FAMILY_TREE, FAMILY_DATASET, FAMILY_COMPAT, FAMILY_CACHE
+    FAMILY_TREE, FAMILY_DATASET, FAMILY_COMPAT, FAMILY_CACHE, FAMILY_SERVE
 )
 
 Finding = Union[Diagnostic, Tuple[str, str]]

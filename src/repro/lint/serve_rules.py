@@ -1,0 +1,249 @@
+"""The ``serve`` rule family: model-registry integrity (SERVE0xx).
+
+A registry entry is a promise — ``cpi-tree@latest`` resolves to a model
+whose bytes, schema, and feature set are what the manifest says.  These
+rules audit that promise statically (``repro lint --registry``), without
+loading models or triggering the runtime's quarantine machinery, so the
+check is safe to run against a live serving registry:
+
+* ``SERVE001`` (error): the manifest itself is unreadable or not a
+  ``repro-registry/1`` document — nothing can resolve.
+* ``SERVE002`` (error): a manifest record points at a blob file that
+  does not exist (half-deleted registry, manual cleanup gone wrong).
+* ``SERVE003`` (error): a blob's bytes disagree with its ``.sha256``
+  sidecar — the corruption ``resolve`` would quarantine.
+* ``SERVE004`` (error): the blob's model document disagrees with the
+  manifest record (attributes or target) — the manifest was edited or
+  the blob swapped; whichever, the registry lies about what it serves.
+* ``SERVE005`` (error, needs ``--data``): an entry's feature set does
+  not match the dataset's columns — the schema drifted since publish
+  and ``/predict`` requests built from this dataset would be refused
+  (or worse, silently misaligned by order).
+* ``SERVE006`` (warning): quarantined blobs are present — past resolves
+  already hit corruption worth investigating.
+* ``SERVE007`` (warning): an alias points at a version the manifest no
+  longer records, so ``name@alias`` cannot resolve.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+
+from repro.errors import RegistryError
+from repro.lint.context import LintContext
+from repro.lint.diagnostics import Severity
+from repro.lint.registry import FAMILY_SERVE, rule
+
+if TYPE_CHECKING:
+    from repro.serve.registry import ModelRecord, ModelRegistry
+
+Finding = Tuple[str, str]
+
+
+def _registry(context: LintContext) -> "ModelRegistry":
+    from repro.serve.registry import ModelRegistry
+
+    assert context.registry_dir is not None
+    return ModelRegistry(context.registry_dir)
+
+
+def _records(
+    registry: "ModelRegistry",
+) -> Tuple[List["ModelRecord"], Optional[str]]:
+    """Manifest records, or the manifest-level failure message."""
+    try:
+        return registry.records(), None
+    except RegistryError as exc:
+        return [], str(exc)
+
+
+@rule(
+    "SERVE001",
+    FAMILY_SERVE,
+    Severity.ERROR,
+    "the registry manifest must parse as a repro-registry/1 document",
+)
+def check_manifest(context: LintContext) -> Iterator[Finding]:
+    registry = _registry(context)
+    _, failure = _records(registry)
+    if failure is not None:
+        yield (failure, str(registry.manifest_path))
+
+
+@rule(
+    "SERVE002",
+    FAMILY_SERVE,
+    Severity.ERROR,
+    "every manifest record must point at an existing blob",
+)
+def check_missing_blobs(context: LintContext) -> Iterator[Finding]:
+    registry = _registry(context)
+    records, failure = _records(registry)
+    if failure is not None:
+        return
+    for record in records:
+        if not (registry.directory / record.blob).exists():
+            yield (
+                f"{record.spec}: blob {record.blob!r} is missing from the "
+                "registry directory; the version cannot resolve — "
+                "republish it",
+                record.spec,
+            )
+
+
+@rule(
+    "SERVE003",
+    FAMILY_SERVE,
+    Severity.ERROR,
+    "registry blobs must match their checksum sidecars",
+)
+def check_blob_integrity(context: LintContext) -> Iterator[Finding]:
+    registry = _registry(context)
+    records, failure = _records(registry)
+    if failure is not None:
+        return
+    for record in records:
+        blob = registry.directory / record.blob
+        if blob.exists() and not registry.cache._verify(blob):
+            yield (
+                f"{record.spec}: blob {record.blob!r} does not match its "
+                "checksum sidecar — resolving it would quarantine the "
+                "blob and fail; republish the model",
+                record.spec,
+            )
+
+
+@rule(
+    "SERVE004",
+    FAMILY_SERVE,
+    Severity.ERROR,
+    "blob documents must agree with their manifest records",
+)
+def check_record_blob_agreement(context: LintContext) -> Iterator[Finding]:
+    registry = _registry(context)
+    records, failure = _records(registry)
+    if failure is not None:
+        return
+    for record in records:
+        blob = registry.directory / record.blob
+        if not blob.exists():
+            continue
+        try:
+            with open(blob, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            yield (
+                f"{record.spec}: blob {record.blob!r} is not valid JSON "
+                f"({exc}); republish the model",
+                record.spec,
+            )
+            continue
+        if not isinstance(document, dict):
+            yield (
+                f"{record.spec}: blob {record.blob!r} is not a model "
+                "document",
+                record.spec,
+            )
+            continue
+        blob_attributes = tuple(
+            str(a) for a in document.get("attributes", ())
+        )
+        if blob_attributes != record.attributes:
+            yield (
+                f"{record.spec}: manifest records attributes "
+                f"{list(record.attributes)} but the blob carries "
+                f"{list(blob_attributes)}; the manifest no longer "
+                "describes the stored model",
+                record.spec,
+            )
+        blob_target = document.get("target")
+        if blob_target != record.target:
+            yield (
+                f"{record.spec}: manifest records target "
+                f"{record.target!r} but the blob predicts "
+                f"{blob_target!r}",
+                record.spec,
+            )
+
+
+@rule(
+    "SERVE005",
+    FAMILY_SERVE,
+    Severity.ERROR,
+    "registry entries should match the dataset's feature set",
+)
+def check_dataset_schema(context: LintContext) -> Iterator[Finding]:
+    if context.dataset is None:
+        return
+    registry = _registry(context)
+    records, failure = _records(registry)
+    if failure is not None:
+        return
+    columns = tuple(context.dataset.attributes)
+    for record in records:
+        if record.attributes == columns:
+            continue
+        missing = [a for a in record.attributes if a not in columns]
+        extra = [c for c in columns if c not in record.attributes]
+        if missing or extra:
+            parts = []
+            if missing:
+                parts.append(f"dataset lacks {missing}")
+            if extra:
+                parts.append(f"dataset adds {extra}")
+            detail = "; ".join(parts)
+        else:
+            detail = "same names, different order — positional scoring " \
+                     "would silently misalign"
+        yield (
+            f"{record.spec}: feature set no longer matches the dataset "
+            f"({detail}); retrain and republish before serving this data",
+            record.spec,
+        )
+
+
+@rule(
+    "SERVE006",
+    FAMILY_SERVE,
+    Severity.WARNING,
+    "a registry should have no quarantined blobs",
+)
+def check_quarantine(context: LintContext) -> Iterator[Finding]:
+    registry = _registry(context)
+    quarantined = registry.cache._quarantined()
+    if quarantined:
+        names = ", ".join(p.name for p in quarantined[:5])
+        suffix = ", ..." if len(quarantined) > 5 else ""
+        yield (
+            f"{len(quarantined)} quarantined blob"
+            f"{'' if len(quarantined) == 1 else 's'} present "
+            f"({names}{suffix}); past resolves hit corruption — "
+            "republish the affected versions and delete the quarantine",
+            str(registry.cache.quarantine_directory),
+        )
+
+
+@rule(
+    "SERVE007",
+    FAMILY_SERVE,
+    Severity.WARNING,
+    "aliases must point at recorded versions",
+)
+def check_aliases(context: LintContext) -> Iterator[Finding]:
+    registry = _registry(context)
+    try:
+        document = registry._read_manifest()
+    except RegistryError:
+        return
+    for name in sorted(document["models"]):
+        entry = document["models"][name]
+        versions = entry.get("versions", {})
+        for alias, version in sorted(entry.get("aliases", {}).items()):
+            if str(version) not in versions:
+                yield (
+                    f"{name}@{alias}: alias points at version {version}, "
+                    "which the manifest does not record; the alias "
+                    "cannot resolve",
+                    f"{name}@{alias}",
+                )

@@ -1,0 +1,45 @@
+"""Model serving: compiled inference, registry, batching server, metrics.
+
+The training stack (``repro.core``) grows trees; this package answers
+with them at interactive latency:
+
+* :mod:`repro.serve.compiled` — the fitted tree flattened into
+  contiguous arrays, evaluated vectorized and bit-identical to the
+  interpreted walk (``M5Prime.predict`` routes through it).
+* :mod:`repro.serve.registry` — named, versioned, integrity-checked
+  model storage (``cpi-tree@latest``) on the artifact cache.
+* :mod:`repro.serve.batching` — request coalescing with per-request
+  deadlines.
+* :mod:`repro.serve.server` — the stdlib HTTP surface
+  (``/predict``, ``/explain``, ``/models``, ``/healthz``, ``/metrics``).
+* :mod:`repro.serve.drift` — online out-of-range and invariant
+  monitoring of scored traffic.
+* :mod:`repro.serve.check` — the ``repro serve --check`` preflight.
+"""
+
+from repro.serve.batching import BatchQueue
+from repro.serve.check import CheckResult, preflight, render_preflight
+from repro.serve.compiled import CompiledTree, compile_tree
+from repro.serve.drift import DriftMonitor
+from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.serve.registry import ModelRecord, ModelRegistry, parse_spec
+from repro.serve.server import SCHEMA, ModelServer
+
+__all__ = [
+    "BatchQueue",
+    "CheckResult",
+    "CompiledTree",
+    "Counter",
+    "DriftMonitor",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ModelRecord",
+    "ModelRegistry",
+    "ModelServer",
+    "SCHEMA",
+    "compile_tree",
+    "parse_spec",
+    "preflight",
+    "render_preflight",
+]

@@ -1,0 +1,270 @@
+"""Compiled tree inference: flat-array evaluation of fitted M5' trees.
+
+``M5Prime.predict`` historically routed one row at a time through the
+linked :class:`~repro.core.tree.node.Node` structure — fine for reading
+a tree, hopeless for serving it.  :func:`compile_tree` flattens a fitted
+tree into contiguous numpy arrays (split feature/threshold per node, a
+CSR layout of every node's linear-model terms) and
+:class:`CompiledTree` evaluates whole batches vectorized, including the
+smoothing path.
+
+Bit-identity is a hard contract, not an aspiration: every floating-point
+operation happens in exactly the order the interpreted walk performs it
+— routing compares ``x[feature] <= threshold`` with the same operands,
+leaf models accumulate ``intercept; += coef * x[index]`` term by term
+(term order preserved from the :class:`~repro.core.tree.linear.LinearModel`),
+and smoothing blends leaf-to-root with the same ``(n*p + k*q)/(n + k)``
+sequence.  The property tests in ``tests/test_serve_compiled.py`` assert
+``compiled == interpreted`` to the last bit, across JSON round trips
+(Python's shortest-repr float serialization is exact, so a model
+published to the registry compiles to the same arrays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.tree.node import LeafNode, Node, SplitNode
+from repro.errors import ConfigError, DataError, ReproError
+
+__all__ = ["CompiledTree", "compile_tree"]
+
+
+@dataclass(frozen=True)
+class CompiledTree:
+    """A fitted M5' tree flattened to contiguous arrays.
+
+    Nodes are numbered in pre-order (root = 0).  Interior nodes carry a
+    split (``feature[i] >= 0``); leaves have ``feature[i] == -1`` and a
+    positive ``leaf_id``.  Every node's linear model is stored CSR-style:
+    node ``i``'s terms occupy ``term_feature[term_offset[i]:term_offset[i+1]]``
+    (paired with ``term_coefficient``), preserving the term order of the
+    original :class:`~repro.core.tree.linear.LinearModel`.
+
+    Attributes:
+        n_features: Training attribute count routing validates against.
+        feature: Split attribute index per node, ``-1`` at leaves.
+        threshold: Split threshold per node (NaN at leaves).
+        left, right: Child node indices, ``-1`` at leaves.
+        parent: Parent node index, ``-1`` at the root.
+        leaf_id: The paper's LM numbering at leaves, ``0`` elsewhere.
+        n_instances: Training population per node (smoothing weights).
+        has_model: Whether the node carries a linear model.
+        intercept: Model intercept per node (NaN where ``has_model`` is false).
+        term_offset: CSR offsets into the term arrays, length ``n_nodes + 1``.
+        term_feature: Attribute index of each model term.
+        term_coefficient: Slope of each model term.
+        max_depth: Longest root-to-leaf edge count (routing iteration bound).
+    """
+
+    n_features: int
+    feature: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    parent: np.ndarray
+    leaf_id: np.ndarray
+    n_instances: np.ndarray
+    has_model: np.ndarray
+    intercept: np.ndarray
+    term_offset: np.ndarray
+    term_feature: np.ndarray
+    term_coefficient: np.ndarray
+    max_depth: int
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.feature.shape[0])
+
+    @property
+    def n_leaves(self) -> int:
+        return int(np.count_nonzero(self.feature < 0))
+
+    # ------------------------------------------------------------------
+    def _check_width(self, X: np.ndarray) -> None:
+        if X.ndim != 2:
+            raise DataError(f"X must be 2-dimensional, got shape {X.shape}")
+        if X.shape[1] != self.n_features:
+            raise DataError(
+                f"X has {X.shape[1]} columns but the compiled tree expects "
+                f"{self.n_features}"
+            )
+
+    def route(self, X: np.ndarray) -> np.ndarray:
+        """Node index of the leaf each row lands in (vectorized walk).
+
+        One vectorized pass per tree level: rows sitting on an interior
+        node compare their split attribute against the threshold
+        (``<=`` goes left, exactly the interpreted rule) and step down.
+        Rows already at a leaf stay put, so ragged trees terminate
+        naturally after ``max_depth`` passes.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        self._check_width(X)
+        nodes = np.zeros(X.shape[0], dtype=np.int64)
+        for _ in range(self.max_depth):
+            at_split = np.flatnonzero(self.feature[nodes] >= 0)
+            if at_split.size == 0:
+                break
+            current = nodes[at_split]
+            values = X[at_split, self.feature[current]]
+            go_left = values <= self.threshold[current]
+            nodes[at_split] = np.where(
+                go_left, self.left[current], self.right[current]
+            )
+        return nodes
+
+    def leaf_ids(self, X: np.ndarray) -> np.ndarray:
+        """The LM (class) number per row."""
+        return self.leaf_id[self.route(X)]
+
+    # ------------------------------------------------------------------
+    def _evaluate_node_model(
+        self, node: int, X: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        """Evaluate one node's linear model over selected rows.
+
+        Accumulates ``intercept; += coef * column`` term by term — the
+        same operation sequence as
+        :meth:`~repro.core.tree.linear.LinearModel.predict_one`, so the
+        result is bit-identical to the scalar walk.
+        """
+        if not self.has_model[node]:
+            raise ReproError(
+                f"compiled node {node} carries no linear model"
+            )
+        result = np.full(rows.shape[0], self.intercept[node])
+        start, stop = self.term_offset[node], self.term_offset[node + 1]
+        for position in range(start, stop):
+            result += (
+                self.term_coefficient[position]
+                * X[rows, self.term_feature[position]]
+            )
+        return result
+
+    def predict(
+        self, X: np.ndarray, smoothing_k: Optional[float] = None
+    ) -> np.ndarray:
+        """Batch prediction; pass ``smoothing_k`` for the smoothed path.
+
+        Rows are grouped by destination leaf (every row in a group shares
+        one root path), the leaf model is evaluated vectorized over the
+        group, and — when smoothing — the prediction is blended with each
+        ancestor model walking parent pointers to the root:
+        ``p = (n_below * p + k * q) / (n_below + k)``.
+        """
+        if smoothing_k is not None and smoothing_k < 0:
+            raise ConfigError(
+                f"smoothing constant k must be non-negative, got {smoothing_k}"
+            )
+        X = np.asarray(X, dtype=np.float64)
+        self._check_width(X)
+        predictions = np.empty(X.shape[0])
+        if X.shape[0] == 0:
+            return predictions
+        nodes = self.route(X)
+        for leaf in np.unique(nodes):
+            rows = np.flatnonzero(nodes == leaf)
+            if not self.has_model[leaf]:
+                raise ReproError(
+                    "prediction requires a model at the leaf"
+                    if smoothing_k is None
+                    else "smoothing requires a model at the leaf"
+                )
+            group = self._evaluate_node_model(leaf, X, rows)
+            if smoothing_k is not None:
+                below = int(leaf)
+                ancestor = int(self.parent[below])
+                while ancestor >= 0:
+                    if not self.has_model[ancestor]:
+                        raise ReproError(
+                            "smoothing requires a model at every ancestor"
+                        )
+                    blended = self._evaluate_node_model(ancestor, X, rows)
+                    weight = float(self.n_instances[below])
+                    group = (weight * group + smoothing_k * blended) / (
+                        weight + smoothing_k
+                    )
+                    below = ancestor
+                    ancestor = int(self.parent[below])
+            predictions[rows] = group
+        return predictions
+
+
+def compile_tree(root: Node, n_features: int) -> CompiledTree:
+    """Flatten a fitted tree into a :class:`CompiledTree`.
+
+    Pre-order numbering matches :meth:`Node.iter_nodes`, so node index
+    ``i`` here is the ``i``-th node that traversal yields — handy when
+    cross-referencing compiled results against the linked structure.
+    """
+    if n_features < 0:
+        raise ConfigError(f"n_features must be non-negative, got {n_features}")
+    ordered: List[Node] = list(root.iter_nodes())
+    index_of = {id(node): i for i, node in enumerate(ordered)}
+    n_nodes = len(ordered)
+
+    feature = np.full(n_nodes, -1, dtype=np.int64)
+    threshold = np.full(n_nodes, np.nan)
+    left = np.full(n_nodes, -1, dtype=np.int64)
+    right = np.full(n_nodes, -1, dtype=np.int64)
+    parent = np.full(n_nodes, -1, dtype=np.int64)
+    leaf_id = np.zeros(n_nodes, dtype=np.int64)
+    n_instances = np.zeros(n_nodes)
+    has_model = np.zeros(n_nodes, dtype=bool)
+    intercept = np.full(n_nodes, np.nan)
+    term_offset = np.zeros(n_nodes + 1, dtype=np.int64)
+    term_features: List[int] = []
+    term_coefficients: List[float] = []
+
+    for i, node in enumerate(ordered):
+        n_instances[i] = float(node.n_instances)
+        if isinstance(node, SplitNode):
+            if not 0 <= node.attribute_index < n_features:
+                raise DataError(
+                    f"split attribute index {node.attribute_index} is out "
+                    f"of range for {n_features} features"
+                )
+            feature[i] = node.attribute_index
+            threshold[i] = node.threshold
+            left[i] = index_of[id(node.left)]
+            right[i] = index_of[id(node.right)]
+            parent[left[i]] = i
+            parent[right[i]] = i
+        elif isinstance(node, LeafNode):
+            leaf_id[i] = node.leaf_id
+        else:  # pragma: no cover - Node subclasses are closed
+            raise ReproError(f"unknown node type {type(node).__name__}")
+        model = node.model
+        if model is not None:
+            has_model[i] = True
+            intercept[i] = model.intercept
+            for term_index, coefficient in zip(model.indices, model.coefficients):
+                if not 0 <= term_index < n_features:
+                    raise DataError(
+                        f"model term index {term_index} is out of range "
+                        f"for {n_features} features"
+                    )
+                term_features.append(int(term_index))
+                term_coefficients.append(float(coefficient))
+        term_offset[i + 1] = len(term_features)
+
+    return CompiledTree(
+        n_features=int(n_features),
+        feature=feature,
+        threshold=threshold,
+        left=left,
+        right=right,
+        parent=parent,
+        leaf_id=leaf_id,
+        n_instances=n_instances,
+        has_model=has_model,
+        intercept=intercept,
+        term_offset=term_offset,
+        term_feature=np.asarray(term_features, dtype=np.int64),
+        term_coefficient=np.asarray(term_coefficients),
+        max_depth=root.depth(),
+    )

@@ -1,0 +1,148 @@
+"""Online drift detection for served models.
+
+CounterPoint's lesson (PAPERS.md) is that counter-driven models rot
+silently: the tree keeps answering while the traffic wanders out of the
+regime it was trained on.  :class:`DriftMonitor` watches every scored
+batch for two signals, both derived from artifacts the training stack
+already produces:
+
+* **Out-of-range inputs** — values outside the per-feature
+  ``feature_ranges_`` recorded at fit time (with the same slack the
+  COMPAT lint rules apply).  There the tree extrapolates linearly,
+  which the paper never validated.
+* **Invariant violations** — rows breaking the Table I event hierarchy
+  (:data:`repro.counters.invariants.METRIC_INVARIANTS`), the signature
+  of corrupt or mislabeled counter feeds rather than workload change.
+
+Counts surface through the server's ``/metrics`` endpoint
+(``repro_drift_*`` families) so an operator alerts on drift the same
+way they alert on latency.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.tree.m5 import M5Prime
+from repro.counters.invariants import (
+    METRIC_INVARIANTS,
+    applicable_invariants,
+    check_dataset,
+)
+
+__all__ = ["DriftMonitor", "DriftSnapshot"]
+
+
+class DriftSnapshot(Dict[str, object]):
+    """Plain-dict snapshot of a monitor's counts (JSON-friendly)."""
+
+
+class DriftMonitor:
+    """Accumulates drift statistics for one served model.
+
+    Args:
+        model: The fitted model whose training regime defines "normal".
+        range_slack: Fraction of each feature's training span the value
+            may exceed the range by before counting as out-of-range —
+            the same default the COMPAT003 lint rule uses, so offline
+            lint and online drift agree on what "outside" means.
+    """
+
+    def __init__(self, model: M5Prime, range_slack: float = 0.10) -> None:
+        self.attributes: Tuple[str, ...] = tuple(model.attributes_)
+        self.range_slack = float(range_slack)
+        self._lock = threading.Lock()
+        self.rows_seen = 0
+        self.out_of_range: Dict[str, int] = {}
+        self.violations: Dict[str, int] = {}
+        self._invariants = applicable_invariants(
+            METRIC_INVARIANTS, self.attributes
+        )
+        if model.feature_ranges_ is not None:
+            self._low = np.array([low for low, _ in model.feature_ranges_])
+            self._high = np.array([high for _, high in model.feature_ranges_])
+            span = self._high - self._low
+            margin = self.range_slack * np.where(
+                span > 0, span, np.maximum(np.abs(self._high), 1.0)
+            )
+            self._low = self._low - margin
+            self._high = self._high + margin
+        else:
+            self._low = None
+            self._high = None
+
+    def observe(self, X: np.ndarray) -> None:
+        """Fold one scored batch into the counters (vectorized)."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[0] == 0:
+            return
+        range_counts: Optional[np.ndarray] = None
+        if self._low is not None:
+            outside = (X < self._low) | (X > self._high)
+            range_counts = outside.sum(axis=0)
+        columns = {
+            name: X[:, index] for index, name in enumerate(self.attributes)
+        }
+        found = check_dataset(
+            columns, self._invariants, check_negative=False
+        )
+        with self._lock:
+            self.rows_seen += int(X.shape[0])
+            if range_counts is not None:
+                for index, count in enumerate(range_counts):
+                    if count:
+                        name = self.attributes[index]
+                        self.out_of_range[name] = (
+                            self.out_of_range.get(name, 0) + int(count)
+                        )
+            for violation in found:
+                self.violations[violation.invariant] = (
+                    self.violations.get(violation.invariant, 0)
+                    + violation.n_rows
+                )
+
+    @property
+    def monitors_ranges(self) -> bool:
+        """False for pre-range model documents (nothing to compare to)."""
+        return self._low is not None
+
+    def snapshot(self) -> DriftSnapshot:
+        """Counts so far: rows seen, out-of-range by feature, violations."""
+        with self._lock:
+            return DriftSnapshot(
+                rows_seen=self.rows_seen,
+                out_of_range=dict(sorted(self.out_of_range.items())),
+                invariant_violations=dict(sorted(self.violations.items())),
+            )
+
+    def render_metrics(self, model_label: str) -> List[str]:
+        """Prometheus exposition lines for this monitor."""
+        snap = self.snapshot()
+        lines = [
+            "# HELP repro_drift_rows_total Rows scored by the drift monitor.",
+            "# TYPE repro_drift_rows_total counter",
+            f'repro_drift_rows_total{{model="{model_label}"}} '
+            f"{snap['rows_seen']}",
+            "# HELP repro_drift_out_of_range_total Values outside the "
+            "feature's training range (with slack).",
+            "# TYPE repro_drift_out_of_range_total counter",
+        ]
+        for feature, count in snap["out_of_range"].items():  # type: ignore[union-attr]
+            lines.append(
+                f'repro_drift_out_of_range_total{{model="{model_label}",'
+                f'feature="{feature}"}} {count}'
+            )
+        lines.append(
+            "# HELP repro_drift_invariant_violations_total Rows violating "
+            "a Table I metric invariant."
+        )
+        lines.append("# TYPE repro_drift_invariant_violations_total counter")
+        for invariant, count in snap["invariant_violations"].items():  # type: ignore[union-attr]
+            lines.append(
+                f'repro_drift_invariant_violations_total{{model="{model_label}",'
+                f'invariant="{invariant}"}} {count}'
+            )
+        return lines

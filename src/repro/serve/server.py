@@ -1,0 +1,482 @@
+"""The model server: batched tree inference behind a JSON HTTP API.
+
+Stdlib-only (``http.server``): the serving stack must run wherever the
+training stack runs.  A :class:`ModelServer` owns the registry handle,
+a per-model :class:`~repro.serve.batching.BatchQueue` (so concurrent
+requests coalesce into one compiled evaluation), a
+:class:`~repro.serve.drift.DriftMonitor` per model, and the metrics
+registry the ``/metrics`` endpoint renders.
+
+Endpoints (all JSON, envelope schema ``repro-serve/1``):
+
+* ``POST /predict`` — score one section or a batch; returns
+  predictions plus the paper's LM class per row.
+* ``POST /explain`` — the paper's "what/how much" answers for one
+  section: decision path, leaf equation terms, per-event contributions.
+* ``GET /models`` — every published registry version.
+* ``GET /healthz`` — liveness plus the loaded model set.
+* ``GET /metrics`` — Prometheus text format: request counts, latency
+  and batch-size histograms, model-cache hits, drift counters.
+
+Error contract: invalid payloads are 400, unknown models/paths 404,
+deadline overruns 503 (the :class:`~repro.resilience.RunPolicy`
+``task_timeout`` semantics), unexpected failures 500 — always as a
+``{"schema": ..., "error": ...}`` JSON body, never a traceback page.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.analysis.contribution import leaf_contributions
+from repro.core.tree.m5 import M5Prime
+from repro.core.tree.node import SplitNode
+from repro.errors import (
+    DataError,
+    RegistryError,
+    ReproError,
+    ServeError,
+    TaskTimeoutError,
+)
+from repro.serve.batching import BatchQueue
+from repro.serve.drift import DriftMonitor
+from repro.serve.metrics import (
+    BATCH_SIZE_BUCKETS,
+    MetricsRegistry,
+)
+from repro.serve.registry import ModelRegistry
+
+__all__ = ["ModelServer", "SCHEMA"]
+
+#: Envelope identity on every JSON response; bump on breaking changes.
+SCHEMA = "repro-serve/1"
+
+
+@dataclass
+class ServedModel:
+    """One loaded model and its serving machinery."""
+
+    label: str
+    model: M5Prime
+    queue: BatchQueue
+    drift: DriftMonitor
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class ModelServer:
+    """Everything behind the HTTP surface; usable without HTTP in tests.
+
+    Args:
+        registry: Model registry to resolve specs against (defaults to
+            the shared on-disk registry).
+        default_model: Spec requests use when they name no model.
+        host, port: Bind address; port 0 asks the OS for an ephemeral
+            port (``bound_port`` reports the outcome).
+        max_batch, max_wait_s: Batching knobs (see
+            :class:`~repro.serve.batching.BatchQueue`).
+        task_timeout: Per-request wall-clock budget in seconds, the
+            ``RunPolicy.task_timeout`` semantics; ``None`` disables.
+        range_slack: Drift-monitor range slack (COMPAT003's default).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[ModelRegistry] = None,
+        default_model: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 8377,
+        max_batch: int = 256,
+        max_wait_s: float = 0.002,
+        task_timeout: Optional[float] = None,
+        range_slack: float = 0.10,
+    ) -> None:
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.default_model = default_model
+        self.host = host
+        self.port = int(port)
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self.task_timeout = task_timeout
+        self.range_slack = float(range_slack)
+        self._models: Dict[str, ServedModel] = {}
+        self._models_lock = threading.Lock()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self.metrics = MetricsRegistry()
+        self._requests = self.metrics.counter(
+            "repro_requests_total",
+            "HTTP requests served, by endpoint and status.",
+            ("endpoint", "status"),
+        )
+        self._latency = self.metrics.histogram(
+            "repro_request_seconds",
+            "Request wall-clock seconds, by endpoint.",
+            labelnames=("endpoint",),
+        )
+        self._batch_rows = self.metrics.histogram(
+            "repro_batch_rows",
+            "Rows per coalesced predictor batch.",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
+        self._model_cache = self.metrics.counter(
+            "repro_model_cache_total",
+            "Model resolutions, by outcome (hit = already loaded).",
+            ("outcome",),
+        )
+        self._model_info = self.metrics.gauge(
+            "repro_served_model_leaves",
+            "Leaf count of each loaded model.",
+            ("model",),
+        )
+
+    # ------------------------------------------------------------------
+    # Model lifecycle
+    # ------------------------------------------------------------------
+    def add_model(self, label: str, model: M5Prime) -> ServedModel:
+        """Serve an in-memory fitted model under ``label`` (no registry)."""
+        if model.root_ is None:
+            raise ServeError(f"cannot serve unfitted model {label!r}")
+        compiled = model.compiled_
+        drift = DriftMonitor(model, range_slack=self.range_slack)
+        smoothing_k = model.smoothing_k if model.smoothing else None
+
+        def evaluate(X: np.ndarray) -> np.ndarray:
+            drift.observe(X)
+            return compiled.predict(X, smoothing_k=smoothing_k)
+
+        queue = BatchQueue(
+            evaluate,
+            max_batch=self.max_batch,
+            max_wait_s=self.max_wait_s,
+            observe_batch=lambda n: self._batch_rows.observe(n),
+        ).start()
+        served = ServedModel(label=label, model=model, queue=queue, drift=drift)
+        with self._models_lock:
+            self._models[label] = served
+        self._model_info.set(label, value=model.n_leaves)
+        return served
+
+    def get_model(self, spec: Optional[str] = None) -> ServedModel:
+        """The served model for a spec, loading through the registry once."""
+        if spec is None:
+            spec = self.default_model
+        if spec is None:
+            with self._models_lock:
+                if len(self._models) == 1:
+                    return next(iter(self._models.values()))
+            raise ServeError(
+                "request names no model and the server has no default "
+                "(start with --model, or pass \"model\" in the payload)"
+            )
+        with self._models_lock:
+            served = self._models.get(spec)
+        if served is not None:
+            self._model_cache.inc("hit")
+            return served
+        self._model_cache.inc("miss")
+        model, record = self.registry.resolve(spec)
+        served = self.add_model(record.spec, model)
+        if spec != record.spec:
+            # Remember the alias spelling too (cpi-tree@latest -> @3).
+            with self._models_lock:
+                self._models[spec] = served
+        return served
+
+    def loaded_models(self) -> List[str]:
+        with self._models_lock:
+            return sorted({served.label for served in self._models.values()})
+
+    # ------------------------------------------------------------------
+    # Request handling (transport-independent; the HTTP layer is thin)
+    # ------------------------------------------------------------------
+    def handle_predict(self, payload: Dict) -> Dict:
+        served = self.get_model(_optional_str(payload, "model"))
+        X, single = _sections_matrix(payload, served.model)
+        predictions = served.queue.submit(X, timeout=self.task_timeout)
+        leaf_ids = served.model.compiled_.leaf_ids(X)
+        return {
+            "schema": SCHEMA,
+            "model": served.label,
+            "n": int(X.shape[0]),
+            "single": single,
+            "predictions": [float(p) for p in predictions],
+            "leaf_ids": [int(i) for i in leaf_ids],
+        }
+
+    def handle_explain(self, payload: Dict) -> Dict:
+        served = self.get_model(_optional_str(payload, "model"))
+        model = served.model
+        X, single = _sections_matrix(payload, model)
+        if not single:
+            raise ServeError(
+                "/explain takes one \"section\"; batch explanations are "
+                "a /predict + per-section /explain loop"
+            )
+        x = X[0]
+        served.drift.observe(X)
+        path = []
+        for node in model.decision_path(x):
+            if isinstance(node, SplitNode):
+                value = float(x[node.attribute_index])
+                path.append({
+                    "attribute": node.attribute_name,
+                    "threshold": node.threshold,
+                    "value": value,
+                    "branch": "left" if value <= node.threshold else "right",
+                })
+        leaf = model.leaf_for(x)
+        contributions = [
+            {
+                "event": c.event,
+                "coefficient": c.coefficient,
+                "value": c.value,
+                "cycles": c.cycles,
+                "fraction": c.fraction,
+                "potential_gain_percent": c.potential_gain_percent,
+            }
+            for c in leaf_contributions(model, x)
+        ]
+        return {
+            "schema": SCHEMA,
+            "model": served.label,
+            "leaf": int(leaf.leaf_id),
+            "leaf_population": int(leaf.n_instances),
+            "prediction": float(model.predict(x.reshape(1, -1))[0]),
+            "target": model.target_name_,
+            "path": path,
+            "contributions": contributions,
+        }
+
+    def handle_models(self) -> Dict:
+        return {
+            "schema": SCHEMA,
+            "models": [
+                dict(record.to_dict(), name=record.name, spec=record.spec)
+                for record in self.registry.records()
+            ],
+            "loaded": self.loaded_models(),
+        }
+
+    def handle_healthz(self) -> Dict:
+        return {
+            "schema": SCHEMA,
+            "status": "ok",
+            "models": self.loaded_models(),
+        }
+
+    def render_metrics(self) -> str:
+        text = self.metrics.render()
+        with self._models_lock:
+            served = sorted(
+                {s.label: s for s in self._models.values()}.items()
+            )
+        for label, model in served:
+            text += "\n".join(model.drift.render_metrics(label)) + "\n"
+        return text
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    def start(self) -> "ModelServer":
+        """Bind the listening socket and start the request threads."""
+        if self._httpd is not None:
+            raise ServeError("server already started")
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
+        self._httpd.daemon_threads = True
+        return self
+
+    @property
+    def bound_port(self) -> int:
+        """The actual port (meaningful after ``start`` with port 0)."""
+        if self._httpd is None:
+            raise ServeError("server is not started")
+        return int(self._httpd.server_address[1])
+
+    def serve_forever(self) -> None:
+        if self._httpd is None:
+            raise ServeError("call start() before serve_forever()")
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def serve_in_background(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread (tests, examples)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def shutdown(self) -> None:
+        """Graceful stop: unbind, then drain and stop every batch queue."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        with self._models_lock:
+            served = {id(s): s for s in self._models.values()}
+            self._models.clear()
+        for model in served.values():
+            model.queue.stop()
+
+
+# ----------------------------------------------------------------------
+# Payload helpers
+# ----------------------------------------------------------------------
+def _optional_str(payload: Dict, key: str) -> Optional[str]:
+    value = payload.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise ServeError(f'"{key}" must be a string')
+    return value
+
+
+def _sections_matrix(payload: Dict, model: M5Prime) -> Tuple[np.ndarray, bool]:
+    """The (rows, is_single) request matrix, width-checked for the model."""
+    if "section" in payload and "sections" in payload:
+        raise ServeError('pass either "section" or "sections", not both')
+    if "section" in payload:
+        raw, single = [payload["section"]], True
+    elif "sections" in payload:
+        raw, single = payload["sections"], False
+        if not isinstance(raw, list) or not raw:
+            raise ServeError('"sections" must be a non-empty array of rows')
+    else:
+        raise ServeError('payload needs a "section" or "sections" field')
+    try:
+        X = np.asarray(raw, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ServeError(f"sections are not numeric: {exc}") from None
+    if X.ndim != 2:
+        raise ServeError(
+            f"sections must form a 2-D matrix, got shape {X.shape}"
+        )
+    expected = len(model.attributes_)
+    if X.shape[1] != expected:
+        raise ServeError(
+            f"section width {X.shape[1]} does not match the model's "
+            f"{expected} attributes"
+        )
+    if not np.all(np.isfinite(X)):
+        raise ServeError("sections contain NaN or infinite values")
+    return X, single
+
+
+def _make_handler(app: ModelServer):
+    """A request-handler class closed over the server instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "repro-serve/" + SCHEMA.rsplit("/", 1)[-1]
+        protocol_version = "HTTP/1.1"
+
+        # Silence the default per-request stderr logging; metrics carry
+        # the signal.
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            pass
+
+        # -- plumbing ---------------------------------------------------
+        def _send_json(self, status: int, document: Dict) -> None:
+            body = json.dumps(document).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_error(self, status: int, message: str) -> None:
+            self._send_json(status, {"schema": SCHEMA, "error": message})
+
+        def _read_payload(self) -> Dict:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length <= 0:
+                raise ServeError("request needs a JSON body")
+            raw = self.rfile.read(length)
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ServeError(f"invalid JSON body: {exc}") from None
+            if not isinstance(payload, dict):
+                raise ServeError("JSON body must be an object")
+            return payload
+
+        def _finish(self, endpoint: str, started: float, status: int) -> None:
+            app._requests.inc(endpoint, str(status))
+            app._latency.observe(time.perf_counter() - started, endpoint)
+
+        def _dispatch(self, endpoint: str, fn) -> None:
+            started = time.perf_counter()
+            status = 200
+            try:
+                document = fn()
+            except TaskTimeoutError as exc:
+                status = 503
+                self._send_error(status, str(exc))
+            except (RegistryError,) as exc:
+                status = 404
+                self._send_error(status, str(exc))
+            except (ServeError, DataError) as exc:
+                status = 400
+                self._send_error(status, str(exc))
+            except ReproError as exc:
+                status = 500
+                self._send_error(status, str(exc))
+            except BrokenPipeError:  # client went away mid-write
+                status = 499
+            except Exception as exc:  # noqa: BLE001 — no traceback pages
+                status = 500
+                try:
+                    self._send_error(status, f"internal error: {exc!r}")
+                except OSError:
+                    pass
+            else:
+                try:
+                    self._send_json(status, document)
+                except BrokenPipeError:
+                    status = 499
+            self._finish(endpoint, started, status)
+
+        # -- routes -----------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 — http.server contract
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == "/healthz":
+                self._dispatch("/healthz", app.handle_healthz)
+            elif path == "/models":
+                self._dispatch("/models", app.handle_models)
+            elif path == "/metrics":
+                started = time.perf_counter()
+                body = app.render_metrics().encode("utf-8")
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4"
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+                self._finish("/metrics", started, 200)
+            else:
+                started = time.perf_counter()
+                self._send_error(404, f"unknown path {path!r}")
+                self._finish(path, started, 404)
+
+        def do_POST(self) -> None:  # noqa: N802 — http.server contract
+            path = self.path.split("?", 1)[0].rstrip("/")
+            if path == "/predict":
+                self._dispatch(
+                    "/predict", lambda: app.handle_predict(self._read_payload())
+                )
+            elif path == "/explain":
+                self._dispatch(
+                    "/explain", lambda: app.handle_explain(self._read_payload())
+                )
+            else:
+                started = time.perf_counter()
+                self._send_error(404, f"unknown path {path!r}")
+                self._finish(path, started, 404)
+
+    return Handler

@@ -52,5 +52,6 @@ def test_expected_example_set():
         "compare_learners",
         "custom_workload",
         "phase_explorer",
+        "serve_and_score",
         "what_if_analysis",
     }

@@ -100,6 +100,12 @@ class TestSerialization:
         assert loaded.feature_ranges_ == figure1_tree.feature_ranges_
         assert loaded.feature_ranges_ is not None
 
+    def test_feature_ranges_length_checked(self, figure1_tree):
+        payload = model_to_dict(figure1_tree)
+        payload["feature_ranges"] = payload["feature_ranges"][:-1]
+        with pytest.raises(ParseError, match="feature_ranges"):
+            model_from_dict(payload)
+
     def test_pre_range_document_still_loads(self, figure1_tree):
         # models saved before feature_ranges existed must stay loadable
         payload = model_to_dict(figure1_tree)

@@ -1,0 +1,150 @@
+"""Metrics exposition format, drift monitoring, and the preflight."""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import M5Prime
+from repro.errors import ConfigError
+from repro.serve.check import preflight, render_preflight
+from repro.serve.drift import DriftMonitor
+from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.serve.registry import ModelRegistry
+
+
+class TestCounter:
+    def test_inc_and_render(self):
+        counter = Counter("repro_things_total", "Things.", ("kind",))
+        counter.inc("a")
+        counter.inc("a")
+        counter.inc("b", amount=3)
+        assert counter.value("a") == 2
+        lines = counter.render()
+        assert "# TYPE repro_things_total counter" in lines
+        assert 'repro_things_total{kind="a"} 2' in lines
+        assert 'repro_things_total{kind="b"} 3' in lines
+
+    def test_counters_only_go_up(self):
+        with pytest.raises(ConfigError):
+            Counter("c_total", "x").inc(amount=-1)
+
+    def test_label_arity_enforced(self):
+        with pytest.raises(ConfigError):
+            Counter("c_total", "x", ("a", "b")).inc("only-one")
+
+    def test_label_escaping(self):
+        counter = Counter("c_total", "x", ("label",))
+        counter.inc('with "quotes"\nand newline')
+        line = [l for l in counter.render() if not l.startswith("#")][0]
+        assert '\\"quotes\\"' in line and "\\n" in line
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        histogram = Histogram("h_seconds", "x", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        lines = histogram.render()
+        assert 'h_seconds_bucket{le="0.1"} 1' in lines
+        assert 'h_seconds_bucket{le="1"} 3' in lines
+        assert 'h_seconds_bucket{le="10"} 4' in lines
+        assert 'h_seconds_bucket{le="+Inf"} 5' in lines
+        assert "h_seconds_count 5" in lines
+        assert histogram.count() == 5
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ConfigError):
+            Histogram("h", "x", buckets=(1.0, 0.5))
+
+
+class TestRegistryOfMetrics:
+    def test_render_order_and_duplicates(self):
+        metrics = MetricsRegistry()
+        metrics.counter("a_total", "A.")
+        metrics.gauge("b", "B.")
+        text = metrics.render()
+        assert text.index("a_total") < text.index("# HELP b ")
+        with pytest.raises(ConfigError):
+            metrics.counter("a_total", "again")
+        assert isinstance(metrics.get("b"), Gauge)
+        with pytest.raises(ConfigError):
+            metrics.get("missing")
+
+
+class TestDriftMonitor:
+    def test_out_of_range_counted_beyond_slack(self, suite_tree,
+                                               suite_dataset):
+        monitor = DriftMonitor(suite_tree, range_slack=0.10)
+        assert monitor.monitors_ranges
+        monitor.observe(suite_dataset.X)  # training data: inside by definition
+        snapshot = monitor.snapshot()
+        assert snapshot["rows_seen"] == suite_dataset.n_instances
+        assert snapshot["out_of_range"] == {}
+
+        wild = suite_dataset.X[:1].copy()
+        wild[0, 0] = suite_dataset.X[:, 0].max() * 100 + 1e9
+        monitor.observe(wild)
+        snapshot = monitor.snapshot()
+        feature = suite_tree.attributes_[0]
+        assert snapshot["out_of_range"] == {feature: 1}
+
+    def test_invariant_violations_counted(self, suite_tree, suite_dataset):
+        monitor = DriftMonitor(suite_tree)
+        broken = suite_dataset.X[:4].copy()
+        names = list(suite_tree.attributes_)
+        # Violate the Table I hierarchy: an L2 miss implies an L1D miss.
+        broken[:, names.index("L2M")] = 0.9
+        broken[:, names.index("L1DM")] = 0.1
+        monitor.observe(broken)
+        snapshot = monitor.snapshot()
+        assert sum(snapshot["invariant_violations"].values()) > 0
+
+    def test_render_metrics_lines(self, suite_tree, suite_dataset):
+        monitor = DriftMonitor(suite_tree)
+        monitor.observe(suite_dataset.X[:5])
+        lines = monitor.render_metrics("cpi-tree@1")
+        assert 'repro_drift_rows_total{model="cpi-tree@1"} 5' in lines
+
+    def test_model_without_ranges(self, suite_tree):
+        bare = M5Prime()
+        bare.root_ = suite_tree.root_
+        bare.attributes_ = suite_tree.attributes_
+        monitor = DriftMonitor(bare)
+        assert not monitor.monitors_ranges
+        monitor.observe(np.zeros((2, len(bare.attributes_))))
+        assert monitor.snapshot()["out_of_range"] == {}
+
+
+class TestPreflight:
+    def test_clean_registry_passes(self, tmp_path, suite_tree):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish("cpi-tree", suite_tree)
+        results = preflight(registry)
+        assert all(r.ok for r in results)
+        names = [r.name for r in results]
+        assert names == [
+            "manifest", "resolve", "compile", "compiled-parity", "drift",
+        ]
+        assert "preflight passed" in render_preflight(results)
+
+    def test_empty_registry_fails(self, tmp_path):
+        results = preflight(ModelRegistry(tmp_path / "registry"))
+        assert not all(r.ok for r in results)
+        assert "FAILED" in render_preflight(results)
+
+    def test_corrupt_blob_fails_resolve_probe(self, tmp_path, suite_tree):
+        registry = ModelRegistry(tmp_path / "registry")
+        record = registry.publish("cpi-tree", suite_tree)
+        blob = registry.directory / record.blob
+        blob.write_text("garbage")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            results = preflight(registry, model_spec="cpi-tree@1")
+        failed = [r for r in results if not r.ok]
+        assert failed and failed[0].name == "resolve"
+
+    def test_smoothed_model_parity(self, tmp_path, suite_dataset):
+        model = M5Prime(min_instances=12, smoothing=True).fit(suite_dataset)
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish("smooth", model)
+        results = preflight(registry)
+        parity = [r for r in results if r.name == "compiled-parity"][0]
+        assert parity.ok and "smoothing" in parity.detail

@@ -1,0 +1,284 @@
+"""The HTTP surface: envelopes, errors, batching, and the e2e flow."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError, TaskTimeoutError
+from repro.serve.batching import BatchQueue
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import SCHEMA, ModelServer
+
+
+@pytest.fixture
+def server(tmp_path, suite_tree):
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.publish("cpi-tree", suite_tree, aliases=["prod"])
+    srv = ModelServer(
+        registry=registry, default_model="cpi-tree@latest", port=0
+    )
+    srv.start()
+    srv.serve_in_background()
+    yield srv
+    srv.shutdown()
+
+
+def call(server, path, payload=None):
+    base = f"http://127.0.0.1:{server.bound_port}"
+    if payload is None:
+        request = urllib.request.Request(base + path)
+    else:
+        request = urllib.request.Request(
+            base + path, data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestPredictEnvelope:
+    def test_golden_envelope(self, server, suite_tree, suite_dataset):
+        rows = suite_dataset.X[:3]
+        status, document = call(server, "/predict",
+                                {"sections": rows.tolist()})
+        assert status == 200
+        # The envelope contract: exactly these fields, these types.
+        assert sorted(document) == [
+            "leaf_ids", "model", "n", "predictions", "schema", "single",
+        ]
+        assert document["schema"] == SCHEMA
+        assert document["model"] == "cpi-tree@1"
+        assert document["n"] == 3
+        assert document["single"] is False
+        assert document["predictions"] == [
+            float(p) for p in suite_tree.predict(rows)
+        ]
+        assert document["leaf_ids"] == [
+            int(i) for i in suite_tree.leaf_ids(rows)
+        ]
+
+    def test_single_section(self, server, suite_dataset):
+        status, document = call(
+            server, "/predict", {"section": suite_dataset.X[0].tolist()}
+        )
+        assert status == 200
+        assert document["n"] == 1
+        assert document["single"] is True
+
+    def test_model_spec_in_payload(self, server, suite_dataset):
+        status, document = call(server, "/predict", {
+            "model": "cpi-tree@prod",
+            "section": suite_dataset.X[0].tolist(),
+        })
+        assert status == 200
+        assert document["model"] == "cpi-tree@1"
+
+
+class TestExplainEnvelope:
+    def test_golden_envelope(self, server, suite_tree, suite_dataset):
+        x = suite_dataset.X[0]
+        status, document = call(server, "/explain", {"section": x.tolist()})
+        assert status == 200
+        assert sorted(document) == [
+            "contributions", "leaf", "leaf_population", "model", "path",
+            "prediction", "schema", "target",
+        ]
+        assert document["schema"] == SCHEMA
+        assert document["leaf"] == int(suite_tree.leaf_ids(x.reshape(1, -1))[0])
+        assert document["prediction"] == float(suite_tree.predict(
+            x.reshape(1, -1))[0])
+        assert document["target"] == suite_tree.target_name_
+        for step in document["path"]:
+            assert sorted(step) == ["attribute", "branch", "threshold", "value"]
+            assert step["branch"] in ("left", "right")
+        for contribution in document["contributions"]:
+            assert sorted(contribution) == [
+                "coefficient", "cycles", "event", "fraction",
+                "potential_gain_percent", "value",
+            ]
+
+    def test_batch_explain_rejected(self, server, suite_dataset):
+        status, document = call(
+            server, "/explain", {"sections": suite_dataset.X[:2].tolist()}
+        )
+        assert status == 400
+        assert "one" in document["error"]
+
+
+class TestErrorEnvelopes:
+    def test_unknown_path_404(self, server):
+        status, document = call(server, "/nope")
+        assert status == 404
+        assert document["schema"] == SCHEMA and "error" in document
+
+    def test_unknown_model_404(self, server, suite_dataset):
+        status, document = call(server, "/predict", {
+            "model": "ghost", "section": suite_dataset.X[0].tolist(),
+        })
+        assert status == 404
+        assert "ghost" in document["error"]
+
+    def test_width_mismatch_400(self, server):
+        status, document = call(server, "/predict", {"section": [1.0, 2.0]})
+        assert status == 400
+        assert "width" in document["error"]
+
+    def test_missing_sections_400(self, server):
+        status, document = call(server, "/predict", {})
+        assert status == 400
+
+    def test_both_section_forms_400(self, server, suite_dataset):
+        row = suite_dataset.X[0].tolist()
+        status, _ = call(server, "/predict",
+                         {"section": row, "sections": [row]})
+        assert status == 400
+
+    def test_non_numeric_400(self, server, suite_tree):
+        bad = ["x"] * len(suite_tree.attributes_)
+        status, _ = call(server, "/predict", {"section": bad})
+        assert status == 400
+
+    def test_invalid_json_400(self, server):
+        base = f"http://127.0.0.1:{server.bound_port}"
+        request = urllib.request.Request(base + "/predict", data=b"{nope")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+
+class TestEndToEnd:
+    def test_publish_resolve_score_scrape(self, tmp_path, suite_tree,
+                                          suite_dataset):
+        """The full ISSUE flow: publish -> resolve -> score -> /metrics."""
+        registry = ModelRegistry(tmp_path / "registry")
+        record = registry.publish("cpi-tree", suite_tree)
+        server = ModelServer(registry=registry, port=0)
+        server.start()
+        server.serve_in_background()
+        try:
+            status, health = call(server, "/healthz")
+            assert status == 200 and health["status"] == "ok"
+
+            status, models = call(server, "/models")
+            assert status == 200
+            assert [m["spec"] for m in models["models"]] == [record.spec]
+
+            rows = suite_dataset.X[:8]
+            status, scored = call(
+                server, "/predict",
+                {"model": "cpi-tree", "sections": rows.tolist()},
+            )
+            assert status == 200
+            assert scored["predictions"] == [
+                float(p) for p in suite_tree.predict(rows)
+            ]
+
+            base = f"http://127.0.0.1:{server.bound_port}"
+            with urllib.request.urlopen(base + "/metrics", timeout=10) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"].startswith("text/plain")
+                text = resp.read().decode("utf-8")
+            assert ('repro_requests_total{endpoint="/predict",status="200"} 1'
+                    in text)
+            assert "repro_request_seconds_bucket" in text
+            assert "repro_batch_rows_count 1" in text
+            assert f'repro_drift_rows_total{{model="{record.spec}"}} 8' in text
+        finally:
+            server.shutdown()
+
+    def test_default_model_required_when_ambiguous(self, tmp_path, suite_tree,
+                                                   suite_dataset):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish("a", suite_tree)
+        server = ModelServer(registry=registry, port=0)
+        server.start()
+        server.serve_in_background()
+        try:
+            status, document = call(
+                server, "/predict",
+                {"section": suite_dataset.X[0].tolist()},
+            )
+            assert status == 400
+            assert "no default" in document["error"]
+        finally:
+            server.shutdown()
+
+
+class TestBatchQueue:
+    def test_concurrent_submissions_coalesce(self, suite_tree, suite_dataset):
+        batches = []
+        queue = BatchQueue(
+            suite_tree.compiled_.predict,
+            max_batch=64,
+            max_wait_s=0.05,
+            observe_batch=batches.append,
+        ).start()
+        try:
+            X = suite_dataset.X
+            results = {}
+
+            def score(i):
+                results[i] = queue.submit(X[i:i + 1])
+
+            threads = [
+                threading.Thread(target=score, args=(i,)) for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            want = suite_tree.compiled_.predict(X[:8])
+            for i in range(8):
+                assert results[i].shape == (1,)
+                assert results[i][0] == want[i]
+            # At least one evaluation carried more than one request.
+            assert sum(batches) == 8 and len(batches) < 8
+        finally:
+            queue.stop()
+
+    def test_deadline_enforced(self, suite_dataset):
+        release = threading.Event()
+
+        def slow_evaluate(X):
+            release.wait(timeout=5)
+            return np.zeros(X.shape[0])
+
+        queue = BatchQueue(slow_evaluate, max_wait_s=0.0).start()
+        try:
+            # First request occupies the evaluator; the second expires
+            # while queued behind it.
+            first = threading.Thread(
+                target=lambda: queue.submit(suite_dataset.X[:1], timeout=5)
+            )
+            first.start()
+            time.sleep(0.1)
+            with pytest.raises(TaskTimeoutError):
+                queue.submit(suite_dataset.X[:1], timeout=0.05)
+        finally:
+            release.set()
+            queue.stop()
+
+    def test_stopped_queue_rejects(self, suite_dataset):
+        queue = BatchQueue(lambda X: np.zeros(X.shape[0])).start()
+        queue.stop()
+        with pytest.raises(ServeError):
+            queue.submit(suite_dataset.X[:1])
+
+    def test_evaluator_error_propagates(self, suite_dataset):
+        def explode(X):
+            raise ValueError("boom")
+
+        queue = BatchQueue(explode).start()
+        try:
+            with pytest.raises(ValueError, match="boom"):
+                queue.submit(suite_dataset.X[:1])
+        finally:
+            queue.stop()
