@@ -14,6 +14,8 @@ Subcommands mirror the paper's workflow:
 * ``repro bench``       — time the hot paths, write a BENCH_<date>.json
 * ``repro cache``       — inspect or clear the on-disk artifact cache
 * ``repro faults``      — describe the active fault-injection spec
+* ``repro conformance`` — oracle differential + metamorphic conformance run
+* ``repro fuzz``        — deterministic mutation fuzzing of the parsers
 
 Commands with repeated independent fits take ``--jobs N`` (``-1`` for
 all cores); the ``REPRO_JOBS`` environment variable sets the default.
@@ -279,6 +281,56 @@ def build_parser() -> argparse.ArgumentParser:
                        "integrity, compiled-vs-interpreted parity) and "
                        "exit instead of serving")
     _add_jobs_argument(serve)
+
+    conformance = sub.add_parser(
+        "conformance",
+        help="differential + metamorphic conformance run",
+        description="Fit a deliberately naive reference M5' and the "
+        "production implementation on a seeded corpus, assert "
+        "bit-identical trees/predictions/leaf ids across every "
+        "execution path (compiled, interpreted, JSON round trip, "
+        "parallel CV), then check the metamorphic relations.  "
+        "Exit codes: 0 fully conformant, 2 on any divergence.",
+    )
+    conformance.add_argument("--tier", default="quick",
+                             choices=["quick", "deep"],
+                             help="corpus size (quick: PR budget, "
+                             "deep: dispatch budget)")
+    conformance.add_argument("--seed", type=int, default=2007,
+                             help="master seed (every case derives "
+                             "from it; default 2007)")
+    conformance.add_argument("--max-cases", type=int, default=None,
+                             metavar="N",
+                             help="truncate the differential corpus "
+                             "(debugging convenience)")
+    conformance.add_argument("--skip-metamorphic", action="store_true",
+                             help="run only the differential corpus")
+    conformance.add_argument("--format", default="text",
+                             choices=["text", "json"],
+                             help="output format (json shares the "
+                             "repro-report envelope with `repro lint`)")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="deterministic mutation fuzzing of the parsers",
+        description="Mutate valid ARFF/CSV/model-JSON documents with "
+        "seeded edits and hold the loaders to their contract: bad "
+        "input raises ParseError, never anything else.  Crashing "
+        "inputs are quarantined under the artifact cache.  "
+        "Exit codes: 0 no crashes, 2 otherwise.",
+    )
+    fuzz.add_argument("--target", action="append", dest="targets",
+                      choices=["arff", "csv", "model"],
+                      help="loader to fuzz (repeatable; default: all)")
+    fuzz.add_argument("--iterations", type=int, default=None, metavar="N",
+                      help="per-target iteration budget (default 200 "
+                      "when no --seconds)")
+    fuzz.add_argument("--seconds", type=float, default=None,
+                      help="wall-clock budget across all targets")
+    fuzz.add_argument("--seed", type=int, default=2007,
+                      help="master seed; fully determines every "
+                      "mutated document (default 2007)")
+    fuzz.add_argument("--format", default="text", choices=["text", "json"])
 
     sub.add_parser("workloads", help="list the synthetic SPEC-like suite")
     return parser
@@ -730,6 +782,46 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.conformance import run_differential, run_metamorphic
+
+    report = run_differential(
+        seed=args.seed, tier=args.tier, max_cases=args.max_cases
+    )
+    if not args.skip_metamorphic:
+        report.merge(run_metamorphic(seed=args.seed))
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return report.exit_code()
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.conformance import run_fuzz
+    from repro.conformance.fuzz import TARGETS
+
+    result = run_fuzz(
+        seed=args.seed,
+        iterations=args.iterations,
+        seconds=args.seconds,
+        targets=tuple(args.targets) if args.targets else TARGETS,
+    )
+    report = result.to_report()
+    if args.format == "json":
+        print(report.render_json())
+        return report.exit_code()
+    if report.diagnostics:
+        print(report.render_text())
+    print(
+        f"{result.n_iterations} iteration(s) in "
+        f"{result.elapsed_seconds:.1f}s: {result.n_parse_errors} "
+        f"ParseError(s), {result.n_valid} still-valid parse(s), "
+        f"{len(result.crashes)} crash(es)"
+    )
+    return report.exit_code()
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     from repro.workloads import spec_like_suite
 
@@ -754,6 +846,8 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "serve": _cmd_serve,
     "faults": _cmd_faults,
+    "conformance": _cmd_conformance,
+    "fuzz": _cmd_fuzz,
 }
 
 

@@ -1,0 +1,41 @@
+"""Conformance harness: oracle differential testing, metamorphic
+relations and loader fuzzing for the M5' implementation.
+
+Three independent evidence streams, one report shape:
+
+* :mod:`repro.conformance.differential` — a deliberately naive
+  reference implementation (:class:`ReferenceM5Prime`) fitted against
+  the optimized production pipeline on a seeded corpus, asserting *bit
+  identity* of trees, predictions and leaf assignment.
+* :mod:`repro.conformance.metamorphic` — algebraic relations (row and
+  feature permutation, affine target scaling, dataset duplication,
+  min-leaf monotonicity) the algorithm must satisfy independent of any
+  oracle.
+* :mod:`repro.conformance.fuzz` — deterministic mutation fuzzing of the
+  ARFF/CSV/model-JSON parsers, holding them to their one-failure-mode
+  (:class:`~repro.errors.ParseError`) contract.
+"""
+
+from repro.conformance.corpus import ConformanceCase, build_corpus
+from repro.conformance.differential import run_case, run_differential
+from repro.conformance.fuzz import FuzzCrash, FuzzResult, run_fuzz
+from repro.conformance.metamorphic import run_metamorphic
+from repro.conformance.oracle import ReferenceM5Prime
+from repro.conformance.report import ConformanceReport
+from repro.conformance.structure import diff_trees, tree_skeleton, trees_identical
+
+__all__ = [
+    "ConformanceCase",
+    "ConformanceReport",
+    "FuzzCrash",
+    "FuzzResult",
+    "ReferenceM5Prime",
+    "build_corpus",
+    "diff_trees",
+    "run_case",
+    "run_differential",
+    "run_fuzz",
+    "run_metamorphic",
+    "tree_skeleton",
+    "trees_identical",
+]

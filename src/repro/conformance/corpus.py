@@ -1,0 +1,194 @@
+"""The seeded dataset/parameter corpus the differential runner fits.
+
+Each :class:`ConformanceCase` pairs a deterministic dataset with one
+M5' configuration, chosen so the corpus collectively exercises every
+algorithm path: deep and shallow trees, pruning on and off, smoothing on
+and off, every ``model_attributes`` policy, ridge and exact least
+squares, the collinearity filters, non-negative coefficient constraints,
+tied/discrete attribute values (stable-sort tie handling), constant
+targets, single-attribute problems, and Table-I-shaped data from the
+synthetic suite simulator.
+
+Everything derives from one master seed, so a CI failure names a case
+that reproduces anywhere with ``build_corpus(seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.datasets.synthetic import (
+    constant_dataset,
+    figure1_dataset,
+    interaction_dataset,
+    linear_dataset,
+    step_dataset,
+)
+
+#: Cases per tier; ``deep`` is a superset of ``quick``.
+TIERS = ("quick", "deep")
+
+
+@dataclass(frozen=True)
+class ConformanceCase:
+    """One differential-test unit: a dataset plus an M5' configuration."""
+
+    name: str
+    dataset: Dataset
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: Also run the serial-vs-parallel cross-validation check (slower).
+    check_parallel_cv: bool = False
+
+
+def _rng(seed: int, *salt: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence([seed, *salt]))
+
+
+def collinear_dataset(seed: int, n: int = 160) -> Dataset:
+    """Near-duplicate attribute pairs — the collinearity-filter stress."""
+    generator = _rng(seed, 101)
+    base = generator.uniform(0.0, 1.0, size=(n, 2))
+    twin = base[:, 0] + generator.normal(0.0, 0.004, size=n)
+    noise = generator.uniform(0.0, 1.0, size=n)
+    X = np.column_stack([base[:, 0], twin, base[:, 1], noise])
+    y = 0.4 + 3.0 * base[:, 0] + 1.5 * base[:, 1]
+    y += generator.normal(0.0, 0.05, size=n)
+    return Dataset(X, y, ("A", "A_twin", "B", "Z"), target_name="Y")
+
+
+def discrete_dataset(seed: int, n: int = 200) -> Dataset:
+    """Heavily tied attribute values — exercises stable-sort boundaries."""
+    generator = _rng(seed, 202)
+    levels = generator.integers(0, 5, size=(n, 3)).astype(np.float64) / 4.0
+    extra = generator.uniform(0.0, 1.0, size=(n, 1))
+    X = np.column_stack([levels, extra])
+    y = 1.0 + 2.0 * levels[:, 0] - 1.2 * levels[:, 1] + 0.5 * extra[:, 0]
+    y += np.where(levels[:, 2] > 0.5, 1.5, 0.0)
+    y += generator.normal(0.0, 0.08, size=n)
+    return Dataset(X, y, ("D1", "D2", "D3", "C1"), target_name="Y")
+
+
+def ramp_dataset(seed: int, n: int = 180) -> Dataset:
+    """A single-attribute three-segment piecewise line."""
+    generator = _rng(seed, 303)
+    x = generator.uniform(0.0, 3.0, size=n)
+    y = np.where(
+        x < 1.0, 0.5 + 0.2 * x,
+        np.where(x < 2.0, 2.0 - 0.5 * (x - 1.0), 0.8 + 1.4 * (x - 2.0)),
+    )
+    y += generator.normal(0.0, 0.04, size=n)
+    return Dataset(x.reshape(-1, 1), y, ("X1",), target_name="Y")
+
+
+def _suite_dataset(seed: int, sections: int = 8) -> Dataset:
+    """Table-I-shaped data (20 predictor metrics, CPI target)."""
+    from repro.workloads import simulate_suite
+
+    return simulate_suite(
+        sections_per_workload=sections, instructions_per_section=256, seed=seed
+    ).dataset
+
+
+def build_corpus(seed: int = 2007, tier: str = "quick") -> List[ConformanceCase]:
+    """The seeded case list for one tier (quick: 25+ cases, deep: more)."""
+    if tier not in TIERS:
+        from repro.errors import ConfigError
+
+        raise ConfigError(f"tier must be one of {TIERS}, got {tier!r}")
+
+    cases: List[ConformanceCase] = []
+
+    def add(name: str, dataset: Dataset, check_parallel_cv: bool = False,
+            **params: Any) -> None:
+        cases.append(ConformanceCase(
+            name=name, dataset=dataset, params=params,
+            check_parallel_cv=check_parallel_cv,
+        ))
+
+    # Figure-1-structured piecewise data across the knob space.
+    add("figure1-default", figure1_dataset(n=260, noise_sd=0.05, rng=seed),
+        min_instances=15, check_parallel_cv=True)
+    add("figure1-smoothed", figure1_dataset(n=240, noise_sd=0.05, rng=seed + 1),
+        min_instances=15, smoothing=True)
+    add("figure1-unpruned", figure1_dataset(n=220, noise_sd=0.08, rng=seed + 2),
+        min_instances=12, prune=False)
+    add("figure1-nosimplify", figure1_dataset(n=200, noise_sd=0.05, rng=seed + 3),
+        min_instances=12, simplify=False)
+    add("figure1-exact-ls", figure1_dataset(n=200, noise_sd=0.02, rng=seed + 4),
+        min_instances=14, ridge=0.0, collinearity_threshold=1.0)
+    add("figure1-policy-all", figure1_dataset(n=180, noise_sd=0.05, rng=seed + 5),
+        min_instances=12, model_attributes="all")
+    add("figure1-policy-path", figure1_dataset(n=180, noise_sd=0.05, rng=seed + 6),
+        min_instances=12, model_attributes="path")
+    add("figure1-policy-subtree",
+        figure1_dataset(n=180, noise_sd=0.05, rng=seed + 7),
+        min_instances=12, model_attributes="subtree")
+    add("figure1-tiny-leaves", figure1_dataset(n=160, noise_sd=0.05, rng=seed + 8),
+        min_instances=2)
+    add("figure1-high-sdfrac", figure1_dataset(n=200, noise_sd=0.05, rng=seed + 9),
+        min_instances=10, sd_fraction=0.25)
+
+    # Plain relationships: a single line needs no splits at all.
+    add("linear-narrow", linear_dataset((2.0,), intercept=0.5, n=120,
+                                        noise_sd=0.02, rng=seed + 10),
+        min_instances=10)
+    add("linear-wide", linear_dataset((1.0, -0.5, 0.25, 2.0, 0.0, 1.5), n=150,
+                                      noise_sd=0.05, rng=seed + 11),
+        min_instances=12)
+    add("linear-noiseless", linear_dataset((3.0, 1.0), n=100, rng=seed + 12),
+        min_instances=8, ridge=0.0)
+
+    # Step functions: the smallest genuine tree problems.
+    add("step-clean", step_dataset(n=140, rng=seed + 13), min_instances=10)
+    add("step-noisy", step_dataset(n=160, noise_sd=0.15, rng=seed + 14),
+        min_instances=12, smoothing=True)
+
+    # Interactions: region-local lines approximating X1 * X2.
+    add("interaction", interaction_dataset(n=220, noise_sd=0.02, rng=seed + 15),
+        min_instances=15, check_parallel_cv=True)
+    add("interaction-smoothed",
+        interaction_dataset(n=200, noise_sd=0.05, rng=seed + 16),
+        min_instances=15, smoothing=True, smoothing_k=25.0)
+
+    # Degenerate and adversarial shapes.
+    add("constant-target", constant_dataset(value=2.5, n=90, p=3),
+        min_instances=10)
+    add("collinear-pairs", collinear_dataset(seed + 17), min_instances=12)
+    add("collinear-nofilter", collinear_dataset(seed + 18), min_instances=12,
+        collinearity_threshold=1.0)
+    add("discrete-ties", discrete_dataset(seed + 19), min_instances=14)
+    add("discrete-ties-smoothed", discrete_dataset(seed + 20),
+        min_instances=14, smoothing=True)
+    add("single-attribute-ramp", ramp_dataset(seed + 21), min_instances=12)
+    add("single-attribute-unpruned", ramp_dataset(seed + 22), min_instances=10,
+        prune=False, simplify=False)
+
+    # Table-I-shaped suite data, the paper's own regime (in miniature).
+    suite = _suite_dataset(seed + 23)
+    add("suite-table1", suite, min_instances=10)
+    from repro.counters import STALL_METRICS
+
+    add("suite-nonnegative", suite, min_instances=12,
+        nonnegative_attributes=STALL_METRICS)
+
+    if tier == "deep":
+        for i in range(8):
+            add(f"figure1-deep-{i}",
+                figure1_dataset(n=500, noise_sd=0.05, rng=seed + 100 + i),
+                min_instances=20, check_parallel_cv=(i < 2))
+        add("figure1-deep-smoothed",
+            figure1_dataset(n=600, noise_sd=0.05, rng=seed + 120),
+            min_instances=25, smoothing=True)
+        add("suite-table1-deep", _suite_dataset(seed + 121, sections=16),
+            min_instances=14, check_parallel_cv=True)
+        add("discrete-deep", discrete_dataset(seed + 122, n=500),
+            min_instances=20)
+        add("interaction-deep",
+            interaction_dataset(n=600, noise_sd=0.03, rng=seed + 123),
+            min_instances=25)
+
+    return cases

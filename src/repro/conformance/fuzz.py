@@ -1,0 +1,334 @@
+"""Deterministic, corpus-backed fuzzing of the package's parsers.
+
+The loaders (:func:`~repro.datasets.arff.loads_arff`,
+:func:`~repro.datasets.csvio.loads_csv`,
+:func:`~repro.core.tree.serialize.loads_model`) promise exactly one
+failure mode on bad input: a typed
+:class:`~repro.errors.ParseError`.  The fuzzer holds them to it by
+mutating valid seed documents with seeded byte- and line-level edits and
+triaging every outcome:
+
+* a successful parse — fine (the mutation kept the document valid);
+* a :class:`ParseError` — fine (the contract);
+* anything else — a **crash**, recorded as a FUZZ001 diagnostic with the
+  reproducer bytes quarantined under
+  ``<cache>/conformance/reproducers/`` so the failure replays anywhere.
+
+Every mutation derives from ``SeedSequence([seed, target_index,
+iteration])``: the same seed always fuzzes the same byte strings in the
+same order, so a CI crash reproduces locally from the (seed, target,
+iteration) triple alone — the quarantined file is a convenience, not a
+necessity.  Every eighth iteration routes through the *file* loaders
+(``load_arff``/``load_csv``/``load_model``) with raw — possibly
+non-UTF-8 — bytes on disk, covering the decode-and-name-the-path layer
+the string entry points never see.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.conformance.report import ConformanceReport
+from repro.errors import ParseError
+
+#: Recognised fuzz targets, in deterministic order.
+TARGETS = ("arff", "csv", "model")
+
+#: Every Nth iteration exercises the file-based loader layer.
+FILE_ITERATION_PERIOD = 8
+
+#: Hostile tokens spliced into documents by the token mutator.
+_TOKENS = (
+    b"NaN", b"nan", b"Infinity", b"-inf", b"1e309", b"-1e309", b"",
+    b"null", b'"x"', b"@data", b"@attribute", b",", b",,", b"0x10",
+    b"1_0", b" ", b"'", b"{", b"%", b"#w",
+)
+
+
+@dataclass
+class FuzzCrash:
+    """One contract violation: a loader raised something untyped."""
+
+    target: str
+    iteration: int
+    seed: int
+    exception: str
+    message: str
+    reproducer: Optional[str]
+
+
+@dataclass
+class FuzzResult:
+    """The outcome of one fuzz run (all targets)."""
+
+    seed: int
+    n_iterations: int = 0
+    n_parse_errors: int = 0
+    n_valid: int = 0
+    elapsed_seconds: float = 0.0
+    crashes: List[FuzzCrash] = field(default_factory=list)
+
+    def to_report(self) -> ConformanceReport:
+        """Fold into the shared conformance report shape for CI."""
+        report = ConformanceReport(tier="fuzz", seed=self.seed)
+        report.n_checks = self.n_iterations
+        report.n_cases = len(TARGETS)
+        for crash in self.crashes:
+            where = (
+                f"target {crash.target}, iteration {crash.iteration}, "
+                f"seed {crash.seed}"
+            )
+            message = f"{crash.exception}: {crash.message}"
+            if crash.reproducer:
+                message += f" (reproducer: {crash.reproducer})"
+            report.add("FUZZ001", message, where)
+        return report
+
+
+# ----------------------------------------------------------------------
+# Seed corpus
+# ----------------------------------------------------------------------
+def _seed_documents(seed: int) -> Dict[str, List[bytes]]:
+    """Small valid documents per target, all derived from ``seed``."""
+    import json
+
+    from repro.core.tree.m5 import M5Prime
+    from repro.core.tree.serialize import model_to_dict
+    from repro.datasets.arff import dumps_arff
+    from repro.datasets.synthetic import figure1_dataset, linear_dataset
+
+    small = figure1_dataset(n=40, noise_sd=0.05, rng=seed)
+    narrow = linear_dataset((2.0, -1.0), n=24, noise_sd=0.02, rng=seed + 1)
+
+    def csv_text(dataset, meta: bool) -> str:
+        lines = []
+        header = (["#workload"] if meta else []) + list(dataset.attributes)
+        lines.append(",".join(header + [dataset.target_name]))
+        for i in range(dataset.n_instances):
+            cells = (["w%d" % (i % 3)] if meta else [])
+            cells += [repr(float(v)) for v in dataset.X[i]]
+            cells.append(repr(float(dataset.y[i])))
+            lines.append(",".join(cells))
+        return "\n".join(lines) + "\n"
+
+    model = M5Prime(min_instances=8).fit(small)
+    tiny_model = M5Prime(min_instances=6, prune=False).fit(narrow)
+    return {
+        "arff": [
+            dumps_arff(small).encode(),
+            dumps_arff(narrow, relation="two words").encode(),
+        ],
+        "csv": [
+            csv_text(small, meta=False).encode(),
+            csv_text(narrow, meta=True).encode(),
+        ],
+        "model": [
+            json.dumps(model_to_dict(model)).encode(),
+            json.dumps(model_to_dict(tiny_model), indent=1).encode(),
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# Mutators (bytearray -> bytearray, driven by one Generator)
+# ----------------------------------------------------------------------
+def _mutate_flip(data: bytearray, rng: np.random.Generator) -> bytearray:
+    if data:
+        i = int(rng.integers(len(data)))
+        data[i] ^= int(rng.integers(1, 256))
+    return data
+
+
+def _mutate_delete(data: bytearray, rng: np.random.Generator) -> bytearray:
+    if data:
+        i = int(rng.integers(len(data)))
+        span = int(rng.integers(1, 9))
+        del data[i:i + span]
+    return data
+
+
+def _mutate_insert(data: bytearray, rng: np.random.Generator) -> bytearray:
+    i = int(rng.integers(len(data) + 1))
+    blob = bytes(rng.integers(0, 256, size=int(rng.integers(1, 9))).tolist())
+    data[i:i] = blob
+    return data
+
+
+def _mutate_token(data: bytearray, rng: np.random.Generator) -> bytearray:
+    parts = bytes(data).split(b",")
+    if len(parts) > 1:
+        parts[int(rng.integers(len(parts)))] = _TOKENS[
+            int(rng.integers(len(_TOKENS)))
+        ]
+        return bytearray(b",".join(parts))
+    i = int(rng.integers(len(data) + 1))
+    data[i:i] = _TOKENS[int(rng.integers(len(_TOKENS)))]
+    return data
+
+
+def _mutate_line_duplicate(data: bytearray, rng: np.random.Generator) -> bytearray:
+    lines = bytes(data).split(b"\n")
+    i = int(rng.integers(len(lines)))
+    lines.insert(i, lines[i])
+    return bytearray(b"\n".join(lines))
+
+
+def _mutate_line_delete(data: bytearray, rng: np.random.Generator) -> bytearray:
+    lines = bytes(data).split(b"\n")
+    if len(lines) > 1:
+        del lines[int(rng.integers(len(lines)))]
+    return bytearray(b"\n".join(lines))
+
+
+def _mutate_truncate(data: bytearray, rng: np.random.Generator) -> bytearray:
+    if data:
+        del data[int(rng.integers(len(data))):]
+    return data
+
+
+_MUTATORS: Tuple[Callable[[bytearray, np.random.Generator], bytearray], ...] = (
+    _mutate_flip,
+    _mutate_flip,  # weighted: byte flips find the most parser edges
+    _mutate_delete,
+    _mutate_insert,
+    _mutate_token,
+    _mutate_token,
+    _mutate_line_duplicate,
+    _mutate_line_delete,
+    _mutate_truncate,
+)
+
+
+def mutate_document(seed_doc: bytes, seed: int, target_index: int,
+                    iteration: int) -> bytes:
+    """The deterministic mutation for one (seed, target, iteration)."""
+    rng = np.random.default_rng(
+        np.random.SeedSequence([seed, target_index, iteration])
+    )
+    data = bytearray(seed_doc)
+    for _ in range(int(rng.integers(1, 5))):
+        data = _MUTATORS[int(rng.integers(len(_MUTATORS)))](data, rng)
+    return bytes(data)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _loaders() -> Dict[str, Tuple[Callable[[str], object],
+                                  Callable[[Path], object], str]]:
+    from repro.core.tree.serialize import load_model, loads_model
+    from repro.datasets.arff import load_arff, loads_arff
+    from repro.datasets.csvio import load_csv, loads_csv
+
+    return {
+        "arff": (loads_arff, load_arff, ".arff"),
+        "csv": (loads_csv, load_csv, ".csv"),
+        "model": (loads_model, load_model, ".json"),
+    }
+
+
+def default_reproducer_dir() -> Path:
+    """Quarantine directory for crash-reproducing inputs."""
+    from repro.experiments.config import default_cache_dir
+
+    return default_cache_dir() / "conformance" / "reproducers"
+
+
+def _quarantine(document: bytes, target: str, directory: Path) -> str:
+    digest = hashlib.sha256(document).hexdigest()[:16]
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{target}-{digest}.bin"
+    path.write_bytes(document)
+    return str(path)
+
+
+def run_fuzz(
+    seed: int = 2007,
+    iterations: Optional[int] = None,
+    seconds: Optional[float] = None,
+    targets: Sequence[str] = TARGETS,
+    reproducer_dir: Optional[Path] = None,
+    scratch_dir: Optional[Path] = None,
+) -> FuzzResult:
+    """Fuzz the selected loaders under an iteration or wall-clock budget.
+
+    Args:
+        seed: Master seed; fully determines every mutated document.
+        iterations: Per-target iteration budget (mutually exclusive
+            framing with ``seconds``; both given means whichever runs
+            out first, neither means 200 iterations per target).
+        seconds: Wall-clock budget across all targets.
+        targets: Subset of :data:`TARGETS` to fuzz.
+        reproducer_dir: Crash quarantine override (defaults under the
+            artifact cache root).
+        scratch_dir: Where file-mode iterations write their temp file
+            (defaults to a fresh temporary directory).
+    """
+    from repro.errors import ConfigError
+
+    unknown = [t for t in targets if t not in TARGETS]
+    if unknown:
+        raise ConfigError(f"unknown fuzz target(s) {unknown}; pick from {TARGETS}")
+    if iterations is None and seconds is None:
+        iterations = 200
+
+    import tempfile
+
+    loaders = _loaders()
+    corpus = _seed_documents(seed)
+    result = FuzzResult(seed=seed)
+    started = time.monotonic()
+    deadline = None if seconds is None else started + seconds
+
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as tmp:
+        scratch = Path(scratch_dir) if scratch_dir is not None else Path(tmp)
+        iteration = 0
+        while True:
+            if iterations is not None and iteration >= iterations:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            for target in targets:
+                target_index = TARGETS.index(target)
+                seeds = corpus[target]
+                seed_doc = seeds[iteration % len(seeds)]
+                document = mutate_document(seed_doc, seed, target_index, iteration)
+                loads, load, suffix = loaders[target]
+                use_file = iteration % FILE_ITERATION_PERIOD == (
+                    FILE_ITERATION_PERIOD - 1
+                )
+                result.n_iterations += 1
+                try:
+                    if use_file:
+                        path = scratch / f"fuzz-{target}{suffix}"
+                        path.write_bytes(document)
+                        load(path)
+                    else:
+                        loads(document.decode("utf-8", errors="replace"))
+                except ParseError:
+                    result.n_parse_errors += 1
+                except Exception as exc:  # noqa: BLE001 — triage is the point
+                    reproducer = _quarantine(
+                        document, target,
+                        reproducer_dir if reproducer_dir is not None
+                        else default_reproducer_dir(),
+                    )
+                    result.crashes.append(FuzzCrash(
+                        target=target,
+                        iteration=iteration,
+                        seed=seed,
+                        exception=type(exc).__name__,
+                        message=str(exc),
+                        reproducer=reproducer,
+                    ))
+                else:
+                    result.n_valid += 1
+            iteration += 1
+    result.elapsed_seconds = time.monotonic() - started
+    return result

@@ -1,0 +1,285 @@
+"""Metamorphic relations the M5' algorithm must satisfy.
+
+Differential testing answers "do two implementations agree?"; metamorphic
+testing answers "does the implementation behave like the *algorithm*?"
+by checking input/output relations that hold regardless of any oracle:
+
+META001  **Row permutation.**  Shuffling training rows must not change
+         the tree's split structure, and predictions may move only by
+         floating-point noise (sums over permuted rows round
+         differently; the splits themselves are order-free on data
+         without tied attribute values).
+META002  **Feature permutation.**  Permuting attribute columns (with
+         their names) must yield the same tests on the same named
+         attributes and the same predictions up to solver rounding.
+META003  **Affine target scaling.**  Fitting on ``a*y + b`` (a > 0)
+         must keep the split structure and scale every prediction to
+         ``a*p + b`` — leaf models are linear in the target.
+META004  **Dataset duplication.**  Doubling every row while doubling
+         ``min_instances`` (with pruning/simplification off, whose
+         pessimistic (n+v)/(n-v) corrections legitimately depend on
+         absolute n) must keep structure and predictions, with every
+         node population exactly doubled.
+META005  **Min-leaf monotonicity.**  Raising ``min_instances`` must not
+         grow the (unpruned) tree, and no leaf may hold fewer than
+         ``min_instances`` training rows.
+
+Relations run on continuous synthetic datasets: with tied attribute
+values, row order legitimately perturbs prefix sums at tie boundaries,
+which is covered bit-exactly by the differential suite instead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.conformance.report import ConformanceReport
+from repro.core.tree.m5 import M5Prime
+from repro.core.tree.node import Node, SplitNode
+from repro.datasets.dataset import Dataset
+from repro.datasets.synthetic import figure1_dataset, interaction_dataset
+
+#: Solver-noise tolerance for prediction comparisons.  Reordering rows
+#: or columns changes summation order inside BLAS; the result must stay
+#: within a hair of the original, but not bit-identical.
+RELATIVE_TOLERANCE = 1e-6
+ABSOLUTE_TOLERANCE = 1e-9
+
+
+def _split_signature(root: Node) -> List[Tuple[str, float]]:
+    """Sorted (attribute name, threshold) pairs — the structural identity."""
+    signature = [
+        (node.attribute_name, node.threshold)
+        for node in root.iter_nodes()
+        if isinstance(node, SplitNode)
+    ]
+    return sorted(signature)
+
+
+def _close(a: np.ndarray, b: np.ndarray) -> bool:
+    return bool(
+        np.allclose(a, b, rtol=RELATIVE_TOLERANCE, atol=ABSOLUTE_TOLERANCE)
+    )
+
+
+def _worst_gap(a: np.ndarray, b: np.ndarray) -> str:
+    gap = np.abs(a - b)
+    index = int(np.argmax(gap))
+    return f"max |gap| {gap[index]:.3e} at row {index}"
+
+
+def default_metamorphic_datasets(seed: int) -> List[Tuple[str, Dataset]]:
+    """Continuous (tie-free) datasets the relations run over."""
+    return [
+        ("figure1", figure1_dataset(n=240, noise_sd=0.05, rng=seed)),
+        ("figure1-b", figure1_dataset(n=200, noise_sd=0.08, rng=seed + 1)),
+        ("interaction", interaction_dataset(n=220, noise_sd=0.03, rng=seed + 2)),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Relations
+# ----------------------------------------------------------------------
+def check_row_permutation(
+    name: str, dataset: Dataset, seed: int, report: ConformanceReport
+) -> None:
+    report.n_checks += 1
+    where = f"meta {name}"
+    rng = np.random.default_rng(seed)
+    base = M5Prime(min_instances=15).fit(dataset)
+    shuffled = M5Prime(min_instances=15).fit(dataset.shuffled(rng))
+    assert base.root_ is not None and shuffled.root_ is not None
+    if _split_signature(base.root_) != _split_signature(shuffled.root_):
+        report.add(
+            "META001",
+            "row permutation changed the split structure "
+            f"({base.n_leaves} vs {shuffled.n_leaves} leaves)",
+            where,
+        )
+        return
+    a = base.predict(dataset.X)
+    b = shuffled.predict(dataset.X)
+    if not _close(a, b):
+        report.add(
+            "META001",
+            "row permutation moved predictions beyond solver noise: "
+            + _worst_gap(a, b),
+            where,
+        )
+
+
+def check_feature_permutation(
+    name: str, dataset: Dataset, seed: int, report: ConformanceReport
+) -> None:
+    report.n_checks += 1
+    where = f"meta {name}"
+    rng = np.random.default_rng(seed + 1)
+    permutation = rng.permutation(dataset.n_attributes)
+    permuted = Dataset(
+        dataset.X[:, permutation],
+        dataset.y,
+        tuple(dataset.attributes[i] for i in permutation),
+        target_name=dataset.target_name,
+    )
+    base = M5Prime(min_instances=15).fit(dataset)
+    other = M5Prime(min_instances=15).fit(permuted)
+    assert base.root_ is not None and other.root_ is not None
+    if _split_signature(base.root_) != _split_signature(other.root_):
+        report.add(
+            "META002",
+            "feature permutation changed the named split structure",
+            where,
+        )
+        return
+    a = base.predict(dataset.X)
+    b = other.predict(dataset.X[:, permutation])
+    if not _close(a, b):
+        report.add(
+            "META002",
+            "feature permutation moved predictions beyond solver noise: "
+            + _worst_gap(a, b),
+            where,
+        )
+
+
+def check_affine_target(
+    name: str,
+    dataset: Dataset,
+    seed: int,
+    report: ConformanceReport,
+    scale: float = 2.5,
+    shift: float = 1.25,
+) -> None:
+    report.n_checks += 1
+    where = f"meta {name}"
+    scaled = Dataset(
+        dataset.X, scale * dataset.y + shift, dataset.attributes,
+        target_name=dataset.target_name,
+    )
+    base = M5Prime(min_instances=15).fit(dataset)
+    other = M5Prime(min_instances=15).fit(scaled)
+    assert base.root_ is not None and other.root_ is not None
+    if _split_signature(base.root_) != _split_signature(other.root_):
+        report.add(
+            "META003",
+            f"affine target scaling (a={scale}, b={shift}) changed the "
+            "split structure",
+            where,
+        )
+        return
+    expected = scale * base.predict(dataset.X) + shift
+    actual = other.predict(dataset.X)
+    if not _close(expected, actual):
+        report.add(
+            "META003",
+            "scaled-target predictions are not the scaled baseline "
+            "predictions: " + _worst_gap(expected, actual),
+            where,
+        )
+
+
+def check_duplication(
+    name: str, dataset: Dataset, seed: int, report: ConformanceReport
+) -> None:
+    report.n_checks += 1
+    where = f"meta {name}"
+    # Pruning/simplification pessimism and smoothing weights depend on
+    # absolute population (see the module docstring), so the invariance
+    # is stated for the raw grown tree.
+    params = dict(prune=False, simplify=False, smoothing=False)
+    doubled = Dataset.concat([dataset, dataset])
+    base = M5Prime(min_instances=10, **params).fit(dataset)
+    other = M5Prime(min_instances=20, **params).fit(doubled)
+    assert base.root_ is not None and other.root_ is not None
+    if _split_signature(base.root_) != _split_signature(other.root_):
+        report.add(
+            "META004",
+            "duplicating every row (with min_instances doubled) changed "
+            "the split structure",
+            where,
+        )
+        return
+    populations = [
+        (a.n_instances, b.n_instances)
+        for a, b in zip(base.root_.iter_nodes(), other.root_.iter_nodes())
+    ]
+    wrong = [(a, b) for a, b in populations if b != 2 * a]
+    if wrong:
+        report.add(
+            "META004",
+            f"node populations did not exactly double: {wrong[:3]}",
+            where,
+        )
+    a = base.predict(dataset.X)
+    b = other.predict(dataset.X)
+    if not _close(a, b):
+        report.add(
+            "META004",
+            "duplication moved predictions beyond solver noise: "
+            + _worst_gap(a, b),
+            where,
+        )
+
+
+def check_min_leaf_monotonic(
+    name: str,
+    dataset: Dataset,
+    seed: int,
+    report: ConformanceReport,
+    ladder: Sequence[int] = (5, 10, 20, 40),
+) -> None:
+    report.n_checks += 1
+    where = f"meta {name}"
+    previous_leaves: Optional[int] = None
+    for min_instances in ladder:
+        model = M5Prime(min_instances=min_instances, prune=False).fit(dataset)
+        assert model.root_ is not None
+        floor = min(min_instances, dataset.n_instances)
+        starved = [
+            leaf.n_instances
+            for leaf in model.root_.leaves()
+            if leaf.n_instances < floor
+        ]
+        if starved:
+            report.add(
+                "META005",
+                f"min_instances={min_instances} produced leaves below the "
+                f"floor: populations {starved[:5]}",
+                where,
+            )
+        if previous_leaves is not None and model.n_leaves > previous_leaves:
+            report.add(
+                "META005",
+                f"tree grew from {previous_leaves} to {model.n_leaves} "
+                f"leaves when min_instances rose to {min_instances}",
+                where,
+            )
+        previous_leaves = model.n_leaves
+
+
+ALL_RELATIONS = (
+    check_row_permutation,
+    check_feature_permutation,
+    check_affine_target,
+    check_duplication,
+    check_min_leaf_monotonic,
+)
+
+
+def run_metamorphic(
+    seed: int = 2007,
+    datasets: Optional[Sequence[Tuple[str, Dataset]]] = None,
+) -> ConformanceReport:
+    """Check every relation over every (named) dataset."""
+    report = ConformanceReport(tier="metamorphic", seed=seed)
+    selected = (
+        list(datasets) if datasets is not None
+        else default_metamorphic_datasets(seed)
+    )
+    for name, dataset in selected:
+        report.n_cases += 1
+        for relation in ALL_RELATIONS:
+            relation(name, dataset, seed, report)
+    return report

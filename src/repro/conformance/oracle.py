@@ -1,0 +1,435 @@
+"""A deliberately naive reference implementation of M5' (the oracle).
+
+Every optimized execution path in this package — the chunked vectorized
+split scan (:mod:`repro.core.tree.splitting`), the compiled flat-array
+inference (:mod:`repro.serve.compiled`), parallel cross-validation folds,
+cached artifacts, JSON round trips — promises to compute *exactly* the
+Quinlan/Wang–Witten M5' algorithm.  This module is the other side of
+that promise: a straight-line, textbook transcription of the algorithm
+with no vectorized split scan, no compiled arrays, no caching — just
+recursion, running sums and per-row tree walks.  The differential runner
+(:mod:`repro.conformance.differential`) fits both implementations on the
+same data and asserts bit-identical trees and predictions.
+
+Being *naive* is the point: an exhaustive per-attribute, per-boundary
+loop is slow but easy to audit against the paper's description.  Three
+deliberate exceptions keep the oracle honest about what it checks:
+
+* Node/leaf containers reuse :class:`~repro.core.tree.node.LeafNode` and
+  :class:`~repro.core.tree.node.SplitNode` — they are dumb structs with
+  no algorithmic content, and sharing them makes tree comparison and
+  serialization checks trivial.
+* Node *linear-model fitting* (least squares, ridge, the greedy M5 term
+  dropping, the collinearity filters) is delegated to the shared
+  primitives in :mod:`repro.core.tree.linear`.  Those are not among the
+  optimized paths under test, and an independent reimplementation of
+  LAPACK-backed solvers cannot be bit-identical anyway.  The metamorphic
+  suite (:mod:`repro.conformance.metamorphic`) covers their behaviour
+  from the outside instead.
+* Scalar reductions call ``np.std`` / ``np.mean`` — numpy primitives,
+  not repo code.
+
+Bit-identity requires matching the *operation order* of the production
+SDR scan, so the running-sum accumulation below mirrors ``np.cumsum``
+(strictly sequential left-to-right addition) and the variance is taken
+as ``E[y^2] - E[y]^2`` exactly as the vectorized scan computes it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.tree.builder import MODEL_ATTRIBUTE_POLICIES
+from repro.core.tree.linear import (
+    LinearModel,
+    fit_linear_model,
+    resolve_opposed_pairs,
+    select_uncorrelated,
+    simplify_model,
+)
+from repro.core.tree.node import LeafNode, Node, SplitNode
+from repro.core.tree.smoothing import DEFAULT_SMOOTHING_K
+from repro.datasets.dataset import Dataset
+from repro.datasets.unpack import unpack_training_data
+from repro.errors import ConfigError, DataError, NotFittedError
+
+#: The production tie-break margin: a later attribute replaces the
+#: incumbent best split only when its SDR exceeds it by more than this.
+SDR_TIE_MARGIN = 1e-15
+
+#: Pessimistic multiplier for saturated models (n <= parameters); the
+#: same constant the production pruning applies via
+#: :func:`repro.core.tree.linear.adjusted_error`.
+SATURATED_PENALTY = 10.0
+
+
+class ReferenceM5Prime:
+    """Textbook M5' fitted with exhaustive loops — the conformance oracle.
+
+    Accepts the same constructor parameters as
+    :class:`~repro.core.tree.m5.M5Prime` and produces a tree of the same
+    node containers, so the two can be compared field by field.
+    """
+
+    def __init__(
+        self,
+        min_instances: int = 4,
+        sd_fraction: float = 0.05,
+        prune: bool = True,
+        smoothing: bool = False,
+        smoothing_k: float = DEFAULT_SMOOTHING_K,
+        model_attributes: str = "path+subtree",
+        simplify: bool = True,
+        collinearity_threshold: float = 0.95,
+        ridge: float = 1e-4,
+        nonnegative_attributes=None,
+    ) -> None:
+        if min_instances < 1:
+            raise ConfigError(f"min_instances must be at least 1, got {min_instances}")
+        if not 0.0 <= sd_fraction < 1.0:
+            raise ConfigError(f"sd_fraction must lie in [0, 1), got {sd_fraction}")
+        if model_attributes not in MODEL_ATTRIBUTE_POLICIES:
+            raise ConfigError(
+                f"model_attributes must be one of {MODEL_ATTRIBUTE_POLICIES}, "
+                f"got {model_attributes!r}"
+            )
+        self.min_instances = int(min_instances)
+        self.sd_fraction = float(sd_fraction)
+        self.prune = bool(prune)
+        self.smoothing = bool(smoothing)
+        self.smoothing_k = float(smoothing_k)
+        self.model_attributes = model_attributes
+        self.simplify = bool(simplify)
+        self.collinearity_threshold = float(collinearity_threshold)
+        self.ridge = float(ridge)
+        self.nonnegative_attributes = (
+            tuple(nonnegative_attributes) if nonnegative_attributes else ()
+        )
+        self.root_: Optional[Node] = None
+        self.attributes_: Tuple[str, ...] = ()
+        self.target_name_: str = "Y"
+        self.feature_ranges_: Optional[Tuple[Tuple[float, float], ...]] = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        data: Union[Dataset, np.ndarray, Sequence],
+        y: Optional[Sequence] = None,
+        attribute_names: Optional[Sequence[str]] = None,
+    ) -> "ReferenceM5Prime":
+        X, targets, names, target_name = unpack_training_data(
+            data, y, attribute_names
+        )
+        X = np.asarray(X, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if X.shape[0] != targets.shape[0]:
+            raise DataError("X and y disagree on instance count")
+        if X.shape[0] == 0:
+            raise DataError("cannot grow a tree on zero instances")
+        self._names = tuple(names)
+        unknown = set(self.nonnegative_attributes) - set(self._names)
+        if unknown:
+            raise DataError(
+                f"nonnegative_attributes name unknown attributes: {sorted(unknown)}"
+            )
+        self._nonnegative_indices = tuple(
+            self._names.index(name) for name in self.nonnegative_attributes
+        )
+        self._global_sd = float(np.std(targets))
+        root = self._grow(X, targets, frozenset())[0]
+        if self.prune:
+            root = self._prune(root)[0]
+        _assign_leaf_ids(root)
+        self.root_ = root
+        self.attributes_ = self._names
+        self.target_name_ = target_name
+        self.feature_ranges_ = tuple(
+            (float(np.min(column)), float(np.max(column))) for column in X.T
+        )
+        return self
+
+    def _grow(
+        self, X: np.ndarray, y: np.ndarray, path_attributes: FrozenSet[int]
+    ) -> Tuple[Node, FrozenSet[int]]:
+        n = y.shape[0]
+        sd = float(np.std(y))
+        mean = float(np.mean(y))
+
+        split = None
+        if n >= 2 * self.min_instances and sd > self.sd_fraction * self._global_sd:
+            split = _exhaustive_best_split(X, y, self.min_instances)
+
+        if split is None:
+            leaf = LeafNode(n, sd, mean)
+            leaf.model = self._fit_model(X, y, path_attributes, frozenset())
+            return leaf, frozenset()
+
+        attribute_index, threshold = split
+        go_left = X[:, attribute_index] <= threshold
+        child_path = path_attributes | {attribute_index}
+        left, left_attrs = self._grow(X[go_left], y[go_left], child_path)
+        right, right_attrs = self._grow(X[~go_left], y[~go_left], child_path)
+        subtree_attrs = left_attrs | right_attrs | {attribute_index}
+        node = SplitNode(
+            n_instances=n,
+            sd=sd,
+            mean=mean,
+            attribute_index=attribute_index,
+            attribute_name=self._names[attribute_index],
+            threshold=threshold,
+            left=left,
+            right=right,
+        )
+        node.model = self._fit_model(X, y, path_attributes, subtree_attrs)
+        return node, subtree_attrs
+
+    def _fit_model(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        path_attributes: FrozenSet[int],
+        subtree_attributes: FrozenSet[int],
+    ) -> LinearModel:
+        # Candidate policy transcription; the solves themselves are the
+        # shared primitives (see the module docstring for why).
+        if self.model_attributes == "all":
+            candidates: FrozenSet[int] = frozenset(range(X.shape[1]))
+        elif self.model_attributes == "subtree":
+            candidates = subtree_attributes
+        elif self.model_attributes == "path":
+            candidates = path_attributes
+        else:
+            candidates = path_attributes | subtree_attributes
+        usable: Sequence[int] = sorted(candidates)
+        if self.collinearity_threshold < 1.0:
+            usable = select_uncorrelated(
+                X, y, sorted(candidates), self.collinearity_threshold
+            )
+        model = fit_linear_model(
+            X, y, sorted(usable), self._names, self.ridge,
+            self._nonnegative_indices,
+        )
+        if self.simplify:
+            model = simplify_model(
+                X=X, y=y, model=model, attribute_names=self._names,
+                ridge=self.ridge, nonnegative=self._nonnegative_indices,
+            )
+        if self.collinearity_threshold < 1.0:
+            model = resolve_opposed_pairs(
+                model, X, y, self._names, self.ridge,
+                nonnegative=self._nonnegative_indices,
+            )
+        return model
+
+    def _prune(self, node: Node) -> Tuple[Node, float]:
+        """Textbook bottom-up pruning: collapse when the node's own model
+        is pessimistically no worse than its children combined."""
+        model = node.model
+        assert model is not None
+        if node.is_leaf:
+            node.estimated_error = _pessimistic_error(model)
+            return node, node.estimated_error
+        assert isinstance(node, SplitNode)
+        node.left, left_error = self._prune(node.left)
+        node.right, right_error = self._prune(node.right)
+        n_left = node.left.n_instances
+        n_right = node.right.n_instances
+        subtree_error = (n_left * left_error + n_right * right_error) / (
+            n_left + n_right
+        )
+        model_error = _pessimistic_error(model)
+        if model_error <= subtree_error:
+            leaf = LeafNode(node.n_instances, node.sd, node.mean)
+            leaf.model = model
+            leaf.estimated_error = model_error
+            return leaf, model_error
+        node.estimated_error = subtree_error
+        return node, subtree_error
+
+    # ------------------------------------------------------------------
+    # Prediction (plain per-row walks; no compiled arrays)
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> Node:
+        if self.root_ is None:
+            raise NotFittedError("ReferenceM5Prime must be fitted before use")
+        return self.root_
+
+    def predict(self, X: Union[np.ndarray, Sequence]) -> np.ndarray:
+        root = self._require_fitted()
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[1] != len(self.attributes_):
+            raise DataError(
+                f"X has {X.shape[1]} columns but the oracle was trained "
+                f"on {len(self.attributes_)}"
+            )
+        out = np.empty(X.shape[0], dtype=np.float64)
+        for i in range(X.shape[0]):
+            out[i] = self._predict_row(root, X[i])
+        return out
+
+    def _predict_row(self, root: Node, x: np.ndarray) -> float:
+        path: List[Node] = [root]
+        node = root
+        while isinstance(node, SplitNode):
+            node = node.left if x[node.attribute_index] <= node.threshold else node.right
+            path.append(node)
+        leaf_model = node.model
+        assert leaf_model is not None
+        prediction = _evaluate_model(leaf_model, x)
+        if not self.smoothing:
+            return prediction
+        k = self.smoothing_k
+        for position in range(len(path) - 2, -1, -1):
+            ancestor = path[position]
+            below = path[position + 1]
+            assert ancestor.model is not None
+            ancestor_prediction = _evaluate_model(ancestor.model, x)
+            prediction = (
+                below.n_instances * prediction + k * ancestor_prediction
+            ) / (below.n_instances + k)
+        return float(prediction)
+
+    def leaf_ids(self, X: Union[np.ndarray, Sequence]) -> np.ndarray:
+        root = self._require_fitted()
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        out = np.empty(X.shape[0], dtype=np.int64)
+        for i in range(X.shape[0]):
+            node = root
+            while isinstance(node, SplitNode):
+                if X[i, node.attribute_index] <= node.threshold:
+                    node = node.left
+                else:
+                    node = node.right
+            out[i] = node.leaf_id
+        return out
+
+    @property
+    def n_leaves(self) -> int:
+        return self._require_fitted().n_leaves()
+
+
+# ----------------------------------------------------------------------
+# The exhaustive SDR split search
+# ----------------------------------------------------------------------
+def _exhaustive_best_split(
+    X: np.ndarray, y: np.ndarray, min_leaf: int
+) -> Optional[Tuple[int, float]]:
+    """Scan every attribute and boundary for the SDR-maximizing split.
+
+    Running sums accumulate strictly left-to-right (the order
+    ``np.cumsum`` uses) and the child variance is ``E[y^2] - E[y]^2``,
+    clamped at zero — the exact arithmetic of the vectorized scan, one
+    candidate at a time.  Ties resolve to the lowest attribute index and
+    then the lowest threshold, via the same strict ``+ 1e-15`` margin.
+    """
+    n = y.shape[0]
+    if n < 2 * min_leaf:
+        return None
+    sd_total = float(np.std(y))
+    if sd_total <= 0.0:
+        return None
+
+    best_sdr: Optional[float] = None
+    best: Optional[Tuple[int, float]] = None
+    for attribute_index in range(X.shape[1]):
+        column = X[:, attribute_index]
+        order = np.argsort(column, kind="stable")
+        xs = column[order]
+        ys = y[order]
+        candidate = _best_boundary(xs, ys, min_leaf, sd_total)
+        if candidate is None:
+            continue
+        candidate_sdr, threshold = candidate
+        if best_sdr is None or candidate_sdr > best_sdr + SDR_TIE_MARGIN:
+            best_sdr = candidate_sdr
+            best = (attribute_index, threshold)
+    return best
+
+
+def _best_boundary(
+    xs: np.ndarray, ys: np.ndarray, min_leaf: int, sd_total: float
+) -> Optional[Tuple[float, float]]:
+    """Best (sdr, threshold) over one sorted column, or ``None``."""
+    n = ys.shape[0]
+    total_sum = 0.0
+    total_sumsq = 0.0
+    for value in ys:
+        total_sum += float(value)
+        total_sumsq += float(value) * float(value)
+
+    best_sdr = -math.inf
+    best_index: Optional[int] = None
+    running_sum = 0.0
+    running_sumsq = 0.0
+    for i in range(n - min_leaf):
+        value = float(ys[i])
+        running_sum += value
+        running_sumsq += value * value
+        boundary = i  # split between sorted positions i and i + 1
+        if boundary < min_leaf - 1:
+            continue
+        if not xs[boundary] < xs[boundary + 1]:
+            continue  # no threshold separates equal values
+        n_left = float(boundary + 1)
+        n_right = n - n_left
+        sum_left = running_sum
+        sum_right = total_sum - sum_left
+        sumsq_left = running_sumsq
+        sumsq_right = total_sumsq - sumsq_left
+        var_left = max(sumsq_left / n_left - (sum_left / n_left) ** 2, 0.0)
+        var_right = max(sumsq_right / n_right - (sum_right / n_right) ** 2, 0.0)
+        weighted_sd = (
+            n_left * math.sqrt(var_left) + n_right * math.sqrt(var_right)
+        ) / n
+        sdr = sd_total - weighted_sd
+        if sdr > best_sdr:
+            best_sdr = sdr
+            best_index = boundary
+    if best_index is None or best_sdr <= 0.0:
+        return None
+    threshold = float((xs[best_index] + xs[best_index + 1]) / 2.0)
+    if not threshold < xs[best_index + 1]:
+        # Adjacent floats whose midpoint rounds up: cut at the left value
+        # so the split actually separates the children.
+        threshold = float(xs[best_index])
+    return best_sdr, threshold
+
+
+def _pessimistic_error(model: LinearModel) -> float:
+    """M5's (n + v) / (n - v) pessimistic error, transcribed."""
+    n = model.n_training
+    v = model.n_parameters
+    if n <= 0:
+        return math.inf
+    if n <= v:
+        return model.training_error * SATURATED_PENALTY
+    return model.training_error * (n + v) / (n - v)
+
+
+def _evaluate_model(model: LinearModel, x: np.ndarray) -> float:
+    """Evaluate a node model term by term, in stored term order."""
+    value = model.intercept
+    for index, coefficient in zip(model.indices, model.coefficients):
+        value += coefficient * x[index]
+    return float(value)
+
+
+def _assign_leaf_ids(root: Node) -> int:
+    """Pre-order left-to-right leaf numbering from 1 (LM1..LMk)."""
+    counter = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, SplitNode):
+            node.leaf_id = 0
+            stack.append(node.right)
+            stack.append(node.left)
+        else:
+            counter += 1
+            node.leaf_id = counter
+    return counter

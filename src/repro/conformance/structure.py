@@ -1,0 +1,142 @@
+"""Tree comparison and skeleton helpers for the conformance harness.
+
+Two fitted trees are *bit-identical* when every node agrees on kind,
+population, statistics, split test and linear model down to the last
+float bit.  :func:`diff_trees` walks two trees in lockstep and returns a
+human-readable list of every disagreement (empty means identical);
+:func:`tree_skeleton` reduces a tree to a stable, JSON-friendly outline
+(split tests, populations, model term names) used for golden-structure
+tests and metamorphic relations where full bit-identity is not the
+contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Union
+
+from repro.core.tree.linear import LinearModel
+from repro.core.tree.node import Node, SplitNode
+
+
+def _same_float(a: float, b: float) -> bool:
+    """Bitwise equality that also treats two NaNs / same-signed infs as equal."""
+    if a == b:
+        return True
+    return a != a and b != b  # both NaN
+
+
+def _diff_models(a: LinearModel, b: LinearModel, where: str, out: List[str]) -> None:
+    if a.indices != b.indices or a.names != b.names:
+        out.append(
+            f"{where}: model terms differ ({list(a.names)} vs {list(b.names)})"
+        )
+        return
+    if not _same_float(a.intercept, b.intercept):
+        out.append(
+            f"{where}: model intercept {a.intercept!r} vs {b.intercept!r}"
+        )
+    for name, ca, cb in zip(a.names, a.coefficients, b.coefficients):
+        if not _same_float(ca, cb):
+            out.append(f"{where}: coefficient of {name} {ca!r} vs {cb!r}")
+    if a.n_training != b.n_training:
+        out.append(f"{where}: model n_training {a.n_training} vs {b.n_training}")
+    if not _same_float(a.training_error, b.training_error):
+        out.append(
+            f"{where}: training_error {a.training_error!r} vs {b.training_error!r}"
+        )
+
+
+def diff_trees(
+    a: Node,
+    b: Node,
+    path: str = "root",
+    limit: int = 20,
+    compare_estimated_error: bool = True,
+) -> List[str]:
+    """Every field-level disagreement between two trees (empty = identical).
+
+    The walk stops descending a branch after the first structural
+    mismatch on it and truncates the overall list at ``limit`` entries,
+    so a totally different tree reports compactly instead of exploding.
+
+    ``compare_estimated_error=False`` skips the pruning-time
+    ``estimated_error`` field — it is deliberately not serialized, so
+    round-trip comparisons must ignore it.
+    """
+    out: List[str] = []
+    _diff_nodes(a, b, path, out, compare_estimated_error)
+    if len(out) > limit:
+        out = out[:limit] + [f"... {len(out) - limit} further difference(s)"]
+    return out
+
+
+def _diff_nodes(
+    a: Node, b: Node, path: str, out: List[str], compare_estimated_error: bool
+) -> None:
+    if a.is_leaf != b.is_leaf:
+        kind_a = "leaf" if a.is_leaf else "split"
+        kind_b = "leaf" if b.is_leaf else "split"
+        out.append(f"{path}: node kind {kind_a} vs {kind_b}")
+        return
+    if a.n_instances != b.n_instances:
+        out.append(f"{path}: n_instances {a.n_instances} vs {b.n_instances}")
+    if not _same_float(a.sd, b.sd):
+        out.append(f"{path}: sd {a.sd!r} vs {b.sd!r}")
+    if not _same_float(a.mean, b.mean):
+        out.append(f"{path}: mean {a.mean!r} vs {b.mean!r}")
+    if a.leaf_id != b.leaf_id:
+        out.append(f"{path}: leaf_id {a.leaf_id} vs {b.leaf_id}")
+    if compare_estimated_error and not _same_float(
+        a.estimated_error, b.estimated_error
+    ):
+        out.append(
+            f"{path}: estimated_error {a.estimated_error!r} "
+            f"vs {b.estimated_error!r}"
+        )
+    if a.model is not None and b.model is not None:
+        _diff_models(a.model, b.model, path, out)
+    elif (a.model is None) != (b.model is None):
+        out.append(f"{path}: one tree lacks a node model")
+    if isinstance(a, SplitNode) and isinstance(b, SplitNode):
+        if a.attribute_index != b.attribute_index:
+            out.append(
+                f"{path}: split attribute {a.attribute_name} "
+                f"vs {b.attribute_name}"
+            )
+            return
+        if not _same_float(a.threshold, b.threshold):
+            out.append(f"{path}: threshold {a.threshold!r} vs {b.threshold!r}")
+            return
+        _diff_nodes(a.left, b.left, path + ".L", out, compare_estimated_error)
+        _diff_nodes(a.right, b.right, path + ".R", out, compare_estimated_error)
+
+
+def trees_identical(a: Node, b: Node) -> bool:
+    """True when :func:`diff_trees` finds nothing."""
+    return not diff_trees(a, b)
+
+
+def tree_skeleton(root: Node, digits: int = 10) -> Dict[str, Any]:
+    """A stable structural outline of a fitted tree.
+
+    Thresholds are rounded to ``digits`` significant digits and model
+    coefficients are omitted, so the skeleton is insensitive to BLAS /
+    platform last-bit drift — the right granularity for golden-structure
+    tests checked into the repository.
+    """
+    node: Union[Node, SplitNode] = root
+    if isinstance(node, SplitNode):
+        return {
+            "kind": "split",
+            "attribute": node.attribute_name,
+            "threshold": float(f"{node.threshold:.{digits}g}"),
+            "n_instances": node.n_instances,
+            "left": tree_skeleton(node.left, digits),
+            "right": tree_skeleton(node.right, digits),
+        }
+    return {
+        "kind": "leaf",
+        "leaf_id": node.leaf_id,
+        "n_instances": node.n_instances,
+        "model_terms": list(node.model.names) if node.model is not None else [],
+    }

@@ -36,7 +36,13 @@ from repro.core.tree.pruning import prune_tree
 from repro.core.tree.smoothing import smoothed_predict
 from repro.core.tree.m5 import M5Prime
 from repro.core.tree.render import render_models, render_tree
-from repro.core.tree.serialize import load_model, model_from_dict, model_to_dict, save_model
+from repro.core.tree.serialize import (
+    load_model,
+    loads_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
 from repro.core.tree.dot import render_dot
 
 __all__ = [
@@ -51,6 +57,7 @@ __all__ = [
     "is_empty_bounds",
     "iter_nodes_with_bounds",
     "load_model",
+    "loads_model",
     "model_from_dict",
     "model_to_dict",
     "fit_linear_model",

@@ -11,12 +11,12 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
 from repro.core.tree.linear import LinearModel
 from repro.core.tree.m5 import M5Prime
 from repro.core.tree.node import LeafNode, Node, SplitNode, assign_leaf_ids
-from repro.errors import NotFittedError, ParseError
+from repro.errors import DataError, NotFittedError, ParseError
 
 PathLike = Union[str, Path]
 
@@ -116,8 +116,13 @@ def model_from_dict(payload: Dict[str, Any]) -> M5Prime:
                 (float(low), float(high)) for low, high in ranges
             )
         model.root_ = _node_from_dict(payload["tree"])
-    except (KeyError, TypeError, ValueError) as exc:
+    except (KeyError, TypeError, ValueError, OverflowError, DataError) as exc:
         raise ParseError(f"malformed model document: {exc}") from None
+    except RecursionError:
+        raise ParseError(
+            "malformed model document: tree nesting exceeds the "
+            "recursion limit"
+        ) from None
     assign_leaf_ids(model.root_)
     return model
 
@@ -166,14 +171,33 @@ def load_model(path: PathLike) -> M5Prime:
     version — raise :class:`repro.errors.ParseError` naming the
     offending path, never a raw ``KeyError``/``JSONDecodeError``.
     """
-    with open(path, "r", encoding="utf-8") as handle:
-        try:
-            payload = json.load(handle)
-        except json.JSONDecodeError as exc:
-            raise ParseError(f"{path}: invalid JSON: {exc}") from None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except UnicodeDecodeError as exc:
+        raise ParseError(f"{path}: not valid UTF-8 text: {exc}") from None
+    return loads_model(text, source=str(path))
+
+
+def loads_model(text: str, source: Optional[str] = None) -> M5Prime:
+    """Parse a model JSON string (:func:`load_model` without the file).
+
+    ``source`` is prefixed to every error message when given.
+    """
+    prefix = f"{source}: " if source else ""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"{prefix}invalid JSON: {exc}") from None
+    except RecursionError:
+        raise ParseError(
+            f"{prefix}invalid JSON: nesting exceeds the recursion limit"
+        ) from None
     if not isinstance(payload, dict):
-        raise ParseError(f"{path}: expected a JSON object at top level")
+        raise ParseError(f"{prefix}expected a JSON object at top level")
     try:
         return model_from_dict(payload)
     except ParseError as exc:
-        raise ParseError(f"{path}: {exc}") from None
+        if prefix:
+            raise ParseError(prefix + str(exc)) from None
+        raise

@@ -3,8 +3,8 @@
 from repro.datasets.dataset import Dataset
 from repro.datasets.sectioning import SectionRecorder, section_boundaries
 from repro.datasets.splits import kfold_indices, train_test_split
-from repro.datasets.arff import load_arff, save_arff
-from repro.datasets.csvio import load_csv, save_csv
+from repro.datasets.arff import dumps_arff, load_arff, loads_arff, save_arff
+from repro.datasets.csvio import load_csv, loads_csv, save_csv
 from repro.datasets.profile import DatasetProfile, profile_dataset
 from repro.datasets import synthetic
 
@@ -13,9 +13,12 @@ __all__ = [
     "DatasetProfile",
     "SectionRecorder",
     "kfold_indices",
+    "dumps_arff",
     "load_arff",
+    "loads_arff",
     "profile_dataset",
     "load_csv",
+    "loads_csv",
     "save_arff",
     "save_csv",
     "section_boundaries",

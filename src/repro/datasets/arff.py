@@ -9,13 +9,14 @@ Only numeric attributes are supported — all Table I metrics are numeric.
 from __future__ import annotations
 
 import io
+import math
 from pathlib import Path
-from typing import List, TextIO, Union
+from typing import List, Optional, TextIO, Union
 
 import numpy as np
 
 from repro.datasets.dataset import Dataset
-from repro.errors import ParseError
+from repro.errors import DataError, ParseError
 
 PathLike = Union[str, Path]
 
@@ -52,15 +53,35 @@ def _quote(token: str) -> str:
 
 
 def load_arff(path: PathLike) -> Dataset:
-    """Read a numeric ARFF file; the last attribute becomes the target."""
-    with open(path, "r", encoding="utf-8") as handle:
-        return loads_arff(handle.read())
+    """Read a numeric ARFF file; the last attribute becomes the target.
+
+    Malformed files raise :class:`repro.errors.ParseError` naming the
+    path and, where applicable, the offending line — never a raw
+    ``ValueError``/``UnicodeDecodeError``/``DataError``.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except UnicodeDecodeError as exc:
+        raise ParseError(f"{path}: not valid UTF-8 text: {exc}") from None
+    return loads_arff(text, source=str(path))
 
 
-def loads_arff(text: str) -> Dataset:
-    """Parse ARFF text (numeric attributes only)."""
+def loads_arff(text: str, source: Optional[str] = None) -> Dataset:
+    """Parse ARFF text (numeric attributes only).
+
+    ``source`` (typically a file path) is prefixed to every error
+    message, so loaders layered on top report where the bad bytes came
+    from without re-wrapping.
+    """
+    prefix = f"{source}: " if source else ""
+
+    def fail(message: str) -> "ParseError":
+        return ParseError(prefix + message)
+
     names: List[str] = []
     rows: List[List[float]] = []
+    row_lines: List[int] = []
     in_data = False
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
@@ -71,50 +92,68 @@ def loads_arff(text: str) -> Dataset:
             if lowered.startswith("@relation"):
                 continue
             if lowered.startswith("@attribute"):
-                names.append(_parse_attribute(line, line_no))
+                names.append(_parse_attribute(line, line_no, prefix))
                 continue
             if lowered.startswith("@data"):
                 in_data = True
                 continue
-            raise ParseError(f"line {line_no}: unexpected header line {line!r}")
+            raise fail(f"line {line_no}: unexpected header line {line!r}")
         try:
             rows.append([float(v) for v in line.split(",")])
         except ValueError as exc:
-            raise ParseError(f"line {line_no}: non-numeric datum ({exc})") from None
+            raise fail(f"line {line_no}: non-numeric datum ({exc})") from None
+        row_lines.append(line_no)
     if len(names) < 2:
-        raise ParseError("ARFF needs at least one attribute plus a target")
+        raise fail("ARFF needs at least one attribute plus a target")
     if not rows:
-        raise ParseError("ARFF contains no data rows")
+        raise fail("ARFF contains no data rows")
     width = len(names)
-    for i, row in enumerate(rows):
+    for row, line_no in zip(rows, row_lines):
         if len(row) != width:
-            raise ParseError(f"data row {i} has {len(row)} values, expected {width}")
+            raise fail(
+                f"line {line_no}: data row has {len(row)} values, "
+                f"expected {width}"
+            )
+        for column, value in enumerate(row):
+            if not math.isfinite(value):
+                raise fail(
+                    f"line {line_no}: non-finite value {value!r} in "
+                    f"column {names[column]!r}"
+                )
     matrix = np.asarray(rows, dtype=np.float64)
-    return Dataset(
-        X=matrix[:, :-1],
-        y=matrix[:, -1],
-        attributes=names[:-1],
-        target_name=names[-1],
-    )
+    try:
+        return Dataset(
+            X=matrix[:, :-1],
+            y=matrix[:, -1],
+            attributes=names[:-1],
+            target_name=names[-1],
+        )
+    except DataError as exc:
+        # Duplicate attribute names, target/attribute clashes, ... —
+        # the text is at fault, so surface it as a parse failure.
+        raise fail(str(exc)) from None
 
 
-def _parse_attribute(line: str, line_no: int) -> str:
+def _parse_attribute(line: str, line_no: int, prefix: str = "") -> str:
     body = line[len("@attribute"):].strip()
     if body.startswith("'"):
         end = body.find("'", 1)
         while end != -1 and body[end - 1] == "\\":
             end = body.find("'", end + 1)
         if end == -1:
-            raise ParseError(f"line {line_no}: unterminated quoted attribute name")
+            raise ParseError(
+                f"{prefix}line {line_no}: unterminated quoted attribute name"
+            )
         name = body[1:end].replace("\\'", "'").replace("\\\\", "\\")
         kind = body[end + 1:].strip()
     else:
         parts = body.split(None, 1)
         if len(parts) != 2:
-            raise ParseError(f"line {line_no}: malformed @attribute line")
+            raise ParseError(f"{prefix}line {line_no}: malformed @attribute line")
         name, kind = parts
     if kind.strip().lower() not in ("numeric", "real", "integer"):
         raise ParseError(
-            f"line {line_no}: only numeric attributes are supported, got {kind!r}"
+            f"{prefix}line {line_no}: only numeric attributes are supported, "
+            f"got {kind!r}"
         )
     return name

@@ -8,13 +8,15 @@ column, optional leading metadata columns marked with a ``#`` prefix
 from __future__ import annotations
 
 import csv
+import io
+import math
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.datasets.dataset import Dataset
-from repro.errors import ParseError
+from repro.errors import DataError, ParseError
 
 PathLike = Union[str, Path]
 
@@ -37,44 +39,86 @@ def save_csv(dataset: Dataset, path: PathLike) -> None:
 
 
 def load_csv(path: PathLike) -> Dataset:
-    """Read a dataset written by :func:`save_csv` (or any compatible CSV)."""
-    with open(path, "r", encoding="utf-8", newline="") as handle:
-        reader = csv.reader(handle)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise ParseError("CSV file is empty") from None
-        rows = [row for row in reader if row]
+    """Read a dataset written by :func:`save_csv` (or any compatible CSV).
+
+    Malformed files raise :class:`repro.errors.ParseError` naming the
+    path and the offending line — never a raw
+    ``ValueError``/``UnicodeDecodeError``/``DataError``.
+    """
+    try:
+        with open(path, "r", encoding="utf-8", newline="") as handle:
+            text = handle.read()
+    except UnicodeDecodeError as exc:
+        raise ParseError(f"{path}: not valid UTF-8 text: {exc}") from None
+    return loads_csv(text, source=str(path))
+
+
+def loads_csv(text: str, source: Optional[str] = None) -> Dataset:
+    """Parse CSV text in the :func:`save_csv` layout.
+
+    ``source`` (typically a file path) is prefixed to every error
+    message.
+    """
+    prefix = f"{source}: " if source else ""
+
+    def fail(message: str) -> "ParseError":
+        return ParseError(prefix + message)
+
+    reader = csv.reader(io.StringIO(text, newline=""))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise fail("CSV file is empty") from None
+    except csv.Error as exc:
+        raise fail(f"malformed CSV: {exc}") from None
+    try:
+        rows = [(reader.line_num, row) for row in reader if row]
+    except csv.Error as exc:
+        raise fail(f"line {reader.line_num}: malformed CSV: {exc}") from None
     if len(header) < 2:
-        raise ParseError("CSV needs at least one attribute plus a target column")
+        raise fail("CSV needs at least one attribute plus a target column")
     meta_keys = [h[1:] for h in header if h.startswith(_META_PREFIX)]
     n_meta = len(meta_keys)
     for h in header[n_meta:]:
         if h.startswith(_META_PREFIX):
-            raise ParseError("metadata columns must precede numeric columns")
+            raise fail("metadata columns must precede numeric columns")
     attribute_names = header[n_meta:-1]
     target_name = header[-1]
     if not attribute_names:
-        raise ParseError("CSV has no attribute columns")
+        raise fail("CSV has no attribute columns")
 
     meta: Dict[str, List[str]] = {k: [] for k in meta_keys}
     numeric: List[List[float]] = []
-    for i, row in enumerate(rows):
+    for line_no, row in rows:
         if len(row) != len(header):
-            raise ParseError(f"row {i} has {len(row)} cells, expected {len(header)}")
+            raise fail(
+                f"line {line_no}: row has {len(row)} cells, "
+                f"expected {len(header)}"
+            )
         for key, value in zip(meta_keys, row):
             meta[key].append(value)
         try:
-            numeric.append([float(v) for v in row[n_meta:]])
+            values = [float(v) for v in row[n_meta:]]
         except ValueError as exc:
-            raise ParseError(f"row {i}: non-numeric datum ({exc})") from None
+            raise fail(f"line {line_no}: non-numeric datum ({exc})") from None
+        for column, value in enumerate(values):
+            if not math.isfinite(value):
+                name = (attribute_names + [target_name])[column]
+                raise fail(
+                    f"line {line_no}: non-finite value {value!r} in "
+                    f"column {name!r}"
+                )
+        numeric.append(values)
     if not numeric:
-        raise ParseError("CSV contains no data rows")
+        raise fail("CSV contains no data rows")
     matrix = np.asarray(numeric, dtype=np.float64)
-    return Dataset(
-        X=matrix[:, :-1],
-        y=matrix[:, -1],
-        attributes=attribute_names,
-        target_name=target_name,
-        meta=meta if meta_keys else None,
-    )
+    try:
+        return Dataset(
+            X=matrix[:, :-1],
+            y=matrix[:, -1],
+            attributes=attribute_names,
+            target_name=target_name,
+            meta=meta if meta_keys else None,
+        )
+    except DataError as exc:
+        raise fail(str(exc)) from None

@@ -1,11 +1,46 @@
 """Shared fixtures: small deterministic datasets and fitted models."""
 
+import random
+
 import numpy as np
 import pytest
 
 from repro.core.tree import M5Prime
 from repro.datasets.synthetic import figure1_dataset
 from repro.workloads import simulate_suite
+
+
+def _np_states_equal(before, after) -> bool:
+    return all(
+        np.array_equal(x, y) if isinstance(x, np.ndarray) else x == y
+        for x, y in zip(before, after)
+    )
+
+
+@pytest.fixture(autouse=True)
+def _global_rng_guard(request):
+    """Fail any test that mutates global RNG state.
+
+    Reproducibility here rests on explicit ``np.random.Generator``
+    objects threaded through every API; code reaching for the legacy
+    global streams (``np.random.seed``/``np.random.rand``/
+    ``random.random``) makes results depend on test execution order.
+    Hypothesis manages (and restores) the global streams itself, so
+    property tests pass through untouched.
+    """
+    python_state = random.getstate()
+    numpy_state = np.random.get_state()
+    yield
+    if random.getstate() != python_state:
+        pytest.fail(
+            "test mutated the global `random` module state; use an "
+            "explicit seeded generator instead", pytrace=False,
+        )
+    if not _np_states_equal(numpy_state, np.random.get_state()):
+        pytest.fail(
+            "test mutated the global numpy RNG state; use "
+            "np.random.default_rng(seed) instead", pytrace=False,
+        )
 
 
 @pytest.fixture

@@ -1,0 +1,139 @@
+"""Property tests for the analysis layer (contributions and what-if).
+
+Two algebraic contracts, checked with hypothesis over sections drawn
+from a fitted tree's own training data plus random perturbations:
+
+* the per-event contributions of a section's leaf model, plus the
+  intercept, reconstruct the leaf prediction exactly;
+* a what-if gain estimate equals re-routing the modified section
+  through the tree and predicting with the destination leaf's model
+  (clamped at the CPI floor).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis.contribution import leaf_contributions, rank_events
+from repro.core.analysis.whatif import CPI_FLOOR, estimate_gain, rank_gains
+from repro.core.tree import M5Prime
+from repro.errors import DataError
+from repro.workloads import simulate_suite
+
+_SUITE = simulate_suite(
+    sections_per_workload=10, instructions_per_section=384, seed=13
+).dataset
+_MODEL = M5Prime(min_instances=12).fit(_SUITE)
+
+section_indices = st.integers(0, _SUITE.n_instances - 1)
+
+
+class TestContributionSum:
+    @settings(max_examples=60, deadline=None)
+    @given(section_indices)
+    def test_contributions_reconstruct_leaf_prediction(self, index):
+        x = _SUITE.X[index]
+        leaf = _MODEL.leaf_for(x)
+        contributions = leaf_contributions(_MODEL, x)
+        total = leaf.model.intercept + sum(c.cycles for c in contributions)
+        assert total == pytest.approx(leaf.model.predict_one(x), abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(section_indices)
+    def test_fractions_are_cycles_over_prediction(self, index):
+        x = _SUITE.X[index]
+        predicted = _MODEL.leaf_for(x).model.predict_one(x)
+        for contribution in leaf_contributions(_MODEL, x):
+            assert contribution.fraction == pytest.approx(
+                contribution.cycles / predicted
+            )
+            assert contribution.cycles == pytest.approx(
+                contribution.coefficient * contribution.value
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(section_indices)
+    def test_sorted_by_descending_cycles(self, index):
+        contributions = leaf_contributions(_MODEL, _SUITE.X[index])
+        cycles = [c.cycles for c in contributions]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_ranking_covers_all_leaf_events(self):
+        ranked = rank_events(_MODEL, _SUITE.X[:20])
+        per_section_events = set()
+        for x in _SUITE.X[:20]:
+            per_section_events |= {
+                c.event for c in leaf_contributions(_MODEL, x)
+            }
+        assert {c.event for c in ranked} == per_section_events
+
+
+class TestWhatIfRefit:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        section_indices,
+        st.sampled_from(_SUITE.attributes),
+        st.floats(0.0, 1.0, allow_nan=False),
+    )
+    def test_gain_matches_manual_rerouting(self, index, event, reduction):
+        x = _SUITE.X[index]
+        result = estimate_gain(_MODEL, x, event, reduction)
+
+        modified = np.array(x, dtype=np.float64, copy=True)
+        position = _MODEL.attributes_.index(event)
+        modified[position] -= modified[position] * reduction
+        expected_leaf = _MODEL.leaf_for(modified)
+        expected_cpi = max(
+            float(expected_leaf.model.predict_one(modified)), CPI_FLOOR
+        )
+        assert result.modified_cpi == expected_cpi
+        assert result.modified_leaf == expected_leaf.leaf_id
+
+    @settings(max_examples=40, deadline=None)
+    @given(section_indices, st.sampled_from(_SUITE.attributes))
+    def test_zero_reduction_changes_nothing(self, index, event):
+        result = estimate_gain(_MODEL, _SUITE.X[index], event, reduction=0.0)
+        assert result.modified_leaf == result.baseline_leaf
+        assert result.modified_cpi == pytest.approx(
+            max(result.baseline_cpi, CPI_FLOOR)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(section_indices, st.sampled_from(_SUITE.attributes))
+    def test_gain_fraction_definition(self, index, event):
+        result = estimate_gain(_MODEL, _SUITE.X[index], event, reduction=1.0)
+        if result.baseline_cpi > 0:
+            assert result.gain_fraction == pytest.approx(
+                (result.baseline_cpi - result.modified_cpi)
+                / result.baseline_cpi
+            )
+        else:
+            assert result.gain_fraction == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(section_indices)
+    def test_linear_gain_zero_for_absent_events(self, index):
+        x = _SUITE.X[index]
+        leaf = _MODEL.leaf_for(x)
+        absent = [
+            name for name in _MODEL.attributes_
+            if name not in leaf.model.names
+        ]
+        if not absent:
+            return
+        result = estimate_gain(_MODEL, x, absent[0], reduction=1.0)
+        assert result.linear_gain_fraction == 0.0
+
+    def test_rank_gains_sorted_best_first(self):
+        results = rank_gains(_MODEL, _SUITE.X[0], reduction=1.0)
+        gains = [r.gain_fraction for r in results]
+        assert gains == sorted(gains, reverse=True)
+        assert {r.event for r in results} == set(_MODEL.attributes_)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(DataError):
+            estimate_gain(_MODEL, _SUITE.X[0], "NOT_AN_EVENT")
+        with pytest.raises(DataError):
+            estimate_gain(_MODEL, _SUITE.X[0], _SUITE.attributes[0],
+                          floor=-1.0)

@@ -264,3 +264,44 @@ class TestResilienceCli:
         assert document["format"] == "repro-report"
         assert set(document["ranking"]) == set(document["methods"])
         assert document["failed_units"] == []
+
+
+class TestConformanceCommands:
+    def test_conformance_quick_subset(self, capsys):
+        assert main([
+            "conformance", "--max-cases", "3", "--skip-metamorphic",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "conformant" in out
+        assert "3 case(s)" in out
+
+    def test_conformance_json_envelope(self, capsys):
+        import json
+
+        assert main([
+            "conformance", "--max-cases", "2", "--skip-metamorphic",
+            "--format", "json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["format"] == "repro-report"
+        assert document["kind"] == "conformance"
+        assert document["clean"] is True
+        assert document["n_cases"] == 2
+
+    def test_fuzz_smoke(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["fuzz", "--iterations", "12", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "0 crash(es)" in out
+
+    def test_fuzz_single_target_json(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main([
+            "fuzz", "--target", "csv", "--iterations", "10",
+            "--format", "json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "conformance"
+        assert document["clean"] is True

@@ -1,0 +1,136 @@
+"""Tests for the differential runner and its report plumbing."""
+
+import json
+
+import pytest
+
+from repro.conformance import (
+    ConformanceReport,
+    build_corpus,
+    run_case,
+    run_differential,
+)
+from repro.conformance.structure import diff_trees, tree_skeleton, trees_identical
+from repro.core.tree import M5Prime
+from repro.core.tree.node import SplitNode
+from repro.datasets.synthetic import figure1_dataset
+from repro.errors import ConfigError
+
+
+class TestCorpus:
+    def test_quick_tier_meets_acceptance_floor(self):
+        assert len(build_corpus(2007, "quick")) >= 25
+
+    def test_deep_tier_is_a_superset(self):
+        quick = {c.name for c in build_corpus(2007, "quick")}
+        deep = {c.name for c in build_corpus(2007, "deep")}
+        assert quick < deep
+
+    def test_names_are_unique(self):
+        names = [c.name for c in build_corpus(2007, "deep")]
+        assert len(names) == len(set(names))
+
+    def test_seed_determines_data(self):
+        a = build_corpus(2007, "quick")[0]
+        b = build_corpus(2007, "quick")[0]
+        assert (a.dataset.X == b.dataset.X).all()
+        assert (a.dataset.y == b.dataset.y).all()
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ConfigError):
+            build_corpus(2007, "exhaustive")
+
+
+class TestDifferential:
+    def test_subset_is_conformant(self):
+        report = run_differential(seed=2007, max_cases=5)
+        assert report.is_clean, report.render_text()
+        assert report.n_cases == 5
+        assert report.exit_code() == 0
+
+    def test_sabotage_is_detected(self):
+        # Nudge one production threshold after fitting: the differential
+        # check must flag the tree *and* stop before repeating the root
+        # cause as prediction noise.
+        case = build_corpus(2007, "quick")[0]
+        report = ConformanceReport(tier="quick", seed=2007)
+
+        fitted = M5Prime(**case.params).fit(case.dataset)
+        assert isinstance(fitted.root_, SplitNode)
+
+        original_fit = M5Prime.fit
+
+        def sabotaged_fit(self, *args, **kwargs):
+            result = original_fit(self, *args, **kwargs)
+            if isinstance(self.root_, SplitNode):
+                self.root_.threshold += 1e-9
+            return result
+
+        M5Prime.fit = sabotaged_fit
+        try:
+            run_case(case, report)
+        finally:
+            M5Prime.fit = original_fit
+        assert not report.is_clean
+        assert any(d.rule_id == "CONF001" for d in report.diagnostics)
+        assert report.exit_code() == 2
+
+    def test_json_envelope(self):
+        report = run_differential(seed=2007, max_cases=2)
+        document = json.loads(report.render_json())
+        assert document["format"] == "repro-report"
+        assert document["kind"] == "conformance"
+        assert document["clean"] is True
+        assert document["seed"] == 2007
+        assert document["n_cases"] == 2
+        assert document["diagnostics"] == []
+
+
+class TestStructureHelpers:
+    def test_identical_trees_have_no_diff(self):
+        dataset = figure1_dataset(n=150, noise_sd=0.05, rng=9)
+        a = M5Prime(min_instances=12).fit(dataset)
+        b = M5Prime(min_instances=12).fit(dataset)
+        assert trees_identical(a.root_, b.root_)
+
+    def test_threshold_change_is_reported_once_per_branch(self):
+        dataset = figure1_dataset(n=150, noise_sd=0.05, rng=9)
+        a = M5Prime(min_instances=12).fit(dataset)
+        b = M5Prime(min_instances=12).fit(dataset)
+        assert isinstance(b.root_, SplitNode)
+        b.root_.threshold += 0.5
+        differences = diff_trees(a.root_, b.root_)
+        assert any("threshold" in d for d in differences)
+
+    def test_population_change_is_reported(self):
+        dataset = figure1_dataset(n=150, noise_sd=0.05, rng=9)
+        a = M5Prime(min_instances=12).fit(dataset)
+        b = M5Prime(min_instances=12).fit(dataset)
+        b.root_.n_instances += 1
+        assert any("n_instances" in d for d in diff_trees(a.root_, b.root_))
+
+    def test_skeleton_is_json_roundtrippable(self):
+        dataset = figure1_dataset(n=150, noise_sd=0.05, rng=9)
+        model = M5Prime(min_instances=12).fit(dataset)
+        skeleton = tree_skeleton(model.root_)
+        assert json.loads(json.dumps(skeleton)) == skeleton
+        assert skeleton["kind"] in ("split", "leaf")
+
+
+class TestReport:
+    def test_merge_accumulates(self):
+        a = ConformanceReport(tier="quick", seed=1)
+        a.n_checks, a.n_cases = 3, 1
+        b = ConformanceReport(tier="quick", seed=1)
+        b.n_checks, b.n_cases = 2, 1
+        b.add("META001", "violated", "meta x")
+        a.merge(b)
+        assert a.n_checks == 5
+        assert a.n_cases == 2
+        assert a.n_divergences == 1
+        assert a.exit_code() == 2
+
+    def test_summary_mentions_tier_and_seed(self):
+        report = ConformanceReport(tier="deep", seed=42)
+        assert "deep" in report.summary()
+        assert "42" in report.summary()

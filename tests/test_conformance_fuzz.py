@@ -1,0 +1,135 @@
+"""Tests for the deterministic loader fuzzer."""
+
+import pytest
+
+import repro.conformance.fuzz as fuzz_module
+from repro.conformance.fuzz import (
+    TARGETS,
+    _seed_documents,
+    mutate_document,
+    run_fuzz,
+)
+from repro.errors import ConfigError, ParseError
+
+
+class TestDeterminism:
+    def test_same_triple_same_bytes(self):
+        seed_doc = b"@relation r\n@attribute a numeric\n@data\n1.0,2.0\n"
+        first = mutate_document(seed_doc, 2007, 0, 17)
+        second = mutate_document(seed_doc, 2007, 0, 17)
+        assert first == second
+
+    def test_different_iterations_differ(self):
+        seed_doc = b"@relation r\n@attribute a numeric\n@data\n1.0,2.0\n"
+        outputs = {mutate_document(seed_doc, 2007, 0, i) for i in range(20)}
+        assert len(outputs) > 1
+
+    def test_seed_corpus_is_deterministic(self):
+        assert _seed_documents(2007) == _seed_documents(2007)
+
+    def test_runs_are_reproducible(self, tmp_path):
+        a = run_fuzz(seed=11, iterations=30, reproducer_dir=tmp_path / "a")
+        b = run_fuzz(seed=11, iterations=30, reproducer_dir=tmp_path / "b")
+        assert a.n_parse_errors == b.n_parse_errors
+        assert a.n_valid == b.n_valid
+        assert len(a.crashes) == len(b.crashes)
+
+
+class TestContract:
+    def test_no_crashes_on_smoke_budget(self, tmp_path):
+        result = run_fuzz(seed=2007, iterations=60, reproducer_dir=tmp_path)
+        assert result.n_iterations == 60 * len(TARGETS)
+        assert result.crashes == [], [
+            (c.target, c.iteration, c.exception, c.message)
+            for c in result.crashes
+        ]
+        assert result.to_report().exit_code() == 0
+
+    def test_seconds_budget_terminates(self, tmp_path):
+        result = run_fuzz(seed=2007, seconds=0.2, reproducer_dir=tmp_path)
+        assert result.elapsed_seconds < 5.0
+        assert result.n_iterations > 0
+
+    def test_unknown_target_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            run_fuzz(seed=1, iterations=1, targets=("ini",),
+                     reproducer_dir=tmp_path)
+
+    def test_target_subset(self, tmp_path):
+        result = run_fuzz(seed=3, iterations=10, targets=("csv",),
+                          reproducer_dir=tmp_path)
+        assert result.n_iterations == 10
+
+
+class TestCrashTriage:
+    def test_crash_is_recorded_and_quarantined(self, tmp_path, monkeypatch):
+        def crashing(text):
+            raise KeyError("loader bug")
+
+        def crashing_file(path):
+            raise KeyError("loader bug")
+
+        real = fuzz_module._loaders()
+
+        def patched():
+            loaders = dict(real)
+            loaders["csv"] = (crashing, crashing_file, ".csv")
+            return loaders
+
+        monkeypatch.setattr(fuzz_module, "_loaders", patched)
+        result = run_fuzz(seed=5, iterations=4, targets=("csv",),
+                          reproducer_dir=tmp_path)
+        assert len(result.crashes) == 4
+        crash = result.crashes[0]
+        assert crash.exception == "KeyError"
+        assert crash.target == "csv"
+        assert crash.reproducer is not None
+        reproducers = list(tmp_path.glob("csv-*.bin"))
+        assert reproducers
+        # The quarantined bytes replay the exact mutated document.
+        expected = mutate_document(
+            _seed_documents(5)["csv"][0], 5, TARGETS.index("csv"), 0
+        )
+        assert any(p.read_bytes() == expected for p in reproducers)
+
+    def test_parse_error_is_not_a_crash(self, tmp_path, monkeypatch):
+        def rejecting(text):
+            raise ParseError("typed failure")
+
+        def rejecting_file(path):
+            raise ParseError("typed failure")
+
+        real = fuzz_module._loaders()
+
+        def patched():
+            loaders = dict(real)
+            loaders["arff"] = (rejecting, rejecting_file, ".arff")
+            return loaders
+
+        monkeypatch.setattr(fuzz_module, "_loaders", patched)
+        result = run_fuzz(seed=5, iterations=5, targets=("arff",),
+                          reproducer_dir=tmp_path)
+        assert result.crashes == []
+        assert result.n_parse_errors == 5
+
+    def test_report_carries_fuzz001(self, tmp_path, monkeypatch):
+        def crashing(text):
+            raise ZeroDivisionError("boom")
+
+        def crashing_file(path):
+            raise ZeroDivisionError("boom")
+
+        real = fuzz_module._loaders()
+
+        def patched():
+            loaders = dict(real)
+            loaders["model"] = (crashing, crashing_file, ".json")
+            return loaders
+
+        monkeypatch.setattr(fuzz_module, "_loaders", patched)
+        result = run_fuzz(seed=5, iterations=1, targets=("model",),
+                          reproducer_dir=tmp_path)
+        report = result.to_report()
+        assert report.exit_code() == 2
+        assert all(d.rule_id == "FUZZ001" for d in report.diagnostics)
+        assert "ZeroDivisionError" in report.render_text()

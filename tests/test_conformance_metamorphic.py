@@ -1,0 +1,104 @@
+"""Tests for the metamorphic relation suite."""
+
+import numpy as np
+
+from repro.conformance import run_metamorphic
+from repro.conformance.metamorphic import (
+    ALL_RELATIONS,
+    _split_signature,
+    check_affine_target,
+    check_duplication,
+    check_feature_permutation,
+    check_min_leaf_monotonic,
+    check_row_permutation,
+)
+from repro.conformance.report import ConformanceReport
+from repro.core.tree import M5Prime
+from repro.datasets.synthetic import figure1_dataset, interaction_dataset
+
+
+def _report():
+    return ConformanceReport(tier="metamorphic", seed=2007)
+
+
+class TestRelations:
+    def test_row_permutation_holds(self):
+        report = _report()
+        data = figure1_dataset(n=180, noise_sd=0.05, rng=21)
+        check_row_permutation("f1", data, 2007, report)
+        assert report.is_clean, report.render_text()
+
+    def test_feature_permutation_holds(self):
+        report = _report()
+        data = interaction_dataset(n=180, noise_sd=0.03, rng=22)
+        check_feature_permutation("inter", data, 2007, report)
+        assert report.is_clean, report.render_text()
+
+    def test_affine_target_holds(self):
+        report = _report()
+        data = figure1_dataset(n=180, noise_sd=0.05, rng=23)
+        check_affine_target("f1", data, 2007, report)
+        assert report.is_clean, report.render_text()
+
+    def test_duplication_holds(self):
+        report = _report()
+        data = figure1_dataset(n=160, noise_sd=0.05, rng=24)
+        check_duplication("f1", data, 2007, report)
+        assert report.is_clean, report.render_text()
+
+    def test_min_leaf_monotonicity_holds(self):
+        report = _report()
+        data = figure1_dataset(n=200, noise_sd=0.05, rng=25)
+        check_min_leaf_monotonic("f1", data, 2007, report)
+        assert report.is_clean, report.render_text()
+
+
+class TestSuite:
+    def test_full_run_is_conformant(self):
+        report = run_metamorphic(seed=2007)
+        assert report.is_clean, report.render_text()
+        assert report.n_cases == 3
+        assert report.n_checks == 3 * len(ALL_RELATIONS)
+
+    def test_custom_datasets(self):
+        data = figure1_dataset(n=150, noise_sd=0.05, rng=26)
+        report = run_metamorphic(seed=2007, datasets=[("only", data)])
+        assert report.n_cases == 1
+        assert report.is_clean, report.render_text()
+
+
+class TestSplitSignature:
+    def test_distinguishes_structures(self):
+        shallow = M5Prime(min_instances=60).fit(
+            figure1_dataset(n=200, noise_sd=0.05, rng=27)
+        )
+        deep = M5Prime(min_instances=10).fit(
+            figure1_dataset(n=200, noise_sd=0.05, rng=27)
+        )
+        assert _split_signature(shallow.root_) != _split_signature(deep.root_)
+
+    def test_invariant_to_refit(self):
+        data = figure1_dataset(n=200, noise_sd=0.05, rng=28)
+        a = M5Prime(min_instances=15).fit(data)
+        b = M5Prime(min_instances=15).fit(data)
+        assert _split_signature(a.root_) == _split_signature(b.root_)
+
+    def test_violation_is_reported_not_raised(self):
+        # A relation that fails must record a diagnostic, never assert.
+        report = _report()
+        report.add("META003", "synthetic violation", "meta unit")
+        assert not report.is_clean
+        assert report.exit_code() == 2
+        assert "META003" in report.render_text()
+
+
+class TestToleranceChoice:
+    def test_row_shuffle_moves_predictions_within_tolerance_only(self):
+        # Demonstrate the reason the relations are tolerance-based:
+        # reordering rows really does move lstsq output by last bits.
+        data = figure1_dataset(n=200, noise_sd=0.05, rng=29)
+        rng = np.random.default_rng(0)
+        a = M5Prime(min_instances=15).fit(data)
+        b = M5Prime(min_instances=15).fit(data.shuffled(rng))
+        pa, pb = a.predict(data.X), b.predict(data.X)
+        assert np.allclose(pa, pb, rtol=1e-6, atol=1e-9)

@@ -1,0 +1,98 @@
+"""Tests for the naive reference implementation (the oracle itself)."""
+
+import numpy as np
+import pytest
+
+from repro.conformance.oracle import (
+    ReferenceM5Prime,
+    _best_boundary,
+    _exhaustive_best_split,
+)
+from repro.conformance.structure import diff_trees, trees_identical
+from repro.core.tree import M5Prime
+from repro.datasets.synthetic import (
+    constant_dataset,
+    figure1_dataset,
+    step_dataset,
+)
+
+
+class TestSplitSearch:
+    def test_finds_the_obvious_step(self):
+        x = np.concatenate([np.zeros(20), np.ones(20)])
+        y = np.concatenate([np.zeros(20), np.full(20, 10.0)])
+        result = _exhaustive_best_split(x.reshape(-1, 1), y, min_leaf=2)
+        assert result is not None
+        attribute, threshold = result
+        assert attribute == 0
+        assert threshold == pytest.approx(0.5)
+
+    def test_no_split_on_constant_target(self):
+        x = np.linspace(0.0, 1.0, 30)
+        y = np.full(30, 3.0)
+        assert _exhaustive_best_split(x.reshape(-1, 1), y, min_leaf=2) is None
+
+    def test_min_leaf_respected(self):
+        xs = np.arange(10, dtype=np.float64)
+        ys = np.where(xs < 1, 100.0, 0.0)
+        # The best boundary leaves 1 row on the left; with min_leaf=3 an
+        # accepted threshold must keep at least 3 rows on each side.
+        found = _best_boundary(xs, ys, min_leaf=3, sd_total=float(np.std(ys)))
+        if found is not None:
+            _, threshold = found
+            assert np.sum(xs <= threshold) >= 3
+            assert np.sum(xs > threshold) >= 3
+
+    def test_tied_attribute_values_never_split_between(self):
+        xs = np.array([0.0, 1.0, 1.0, 1.0, 2.0, 2.0])
+        ys = np.array([0.0, 5.0, 5.0, 5.0, 9.0, 9.0])
+        found = _best_boundary(xs, ys, min_leaf=1, sd_total=float(np.std(ys)))
+        assert found is not None
+        _, threshold = found
+        # The threshold must fall strictly between two distinct values,
+        # never inside a run of ties.
+        assert threshold in (0.5, 1.5)
+
+
+class TestReferenceEstimator:
+    def test_matches_production_bitwise(self):
+        dataset = figure1_dataset(n=200, noise_sd=0.05, rng=11)
+        production = M5Prime(min_instances=12).fit(dataset)
+        oracle = ReferenceM5Prime(min_instances=12).fit(dataset)
+        assert trees_identical(oracle.root_, production.root_)
+        assert np.array_equal(
+            oracle.predict(dataset.X), production.predict(dataset.X)
+        )
+        assert np.array_equal(
+            oracle.leaf_ids(dataset.X), production.leaf_ids(dataset.X)
+        )
+
+    def test_matches_production_with_smoothing(self):
+        dataset = step_dataset(n=150, noise_sd=0.1, rng=7)
+        production = M5Prime(min_instances=10, smoothing=True).fit(dataset)
+        oracle = ReferenceM5Prime(min_instances=10, smoothing=True).fit(dataset)
+        assert not diff_trees(oracle.root_, production.root_)
+        assert np.array_equal(
+            oracle.predict(dataset.X), production.predict(dataset.X)
+        )
+
+    def test_constant_target_is_one_leaf(self):
+        dataset = constant_dataset(value=2.5, n=60, p=3)
+        oracle = ReferenceM5Prime(min_instances=8).fit(dataset)
+        assert oracle.n_leaves == 1
+        assert np.allclose(oracle.predict(dataset.X), 2.5)
+
+    def test_leaf_ids_are_positive_and_dense(self):
+        dataset = figure1_dataset(n=180, noise_sd=0.05, rng=3)
+        oracle = ReferenceM5Prime(min_instances=12).fit(dataset)
+        ids = oracle.leaf_ids(dataset.X)
+        assert ids.min() >= 1
+        assert set(np.unique(ids)) <= set(range(1, oracle.n_leaves + 1))
+
+    def test_feature_ranges_recorded(self):
+        dataset = figure1_dataset(n=120, noise_sd=0.05, rng=5)
+        oracle = ReferenceM5Prime(min_instances=10).fit(dataset)
+        assert oracle.feature_ranges_ is not None
+        for (low, high), column in zip(oracle.feature_ranges_, dataset.X.T):
+            assert low == float(np.min(column))
+            assert high == float(np.max(column))

@@ -145,3 +145,99 @@ class TestCsv:
         assert loaded.n_instances == suite_dataset.n_instances
         assert np.allclose(loaded.X, suite_dataset.X)
         assert set(loaded.meta) >= {"workload", "section", "phase"}
+
+
+class TestErrorContext:
+    """Loader errors name their source and the offending line."""
+
+    def test_arff_names_path_and_line(self, tmp_path):
+        from repro.datasets.arff import load_arff
+
+        path = tmp_path / "bad.arff"
+        path.write_text(
+            "@relation r\n@attribute a numeric\n@attribute b numeric\n"
+            "@data\n1.0,2.0\n1.0,oops\n"
+        )
+        with pytest.raises(ParseError, match=r"bad\.arff.*line 6"):
+            load_arff(path)
+
+    def test_arff_width_error_has_line_number(self):
+        from repro.datasets.arff import loads_arff
+
+        text = (
+            "@relation r\n@attribute a numeric\n@attribute b numeric\n"
+            "@data\n1.0,2.0\n3.0\n"
+        )
+        with pytest.raises(ParseError, match="line 6"):
+            loads_arff(text)
+
+    def test_arff_nan_rejected_with_column(self):
+        from repro.datasets.arff import loads_arff
+
+        text = (
+            "@relation r\n@attribute a numeric\n@attribute b numeric\n"
+            "@data\nNaN,2.0\n"
+        )
+        with pytest.raises(ParseError, match="line 5.*'a'"):
+            loads_arff(text)
+
+    def test_arff_duplicate_names_are_a_parse_error(self):
+        from repro.datasets.arff import loads_arff
+
+        text = (
+            "@relation r\n@attribute a numeric\n@attribute a numeric\n"
+            "@attribute y numeric\n@data\n1.0,2.0,3.0\n"
+        )
+        with pytest.raises(ParseError, match="unique"):
+            loads_arff(text)
+
+    def test_arff_non_utf8_is_a_parse_error(self, tmp_path):
+        from repro.datasets.arff import load_arff
+
+        path = tmp_path / "binary.arff"
+        path.write_bytes(b"@relation r\n\xff\xfe\x00bad")
+        with pytest.raises(ParseError, match="UTF-8"):
+            load_arff(path)
+
+    def test_csv_names_path_and_line(self, tmp_path):
+        from repro.datasets.csvio import load_csv
+
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,Y\n1.0,2.0,3.0\n1.0,x,3.0\n")
+        with pytest.raises(ParseError, match=r"bad\.csv.*line 3"):
+            load_csv(path)
+
+    def test_csv_string_parser_reports_inf(self):
+        from repro.datasets.csvio import loads_csv
+
+        with pytest.raises(ParseError, match="line 2.*'b'"):
+            loads_csv("a,b,Y\n1.0,inf,3.0\n")
+
+    def test_csv_ragged_row_has_line_number(self):
+        from repro.datasets.csvio import loads_csv
+
+        with pytest.raises(ParseError, match="line 3"):
+            loads_csv("a,b,Y\n1.0,2.0,3.0\n1.0,2.0\n")
+
+    def test_loads_csv_round_trips_save_csv(self, tmp_path, suite_dataset):
+        from repro.datasets.csvio import load_csv, loads_csv, save_csv
+
+        path = tmp_path / "suite.csv"
+        save_csv(suite_dataset, path)
+        from_text = loads_csv(path.read_text())
+        from_file = load_csv(path)
+        assert (from_text.X == from_file.X).all()
+        assert (from_text.y == from_file.y).all()
+        assert from_text.attributes == from_file.attributes
+
+    def test_loads_model_names_source(self):
+        from repro.core.tree.serialize import loads_model
+
+        with pytest.raises(ParseError, match="registry blob.*invalid JSON"):
+            loads_model("{not json", source="registry blob")
+
+    def test_model_bad_document_without_source(self):
+        from repro.core.tree.serialize import loads_model
+
+        with pytest.raises(ParseError, match="repro-m5prime"):
+            loads_model('{"format": "something-else"}')

@@ -1,0 +1,120 @@
+"""Pruning and stopping-rule edge cases, pinned by golden structures.
+
+The golden skeletons under ``tests/golden/`` record the exact split
+structure (attribute names, 10-significant-digit thresholds, node
+populations, leaf-model term names) these datasets must produce.  Regenerate
+a file deliberately with::
+
+    PYTHONPATH=src python -c "
+    from tests.test_pruning_edges import regenerate_goldens; regenerate_goldens()"
+
+and review the diff like any other behaviour change.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.conformance.structure import tree_skeleton
+from repro.core.tree import M5Prime
+from repro.datasets.synthetic import (
+    constant_dataset,
+    figure1_dataset,
+    step_dataset,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: The paper prunes to >= 430 sections per leaf (1% of its ~43k corpus).
+PAPER_MIN_LEAF = 430
+
+
+def _golden_cases():
+    return {
+        "constant_target": M5Prime(min_instances=10).fit(
+            constant_dataset(value=2.5, n=90, p=3)
+        ),
+        "step_at_paper_floor": M5Prime(
+            min_instances=PAPER_MIN_LEAF, prune=False
+        ).fit(step_dataset(n=2 * PAPER_MIN_LEAF, rng=2007)),
+        "single_feature_pruned": M5Prime(min_instances=25).fit(
+            step_dataset(n=400, noise_sd=0.1, rng=2007)
+        ),
+        "figure1_pruned": M5Prime(min_instances=40).fit(
+            figure1_dataset(n=900, noise_sd=0.05, rng=2007)
+        ),
+    }
+
+
+def regenerate_goldens() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, model in _golden_cases().items():
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(
+            json.dumps(tree_skeleton(model.root_), indent=1, sort_keys=True)
+            + "\n"
+        )
+
+
+class TestGoldenStructures:
+    @pytest.mark.parametrize("name", sorted(_golden_cases()))
+    def test_structure_matches_golden(self, name):
+        golden = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+        model = _golden_cases()[name]
+        assert tree_skeleton(model.root_) == golden
+
+
+class TestMinLeafThreshold:
+    def test_one_below_the_floor_cannot_split(self):
+        # 2 * min_instances - 1 rows: the stopping rule forbids any split.
+        data = step_dataset(n=2 * PAPER_MIN_LEAF - 1, rng=2007)
+        model = M5Prime(min_instances=PAPER_MIN_LEAF, prune=False).fit(data)
+        assert model.n_leaves == 1
+
+    def test_exactly_the_floor_splits_in_half(self):
+        # 2 * min_instances rows admit exactly one legal boundary: the
+        # 430/430 midpoint split.
+        data = step_dataset(n=2 * PAPER_MIN_LEAF, rng=2007)
+        model = M5Prime(min_instances=PAPER_MIN_LEAF, prune=False).fit(data)
+        assert model.n_leaves == 2
+        left, right = model.root_.left, model.root_.right
+        assert left.n_instances == PAPER_MIN_LEAF
+        assert right.n_instances == PAPER_MIN_LEAF
+
+    def test_every_leaf_respects_the_floor(self):
+        data = step_dataset(n=3 * PAPER_MIN_LEAF, noise_sd=0.05, rng=3)
+        model = M5Prime(min_instances=PAPER_MIN_LEAF, prune=False).fit(data)
+        for leaf in model.root_.leaves():
+            assert leaf.n_instances >= PAPER_MIN_LEAF
+
+
+class TestConstantTarget:
+    def test_single_leaf_and_exact_prediction(self):
+        data = constant_dataset(value=2.5, n=90, p=3)
+        model = M5Prime(min_instances=10).fit(data)
+        assert model.n_leaves == 1
+        assert np.allclose(model.predict(data.X), 2.5)
+
+    def test_unpruned_is_also_single_leaf(self):
+        # The sd > sd_fraction * global_sd stopping rule (not pruning)
+        # must refuse to split a zero-variance target.
+        data = constant_dataset(value=1.0, n=120, p=2)
+        model = M5Prime(min_instances=10, prune=False).fit(data)
+        assert model.n_leaves == 1
+
+
+class TestSingleFeature:
+    def test_clean_step_needs_exactly_one_split(self):
+        data = step_dataset(n=300, rng=4)
+        model = M5Prime(min_instances=20).fit(data)
+        assert model.n_leaves == 2
+        assert model.root_.attribute_name == "X1"
+        assert model.root_.threshold == pytest.approx(0.5, abs=0.05)
+
+    def test_pruning_removes_noise_splits(self):
+        data = step_dataset(n=400, noise_sd=0.1, rng=2007)
+        pruned = M5Prime(min_instances=25).fit(data)
+        unpruned = M5Prime(min_instances=25, prune=False).fit(data)
+        assert pruned.n_leaves <= unpruned.n_leaves
