@@ -9,6 +9,7 @@ Subcommands mirror the paper's workflow:
 * ``repro compare``     — the full method comparison table
 * ``repro experiments`` — run registered paper-artifact experiments
 * ``repro lint``        — statically verify models, datasets, compatibility
+* ``repro verify``      — abstract interpretation over compiled tree arenas
 * ``repro serve``       — batched HTTP model server over the registry
 * ``repro workloads``   — list the synthetic suite
 * ``repro bench``       — time the hot paths, write a BENCH_<date>.json
@@ -183,6 +184,37 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
 
+    verify = sub.add_parser(
+        "verify",
+        help="static verification of compiled tree arenas",
+        description="Abstract interpretation over the compiled tree "
+        "arena: structural well-formedness, dead branches, domain "
+        "coverage, and certified per-leaf output bounds.  Targets: a "
+        "saved model JSON, registry entries (stored certificates must "
+        "match recomputation), and/or the conformance corpus (certified "
+        "bounds cross-checked against empirical predictions).  "
+        "Exit codes: 0 clean, 1 warnings with --strict, 2 errors.",
+    )
+    verify.add_argument("--model", help="saved model JSON to verify")
+    verify.add_argument("--registry", metavar="DIR", nargs="?", const="",
+                        default=None,
+                        help="verify every model in this registry "
+                        "directory (no value: the default registry)")
+    verify.add_argument("--corpus", metavar="TIER", default=None,
+                        choices=["quick", "deep"],
+                        help="fit, verify, and empirically bound-check "
+                        "every model of this conformance corpus tier")
+    verify.add_argument("--seed", type=int, default=2007,
+                        help="corpus master seed (default 2007)")
+    verify.add_argument("--rows", type=int, default=10000,
+                        help="rows per empirical bound-check batch "
+                        "(default 10000)")
+    verify.add_argument("--max-cases", type=int, default=None, metavar="N",
+                        help="truncate the corpus (debugging convenience)")
+    verify.add_argument("--format", default="text", choices=["text", "json"])
+    verify.add_argument("--strict", action="store_true",
+                        help="exit 1 when warnings are the worst finding")
+
     compare = sub.add_parser("compare", help="method comparison table")
     compare.add_argument("--data", required=True)
     compare.add_argument("--folds", type=int, default=10)
@@ -305,6 +337,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(debugging convenience)")
     conformance.add_argument("--skip-metamorphic", action="store_true",
                              help="run only the differential corpus")
+    conformance.add_argument("--skip-certified", action="store_true",
+                             help="skip the certified-bounds cross-check "
+                             "(static verification + empirical interval "
+                             "containment on every corpus model)")
     conformance.add_argument("--format", default="text",
                              choices=["text", "json"],
                              help="output format (json shares the "
@@ -575,6 +611,103 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.lint import json_document
+    from repro.verify import verify_model
+
+    if not args.model and args.registry is None and args.corpus is None:
+        raise ReproError("verify needs --model, --registry, and/or --corpus")
+    targets = []
+    failures = []
+    if args.model:
+        from repro.core.tree import load_model
+
+        targets.append((args.model, verify_model(load_model(args.model))))
+    if args.registry is not None:
+        from repro.serve import ModelRegistry
+
+        registry = ModelRegistry(Path(args.registry) if args.registry else None)
+        names = sorted(registry.names())
+        if not names:
+            failures.append((str(registry.directory), "registry is empty"))
+        for name in names:
+            spec = f"{name}@latest"
+            try:
+                model, record = registry.resolve(spec)
+            except ReproError as exc:
+                failures.append((spec, str(exc)))
+                continue
+            result = verify_model(model)
+            try:
+                stored = registry.load_certificate(record)
+            except ReproError as exc:
+                failures.append((record.spec, str(exc)))
+            else:
+                if stored is not None and stored != result.certificate:
+                    failures.append((
+                        record.spec,
+                        "stored certificate disagrees with the recomputed "
+                        "one; the blob or certificate changed after "
+                        "publish — republish the model",
+                    ))
+            targets.append((record.spec, result))
+    corpus_report = None
+    if args.corpus is not None:
+        from repro.conformance import run_certified
+
+        corpus_report = run_certified(
+            seed=args.seed, tier=args.corpus, rows=args.rows,
+            max_cases=args.max_cases,
+        )
+    any_errors = (
+        bool(failures)
+        or any(not result.ok for _, result in targets)
+        or (corpus_report is not None and corpus_report.exit_code() != 0)
+    )
+    any_warnings = any(
+        result.report.n_warnings > 0 for _, result in targets
+    )
+    if args.format == "json":
+        payload = {
+            "targets": [
+                {
+                    "target": label,
+                    "ok": result.ok,
+                    "diagnostics": [
+                        d.to_dict() for d in result.diagnostics
+                    ],
+                    "certificate": (
+                        result.certificate.to_dict()
+                        if result.certificate is not None else None
+                    ),
+                }
+                for label, result in targets
+            ],
+            "failures": [
+                {"target": label, "message": message}
+                for label, message in failures
+            ],
+        }
+        if corpus_report is not None:
+            payload["corpus"] = corpus_report.to_dict()
+        print(json_document("verify", payload))
+    else:
+        for label, result in targets:
+            print(f"{label}:")
+            for diagnostic in result.diagnostics:
+                print(f"  {diagnostic.render()}")
+            print(f"  {result.summary()}")
+        for label, message in failures:
+            print(f"{label}: FAIL {message}")
+        if corpus_report is not None:
+            print(corpus_report.render_text())
+    if any_errors:
+        return 2
+    if args.strict and any_warnings:
+        return 1
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.evaluation import compare_estimators
 
@@ -783,13 +916,25 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
 
 def _cmd_conformance(args: argparse.Namespace) -> int:
-    from repro.conformance import run_differential, run_metamorphic
+    from repro.conformance import (
+        run_certified,
+        run_differential,
+        run_metamorphic,
+    )
 
     report = run_differential(
         seed=args.seed, tier=args.tier, max_cases=args.max_cases
     )
     if not args.skip_metamorphic:
         report.merge(run_metamorphic(seed=args.seed))
+    if not args.skip_certified:
+        certified = run_certified(
+            seed=args.seed, tier=args.tier, max_cases=args.max_cases
+        )
+        # run_certified counts the same corpus cases; merging them again
+        # would double the case total in the summary line.
+        certified.n_cases = 0
+        report.merge(certified)
     if args.format == "json":
         print(report.render_json())
     else:
@@ -837,6 +982,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "evaluate": _cmd_evaluate,
     "lint": _cmd_lint,
+    "verify": _cmd_verify,
     "compare": _cmd_compare,
     "describe": _cmd_describe,
     "experiments": _cmd_experiments,

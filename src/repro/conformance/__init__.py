@@ -14,8 +14,12 @@ Three independent evidence streams, one report shape:
 * :mod:`repro.conformance.fuzz` — deterministic mutation fuzzing of the
   ARFF/CSV/model-JSON parsers, holding them to their one-failure-mode
   (:class:`~repro.errors.ParseError`) contract.
+* :mod:`repro.conformance.certified` — every corpus-fitted model must
+  pass the static verifier (:mod:`repro.verify`) and keep 10k uniform
+  in-domain predictions inside its certified per-leaf intervals.
 """
 
+from repro.conformance.certified import run_certified
 from repro.conformance.corpus import ConformanceCase, build_corpus
 from repro.conformance.differential import run_case, run_differential
 from repro.conformance.fuzz import FuzzCrash, FuzzResult, run_fuzz
@@ -33,6 +37,7 @@ __all__ = [
     "build_corpus",
     "diff_trees",
     "run_case",
+    "run_certified",
     "run_differential",
     "run_fuzz",
     "run_metamorphic",

@@ -1,0 +1,112 @@
+"""Certified-bounds conformance: the verifier's claims, checked empirically.
+
+The static verifier (:mod:`repro.verify`) certifies, per leaf, an output
+interval no served prediction may escape.  That claim is proved by
+interval arithmetic over the reals; this module is the harness that
+holds it to account in floating point: every corpus-fitted model must
+(a) verify with zero errors, (b) earn a certificate, and (c) keep ten
+thousand uniformly drawn in-domain predictions inside the certified
+per-leaf intervals — bit-for-bit the same predictions serving would
+produce, smoothing included.
+
+A single escaping prediction is a ``CONF007`` divergence: either the
+verifier's interval arithmetic or its widening slack is wrong, and the
+certificate the registry hands to drift monitoring cannot be trusted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.conformance.corpus import build_corpus
+from repro.conformance.report import ConformanceReport
+from repro.core.tree.m5 import M5Prime
+from repro.errors import ReproError
+from repro.verify import verify_model
+
+__all__ = ["run_certified"]
+
+#: Rows per empirical containment batch (the acceptance criterion's 10k).
+DEFAULT_ROWS = 10_000
+
+
+def run_certified(
+    seed: int = 2007,
+    tier: str = "quick",
+    rows: int = DEFAULT_ROWS,
+    max_cases: Optional[int] = None,
+) -> ConformanceReport:
+    """Verify and empirically bound-check every corpus-fitted model.
+
+    Args:
+        seed: Master corpus seed (the same corpus the differential
+            runner fits, so CI verifies exactly the models it diffs).
+        tier: Corpus tier, ``"quick"`` or ``"deep"``.
+        rows: Rows per uniform in-domain probe batch.
+        max_cases: Cap on corpus cases (for fast local runs); ``None``
+            runs them all.
+    """
+    report = ConformanceReport(tier=tier, seed=seed)
+    cases = build_corpus(seed=seed, tier=tier)
+    if max_cases is not None:
+        cases = cases[:max_cases]
+    for index, case in enumerate(cases):
+        report.n_cases += 1
+        try:
+            model = M5Prime(**case.params).fit(case.dataset)
+        except ReproError as exc:
+            report.add(
+                "CONF007",
+                f"corpus model failed to fit: {exc}",
+                case.name,
+            )
+            continue
+        report.n_checks += 1
+        result = verify_model(model)
+        if not result.ok:
+            findings = "; ".join(
+                d.render() for d in result.diagnostics[:3]
+            )
+            report.add(
+                "CONF007",
+                f"static verification found {result.n_errors} error(s) "
+                f"on a production-fitted model: {findings}",
+                case.name,
+            )
+            continue
+        if result.certificate is None:
+            report.add(
+                "CONF007",
+                "clean verification run issued no certificate for a "
+                "fitted model (feature_ranges_ should always be recorded "
+                "at fit time)",
+                case.name,
+            )
+            continue
+        report.n_checks += 1
+        assert model.feature_ranges_ is not None
+        low = np.array([lo for lo, _ in model.feature_ranges_])
+        high = np.array([hi for _, hi in model.feature_ranges_])
+        generator = np.random.default_rng(
+            np.random.SeedSequence([seed, index, 7])
+        )
+        X = generator.uniform(low, high, size=(rows, low.shape[0]))
+        predictions = model.predict(X)
+        leaf_ids = model.leaf_ids(X)
+        escaped = result.certificate.check_predictions(leaf_ids, predictions)
+        if escaped:
+            worst = escaped[0]
+            leaf = int(leaf_ids[worst])
+            certified = result.certificate.leaf(leaf)
+            report.add(
+                "CONF007",
+                f"{len(escaped)} of {rows} in-domain predictions escaped "
+                f"their certified leaf interval; first: row {worst} "
+                f"predicted {predictions[worst]!r} outside "
+                f"[{certified.output[0]!r}, {certified.output[1]!r}] "
+                f"certified for leaf LM{leaf}",
+                case.name,
+            )
+    return report

@@ -17,6 +17,7 @@ CONF003  oracle vs production leaf (class) assignment diverged
 CONF004  compiled vs interpreted inference diverged
 CONF005  JSON round trip altered the tree or its predictions
 CONF006  serial vs parallel cross-validation diverged
+CONF007  static verification failed or certified bounds were escaped
 META001  row-permutation invariance violated
 META002  feature-permutation invariance violated
 META003  affine target scaling did not scale leaf models

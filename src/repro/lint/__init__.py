@@ -20,6 +20,10 @@ through three rule families:
 * **serve** (``SERVE0xx``): model-registry integrity — manifest
   well-formedness, missing/corrupt blobs, manifest-vs-blob agreement,
   registry entries whose feature set no longer matches the dataset.
+* **verify** (``VERIFY0xx``): static verification of the compiled tree
+  arena (:mod:`repro.verify`) — structural well-formedness plus
+  interval abstract interpretation: dead branches, domain coverage,
+  bounded predictions.
 
 Usage::
 
@@ -51,6 +55,7 @@ from repro.lint.registry import (
     FAMILY_DATASET,
     FAMILY_SERVE,
     FAMILY_TREE,
+    FAMILY_VERIFY,
     LintRule,
     all_rules,
     get_rule,
@@ -69,11 +74,13 @@ from repro.lint import data_rules as _data_rules  # noqa: F401
 from repro.lint import compat_rules as _compat_rules  # noqa: F401
 from repro.lint import cache_rules as _cache_rules  # noqa: F401
 from repro.lint import serve_rules as _serve_rules  # noqa: F401
+from repro.lint import verify_rules as _verify_rules  # noqa: F401
 
 __all__ = [
     "ALL_FAMILIES",
     "FAMILY_CACHE",
     "FAMILY_SERVE",
+    "FAMILY_VERIFY",
     "Diagnostic",
     "LintConfig",
     "LintContext",
@@ -91,6 +98,7 @@ __all__ = [
     "lint_dataset",
     "lint_model",
     "lint_registry",
+    "lint_verify",
     "render_json",
     "render_text",
     "rule",
@@ -117,6 +125,8 @@ def _resolve_families(
         available.append(FAMILY_CACHE)
     if registry_dir is not None:
         available.append(FAMILY_SERVE)
+    if model is not None:
+        available.append(FAMILY_VERIFY)
     if families is None:
         return tuple(available)
     needs = {
@@ -125,6 +135,7 @@ def _resolve_families(
         FAMILY_COMPAT: "both a model and a dataset",
         FAMILY_CACHE: "a cache directory",
         FAMILY_SERVE: "a registry directory",
+        FAMILY_VERIFY: "a model",
     }
     for family in families:
         if family not in ALL_FAMILIES:
@@ -235,6 +246,13 @@ def lint_compatibility(
     return run_lint(
         model=model, dataset=dataset, config=config, families=(FAMILY_COMPAT,)
     )
+
+
+def lint_verify(
+    model: M5Prime, config: Optional[LintConfig] = None
+) -> LintReport:
+    """Run the static-verifier (VERIFY) rules alone."""
+    return run_lint(model=model, config=config, families=(FAMILY_VERIFY,))
 
 
 def lint_cache(

@@ -18,14 +18,16 @@ from repro.errors import LintError
 from repro.lint.context import LintContext
 from repro.lint.diagnostics import Diagnostic, Severity
 
-#: The five rule families, in the order they run.
+#: The six rule families, in the order they run.
 FAMILY_TREE = "tree"
 FAMILY_DATASET = "dataset"
 FAMILY_COMPAT = "compat"
 FAMILY_CACHE = "cache"
 FAMILY_SERVE = "serve"
+FAMILY_VERIFY = "verify"
 ALL_FAMILIES: Tuple[str, ...] = (
-    FAMILY_TREE, FAMILY_DATASET, FAMILY_COMPAT, FAMILY_CACHE, FAMILY_SERVE
+    FAMILY_TREE, FAMILY_DATASET, FAMILY_COMPAT, FAMILY_CACHE, FAMILY_SERVE,
+    FAMILY_VERIFY,
 )
 
 Finding = Union[Diagnostic, Tuple[str, str]]

@@ -1,0 +1,140 @@
+"""The ``verify`` rule family: static arena verification (VERIFY0xx).
+
+Thin lint adapters over the static model verifier
+(:mod:`repro.verify`): the verifier runs once per lint context and each
+rule surfaces its own slice of the findings, so ``repro lint --model``
+and ``repro verify`` agree diagnostic-for-diagnostic.
+
+* ``VERIFY001`` (error): the compiled arena is well-formed — array
+  lengths agree, split features and child/term indices are in range,
+  ``term_offset`` is a monotone CSR ramp, parent pointers mirror child
+  edges, ``max_depth`` does not understate the real depth.
+* ``VERIFY002`` (error): the node graph is a tree — single parent per
+  node, no cycles, no orphans unreachable from the root.
+* ``VERIFY003`` (error): reachable leaves carry the paper's ``LM1..LMk``
+  numbering exactly once each; interior nodes carry 0.
+* ``VERIFY004`` (error): thresholds, intercepts, coefficients and
+  smoothing weights are finite; every reachable leaf carries a model.
+* ``VERIFY005`` (error): no dead branches — every path's feasible box
+  is non-empty against the training domain and satisfiable under the
+  Table I counter invariants.
+* ``VERIFY006`` (error): the live leaves partition the input domain —
+  no uncovered regions (missing children), no overlapping regions.
+* ``VERIFY007`` (warning): no leaf-model coefficient sits on a feature
+  the path has pinned to a single value (a constant in disguise).
+* ``VERIFY008`` (error): certified per-leaf output intervals are finite
+  (warning when no ``feature_ranges_`` exist to bound anything with).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional, Tuple
+
+from repro.lint.context import LintContext
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import FAMILY_VERIFY, rule
+
+if TYPE_CHECKING:
+    from repro.verify.runner import VerificationResult
+
+#: One verifier run shared by all eight rules of a lint pass.  The
+#: runner executes rules sequentially per context, so a single slot
+#: keyed by object identities is enough.
+_MEMO: Optional[Tuple[int, int, "VerificationResult"]] = None
+
+
+def _result(context: LintContext) -> "VerificationResult":
+    global _MEMO
+    from repro.verify.runner import verify_model
+
+    assert context.model is not None
+    key = (id(context), id(context.model))
+    if _MEMO is None or _MEMO[:2] != key:
+        _MEMO = (key[0], key[1], verify_model(context.model))
+    return _MEMO[2]
+
+
+def _slice(context: LintContext, rule_id: str) -> Iterator[Diagnostic]:
+    for diagnostic in _result(context).diagnostics:
+        if diagnostic.rule_id == rule_id:
+            yield diagnostic
+
+
+@rule(
+    "VERIFY001",
+    FAMILY_VERIFY,
+    Severity.ERROR,
+    "the compiled arena must be well-formed (shapes, indices, CSR, depth)",
+)
+def check_arena(context: LintContext) -> Iterator[Diagnostic]:
+    yield from _slice(context, "VERIFY001")
+
+
+@rule(
+    "VERIFY002",
+    FAMILY_VERIFY,
+    Severity.ERROR,
+    "the node graph must be a tree (single parent, acyclic, no orphans)",
+)
+def check_graph(context: LintContext) -> Iterator[Diagnostic]:
+    yield from _slice(context, "VERIFY002")
+
+
+@rule(
+    "VERIFY003",
+    FAMILY_VERIFY,
+    Severity.ERROR,
+    "reachable leaves must carry the LM1..LMk bijection",
+)
+def check_leaf_ids(context: LintContext) -> Iterator[Diagnostic]:
+    yield from _slice(context, "VERIFY003")
+
+
+@rule(
+    "VERIFY004",
+    FAMILY_VERIFY,
+    Severity.ERROR,
+    "thresholds, models, and smoothing weights must be finite",
+)
+def check_finiteness(context: LintContext) -> Iterator[Diagnostic]:
+    yield from _slice(context, "VERIFY004")
+
+
+@rule(
+    "VERIFY005",
+    FAMILY_VERIFY,
+    Severity.ERROR,
+    "no branch may be dead under the domain and counter invariants",
+)
+def check_dead_branches(context: LintContext) -> Iterator[Diagnostic]:
+    yield from _slice(context, "VERIFY005")
+
+
+@rule(
+    "VERIFY006",
+    FAMILY_VERIFY,
+    Severity.ERROR,
+    "live leaves must partition the input domain (no gaps, no overlap)",
+)
+def check_partition(context: LintContext) -> Iterator[Diagnostic]:
+    yield from _slice(context, "VERIFY006")
+
+
+@rule(
+    "VERIFY007",
+    FAMILY_VERIFY,
+    Severity.WARNING,
+    "leaf-model coefficients must not sit on pinned features",
+)
+def check_pinned_coefficients(context: LintContext) -> Iterator[Diagnostic]:
+    yield from _slice(context, "VERIFY007")
+
+
+@rule(
+    "VERIFY008",
+    FAMILY_VERIFY,
+    Severity.ERROR,
+    "certified output intervals must exist and be finite",
+)
+def check_output_bounds(context: LintContext) -> Iterator[Diagnostic]:
+    yield from _slice(context, "VERIFY008")

@@ -7,14 +7,18 @@ with them at interactive latency:
   contiguous arrays, evaluated vectorized and bit-identical to the
   interpreted walk (``M5Prime.predict`` routes through it).
 * :mod:`repro.serve.registry` — named, versioned, integrity-checked
-  model storage (``cpi-tree@latest``) on the artifact cache.
+  model storage (``cpi-tree@latest``) on the artifact cache; publishing
+  is gated by the static verifier (:mod:`repro.verify`) and stores the
+  verification certificate beside each blob.
 * :mod:`repro.serve.batching` — request coalescing with per-request
   deadlines.
 * :mod:`repro.serve.server` — the stdlib HTTP surface
   (``/predict``, ``/explain``, ``/models``, ``/healthz``, ``/metrics``).
-* :mod:`repro.serve.drift` — online out-of-range and invariant
-  monitoring of scored traffic.
-* :mod:`repro.serve.check` — the ``repro serve --check`` preflight.
+* :mod:`repro.serve.drift` — online out-of-range, non-finite-input,
+  invariant, and certified-prediction-bound monitoring of scored
+  traffic.
+* :mod:`repro.serve.check` — the ``repro serve --check`` preflight
+  (including static verification of every resolved artifact).
 """
 
 from repro.serve.batching import BatchQueue

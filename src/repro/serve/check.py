@@ -2,11 +2,13 @@
 
 Before a server takes traffic it should prove, offline, that it *can*:
 the registry manifest parses, the requested model resolves with its
-integrity sidecar intact, the tree compiles, and the compiled evaluator
-reproduces the interpreted per-row walk bit for bit on a probe batch
-drawn from the model's own training ranges.  Each probe is a
-:class:`CheckResult`; any failure makes the preflight (and the CLI) exit
-non-zero, so a deploy script can gate on it.
+integrity sidecar intact, the tree compiles, the static verifier
+(:mod:`repro.verify`) finds no errors and the stored certificate matches
+the recomputed one, and the compiled evaluator reproduces the
+interpreted per-row walk bit for bit on a probe batch drawn from the
+model's own training ranges.  Each probe is a :class:`CheckResult`; any
+failure makes the preflight (and the CLI) exit non-zero, so a deploy
+script can gate on it.
 """
 
 from __future__ import annotations
@@ -21,7 +23,8 @@ from repro.core.tree.node import route
 from repro.core.tree.smoothing import smoothed_predict
 from repro.errors import ReproError
 from repro.serve.drift import DriftMonitor
-from repro.serve.registry import ModelRegistry
+from repro.serve.registry import ModelRecord, ModelRegistry
+from repro.verify import verify_model
 
 __all__ = ["CheckResult", "preflight", "render_preflight"]
 
@@ -99,6 +102,49 @@ def _check_parity(model: M5Prime, label: str) -> CheckResult:
     )
 
 
+def _check_verify(
+    registry: ModelRegistry, model: M5Prime, record: "ModelRecord"
+) -> CheckResult:
+    """Static verification of the resolved artifact, plus certificate
+    agreement: a stored certificate must match what the verifier
+    recomputes from the blob — a mismatch means the artifact or its
+    certificate was modified after publish."""
+    result = verify_model(model)
+    if not result.ok:
+        findings = "; ".join(d.render() for d in result.diagnostics[:3])
+        return CheckResult(
+            "verify", False,
+            f"{record.spec}: {result.n_errors} verification error(s): "
+            f"{findings}"
+        )
+    try:
+        stored = registry.load_certificate(record)
+    except ReproError as exc:
+        return CheckResult("verify", False, f"{record.spec}: {exc}")
+    if stored is not None and stored != result.certificate:
+        return CheckResult(
+            "verify", False,
+            f"{record.spec}: stored certificate {record.certificate!r} "
+            "disagrees with the recomputed one; the blob or certificate "
+            "changed after publish — republish the model"
+        )
+    if result.certificate is not None:
+        detail = (
+            f"{record.spec}: verified; certified output in "
+            f"[{result.certificate.output[0]:g}, "
+            f"{result.certificate.output[1]:g}] over "
+            f"{len(result.certificate.leaves)} leaves"
+            + ("" if stored is not None else " (no stored certificate)")
+        )
+    else:
+        warnings = result.report.n_warnings
+        detail = (
+            f"{record.spec}: verified with {warnings} warning(s); "
+            "no certificate (model records no feature_ranges_)"
+        )
+    return CheckResult("verify", True, detail)
+
+
 def preflight(
     registry: ModelRegistry,
     model_spec: Optional[str] = None,
@@ -153,6 +199,7 @@ def preflight(
             f"{record.spec}: {compiled.feature.shape[0]} nodes, "
             f"max depth {compiled.max_depth}"
         ))
+        results.append(_check_verify(registry, model, record))
         results.append(_check_parity(model, record.spec))
         monitor = DriftMonitor(model)
         if monitor.monitors_ranges:

@@ -228,6 +228,13 @@ def compile_tree(root: Node, n_features: int) -> CompiledTree:
                     f"split attribute index {node.attribute_index} is out "
                     f"of range for {n_features} features"
                 )
+            if not np.isfinite(node.threshold):
+                raise DataError(
+                    f"split on attribute index {node.attribute_index} has "
+                    f"non-finite threshold {node.threshold!r}; NaN "
+                    "comparisons are false, so every row would silently "
+                    "route right"
+                )
             feature[i] = node.attribute_index
             threshold[i] = node.threshold
             left[i] = index_of[id(node.left)]

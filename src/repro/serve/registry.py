@@ -14,7 +14,16 @@ Layout (default ``<default_cache_dir>/registry``)::
         manifest.json                the name -> version index (atomic)
         model-<digest>.json          one blob per published version
         model-<digest>.json.sha256   integrity sidecar
+        cert-<digest>.json           verification certificate (see below)
         quarantine/                  corrupt blobs, kept for autopsy
+
+Publishing is gated by the static model verifier (:mod:`repro.verify`):
+a model with ERROR findings is refused, and a clean model with recorded
+``feature_ranges_`` ships a :class:`~repro.verify.certificate.\
+VerificationCertificate` (per-leaf feasible boxes and output bounds)
+beside its blob, which serving loads to enforce prediction bounds
+online.  ``publish(..., verify=False)`` skips the gate — for tests and
+for deliberately republishing a known-odd artifact.
 
 Spec grammar: ``name`` (implies ``@latest``), ``name@latest``,
 ``name@<version>`` (1-based integer), or ``name@<alias>`` for aliases
@@ -34,11 +43,14 @@ import os
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.tree.m5 import M5Prime
-from repro.errors import RegistryError
+from repro.errors import DataError, RegistryError
 from repro.parallel.cache import ArtifactCache
+
+if TYPE_CHECKING:
+    from repro.verify.certificate import VerificationCertificate
 
 __all__ = ["ModelRecord", "ModelRegistry", "parse_spec"]
 
@@ -71,7 +83,12 @@ def parse_spec(spec: str) -> Tuple[str, str]:
 
 @dataclass(frozen=True)
 class ModelRecord:
-    """One published model version as the manifest describes it."""
+    """One published model version as the manifest describes it.
+
+    ``certificate`` names the verification-certificate file beside the
+    blob, or is ``None`` for versions published without one (pre-verify
+    manifests, ``verify=False``, or models lacking ``feature_ranges_``).
+    """
 
     name: str
     version: int
@@ -80,6 +97,7 @@ class ModelRecord:
     attributes: Tuple[str, ...]
     target: str
     n_leaves: int
+    certificate: Optional[str] = None
 
     @property
     def spec(self) -> str:
@@ -93,6 +111,7 @@ class ModelRecord:
             "attributes": list(self.attributes),
             "target": self.target,
             "n_leaves": self.n_leaves,
+            "certificate": self.certificate,
         }
 
 
@@ -155,8 +174,15 @@ class ModelRegistry:
         name: str,
         model: M5Prime,
         aliases: Sequence[str] = (),
+        verify: bool = True,
     ) -> ModelRecord:
         """Store a fitted model under ``name`` as the next version.
+
+        The model first passes the static verifier (:mod:`repro.verify`)
+        — any ERROR finding refuses the publish before a byte is
+        written, and a clean run over a range-carrying model stores its
+        verification certificate beside the blob.  Pass
+        ``verify=False`` to skip the gate.
 
         The blob goes through the artifact cache (atomic write plus
         ``.sha256`` sidecar); the manifest update is itself atomic, so a
@@ -168,12 +194,34 @@ class ModelRegistry:
             raise RegistryError(f"publish takes a bare name, got {name!r}")
         if model.root_ is None:
             raise RegistryError("cannot publish an unfitted model")
+        certificate = None
+        if verify:
+            from repro.verify import verify_model
+
+            result = verify_model(model)
+            if not result.ok:
+                findings = "; ".join(
+                    d.render() for d in result.diagnostics[:5]
+                )
+                raise RegistryError(
+                    f"refusing to publish {name!r}: static verification "
+                    f"found {result.n_errors} error(s): {findings}"
+                )
+            certificate = result.certificate
         document = self._read_manifest()
         entry = document["models"].setdefault(
             name, {"latest": 0, "aliases": {}, "versions": {}}
         )
         version = int(entry["latest"]) + 1
         blob_path = self.cache.store_model([name, version], model)
+        certificate_name: Optional[str] = None
+        if certificate is not None:
+            # "cert-" rather than "model-<digest>.cert" keeps the file
+            # outside the artifact cache's entry namespace (which scans
+            # "model-*" files and would demand a checksum sidecar).
+            digest = blob_path.stem.partition("-")[2] or blob_path.stem
+            certificate_name = f"cert-{digest}.json"
+            self._write_certificate(certificate_name, certificate)
         record = ModelRecord(
             name=name,
             version=version,
@@ -184,6 +232,7 @@ class ModelRegistry:
             attributes=tuple(model.attributes_),
             target=model.target_name_,
             n_leaves=model.n_leaves,
+            certificate=certificate_name,
         )
         entry["versions"][str(version)] = record.to_dict()
         entry["latest"] = version
@@ -191,6 +240,47 @@ class ModelRegistry:
             entry["aliases"][str(alias)] = version
         self._write_manifest(document)
         return record
+
+    def _write_certificate(
+        self, filename: str, certificate: "VerificationCertificate"
+    ) -> None:
+        """Atomically write a certificate document beside its blob."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / filename
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(certificate.to_json())
+        os.replace(tmp, path)
+
+    def load_certificate(
+        self, record: ModelRecord
+    ) -> Optional["VerificationCertificate"]:
+        """The stored certificate for a record, or ``None`` if it has none.
+
+        Raises :class:`~repro.errors.RegistryError` when the manifest
+        promises a certificate but the file is missing or malformed —
+        a half-deleted registry should fail loudly, not silently lose
+        its bounds.
+        """
+        from repro.verify import VerificationCertificate
+
+        if record.certificate is None:
+            return None
+        path = self.directory / record.certificate
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise RegistryError(
+                f"{record.spec}: certificate {record.certificate!r} is "
+                f"unreadable ({exc}); republish the model"
+            ) from None
+        try:
+            return VerificationCertificate.from_json(text)
+        except DataError as exc:
+            raise RegistryError(
+                f"{record.spec}: certificate {record.certificate!r} is "
+                f"malformed ({exc}); republish the model"
+            ) from None
 
     def alias(self, name: str, alias: str, version: Optional[int] = None) -> None:
         """Point ``name@alias`` at a version (default: current latest)."""
@@ -232,6 +322,7 @@ class ModelRegistry:
         if payload is None:
             raise RegistryError(f"{name!r} has no version {version}")
         try:
+            certificate = payload.get("certificate")
             return ModelRecord(
                 name=name,
                 version=int(payload["version"]),
@@ -240,6 +331,9 @@ class ModelRegistry:
                 attributes=tuple(str(a) for a in payload["attributes"]),
                 target=str(payload["target"]),
                 n_leaves=int(payload["n_leaves"]),
+                certificate=(
+                    None if certificate is None else str(certificate)
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise RegistryError(

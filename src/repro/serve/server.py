@@ -31,7 +31,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -52,6 +52,10 @@ from repro.serve.metrics import (
     MetricsRegistry,
 )
 from repro.serve.registry import ModelRegistry
+from repro.verify import verify_model
+
+if TYPE_CHECKING:
+    from repro.verify.certificate import VerificationCertificate
 
 __all__ = ["ModelServer", "SCHEMA"]
 
@@ -138,17 +142,41 @@ class ModelServer:
     # ------------------------------------------------------------------
     # Model lifecycle
     # ------------------------------------------------------------------
-    def add_model(self, label: str, model: M5Prime) -> ServedModel:
-        """Serve an in-memory fitted model under ``label`` (no registry)."""
+    def add_model(
+        self,
+        label: str,
+        model: M5Prime,
+        certificate: Optional["VerificationCertificate"] = None,
+    ) -> ServedModel:
+        """Serve an in-memory fitted model under ``label`` (no registry).
+
+        Without an explicit ``certificate`` the server derives one from
+        the static verifier when it can (clean model with recorded
+        ``feature_ranges_``), so the drift monitor bounds predictions
+        even for models loaded outside the registry path.
+        """
         if model.root_ is None:
             raise ServeError(f"cannot serve unfitted model {label!r}")
         compiled = model.compiled_
-        drift = DriftMonitor(model, range_slack=self.range_slack)
+        if certificate is None:
+            try:
+                certificate = verify_model(model).certificate
+            except ReproError:
+                certificate = None
+        drift = DriftMonitor(
+            model,
+            range_slack=self.range_slack,
+            output_interval=(
+                None if certificate is None else certificate.output
+            ),
+        )
         smoothing_k = model.smoothing_k if model.smoothing else None
 
         def evaluate(X: np.ndarray) -> np.ndarray:
             drift.observe(X)
-            return compiled.predict(X, smoothing_k=smoothing_k)
+            predictions = compiled.predict(X, smoothing_k=smoothing_k)
+            drift.observe_predictions(predictions)
+            return predictions
 
         queue = BatchQueue(
             evaluate,
@@ -181,7 +209,14 @@ class ModelServer:
             return served
         self._model_cache.inc("miss")
         model, record = self.registry.resolve(spec)
-        served = self.add_model(record.spec, model)
+        try:
+            certificate = self.registry.load_certificate(record)
+        except RegistryError:
+            # A damaged certificate should not block serving a model
+            # whose blob integrity already checked out; the monitor just
+            # loses its prediction bound (and preflight reports it).
+            certificate = None
+        served = self.add_model(record.spec, model, certificate=certificate)
         if spec != record.spec:
             # Remember the alias spelling too (cpi-tree@latest -> @3).
             with self._models_lock:

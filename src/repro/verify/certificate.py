@@ -1,0 +1,224 @@
+"""Machine-checkable verification certificates.
+
+A :class:`VerificationCertificate` is the verifier's positive output:
+not just "no findings", but a statement any downstream consumer can
+re-check without re-running the analysis — per live leaf, the feasible
+input box and a closed output interval that every runtime prediction
+routed to that leaf is guaranteed to fall in, plus a whole-model output
+interval (the union hull).  The registry stores it beside the model blob
+(``cert-<digest>.json``), ``repro serve`` hands the bounds to the
+:class:`~repro.serve.drift.DriftMonitor` so out-of-range *predictions*
+are flagged like out-of-range inputs, and the conformance harness
+asserts the bounds empirically on 10k-row batches.
+
+Certificates are only issued for models with recorded
+``feature_ranges_`` and zero ERROR findings: every number in the
+document is finite, so the JSON round trip is exact and portable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.verify.abstract import LeafAnalysis
+
+__all__ = [
+    "CERTIFICATE_SCHEMA",
+    "LeafCertificate",
+    "VerificationCertificate",
+]
+
+#: Certificate document identity; bump on incompatible changes.
+CERTIFICATE_SCHEMA = "repro-verify-cert/1"
+
+
+@dataclass(frozen=True)
+class LeafCertificate:
+    """Certified facts about one live leaf.
+
+    Attributes:
+        leaf_id: The paper's LM number.
+        node: Arena node index (pre-order) of the leaf.
+        box: Closed per-feature ``[low, high]`` hull of the feasible
+            region (the half-open path constraints are contained in it).
+        output: Closed output interval containing every prediction the
+            served model can produce for rows routed to this leaf.
+    """
+
+    leaf_id: int
+    node: int
+    box: Tuple[Tuple[float, float], ...]
+    output: Tuple[float, float]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "leaf_id": self.leaf_id,
+            "node": self.node,
+            "box": [[low, high] for low, high in self.box],
+            "output": [self.output[0], self.output[1]],
+        }
+
+
+@dataclass(frozen=True)
+class VerificationCertificate:
+    """The verifier's machine-checkable summary of one model artifact.
+
+    Attributes:
+        attributes: Training attribute names, in column order — a
+            consumer matching the certificate against a model checks
+            these first.
+        target: Target column name.
+        smoothing_k: The smoothing constant the bounds account for, or
+            ``None`` when the model serves raw leaf predictions.
+        leaves: One :class:`LeafCertificate` per live leaf, by leaf id.
+        output: Whole-model output interval (hull over all leaves).
+    """
+
+    attributes: Tuple[str, ...]
+    target: str
+    smoothing_k: Optional[float]
+    leaves: Tuple[LeafCertificate, ...]
+    output: Tuple[float, float]
+
+    @classmethod
+    def from_leaves(
+        cls,
+        attributes: Sequence[str],
+        target: str,
+        smoothing_k: Optional[float],
+        leaves: Sequence[LeafAnalysis],
+    ) -> "VerificationCertificate":
+        """Build from the abstract analysis' live-leaf results."""
+        if not leaves:
+            raise DataError("cannot certify a model with no live leaves")
+        certified = tuple(sorted(
+            (
+                LeafCertificate(
+                    leaf_id=leaf.leaf_id,
+                    node=leaf.node,
+                    box=leaf.box.to_lists(),
+                    output=(float(leaf.output[0]), float(leaf.output[1])),
+                )
+                for leaf in leaves
+            ),
+            key=lambda c: c.leaf_id,
+        ))
+        output = (
+            min(c.output[0] for c in certified),
+            max(c.output[1] for c in certified),
+        )
+        return cls(
+            attributes=tuple(attributes),
+            target=str(target),
+            smoothing_k=None if smoothing_k is None else float(smoothing_k),
+            leaves=certified,
+            output=output,
+        )
+
+    # -- consumers ------------------------------------------------------
+    def leaf(self, leaf_id: int) -> LeafCertificate:
+        for certified in self.leaves:
+            if certified.leaf_id == leaf_id:
+                return certified
+        raise DataError(f"certificate has no leaf LM{leaf_id}")
+
+    def check_predictions(
+        self, leaf_ids: np.ndarray, predictions: np.ndarray
+    ) -> List[int]:
+        """Row indices whose prediction escapes its leaf's certified bound.
+
+        The empirical cross-check: route a batch, predict it, and every
+        row must land inside the interval certified for its leaf.  NaN
+        predictions count as violations (they are inside no interval).
+        """
+        leaf_ids = np.asarray(leaf_ids).ravel()
+        predictions = np.asarray(predictions, dtype=np.float64).ravel()
+        if leaf_ids.shape[0] != predictions.shape[0]:
+            raise DataError(
+                f"{leaf_ids.shape[0]} leaf ids for "
+                f"{predictions.shape[0]} predictions"
+            )
+        low = {c.leaf_id: c.output[0] for c in self.leaves}
+        high = {c.leaf_id: c.output[1] for c in self.leaves}
+        bad: List[int] = []
+        for row in range(predictions.shape[0]):
+            leaf = int(leaf_ids[row])
+            value = predictions[row]
+            if leaf not in low:
+                bad.append(row)
+                continue
+            inside = low[leaf] <= value <= high[leaf]
+            if not inside:  # NaN fails every comparison -> violation
+                bad.append(row)
+        return bad
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": CERTIFICATE_SCHEMA,
+            "attributes": list(self.attributes),
+            "target": self.target,
+            "smoothing_k": self.smoothing_k,
+            "output": [self.output[0], self.output[1]],
+            "leaves": [c.to_dict() for c in self.leaves],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, object]) -> "VerificationCertificate":
+        try:
+            if document["schema"] != CERTIFICATE_SCHEMA:
+                raise DataError(
+                    f"not a {CERTIFICATE_SCHEMA} document "
+                    f"(schema={document.get('schema')!r})"
+                )
+            smoothing = document["smoothing_k"]
+            leaves = tuple(
+                LeafCertificate(
+                    leaf_id=int(payload["leaf_id"]),
+                    node=int(payload["node"]),
+                    box=tuple(
+                        (float(low), float(high))
+                        for low, high in payload["box"]
+                    ),
+                    output=(
+                        float(payload["output"][0]),
+                        float(payload["output"][1]),
+                    ),
+                )
+                for payload in document["leaves"]
+            )
+            output = (
+                float(document["output"][0]),
+                float(document["output"][1]),
+            )
+            return cls(
+                attributes=tuple(
+                    str(a) for a in document["attributes"]
+                ),
+                target=str(document["target"]),
+                smoothing_k=None if smoothing is None else float(smoothing),
+                leaves=leaves,
+                output=output,
+            )
+        except DataError:
+            raise
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            raise DataError(f"malformed certificate document: {exc!r}") from None
+
+    @classmethod
+    def from_json(cls, text: str) -> "VerificationCertificate":
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DataError(f"certificate is not valid JSON: {exc}") from None
+        if not isinstance(document, dict):
+            raise DataError("certificate document must be a JSON object")
+        return cls.from_dict(document)

@@ -1,0 +1,211 @@
+"""Interval domain for the static model verifier.
+
+The abstract interpretation in :mod:`repro.verify.abstract` propagates a
+*box* — one interval per feature — down every path of a compiled tree
+arena.  Split semantics fix the interval shape: routing tests
+``x[f] <= t`` (left) versus ``x[f] > t`` (right), so a path constraint
+is half-open on the low side and closed on the high side.  A
+:class:`Box` therefore carries, per feature, ``(low, high)`` plus a
+``low_strict`` flag: the feasible set is ``low < x <= high`` when strict
+and ``low <= x <= high`` otherwise.
+
+Output bounds use plain closed-interval arithmetic over the leaf linear
+models (a closed superset of the half-open feasible set, so the bound is
+conservative), blended through the same ``(n*p + k*q)/(n + k)``
+smoothing recurrence the runtime evaluates.  Because the runtime works
+in floating point while interval arithmetic here reasons in reals,
+:func:`widen` pads every certified interval by a documented relative
+slack before it is published — large against round-off, negligible
+against the interval widths themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "Box",
+    "Interval",
+    "OUTPUT_SLACK",
+    "full_box",
+    "linear_model_interval",
+    "smooth_interval",
+    "widen",
+]
+
+#: An inclusive ``[low, high]`` output interval.
+Interval = Tuple[float, float]
+
+#: Relative padding applied to certified output intervals so that
+#: floating-point evaluation (which interval arithmetic over the reals
+#: does not model) can never escape a published bound.  Roughly 1e7
+#: ULPs — far above the round-off of the dozen-term accumulations the
+#: compiled evaluator performs, far below any interval width of interest.
+OUTPUT_SLACK = 1e-9
+
+
+@dataclass
+class Box:
+    """A per-feature product of intervals (the abstract state).
+
+    Attributes:
+        low: Lower bound per feature.
+        high: Upper bound per feature (always inclusive).
+        low_strict: Whether the lower bound is exclusive per feature —
+            true after taking a right (``x > t``) branch on the feature.
+    """
+
+    low: np.ndarray
+    high: np.ndarray
+    low_strict: np.ndarray
+
+    @property
+    def n_features(self) -> int:
+        return int(self.low.shape[0])
+
+    def copy(self) -> "Box":
+        return Box(self.low.copy(), self.high.copy(), self.low_strict.copy())
+
+    # -- split transfer functions --------------------------------------
+    def restrict_le(self, feature: int, threshold: float) -> "Box":
+        """The box after taking the left branch (``x[feature] <= t``)."""
+        result = self.copy()
+        if threshold < result.high[feature]:
+            result.high[feature] = threshold
+        return result
+
+    def restrict_gt(self, feature: int, threshold: float) -> "Box":
+        """The box after taking the right branch (``x[feature] > t``)."""
+        result = self.copy()
+        if threshold > result.low[feature] or (
+            threshold == result.low[feature]
+            and not result.low_strict[feature]
+        ):
+            result.low[feature] = threshold
+            result.low_strict[feature] = True
+        return result
+
+    # -- predicates ----------------------------------------------------
+    def empty_features(self) -> Iterator[int]:
+        """Feature indices whose interval admits no value."""
+        for feature in range(self.n_features):
+            low, high = self.low[feature], self.high[feature]
+            if high < low or (high == low and self.low_strict[feature]):
+                yield int(feature)
+
+    @property
+    def is_empty(self) -> bool:
+        return next(self.empty_features(), None) is not None
+
+    def is_point(self, feature: int) -> bool:
+        """True when the feature is pinned to a single value."""
+        return bool(
+            self.high[feature] == self.low[feature]
+            and not self.low_strict[feature]
+        )
+
+    def intersects(self, other: "Box") -> bool:
+        """Whether the two feasible sets share at least one point."""
+        for feature in range(self.n_features):
+            low = max(self.low[feature], other.low[feature])
+            high = min(self.high[feature], other.high[feature])
+            if high < low:
+                return False
+            if high == low:
+                strict = (
+                    (self.low[feature] == low and self.low_strict[feature])
+                    or (other.low[feature] == low and other.low_strict[feature])
+                )
+                if strict:
+                    return False
+        return True
+
+    # -- conversions ---------------------------------------------------
+    def interval(self, feature: int) -> Interval:
+        """The closed ``[low, high]`` superset of one feature's interval."""
+        return (float(self.low[feature]), float(self.high[feature]))
+
+    def to_lists(self) -> Tuple[Tuple[float, float], ...]:
+        """Closed per-feature intervals (certificate serialization form)."""
+        return tuple(
+            (float(low), float(high))
+            for low, high in zip(self.low, self.high)
+        )
+
+
+def full_box(
+    n_features: int,
+    feature_ranges: Optional[Sequence[Tuple[float, float]]] = None,
+) -> Box:
+    """The domain box: ``feature_ranges`` when known, else all of R^p."""
+    if feature_ranges is not None:
+        if len(feature_ranges) != n_features:
+            raise ConfigError(
+                f"feature_ranges has {len(feature_ranges)} entries for "
+                f"{n_features} features"
+            )
+        low = np.array([low for low, _ in feature_ranges], dtype=np.float64)
+        high = np.array([high for _, high in feature_ranges], dtype=np.float64)
+    else:
+        low = np.full(n_features, -np.inf)
+        high = np.full(n_features, np.inf)
+    return Box(low, high, np.zeros(n_features, dtype=bool))
+
+
+def _scale(coefficient: float, interval: Interval) -> Interval:
+    """``coefficient * interval`` with the sign-aware endpoint swap."""
+    low, high = interval
+    a, b = coefficient * low, coefficient * high
+    if coefficient < 0:
+        a, b = b, a
+    # 0 * inf is NaN; a zero coefficient contributes exactly nothing.
+    if coefficient == 0:
+        return (0.0, 0.0)
+    return (a, b)
+
+
+def linear_model_interval(
+    intercept: float,
+    features: Sequence[int],
+    coefficients: Sequence[float],
+    box: Box,
+) -> Interval:
+    """Output range of ``intercept + sum(c_j * x[f_j])`` over the box."""
+    low = high = float(intercept)
+    for feature, coefficient in zip(features, coefficients):
+        a, b = _scale(float(coefficient), box.interval(int(feature)))
+        low += a
+        high += b
+    return (low, high)
+
+
+def smooth_interval(
+    below: Interval, ancestor: Interval, n_below: float, k: float
+) -> Interval:
+    """One step of Quinlan's smoothing blend, lifted to intervals.
+
+    Mirrors the runtime's ``(n*p + k*q) / (n + k)`` with ``n >= 0`` and
+    ``k >= 0``; both weights are non-negative so the blend is monotone
+    in each operand and endpoints map to endpoints.
+    """
+    total = n_below + k
+    if total <= 0:
+        raise ConfigError(
+            f"smoothing weights must be positive, got n={n_below} k={k}"
+        )
+    return (
+        (n_below * below[0] + k * ancestor[0]) / total,
+        (n_below * below[1] + k * ancestor[1]) / total,
+    )
+
+
+def widen(interval: Interval, slack: float = OUTPUT_SLACK) -> Interval:
+    """Pad an interval by a relative-plus-absolute slack (outward)."""
+    low, high = interval
+    margin = slack * max(1.0, abs(low), abs(high))
+    return (low - margin, high + margin)

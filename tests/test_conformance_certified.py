@@ -1,0 +1,63 @@
+"""CONF007: certified bounds must hold empirically on every corpus model."""
+
+import dataclasses
+
+import repro.conformance.certified as certified_module
+from repro.conformance import run_certified
+from repro.verify import verify_model
+from repro.verify.runner import VerificationResult
+
+
+class TestCleanRun:
+    def test_quick_corpus_sample_is_conformant(self):
+        report = run_certified(max_cases=2, rows=500)
+        assert report.n_cases == 2
+        assert report.n_checks == 4  # verify + containment per case
+        assert report.diagnostics == []
+        assert report.exit_code() == 0
+
+    def test_report_metadata(self):
+        report = run_certified(seed=11, tier="quick", max_cases=1, rows=200)
+        assert report.tier == "quick"
+        assert report.seed == 11
+
+
+class TestForcedViolations:
+    def test_shrunken_certificate_is_caught(self, monkeypatch):
+        # Squeeze every certified interval to a point: almost every
+        # prediction now "escapes", and the harness must say so.
+        def lying_verify(model):
+            result = verify_model(model)
+            assert result.certificate is not None
+            squeezed = tuple(
+                dataclasses.replace(leaf, output=(0.0, 0.0))
+                for leaf in result.certificate.leaves
+            )
+            certificate = dataclasses.replace(
+                result.certificate, leaves=squeezed, output=(0.0, 0.0)
+            )
+            return dataclasses.replace(result, certificate=certificate)
+
+        monkeypatch.setattr(certified_module, "verify_model", lying_verify)
+        report = run_certified(max_cases=1, rows=200)
+        assert report.exit_code() == 2
+        finding = report.diagnostics[0]
+        assert finding.rule_id == "CONF007"
+        assert "escaped" in finding.message
+
+    def test_missing_certificate_is_caught(self, monkeypatch):
+        def certless_verify(model):
+            return dataclasses.replace(
+                verify_model(model), certificate=None
+            )
+
+        monkeypatch.setattr(certified_module, "verify_model", certless_verify)
+        report = run_certified(max_cases=1, rows=200)
+        assert report.exit_code() == 2
+        assert "no certificate" in report.diagnostics[0].message
+
+
+def test_result_is_a_plain_dataclass():
+    # The monkeypatch tests above lean on dataclasses.replace; fail
+    # loudly here if VerificationResult ever stops supporting it.
+    assert dataclasses.is_dataclass(VerificationResult)

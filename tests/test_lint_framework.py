@@ -233,5 +233,5 @@ class TestFittedTreesLintClean:
         loaded = load_model(path)
         assert lint_model(loaded).is_clean
         report = run_lint(model=loaded, dataset=suite_dataset)
-        assert report.families == ("tree", "dataset", "compat")
+        assert report.families == ("tree", "dataset", "compat", "verify")
         assert report.n_errors == 0

@@ -1,0 +1,133 @@
+"""Preflight failure paths: every probe must fail loudly, never skip."""
+
+import json
+
+import pytest
+
+from repro.core.tree import M5Prime
+from repro.core.tree.linear import LinearModel
+from repro.core.tree.node import LeafNode, SplitNode, assign_leaf_ids
+from repro.serve.check import preflight, render_preflight
+from repro.serve.registry import ModelRegistry
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+def _probe(results, name):
+    matching = [r for r in results if r.name == name]
+    assert matching, f"no {name!r} probe in {[r.name for r in results]}"
+    return matching[-1]
+
+
+def _linear(intercept):
+    return LinearModel(
+        intercept=float(intercept), indices=(), names=(),
+        coefficients=(), n_training=8, training_error=0.1,
+    )
+
+
+def _leaf(mean):
+    node = LeafNode(8, 0.5, mean)
+    node.model = _linear(mean)
+    return node
+
+
+def _dead_branch_model():
+    """a <= 0.5, then a > 0.9 inside it: the inner right leaf is dead."""
+    inner = SplitNode(
+        8, 0.5, 1.0, attribute_index=0, attribute_name="a",
+        threshold=0.9, left=_leaf(1.0), right=_leaf(2.0),
+    )
+    inner.model = _linear(1.0)
+    root = SplitNode(
+        16, 0.5, 1.5, attribute_index=0, attribute_name="a",
+        threshold=0.5, left=inner, right=_leaf(3.0),
+    )
+    root.model = _linear(1.5)
+    model = M5Prime()
+    model.attributes_ = ("a", "b")
+    model.target_name_ = "Y"
+    model.feature_ranges_ = ((0.0, 1.0), (0.0, 1.0))
+    model.root_ = root
+    assign_leaf_ids(root)
+    return model
+
+
+class TestResolveFailures:
+    def test_unknown_model_name(self, registry, suite_tree):
+        registry.publish("cpi-tree", suite_tree)
+        results = preflight(registry, model_spec="no-such-model@latest")
+        probe = _probe(results, "resolve")
+        assert not probe.ok and "no model named" in probe.detail
+        assert "FAILED" in render_preflight(results)
+
+    def test_dangling_alias(self, registry, suite_tree):
+        registry.publish("cpi-tree", suite_tree)
+        # Aliases created through the API are validated, so damage the
+        # manifest directly: a stale alias left behind by a rollback.
+        manifest = json.loads(registry.manifest_path.read_text())
+        manifest["models"]["cpi-tree"]["aliases"]["prod"] = 99
+        registry.manifest_path.write_text(json.dumps(manifest))
+        results = preflight(registry, model_spec="cpi-tree@prod")
+        probe = _probe(results, "resolve")
+        assert not probe.ok and "no version 99" in probe.detail
+
+    def test_quarantined_blob(self, registry, suite_tree):
+        record = registry.publish("cpi-tree", suite_tree)
+        (registry.directory / record.blob).write_text("garbage")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            results = preflight(registry, model_spec="cpi-tree@1")
+        probe = _probe(results, "resolve")
+        assert not probe.ok and "republish" in probe.detail
+
+
+class TestVerifyProbeFailures:
+    def test_dead_branch_model_fails_verification(self, registry):
+        registry.publish("dead", _dead_branch_model(), verify=False)
+        results = preflight(registry, model_spec="dead@1")
+        probe = _probe(results, "verify")
+        assert not probe.ok
+        assert "VERIFY005" in probe.detail
+
+    def test_tampered_certificate_detected(self, registry, suite_tree):
+        record = registry.publish("cpi-tree", suite_tree)
+        path = registry.directory / record.certificate
+        document = json.loads(path.read_text())
+        document["output"][1] = document["output"][1] + 5.0
+        path.write_text(json.dumps(document))
+        results = preflight(registry, model_spec="cpi-tree@1")
+        probe = _probe(results, "verify")
+        assert not probe.ok and "disagrees" in probe.detail
+
+    def test_unreadable_certificate_detected(self, registry, suite_tree):
+        record = registry.publish("cpi-tree", suite_tree)
+        (registry.directory / record.certificate).write_text("{nope")
+        results = preflight(registry, model_spec="cpi-tree@1")
+        probe = _probe(results, "verify")
+        assert not probe.ok and "malformed" in probe.detail
+
+    def test_model_without_ranges_verifies_with_warning(self, registry,
+                                                        suite_tree):
+        bare = M5Prime()
+        bare.root_ = suite_tree.root_
+        bare.attributes_ = suite_tree.attributes_
+        bare.target_name_ = suite_tree.target_name_
+        registry.publish("bare", bare)
+        results = preflight(registry, model_spec="bare@1")
+        probe = _probe(results, "verify")
+        assert probe.ok and "no certificate" in probe.detail
+        # ...but drift monitoring is impossible, and that probe says so.
+        assert not _probe(results, "drift").ok
+
+
+class TestCleanPreflightDetail:
+    def test_verify_probe_reports_certified_interval(self, registry,
+                                                     suite_tree):
+        registry.publish("cpi-tree", suite_tree)
+        results = preflight(registry)
+        probe = _probe(results, "verify")
+        assert probe.ok
+        assert "certified output in" in probe.detail

@@ -132,6 +132,16 @@ class TestCompiledErrors:
         with pytest.raises(DataError):
             compile_tree(figure1_tree.root_, 0)
 
+    def test_nan_threshold_rejected(self, figure1_tree):
+        # A NaN threshold compares false against everything, so every
+        # row would silently route right; compile must refuse instead.
+        import copy
+
+        root = copy.deepcopy(figure1_tree.root_)
+        root.threshold = float("nan")
+        with pytest.raises(DataError, match="non-finite threshold"):
+            compile_tree(root, len(figure1_tree.attributes_))
+
     def test_empty_batch(self, figure1_tree):
         X = np.empty((0, len(figure1_tree.attributes_)))
         assert figure1_tree.compiled_.predict(X).shape == (0,)

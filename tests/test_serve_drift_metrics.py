@@ -104,6 +104,40 @@ class TestDriftMonitor:
         lines = monitor.render_metrics("cpi-tree@1")
         assert 'repro_drift_rows_total{model="cpi-tree@1"} 5' in lines
 
+    def test_nan_inputs_counted(self, suite_tree, suite_dataset):
+        monitor = DriftMonitor(suite_tree)
+        broken = suite_dataset.X[:6].copy()
+        broken[0, 0] = np.nan
+        broken[2, 3] = np.inf
+        monitor.observe(broken)
+        snapshot = monitor.snapshot()
+        assert snapshot["rows_seen"] == 6
+        assert snapshot["nan_inputs"] == 2
+
+    def test_predictions_checked_against_interval(self, suite_tree):
+        monitor = DriftMonitor(suite_tree, output_interval=(0.0, 10.0))
+        assert monitor.monitors_output
+        monitor.observe_predictions(np.array([1.0, 5.0, 11.0, np.nan]))
+        snapshot = monitor.snapshot()
+        assert snapshot["predictions_seen"] == 4
+        assert snapshot["out_of_bounds_predictions"] == 2
+
+    def test_nonfinite_predictions_flagged_without_interval(self, suite_tree):
+        monitor = DriftMonitor(suite_tree)
+        assert not monitor.monitors_output
+        monitor.observe_predictions(np.array([2.0, np.inf]))
+        snapshot = monitor.snapshot()
+        assert snapshot["out_of_bounds_predictions"] == 1
+
+    def test_new_metric_families_rendered(self, suite_tree):
+        monitor = DriftMonitor(suite_tree, output_interval=(0.0, 10.0))
+        monitor.observe_predictions(np.array([42.0]))
+        lines = monitor.render_metrics("m@1")
+        assert 'repro_drift_nan_inputs_total{model="m@1"} 0' in lines
+        assert 'repro_drift_predictions_total{model="m@1"} 1' in lines
+        assert ('repro_drift_out_of_bounds_predictions_total{model="m@1"} 1'
+                in lines)
+
     def test_model_without_ranges(self, suite_tree):
         bare = M5Prime()
         bare.root_ = suite_tree.root_
@@ -122,7 +156,8 @@ class TestPreflight:
         assert all(r.ok for r in results)
         names = [r.name for r in results]
         assert names == [
-            "manifest", "resolve", "compile", "compiled-parity", "drift",
+            "manifest", "resolve", "compile", "verify", "compiled-parity",
+            "drift",
         ]
         assert "preflight passed" in render_preflight(results)
 

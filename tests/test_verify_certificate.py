@@ -1,0 +1,102 @@
+"""Certificates: serialization round trips and empirical containment."""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import M5Prime
+from repro.errors import DataError
+from repro.verify import CERTIFICATE_SCHEMA, VerificationCertificate, verify_model
+
+
+@pytest.fixture(scope="module")
+def certified(suite_tree):
+    result = verify_model(suite_tree)
+    assert result.ok and result.certificate is not None
+    return result.certificate
+
+
+def _uniform_in_domain(model, rows, seed):
+    low = np.array([lo for lo, _ in model.feature_ranges_])
+    high = np.array([hi for _, hi in model.feature_ranges_])
+    generator = np.random.default_rng(seed)
+    return generator.uniform(low, high, size=(rows, low.shape[0]))
+
+
+class TestSerialization:
+    def test_json_round_trip_is_exact(self, certified):
+        restored = VerificationCertificate.from_json(certified.to_json())
+        assert restored == certified
+
+    def test_schema_stamped(self, certified):
+        assert certified.to_dict()["schema"] == CERTIFICATE_SCHEMA
+
+    def test_wrong_schema_rejected(self, certified):
+        document = certified.to_dict()
+        document["schema"] = "repro-verify-cert/999"
+        with pytest.raises(DataError):
+            VerificationCertificate.from_dict(document)
+
+    def test_malformed_document_rejected(self, certified):
+        document = certified.to_dict()
+        del document["leaves"]
+        with pytest.raises(DataError):
+            VerificationCertificate.from_dict(document)
+        with pytest.raises(DataError):
+            VerificationCertificate.from_json("not json {")
+
+    def test_output_is_hull_of_leaves(self, certified):
+        lows = [leaf.output[0] for leaf in certified.leaves]
+        highs = [leaf.output[1] for leaf in certified.leaves]
+        assert certified.output == (min(lows), max(highs))
+
+    def test_unknown_leaf_lookup_raises(self, certified):
+        with pytest.raises(DataError):
+            certified.leaf(10_000)
+
+
+class TestCheckPredictions:
+    def test_clean_batch_has_no_violations(self, certified):
+        leaf = certified.leaves[0]
+        inside = (leaf.output[0] + leaf.output[1]) / 2.0
+        violations = certified.check_predictions(
+            np.array([leaf.leaf_id]), np.array([inside])
+        )
+        assert violations == []
+
+    def test_escaped_nan_and_unknown_rows_flagged(self, certified):
+        leaf = certified.leaves[0]
+        ids = np.array([leaf.leaf_id, leaf.leaf_id, 10_000])
+        values = np.array([leaf.output[1] + 1.0, np.nan, 0.0])
+        assert certified.check_predictions(ids, values) == [0, 1, 2]
+
+    def test_length_mismatch_raises(self, certified):
+        with pytest.raises(DataError):
+            certified.check_predictions(np.array([1]), np.array([0.0, 1.0]))
+
+
+class TestEmpiricalContainment:
+    """The acceptance criterion: certified intervals hold on 10k rows."""
+
+    def test_raw_model_predictions_inside_bounds(self, suite_tree, certified):
+        X = _uniform_in_domain(suite_tree, 10_000, seed=42)
+        violations = certified.check_predictions(
+            suite_tree.leaf_ids(X), suite_tree.predict(X)
+        )
+        assert violations == []
+
+    def test_smoothed_model_predictions_inside_bounds(self, suite_dataset):
+        model = M5Prime(min_instances=12, smoothing=True).fit(suite_dataset)
+        result = verify_model(model)
+        assert result.ok and result.certificate is not None
+        assert result.certificate.smoothing_k == model.smoothing_k
+        X = _uniform_in_domain(model, 10_000, seed=43)
+        violations = result.certificate.check_predictions(
+            model.leaf_ids(X), model.predict(X)
+        )
+        assert violations == []
+
+    def test_whole_model_hull_contains_batch(self, suite_tree, certified):
+        X = _uniform_in_domain(suite_tree, 2_000, seed=44)
+        predictions = suite_tree.predict(X)
+        low, high = certified.output
+        assert np.all(predictions >= low) and np.all(predictions <= high)

@@ -1,0 +1,79 @@
+"""Verify-on-publish: the registry's certificate gate and storage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RegistryError
+from repro.serve.registry import ModelRegistry
+from repro.verify import verify_model
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+class TestPublishStoresCertificate:
+    def test_certificate_written_beside_blob(self, registry, suite_tree):
+        record = registry.publish("cpi-tree", suite_tree)
+        assert record.certificate is not None
+        assert record.certificate.startswith("cert-")
+        assert (registry.directory / record.certificate).exists()
+
+    def test_stored_certificate_round_trips(self, registry, suite_tree):
+        record = registry.publish("cpi-tree", suite_tree)
+        stored = registry.load_certificate(record)
+        assert stored == verify_model(suite_tree).certificate
+
+    def test_record_for_carries_certificate(self, registry, suite_tree):
+        registry.publish("cpi-tree", suite_tree, aliases=("prod",))
+        assert registry.record_for("cpi-tree@prod").certificate is not None
+
+    def test_certificate_outside_cache_namespace(self, registry, suite_tree):
+        # cert-*.json must not look like a cache entry, or every lint
+        # of the registry directory would demand a checksum sidecar.
+        record = registry.publish("cpi-tree", suite_tree)
+        assert record.certificate not in registry.cache.info().entries
+
+
+class TestPublishRefusesBrokenModels:
+    def test_broken_arena_refused_before_any_write(self, registry,
+                                                   suite_dataset):
+        from repro.core.tree import M5Prime
+
+        model = M5Prime(min_instances=12).fit(suite_dataset)
+        arena = model.compiled_  # cache, then corrupt in place
+        split = int(np.flatnonzero(arena.feature >= 0)[0])
+        arena.left[split] = arena.n_nodes + 7
+        with pytest.raises(RegistryError, match="static verification"):
+            registry.publish("bad-tree", model)
+        assert registry.names() == {}
+        assert not list(registry.directory.glob("model-*.json"))
+
+    def test_unfitted_model_still_refused(self, registry):
+        from repro.core.tree import M5Prime
+
+        with pytest.raises(RegistryError, match="unfitted"):
+            registry.publish("empty", M5Prime())
+
+
+class TestVerifyOptOut:
+    def test_verify_false_publishes_without_certificate(self, registry,
+                                                        suite_tree):
+        record = registry.publish("cpi-tree", suite_tree, verify=False)
+        assert record.certificate is None
+        assert registry.load_certificate(record) is None
+
+
+class TestCertificateLoadFailures:
+    def test_missing_certificate_file(self, registry, suite_tree):
+        record = registry.publish("cpi-tree", suite_tree)
+        (registry.directory / record.certificate).unlink()
+        with pytest.raises(RegistryError, match="unreadable"):
+            registry.load_certificate(record)
+
+    def test_malformed_certificate_file(self, registry, suite_tree):
+        record = registry.publish("cpi-tree", suite_tree)
+        (registry.directory / record.certificate).write_text("{broken")
+        with pytest.raises(RegistryError, match="malformed"):
+            registry.load_certificate(record)

@@ -1,0 +1,132 @@
+"""Layer 1 of the static verifier: arena/graph/leaf-id/finiteness rules.
+
+Each test seeds one concrete corruption into a deep copy of a real
+compiled arena and asserts the *named* rule catches it — the mutation
+half of the acceptance contract (the clean half is that production
+arenas produce no findings at all).
+"""
+
+import copy
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.lint.diagnostics import Severity
+from repro.verify import reachable_nodes, verify_structure
+
+
+@pytest.fixture
+def arena(suite_tree):
+    """A mutable deep copy of a production-fitted compiled arena."""
+    return copy.deepcopy(suite_tree.compiled_)
+
+
+def _ids(diagnostics):
+    return {d.rule_id for d in diagnostics}
+
+
+def _error_ids(diagnostics):
+    return {d.rule_id for d in diagnostics if d.severity is Severity.ERROR}
+
+
+def _first_split(arena):
+    return int(np.flatnonzero(arena.feature >= 0)[0])
+
+
+def _leaf_nodes(arena):
+    return np.flatnonzero(arena.feature < 0)
+
+
+class TestCleanArena:
+    def test_production_arena_has_no_findings(self, suite_tree):
+        assert verify_structure(suite_tree.compiled_) == []
+
+    def test_smoothed_model_arena_clean(self, suite_dataset):
+        from repro.core.tree import M5Prime
+
+        model = M5Prime(min_instances=12, smoothing=True).fit(suite_dataset)
+        assert verify_structure(model.compiled_) == []
+
+    def test_reachable_nodes_covers_everything(self, suite_tree):
+        compiled = suite_tree.compiled_
+        assert reachable_nodes(compiled) == set(range(compiled.n_nodes))
+
+
+class TestArenaWellFormedness:
+    def test_out_of_bounds_child_index(self, arena):
+        arena.left[_first_split(arena)] = arena.n_nodes + 40
+        assert "VERIFY001" in _error_ids(verify_structure(arena))
+
+    def test_self_loop_child(self, arena):
+        split = _first_split(arena)
+        arena.left[split] = split
+        assert "VERIFY001" in _error_ids(verify_structure(arena))
+
+    def test_broken_term_offset_ramp(self, arena):
+        arena.term_offset[1] = arena.term_offset[2] + 1
+        assert "VERIFY001" in _error_ids(verify_structure(arena))
+
+    def test_understated_max_depth(self, arena):
+        shallow = dataclasses.replace(arena, max_depth=0)
+        findings = verify_structure(shallow)
+        assert "VERIFY001" in _error_ids(findings)
+        assert any("max_depth" in d.message for d in findings)
+
+    def test_leaf_with_child_pointer(self, arena):
+        leaf = int(_leaf_nodes(arena)[0])
+        arena.left[leaf] = 0
+        assert "VERIFY001" in _error_ids(verify_structure(arena))
+
+    def test_term_feature_out_of_range(self, arena):
+        if arena.term_feature.shape[0] == 0:
+            pytest.skip("arena has no model terms")
+        arena.term_feature[0] = arena.n_features + 3
+        assert "VERIFY001" in _error_ids(verify_structure(arena))
+
+
+class TestGraphShape:
+    def test_orphaned_subtree(self, arena):
+        # Cutting one child edge strands that whole subtree.
+        arena.left[_first_split(arena)] = -1
+        assert "VERIFY002" in _error_ids(verify_structure(arena))
+
+    def test_node_with_two_parents(self, arena):
+        split = _first_split(arena)
+        arena.left[split] = int(arena.right[split])
+        assert "VERIFY002" in _error_ids(verify_structure(arena))
+
+
+class TestLeafIds:
+    def test_duplicate_leaf_ids(self, arena):
+        leaves = _leaf_nodes(arena)
+        assert leaves.shape[0] >= 2
+        arena.leaf_id[leaves[1]] = arena.leaf_id[leaves[0]]
+        assert "VERIFY003" in _error_ids(verify_structure(arena))
+
+    def test_interior_node_with_leaf_id(self, arena):
+        arena.leaf_id[_first_split(arena)] = 1
+        assert "VERIFY003" in _error_ids(verify_structure(arena))
+
+
+class TestFiniteness:
+    def test_nan_threshold(self, arena):
+        arena.threshold[_first_split(arena)] = np.nan
+        findings = verify_structure(arena)
+        assert "VERIFY004" in _error_ids(findings)
+
+    def test_nonfinite_coefficient(self, arena):
+        if arena.term_coefficient.shape[0] == 0:
+            pytest.skip("arena has no model terms")
+        arena.term_coefficient[0] = np.inf
+        assert "VERIFY004" in _error_ids(verify_structure(arena))
+
+    def test_negative_population_is_error(self, arena):
+        arena.n_instances[int(_leaf_nodes(arena)[0])] = -3
+        assert "VERIFY004" in _error_ids(verify_structure(arena))
+
+    def test_zero_population_leaf_is_warning(self, arena):
+        arena.n_instances[int(_leaf_nodes(arena)[0])] = 0
+        findings = verify_structure(arena)
+        assert "VERIFY004" in _ids(findings)
+        assert "VERIFY004" not in _error_ids(findings)
