@@ -1,0 +1,111 @@
+"""Fleet benchmarks: router round-trip latency and the loadtest SLO.
+
+Two measurements keep the fleet honest:
+
+* the cost of the router hop — one ``/predict`` through the fleet vs
+  straight to a single replica stays benchmarked, so the reverse-proxy
+  overhead shows up in the regression gate instead of silently eating
+  the latency budget;
+* a short :func:`repro.serve.loadtest.run_loadtest` run scored against
+  the checked-in thresholds (``benchmarks/loadtest_slo.json``) — the
+  same gate the serve-chaos CI job applies at full scale.
+"""
+
+import functools
+import http.client
+import json
+import os
+
+import pytest
+
+from repro.core.tree import M5Prime
+from repro.serve.fleet import FleetConfig, ServingFleet
+from repro.serve.loadtest import run_loadtest
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import ModelServer
+
+SLO_PATH = os.path.join(os.path.dirname(__file__), "loadtest_slo.json")
+
+
+@pytest.fixture(scope="module")
+def slo():
+    with open(SLO_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)["slo"]
+
+
+@pytest.fixture(scope="module")
+def fleet_registry(tmp_path_factory, config, bench_dataset):
+    directory = tmp_path_factory.mktemp("bench-fleet-registry")
+    registry = ModelRegistry(directory)
+    model = M5Prime(min_instances=config.min_instances).fit(bench_dataset)
+    registry.publish("cpi-tree", model, aliases=["prod"])
+    return registry
+
+
+@pytest.fixture(scope="module")
+def fleet(fleet_registry):
+    serving = ServingFleet(FleetConfig(
+        model="cpi-tree@prod", workers=2, port=0,
+        registry_dir=str(fleet_registry.directory),
+        drain_timeout_s=2.0, startup_timeout_s=60.0,
+    )).start()
+    serving.serve_in_background()
+    yield serving
+    serving.shutdown()
+
+
+@pytest.fixture(scope="module")
+def single(fleet_registry):
+    server = ModelServer(
+        registry=fleet_registry, default_model="cpi-tree@prod", port=0
+    )
+    server.start()
+    server.serve_in_background()
+    yield server
+    server.shutdown(drain_timeout=2.0)
+
+
+def one_predict(port, body):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("POST", "/predict", body=body,
+                     headers={"Content-Type": "application/json",
+                              "Connection": "close"})
+        response = conn.getresponse()
+        payload = response.read()
+        assert response.status == 200, payload
+        return payload
+    finally:
+        conn.close()
+
+
+@pytest.fixture(scope="module")
+def body(bench_dataset):
+    return json.dumps(
+        {"section": bench_dataset.X[0].tolist()}
+    ).encode("utf-8")
+
+
+def test_fleet_predict_roundtrip(benchmark, fleet, body):
+    """One request through the router (proxy hop included)."""
+    benchmark(functools.partial(one_predict, fleet.bound_port, body))
+
+
+def test_single_replica_predict_roundtrip(benchmark, single, body):
+    """The same request straight to one replica (the baseline)."""
+    benchmark(functools.partial(one_predict, single.bound_port, body))
+
+
+def test_fleet_loadtest_meets_slo(fleet, bench_dataset, slo):
+    """A short healthy-fleet run must clear the checked-in SLO gate."""
+    result = run_loadtest(
+        host="127.0.0.1", port=fleet.bound_port,
+        sections=bench_dataset.X[:16].tolist(),
+        rps=100.0, duration_s=2.0, concurrency=8, seed=0,
+    )
+    assert result.failed <= slo["max_failed"]
+    assert result.resets <= slo["max_resets"]
+    assert result.success_rate >= slo["min_success_rate"]
+    if slo["sheds_require_retry_after"]:
+        assert result.shed_with_retry_after == result.shed
+    assert result.slo_ok(slo["min_success_rate"])

@@ -24,6 +24,10 @@ through three rule families:
   arena (:mod:`repro.verify`) — structural well-formedness plus
   interval abstract interpretation: dead branches, domain coverage,
   bounded predictions.
+* **fleet** (``FLEET0xx``): fleet-config sanity — unknown keys, worker
+  counts, mode/port compatibility, timing knobs, admission control,
+  and circuit-breaker settings, audited before a fleet tries to boot
+  with them.
 
 Usage::
 
@@ -53,6 +57,7 @@ from repro.lint.registry import (
     FAMILY_CACHE,
     FAMILY_COMPAT,
     FAMILY_DATASET,
+    FAMILY_FLEET,
     FAMILY_SERVE,
     FAMILY_TREE,
     FAMILY_VERIFY,
@@ -75,10 +80,12 @@ from repro.lint import compat_rules as _compat_rules  # noqa: F401
 from repro.lint import cache_rules as _cache_rules  # noqa: F401
 from repro.lint import serve_rules as _serve_rules  # noqa: F401
 from repro.lint import verify_rules as _verify_rules  # noqa: F401
+from repro.lint import fleet_rules as _fleet_rules  # noqa: F401
 
 __all__ = [
     "ALL_FAMILIES",
     "FAMILY_CACHE",
+    "FAMILY_FLEET",
     "FAMILY_SERVE",
     "FAMILY_VERIFY",
     "Diagnostic",
@@ -96,6 +103,7 @@ __all__ = [
     "lint_cache",
     "lint_compatibility",
     "lint_dataset",
+    "lint_fleet",
     "lint_model",
     "lint_registry",
     "lint_verify",
@@ -112,6 +120,7 @@ def _resolve_families(
     dataset: Optional[Table],
     cache_dir: Optional[Path],
     registry_dir: Optional[Path],
+    fleet_config: Optional[Union[Path, dict]],
     families: Optional[Sequence[str]],
 ) -> tuple:
     available = []
@@ -127,6 +136,8 @@ def _resolve_families(
         available.append(FAMILY_SERVE)
     if model is not None:
         available.append(FAMILY_VERIFY)
+    if fleet_config is not None:
+        available.append(FAMILY_FLEET)
     if families is None:
         return tuple(available)
     needs = {
@@ -136,6 +147,7 @@ def _resolve_families(
         FAMILY_CACHE: "a cache directory",
         FAMILY_SERVE: "a registry directory",
         FAMILY_VERIFY: "a model",
+        FAMILY_FLEET: "a fleet config",
     }
     for family in families:
         if family not in ALL_FAMILIES:
@@ -152,6 +164,7 @@ def run_lint(
     families: Optional[Sequence[str]] = None,
     cache_dir: Optional[Path] = None,
     registry_dir: Optional[Path] = None,
+    fleet_config: Optional[Union[Path, dict]] = None,
 ) -> LintReport:
     """Run every applicable lint rule and collect the findings.
 
@@ -170,6 +183,9 @@ def run_lint(
             serve family: manifest integrity, blob checksums,
             manifest-vs-blob agreement; with ``dataset``, feature-set
             drift against the data).
+        fleet_config: A fleet config to audit — the parsed dict or a
+            path to the JSON file (enables the fleet family; a file
+            that fails to load is a FLEET001 finding, not a crash).
 
     Returns:
         A :class:`LintReport`; ``report.exit_code(strict)`` maps it to
@@ -180,20 +196,21 @@ def run_lint(
             family its inputs cannot support.
     """
     if (model is None and dataset is None and cache_dir is None
-            and registry_dir is None):
+            and registry_dir is None and fleet_config is None):
         raise LintError(
-            "lint needs a model, a dataset, a cache directory, or a "
-            "registry directory"
+            "lint needs a model, a dataset, a cache directory, a "
+            "registry directory, or a fleet config"
         )
     if model is not None and model.root_ is None:
         raise LintError("cannot lint an unfitted model")
     table = as_table(dataset) if dataset is not None else None
     selected = _resolve_families(
-        model, table, cache_dir, registry_dir, families
+        model, table, cache_dir, registry_dir, fleet_config, families
     )
     context = LintContext(
         model=model, dataset=table, cache_dir=cache_dir,
-        registry_dir=registry_dir, config=config or LintConfig(),
+        registry_dir=registry_dir, fleet_config=fleet_config,
+        config=config or LintConfig(),
     )
     report = LintReport(families=selected)
     for family in selected:
@@ -261,6 +278,15 @@ def lint_cache(
     """Run the artifact-cache integrity rules alone."""
     return run_lint(
         cache_dir=cache_dir, config=config, families=(FAMILY_CACHE,)
+    )
+
+
+def lint_fleet(
+    fleet_config: Union[Path, dict], config: Optional[LintConfig] = None
+) -> LintReport:
+    """Run the fleet-config rules alone."""
+    return run_lint(
+        fleet_config=fleet_config, config=config, families=(FAMILY_FLEET,)
     )
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import Dict, Optional, Union
 
 from repro.core.tree.m5 import M5Prime
 from repro.lint.loading import Table
@@ -56,4 +56,8 @@ class LintContext:
     dataset: Optional[Table] = None
     cache_dir: Optional[Path] = None
     registry_dir: Optional[Path] = None
+    #: Fleet config to audit: either the parsed dict itself or a path
+    #: to the JSON file (the fleet rules load it leniently — a broken
+    #: file is a finding, not a crash).
+    fleet_config: Optional[Union[Path, Dict[str, object]]] = None
     config: LintConfig = field(default_factory=LintConfig)

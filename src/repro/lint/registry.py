@@ -18,16 +18,17 @@ from repro.errors import LintError
 from repro.lint.context import LintContext
 from repro.lint.diagnostics import Diagnostic, Severity
 
-#: The six rule families, in the order they run.
+#: The seven rule families, in the order they run.
 FAMILY_TREE = "tree"
 FAMILY_DATASET = "dataset"
 FAMILY_COMPAT = "compat"
 FAMILY_CACHE = "cache"
 FAMILY_SERVE = "serve"
 FAMILY_VERIFY = "verify"
+FAMILY_FLEET = "fleet"
 ALL_FAMILIES: Tuple[str, ...] = (
     FAMILY_TREE, FAMILY_DATASET, FAMILY_COMPAT, FAMILY_CACHE, FAMILY_SERVE,
-    FAMILY_VERIFY,
+    FAMILY_VERIFY, FAMILY_FLEET,
 )
 
 Finding = Union[Diagnostic, Tuple[str, str]]

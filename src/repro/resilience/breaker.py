@@ -1,0 +1,159 @@
+"""A circuit breaker for repeatedly-failing dependencies.
+
+Retries with backoff (:class:`~repro.resilience.retry.RetryPolicy`)
+handle *transient* failures; a breaker handles *persistent* ones.  When
+the same operation — restarting a crashed serving worker, reaching a
+flaky backend — keeps failing, continuing to hammer it wastes the very
+resources degraded mode is trying to protect.  The breaker trips after
+a run of consecutive failures and converts "keep trying" into "fail
+fast" until a cooldown elapses.
+
+States follow the canonical pattern:
+
+* **closed** — normal operation; every attempt is allowed.  Failures
+  increment a consecutive-failure count; a success resets it.
+* **open** — tripped; :meth:`allow` refuses every attempt until
+  ``cooldown_s`` has elapsed since the trip.
+* **half-open** — the cooldown elapsed; one probe attempt is allowed.
+  Its success (``half_open_successes`` consecutive successes, default
+  1) closes the breaker; its failure re-opens it and restarts the
+  cooldown.
+
+The clock is injectable (``clock=...``) so state transitions are unit
+testable without sleeping, in the same spirit as the seeded jitter in
+:class:`~repro.resilience.retry.RetryPolicy`.  All methods are
+thread-safe: the serving supervisor records outcomes from its health
+loop while the router consults :meth:`allow` from handler threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.errors import ConfigError
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+#: The three breaker states, as ``CircuitBreaker.state`` reports them.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Trip to fail-fast after ``failure_threshold`` consecutive failures.
+
+    Args:
+        failure_threshold: Consecutive :meth:`record_failure` calls (with
+            no intervening success) that trip the breaker open.
+        cooldown_s: Seconds the breaker stays open before allowing a
+            half-open probe.
+        half_open_successes: Consecutive successes required in the
+            half-open state before the breaker closes again.
+        clock: Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_s: float = 5.0,
+        half_open_successes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s < 0:
+            raise ConfigError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        if half_open_successes < 1:
+            raise ConfigError(
+                f"half_open_successes must be >= 1, got {half_open_successes}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_s = float(cooldown_s)
+        self.half_open_successes = int(half_open_successes)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._half_open_streak = 0
+        self._opened_at = 0.0
+        self.trips = 0  # total times the breaker opened (monotonic)
+
+    # ------------------------------------------------------------------
+    def _maybe_half_open(self) -> None:
+        """Open -> half-open once the cooldown has elapsed (lock held)."""
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._state = HALF_OPEN
+            self._half_open_streak = 0
+
+    @property
+    def state(self) -> str:
+        """Current state (``closed`` / ``open`` / ``half-open``)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether an attempt may proceed right now.
+
+        Closed and half-open allow attempts; open refuses them until the
+        cooldown converts it to half-open.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            return self._state != OPEN
+
+    def record_success(self) -> None:
+        """Count one successful attempt; may close a half-open breaker."""
+        with self._lock:
+            self._maybe_half_open()
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                self._half_open_streak += 1
+                if self._half_open_streak >= self.half_open_successes:
+                    self._state = CLOSED
+                    self._half_open_streak = 0
+
+    def record_failure(self) -> None:
+        """Count one failed attempt; may trip (or re-trip) the breaker."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == HALF_OPEN:
+                # The probe failed: straight back to open, fresh cooldown.
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._half_open_streak = 0
+                self.trips += 1
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self.trips += 1
+
+    def reset(self) -> None:
+        """Force-close the breaker and clear every counter."""
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._half_open_streak = 0
+
+    def describe(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return (
+                f"breaker {self._state} "
+                f"({self._consecutive_failures}/{self.failure_threshold} "
+                f"consecutive failures, {self.trips} trip(s), "
+                f"cooldown {self.cooldown_s:g}s)"
+            )

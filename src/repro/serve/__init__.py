@@ -19,15 +19,25 @@ with them at interactive latency:
   traffic.
 * :mod:`repro.serve.check` — the ``repro serve --check`` preflight
   (including static verification of every resolved artifact).
+* :mod:`repro.serve.fleet` / :mod:`repro.serve.supervisor` — the
+  supervised multi-process fleet: a front router (or ``SO_REUSEPORT``
+  sharing) over N forked workers, health-checked and restarted with
+  backoff, a circuit breaker for degraded mode, load shedding, and
+  zero-downtime alias rollouts.
+* :mod:`repro.serve.loadtest` — the ``repro loadtest`` sustained-RPS
+  generator and its latency-percentile report.
 """
 
 from repro.serve.batching import BatchQueue
 from repro.serve.check import CheckResult, preflight, render_preflight
 from repro.serve.compiled import CompiledTree, compile_tree
 from repro.serve.drift import DriftMonitor
+from repro.serve.fleet import FleetConfig, ServingFleet
+from repro.serve.loadtest import LoadTestResult, run_loadtest
 from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.serve.registry import ModelRecord, ModelRegistry, parse_spec
 from repro.serve.server import SCHEMA, ModelServer
+from repro.serve.supervisor import Supervisor, WorkerSlot
 
 __all__ = [
     "BatchQueue",
@@ -35,15 +45,21 @@ __all__ = [
     "CompiledTree",
     "Counter",
     "DriftMonitor",
+    "FleetConfig",
     "Gauge",
     "Histogram",
+    "LoadTestResult",
     "MetricsRegistry",
     "ModelRecord",
     "ModelRegistry",
     "ModelServer",
     "SCHEMA",
+    "ServingFleet",
+    "Supervisor",
+    "WorkerSlot",
     "compile_tree",
     "parse_spec",
     "preflight",
     "render_preflight",
+    "run_loadtest",
 ]

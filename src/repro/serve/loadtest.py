@@ -1,0 +1,296 @@
+"""``repro loadtest``: a sustained-RPS generator with an honest report.
+
+The fleet's availability claims are stated as an SLO — "with one worker
+killed mid-run, ≥ 99% of requests succeed, the remainder are shed 503s
+with ``Retry-After``, and no connection resets" — and a claim that is
+not measured is a hope.  This module measures it.
+
+The generator is **open-loop**: request ``i`` of an ``rps``-rate run is
+scheduled at ``start + i/rps`` regardless of how earlier requests fared,
+so a slow server faces mounting concurrency exactly as real traffic
+would (a closed loop would politely slow down and hide the problem).  A
+fixed thread pool works through the schedule; a request whose slot has
+passed fires immediately, and the report's ``achieved_rps`` says how
+close the run came to its target.
+
+Every request opens a **fresh connection**.  Keep-alive would be
+faster, but a worker crash then surfaces as an ambiguous
+``RemoteDisconnected`` on a pooled socket; with one connection per
+request, every transport failure is a real reset the router let
+through, so the ``resets`` count is trustworthy — and the SLO demands
+it be zero.
+
+Outcome taxonomy:
+
+* ``succeeded`` — HTTP 200, latency recorded;
+* ``shed`` — HTTP 503 (deadline, overload, draining, degraded): the
+  service protecting itself, acceptable within the SLO *if* the
+  response carries ``Retry-After`` (tracked separately);
+* ``failed`` — any other HTTP status: a bug, never acceptable;
+* ``resets`` — transport-level failures (refused, reset, timeout).
+
+Row selection is seeded, so two runs against bit-identical fleets score
+bit-identical inputs.  Reports use the shared ``repro-report`` envelope
+(kind ``loadtest``) so CI tooling parses them like lint and conformance
+output; ``benchmarks/loadtest_slo.json`` pins the gate thresholds.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["LoadTestResult", "run_loadtest", "render_result"]
+
+#: Report percentiles (nearest-rank on the sorted success latencies).
+PERCENTILES = (50, 90, 99)
+
+
+@dataclass
+class LoadTestResult:
+    """One load run's outcome counts, latencies, and SLO verdict inputs."""
+
+    requests: int
+    succeeded: int
+    shed: int
+    shed_with_retry_after: int
+    failed: int
+    resets: int
+    duration_s: float
+    target_rps: float
+    latencies_ms: List[float] = field(default_factory=list)
+    status_counts: Dict[str, int] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        return self.succeeded / self.requests if self.requests else 0.0
+
+    @property
+    def achieved_rps(self) -> float:
+        return self.requests / self.duration_s if self.duration_s > 0 else 0.0
+
+    def percentile_ms(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile of success latencies, or None."""
+        if not self.latencies_ms:
+            return None
+        ordered = sorted(self.latencies_ms)
+        rank = max(1, int(np.ceil(p / 100.0 * len(ordered))))
+        return ordered[rank - 1]
+
+    def slo_ok(self, min_success_rate: float = 0.99) -> bool:
+        """The fleet SLO: enough successes, clean sheds, zero resets."""
+        return (
+            self.requests > 0
+            and self.success_rate >= min_success_rate
+            and self.failed == 0
+            and self.resets == 0
+            and self.shed_with_retry_after == self.shed
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "succeeded": self.succeeded,
+            "shed": self.shed,
+            "shed_with_retry_after": self.shed_with_retry_after,
+            "failed": self.failed,
+            "resets": self.resets,
+            "success_rate": self.success_rate,
+            "duration_s": self.duration_s,
+            "target_rps": self.target_rps,
+            "achieved_rps": self.achieved_rps,
+            "latency_ms": {
+                **{
+                    f"p{p}": self.percentile_ms(p) for p in PERCENTILES
+                },
+                "max": max(self.latencies_ms) if self.latencies_ms else None,
+            },
+            "status_counts": dict(sorted(self.status_counts.items())),
+            "errors": self.errors[:10],
+        }
+
+
+def _percent(part: int, whole: int) -> str:
+    return f"{100.0 * part / whole:.2f}%" if whole else "n/a"
+
+
+def render_result(result: LoadTestResult, slo: float) -> str:
+    """Terminal rendering with the SLO verdict on the last line."""
+    lines = [
+        f"loadtest: {result.requests} requests over "
+        f"{result.duration_s:.1f}s (target {result.target_rps:g} rps, "
+        f"achieved {result.achieved_rps:.1f})",
+        f"  succeeded {result.succeeded} "
+        f"({_percent(result.succeeded, result.requests)})   "
+        f"shed {result.shed} "
+        f"(with Retry-After: {result.shed_with_retry_after})   "
+        f"failed {result.failed}   resets {result.resets}",
+    ]
+    if result.latencies_ms:
+        parts = []
+        for p in PERCENTILES:
+            value = result.percentile_ms(p)
+            parts.append(f"p{p} {value:.2f}ms")
+        parts.append(f"max {max(result.latencies_ms):.2f}ms")
+        lines.append("  latency " + "  ".join(parts))
+    for error in result.errors[:5]:
+        lines.append(f"  error: {error}")
+    verdict = "met" if result.slo_ok(slo) else "MISSED"
+    lines.append(
+        f"SLO (success ≥ {100 * slo:g}%, zero failures, zero resets, "
+        f"all sheds carry Retry-After): {verdict}"
+    )
+    return "\n".join(lines)
+
+
+def _classify(
+    host: str, port: int, path: str, body: bytes, timeout: float
+) -> Tuple[str, Optional[float], Optional[str], bool]:
+    """Fire one request; returns (outcome, latency_ms, error, retry_after).
+
+    Outcomes: ``ok`` / ``shed`` / ``failed`` / ``reset``; ``retry_after``
+    reports whether a 503 carried the header.
+    """
+    started = time.perf_counter()
+    try:
+        conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            conn.request(
+                "POST", path, body=body,
+                headers={
+                    "Content-Type": "application/json",
+                    "Connection": "close",
+                },
+            )
+            response = conn.getresponse()
+            response.read()
+            latency_ms = 1000.0 * (time.perf_counter() - started)
+            if response.status == 200:
+                return "ok", latency_ms, None, False
+            if response.status == 503:
+                has_header = response.getheader("Retry-After") is not None
+                return "shed", None, f"503:{response.status}", has_header
+            return "failed", None, f"status {response.status}", False
+        finally:
+            conn.close()
+    except (OSError, http.client.HTTPException) as exc:
+        return "reset", None, f"{type(exc).__name__}: {exc}", False
+
+
+def run_loadtest(
+    host: str,
+    port: int,
+    sections: Sequence[Sequence[float]],
+    rps: float = 200.0,
+    duration_s: float = 10.0,
+    concurrency: int = 16,
+    timeout_s: float = 5.0,
+    model: Optional[str] = None,
+    seed: int = 0,
+    path: str = "/predict",
+) -> LoadTestResult:
+    """Drive ``/predict`` at a sustained rate and tally the outcomes.
+
+    Args:
+        host, port: The fleet (or single server) front door.
+        sections: Candidate feature rows; each request scores one,
+            chosen by a seeded generator.
+        rps: Open-loop request rate.
+        duration_s: Run length; ``round(rps * duration_s)`` requests.
+        concurrency: Worker threads draining the schedule.
+        timeout_s: Per-request client timeout (a timeout counts as a
+            reset — the service failed to answer).
+        model: Optional model spec included in each payload.
+        seed: Row-selection seed.
+        path: Endpoint to hit (``/predict`` unless testing something
+            else deliberately).
+    """
+    if rps <= 0:
+        raise ConfigError(f"rps must be positive, got {rps}")
+    if duration_s <= 0:
+        raise ConfigError(f"duration_s must be positive, got {duration_s}")
+    if concurrency < 1:
+        raise ConfigError(f"concurrency must be >= 1, got {concurrency}")
+    rows = [list(map(float, row)) for row in sections]
+    if not rows:
+        raise ConfigError("loadtest needs at least one candidate section")
+    total = max(1, int(round(rps * duration_s)))
+    rng = np.random.default_rng(seed)
+    choices = rng.integers(0, len(rows), size=total)
+    bodies = []
+    for i in range(total):
+        payload: Dict[str, object] = {"section": rows[int(choices[i])]}
+        if model is not None:
+            payload["model"] = model
+        bodies.append(json.dumps(payload).encode("utf-8"))
+
+    lock = threading.Lock()
+    counts = {"ok": 0, "shed": 0, "failed": 0, "reset": 0}
+    shed_with_header = 0
+    latencies: List[float] = []
+    errors: List[str] = []
+    status_counts: Dict[str, int] = {}
+    next_index = [0]
+    start = time.perf_counter()
+
+    def worker() -> None:
+        nonlocal shed_with_header
+        while True:
+            with lock:
+                i = next_index[0]
+                if i >= total:
+                    return
+                next_index[0] = i + 1
+            # Open loop: wait for this request's slot, never longer.
+            slot = start + i / rps
+            delay = slot - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            outcome, latency_ms, error, has_header = _classify(
+                host, port, path, bodies[i], timeout_s
+            )
+            with lock:
+                counts[outcome] += 1
+                if outcome == "ok" and latency_ms is not None:
+                    latencies.append(latency_ms)
+                if outcome == "shed":
+                    status_counts["503"] = status_counts.get("503", 0) + 1
+                    if has_header:
+                        shed_with_header += 1
+                elif outcome == "ok":
+                    status_counts["200"] = status_counts.get("200", 0) + 1
+                elif error is not None and len(errors) < 50:
+                    errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, name=f"repro-load-{i}", daemon=True)
+        for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+
+    return LoadTestResult(
+        requests=total,
+        succeeded=counts["ok"],
+        shed=counts["shed"],
+        shed_with_retry_after=shed_with_header,
+        failed=counts["failed"],
+        resets=counts["reset"],
+        duration_s=elapsed,
+        target_rps=rps,
+        latencies_ms=latencies,
+        status_counts=status_counts,
+        errors=errors,
+    )

@@ -48,6 +48,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 from repro.core.tree.m5 import M5Prime
 from repro.errors import DataError, RegistryError
 from repro.parallel.cache import ArtifactCache
+from repro.resilience.faults import maybe_inject
 
 if TYPE_CHECKING:
     from repro.verify.certificate import VerificationCertificate
@@ -141,6 +142,7 @@ class ModelRegistry:
     # ------------------------------------------------------------------
     def _read_manifest(self) -> Dict:
         path = self.manifest_path
+        maybe_inject("registry_read", str(path))
         if not path.exists():
             return {"schema": MANIFEST_SCHEMA, "models": {}}
         try:

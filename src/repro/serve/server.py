@@ -19,14 +19,27 @@ Endpoints (all JSON, envelope schema ``repro-serve/1``):
   and batch-size histograms, model-cache hits, drift counters.
 
 Error contract: invalid payloads are 400, unknown models/paths 404,
-deadline overruns 503 (the :class:`~repro.resilience.RunPolicy`
-``task_timeout`` semantics), unexpected failures 500 — always as a
-``{"schema": ..., "error": ...}`` JSON body, never a traceback page.
+deadline overruns and shed requests 503 (the
+:class:`~repro.resilience.RunPolicy` ``task_timeout`` semantics and the
+admission-control path), unexpected failures 500 — always as a
+``{"schema": ..., "error": ..., "status": ...}`` JSON body, never a
+traceback page.  Every 503 carries a ``Retry-After`` header and a
+machine-readable ``reason`` (``deadline`` / ``overload`` / ``draining``
+/ ``degraded``) so clients can back off instead of piling on; shed
+requests are counted by the ``repro_shed_total`` metric.
+
+Lifecycle: ``shutdown(drain_timeout=...)`` drains gracefully — the
+listening socket closes first (new requests are refused), in-flight
+requests get up to the drain timeout to finish, then batch queues stop.
+The CLI wires SIGTERM to this path so an orchestrator's stop is never a
+dropped request.
 """
 
 from __future__ import annotations
 
 import json
+import math
+import socket
 import threading
 import time
 from dataclasses import dataclass, field
@@ -40,6 +53,7 @@ from repro.core.tree.m5 import M5Prime
 from repro.core.tree.node import SplitNode
 from repro.errors import (
     DataError,
+    OverloadError,
     RegistryError,
     ReproError,
     ServeError,
@@ -88,6 +102,15 @@ class ModelServer:
         task_timeout: Per-request wall-clock budget in seconds, the
             ``RunPolicy.task_timeout`` semantics; ``None`` disables.
         range_slack: Drift-monitor range slack (COMPAT003's default).
+        max_inflight: Admission-control cap on concurrently evaluating
+            requests; requests beyond it are shed with 503 +
+            ``Retry-After`` instead of queueing unboundedly.  ``None``
+            disables shedding.
+        retry_after_s: Value (seconds) 503 responses advertise in their
+            ``Retry-After`` header.
+        reuse_port: Bind with ``SO_REUSEPORT`` so sibling processes can
+            share the port (kernel-balanced fleet mode); raises
+            :class:`~repro.errors.ServeError` where unsupported.
     """
 
     def __init__(
@@ -100,7 +123,14 @@ class ModelServer:
         max_wait_s: float = 0.002,
         task_timeout: Optional[float] = None,
         range_slack: float = 0.10,
+        max_inflight: Optional[int] = None,
+        retry_after_s: float = 1.0,
+        reuse_port: bool = False,
     ) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ServeError(
+                f"max_inflight must be >= 1 or None, got {max_inflight}"
+            )
         self.registry = registry if registry is not None else ModelRegistry()
         self.default_model = default_model
         self.host = host
@@ -109,9 +139,16 @@ class ModelServer:
         self.max_wait_s = float(max_wait_s)
         self.task_timeout = task_timeout
         self.range_slack = float(range_slack)
+        self.max_inflight = max_inflight
+        self.retry_after_s = float(retry_after_s)
+        self.reuse_port = bool(reuse_port)
         self._models: Dict[str, ServedModel] = {}
+        self._by_digest: Dict[str, ServedModel] = {}
         self._models_lock = threading.Lock()
         self._httpd: Optional[ThreadingHTTPServer] = None
+        self._draining = threading.Event()
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
         self.metrics = MetricsRegistry()
         self._requests = self.metrics.counter(
             "repro_requests_total",
@@ -137,6 +174,15 @@ class ModelServer:
             "repro_served_model_leaves",
             "Leaf count of each loaded model.",
             ("model",),
+        )
+        self._shed = self.metrics.counter(
+            "repro_shed_total",
+            "Requests refused before evaluation, by reason.",
+            ("reason",),
+        )
+        self._inflight_gauge = self.metrics.gauge(
+            "repro_inflight_requests",
+            "Requests currently being evaluated.",
         )
 
     # ------------------------------------------------------------------
@@ -207,8 +253,19 @@ class ModelServer:
         if served is not None:
             self._model_cache.inc("hit")
             return served
-        self._model_cache.inc("miss")
         model, record = self.registry.resolve(spec)
+        with self._models_lock:
+            warm = self._by_digest.get(record.blob)
+            if warm is not None:
+                # The spec is new but its blob is already compiled and
+                # serving (an alias flip to a published digest): reuse
+                # the warm queue + drift monitor instead of recompiling.
+                self._models[spec] = warm
+                self._models.setdefault(record.spec, warm)
+        if warm is not None:
+            self._model_cache.inc("warm")
+            return warm
+        self._model_cache.inc("miss")
         try:
             certificate = self.registry.load_certificate(record)
         except RegistryError:
@@ -217,15 +274,76 @@ class ModelServer:
             # loses its prediction bound (and preflight reports it).
             certificate = None
         served = self.add_model(record.spec, model, certificate=certificate)
-        if spec != record.spec:
-            # Remember the alias spelling too (cpi-tree@latest -> @3).
-            with self._models_lock:
+        with self._models_lock:
+            self._by_digest[record.blob] = served
+            if spec != record.spec:
+                # Remember the alias spelling too (cpi-tree@latest -> @3).
                 self._models[spec] = served
         return served
 
     def loaded_models(self) -> List[str]:
         with self._models_lock:
             return sorted({served.label for served in self._models.values()})
+
+    # ------------------------------------------------------------------
+    # Admission control and drain accounting
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_cv:
+            return self._inflight
+
+    def begin_request(self) -> None:
+        """Admit one work-bearing request or shed it with 503 semantics.
+
+        Raises:
+            OverloadError: The server is draining or already at its
+                ``max_inflight`` budget; the HTTP layer turns this into
+                a 503 with ``Retry-After`` and bumps ``repro_shed_total``.
+        """
+        if self._draining.is_set():
+            raise OverloadError(
+                "server is draining; retry against another replica",
+                reason="draining",
+                retry_after=self.retry_after_s,
+            )
+        with self._inflight_cv:
+            if (
+                self.max_inflight is not None
+                and self._inflight >= self.max_inflight
+            ):
+                raise OverloadError(
+                    f"server is at its in-flight budget "
+                    f"({self.max_inflight}); retry shortly",
+                    reason="overload",
+                    retry_after=self.retry_after_s,
+                )
+            self._inflight += 1
+            self._inflight_gauge.set(value=self._inflight)
+
+    def end_request(self) -> None:
+        with self._inflight_cv:
+            self._inflight -= 1
+            self._inflight_gauge.set(value=self._inflight)
+            self._inflight_cv.notify_all()
+
+    def count_shed(self, reason: str) -> None:
+        self._shed.inc(reason)
+
+    def _wait_idle(self, timeout: float) -> bool:
+        """Block until no request is in flight; False on timeout."""
+        deadline = time.monotonic() + timeout
+        with self._inflight_cv:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_cv.wait(remaining)
+        return True
 
     # ------------------------------------------------------------------
     # Request handling (transport-independent; the HTTP layer is thin)
@@ -301,8 +419,9 @@ class ModelServer:
     def handle_healthz(self) -> Dict:
         return {
             "schema": SCHEMA,
-            "status": "ok",
+            "status": "draining" if self.draining else "ok",
             "models": self.loaded_models(),
+            "inflight": self.inflight,
         }
 
     def render_metrics(self) -> str:
@@ -323,8 +442,26 @@ class ModelServer:
         if self._httpd is not None:
             raise ServeError("server already started")
         handler = _make_handler(self)
-        self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
-        self._httpd.daemon_threads = True
+        httpd = ThreadingHTTPServer(
+            (self.host, self.port), handler, bind_and_activate=False
+        )
+        httpd.daemon_threads = True
+        try:
+            if self.reuse_port:
+                if not hasattr(socket, "SO_REUSEPORT"):
+                    raise ServeError(
+                        "SO_REUSEPORT is not available on this platform; "
+                        "use the router fleet mode instead"
+                    )
+                httpd.socket.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+                )
+            httpd.server_bind()
+            httpd.server_activate()
+        except BaseException:
+            httpd.server_close()
+            raise
+        self._httpd = httpd
         return self
 
     @property
@@ -347,17 +484,30 @@ class ModelServer:
         thread.start()
         return thread
 
-    def shutdown(self) -> None:
-        """Graceful stop: unbind, then drain and stop every batch queue."""
+    def shutdown(self, drain_timeout: float = 5.0) -> bool:
+        """Graceful stop: stop accepting, drain in-flight, stop queues.
+
+        New requests are refused (shed with 503 ``draining``) the moment
+        this is called; requests already admitted get up to
+        ``drain_timeout`` seconds to finish before batch queues stop.
+
+        Returns:
+            ``True`` when every in-flight request finished within the
+            drain budget, ``False`` when the timeout expired first.
+        """
+        self._draining.set()
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
             self._httpd = None
+        drained = self._wait_idle(max(0.0, drain_timeout))
         with self._models_lock:
             served = {id(s): s for s in self._models.values()}
             self._models.clear()
+            self._by_digest.clear()
         for model in served.values():
             model.queue.stop()
+        return drained
 
 
 # ----------------------------------------------------------------------
@@ -416,16 +566,37 @@ def _make_handler(app: ModelServer):
             pass
 
         # -- plumbing ---------------------------------------------------
-        def _send_json(self, status: int, document: Dict) -> None:
+        def _send_json(
+            self, status: int, document: Dict,
+            extra_headers: Optional[Dict[str, str]] = None,
+        ) -> None:
             body = json.dumps(document).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (extra_headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
-        def _send_error(self, status: int, message: str) -> None:
-            self._send_json(status, {"schema": SCHEMA, "error": message})
+        def _send_error(
+            self, status: int, message: str,
+            reason: Optional[str] = None,
+            retry_after: Optional[float] = None,
+        ) -> None:
+            document = {"schema": SCHEMA, "error": message, "status": status}
+            headers: Dict[str, str] = {}
+            if status == 503:
+                # Every 503 — deadline, shed, degraded — tells clients
+                # when to come back, in whole seconds as RFC 7231 asks.
+                delay = retry_after if retry_after is not None \
+                    else app.retry_after_s
+                headers["Retry-After"] = str(max(1, math.ceil(delay)))
+                document["reason"] = reason or "overload"
+                document["retry_after"] = int(headers["Retry-After"])
+            elif reason is not None:
+                document["reason"] = reason
+            self._send_json(status, document, headers)
 
         def _read_payload(self) -> Dict:
             length = int(self.headers.get("Content-Length") or 0)
@@ -444,14 +615,39 @@ def _make_handler(app: ModelServer):
             app._requests.inc(endpoint, str(status))
             app._latency.observe(time.perf_counter() - started, endpoint)
 
-        def _dispatch(self, endpoint: str, fn) -> None:
+        def _dispatch(self, endpoint: str, fn, admit: bool = False) -> None:
             started = time.perf_counter()
             status = 200
+            admitted = False
+            if admit:
+                try:
+                    app.begin_request()
+                    admitted = True
+                except OverloadError as exc:
+                    app.count_shed(exc.reason)
+                    status = 503
+                    try:
+                        self._send_error(
+                            status, str(exc), reason=exc.reason,
+                            retry_after=exc.retry_after,
+                        )
+                    except (BrokenPipeError, OSError):
+                        status = 499
+                    self._finish(endpoint, started, status)
+                    return
             try:
                 document = fn()
             except TaskTimeoutError as exc:
                 status = 503
-                self._send_error(status, str(exc))
+                app.count_shed("deadline")
+                self._send_error(status, str(exc), reason="deadline")
+            except OverloadError as exc:
+                status = 503
+                app.count_shed(exc.reason)
+                self._send_error(
+                    status, str(exc), reason=exc.reason,
+                    retry_after=exc.retry_after,
+                )
             except (RegistryError,) as exc:
                 status = 404
                 self._send_error(status, str(exc))
@@ -474,6 +670,9 @@ def _make_handler(app: ModelServer):
                     self._send_json(status, document)
                 except BrokenPipeError:
                     status = 499
+            finally:
+                if admitted:
+                    app.end_request()
             self._finish(endpoint, started, status)
 
         # -- routes -----------------------------------------------------
@@ -503,11 +702,15 @@ def _make_handler(app: ModelServer):
             path = self.path.split("?", 1)[0].rstrip("/")
             if path == "/predict":
                 self._dispatch(
-                    "/predict", lambda: app.handle_predict(self._read_payload())
+                    "/predict",
+                    lambda: app.handle_predict(self._read_payload()),
+                    admit=True,
                 )
             elif path == "/explain":
                 self._dispatch(
-                    "/explain", lambda: app.handle_explain(self._read_payload())
+                    "/explain",
+                    lambda: app.handle_explain(self._read_payload()),
+                    admit=True,
                 )
             else:
                 started = time.perf_counter()

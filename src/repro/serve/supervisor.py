@@ -1,0 +1,314 @@
+"""Worker supervision for the serving fleet.
+
+The :class:`Supervisor` is the control loop that keeps N serving
+workers alive: it health-probes every worker, restarts crashed or
+unresponsive ones under the resilience layer's
+:class:`~repro.resilience.retry.RetryPolicy` exponential backoff, and
+trips a :class:`~repro.resilience.breaker.CircuitBreaker` into
+**degraded mode** when restarts keep failing — the fleet stops
+hammering a broken spawn path and serves from whatever workers remain
+until the breaker's cooldown allows a half-open probe.
+
+The supervisor is deliberately *mechanism-free*: it never imports
+``multiprocessing`` or makes HTTP calls.  It owns worker **slots** and
+drives three injected callables —
+
+* ``spawn(index) -> handle`` — start worker ``index``, returning an
+  opaque handle (may raise on startup failure);
+* ``probe(handle) -> bool`` — one liveness + health check;
+* ``stop(handle, graceful) -> None`` — terminate a worker, draining
+  first when ``graceful``.
+
+— so unit tests supervise fake in-memory workers with a fake clock,
+and :mod:`repro.serve.fleet` plugs in real forked processes probed over
+``/healthz``.  Nothing here sleeps on its own except
+:meth:`Supervisor.rolling_restart`'s wait-for-healthy poll, and even
+that uses the injected ``clock``/``sleep`` pair.
+
+Timing model: the owner calls :meth:`tick` periodically (the fleet runs
+it on a supervision thread).  Each tick probes live workers, retires
+unhealthy ones, and attempts any restarts whose backoff delay has
+elapsed and whose attempt the breaker allows.  Restart backoff is keyed
+``worker-<index>`` so two flapping workers jitter independently but
+deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import FleetError
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.retry import RetryPolicy
+
+__all__ = ["Supervisor", "WorkerSlot"]
+
+
+@dataclass
+class WorkerSlot:
+    """One worker position in the fleet and its supervision state."""
+
+    index: int
+    handle: Optional[Any] = None
+    healthy: bool = False
+    restarts: int = 0  # successful (re)spawns after the first start
+    failures: int = 0  # consecutive failed spawn attempts
+    next_attempt_at: float = 0.0
+    started: bool = False  # ever spawned successfully
+
+    def backoff_key(self) -> str:
+        return f"worker-{self.index}"
+
+
+class Supervisor:
+    """Keep ``n_workers`` worker slots spawned, probed, and restarted.
+
+    Args:
+        spawn: ``index -> handle``; raises on startup failure.
+        probe: ``handle -> bool``; one health check.
+        stop: ``(handle, graceful) -> None``; terminate a worker.
+        n_workers: Slot count.
+        retry: Backoff between restart attempts of one slot
+            (``delay_for(failures, "worker-<i>")``).
+        breaker: Trips degraded mode when restart attempts keep failing
+            fleet-wide; while open, no restarts are attempted.
+        startup_timeout: Seconds a freshly spawned worker gets to pass
+            its first probe before the spawn counts as failed.
+        describe: Optional ``handle -> dict`` used by :meth:`status`.
+        clock, sleep: Injectable time source pair for tests.
+    """
+
+    def __init__(
+        self,
+        spawn: Callable[[int], Any],
+        probe: Callable[[Any], bool],
+        stop: Callable[[Any, bool], None],
+        n_workers: int,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        startup_timeout: float = 10.0,
+        describe: Optional[Callable[[Any], Dict[str, Any]]] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if n_workers < 1:
+            raise FleetError(f"n_workers must be >= 1, got {n_workers}")
+        self.spawn = spawn
+        self.probe = probe
+        self.stop = stop
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=1, base_delay=0.2, max_delay=5.0
+        )
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            failure_threshold=5, cooldown_s=5.0
+        )
+        self.startup_timeout = float(startup_timeout)
+        self.describe = describe
+        self.clock = clock
+        self.sleep = sleep
+        self.slots = [WorkerSlot(index=i) for i in range(n_workers)]
+        # _op_lock serializes supervision operations (tick, rollout,
+        # stop_all); _slots_lock guards slot-field access so the router
+        # can snapshot healthy handles without waiting on a probe pass.
+        self._op_lock = threading.RLock()
+        self._slots_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Observations for the routing tier
+    # ------------------------------------------------------------------
+    def healthy_handles(self) -> List[Any]:
+        """Handles currently in rotation, in slot order."""
+        with self._slots_lock:
+            return [
+                s.handle for s in self.slots
+                if s.healthy and s.handle is not None
+            ]
+
+    @property
+    def degraded(self) -> bool:
+        """True while the breaker holds restarts open (degraded mode)."""
+        return self.breaker.state == "open"
+
+    def status(self) -> Dict[str, Any]:
+        """A JSON-able snapshot for ``/fleet/status`` and operators."""
+        with self._slots_lock:
+            workers = []
+            for slot in self.slots:
+                entry: Dict[str, Any] = {
+                    "index": slot.index,
+                    "healthy": slot.healthy,
+                    "restarts": slot.restarts,
+                    "consecutive_failures": slot.failures,
+                }
+                if slot.handle is not None and self.describe is not None:
+                    entry.update(self.describe(slot.handle))
+                workers.append(entry)
+        return {
+            "degraded": self.degraded,
+            "breaker": self.breaker.state,
+            "healthy_workers": sum(1 for w in workers if w["healthy"]),
+            "workers": workers,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn every slot; raises if any worker never becomes healthy.
+
+        Startup is strict where supervision is forgiving: a fleet that
+        cannot field its full complement at boot is a configuration
+        problem, not a transient to ride out.
+        """
+        with self._op_lock:
+            for slot in self.slots:
+                handle = self.spawn(slot.index)
+                if not self._wait_healthy(handle):
+                    self.stop(handle, False)
+                    self.stop_all(graceful=False)
+                    raise FleetError(
+                        f"worker {slot.index} failed to become healthy "
+                        f"within {self.startup_timeout:g}s at startup"
+                    )
+                with self._slots_lock:
+                    slot.handle = handle
+                    slot.healthy = True
+                    slot.started = True
+
+    def tick(self) -> List[str]:
+        """One supervision pass; returns human-readable events."""
+        events: List[str] = []
+        with self._op_lock:
+            for slot in self.slots:
+                with self._slots_lock:
+                    handle = slot.handle
+                if handle is not None:
+                    if self.probe(handle):
+                        with self._slots_lock:
+                            if not slot.healthy:
+                                events.append(
+                                    f"worker {slot.index} healthy again"
+                                )
+                            slot.healthy = True
+                        continue
+                    # Dead or unresponsive: retire it and schedule a
+                    # restart under backoff.  The spawn attempt, not
+                    # this observation, feeds the breaker.
+                    self.stop(handle, False)
+                    with self._slots_lock:
+                        slot.handle = None
+                        slot.healthy = False
+                        slot.failures += 1
+                        delay = self.retry.delay_for(
+                            min(slot.failures, 16), slot.backoff_key()
+                        )
+                        slot.next_attempt_at = self.clock() + delay
+                    events.append(
+                        f"worker {slot.index} unhealthy; restart in "
+                        f"{delay:.2f}s"
+                    )
+                    continue
+                # Empty slot: respawn when backoff and breaker allow.
+                if not slot.started:
+                    continue  # start() owns first spawns
+                if self.clock() < slot.next_attempt_at:
+                    continue
+                if not self.breaker.allow():
+                    continue  # degraded: hold restarts until cooldown
+                self._attempt_respawn(slot, events)
+        return events
+
+    def _attempt_respawn(self, slot: WorkerSlot, events: List[str]) -> None:
+        try:
+            handle = self.spawn(slot.index)
+            if not self._wait_healthy(handle):
+                self.stop(handle, False)
+                raise FleetError(
+                    f"worker {slot.index} respawned but never passed "
+                    "its startup probe"
+                )
+        except Exception as exc:  # noqa: BLE001 — supervision absorbs
+            self.breaker.record_failure()
+            with self._slots_lock:
+                slot.failures += 1
+                delay = self.retry.delay_for(
+                    min(slot.failures, 16), slot.backoff_key()
+                )
+                slot.next_attempt_at = self.clock() + delay
+            events.append(
+                f"worker {slot.index} restart failed ({exc}); next "
+                f"attempt in {delay:.2f}s"
+                + (" [breaker open: degraded]" if self.degraded else "")
+            )
+            return
+        self.breaker.record_success()
+        with self._slots_lock:
+            slot.handle = handle
+            slot.healthy = True
+            slot.failures = 0
+            slot.restarts += 1
+        events.append(f"worker {slot.index} restarted")
+
+    def _wait_healthy(self, handle: Any) -> bool:
+        """Poll ``probe`` until healthy or ``startup_timeout`` elapses."""
+        deadline = self.clock() + self.startup_timeout
+        while True:
+            if self.probe(handle):
+                return True
+            if self.clock() >= deadline:
+                return False
+            self.sleep(0.05)
+
+    # ------------------------------------------------------------------
+    # Zero-downtime rollout
+    # ------------------------------------------------------------------
+    def rolling_restart(self) -> List[str]:
+        """Replace every worker one at a time with no rotation gap.
+
+        For each slot: spawn the replacement, wait until it is healthy,
+        swap it into rotation atomically, then gracefully drain the old
+        worker.  At every instant each slot holds a healthy worker, so
+        a router snapshotting :meth:`healthy_handles` never sees the
+        fleet shrink below its complement.
+
+        Raises:
+            FleetError: A replacement never became healthy; the old
+                worker is kept in rotation and the roll aborts.
+        """
+        events: List[str] = []
+        with self._op_lock:
+            for slot in self.slots:
+                replacement = self.spawn(slot.index)
+                if not self._wait_healthy(replacement):
+                    self.stop(replacement, False)
+                    raise FleetError(
+                        f"rollout aborted at worker {slot.index}: the "
+                        "replacement never became healthy; the previous "
+                        "worker remains in rotation"
+                    )
+                with self._slots_lock:
+                    old = slot.handle
+                    slot.handle = replacement
+                    slot.healthy = True
+                    slot.failures = 0
+                    slot.restarts += 1
+                    slot.started = True
+                if old is not None:
+                    self.stop(old, True)  # graceful: drain in-flight
+                events.append(f"worker {slot.index} rolled")
+        return events
+
+    def stop_all(self, graceful: bool = True) -> None:
+        """Terminate every worker and empty the rotation."""
+        with self._slots_lock:
+            handles = [
+                (s, s.handle) for s in self.slots if s.handle is not None
+            ]
+            for slot, _ in handles:
+                slot.handle = None
+                slot.healthy = False
+        for _, handle in handles:
+            self.stop(handle, graceful)

@@ -1,0 +1,146 @@
+"""The circuit breaker: trip, cooldown, half-open probe, recovery."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, cooldown_s=5.0, clock=clock)
+
+
+class TestValidation:
+    def test_threshold_must_be_positive(self, clock):
+        with pytest.raises(ConfigError):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+
+    def test_cooldown_must_be_non_negative(self, clock):
+        with pytest.raises(ConfigError):
+            CircuitBreaker(cooldown_s=-1.0, clock=clock)
+
+    def test_half_open_successes_must_be_positive(self, clock):
+        with pytest.raises(ConfigError):
+            CircuitBreaker(half_open_successes=0, clock=clock)
+
+
+class TestTrip:
+    def test_starts_closed_and_allowing(self, breaker):
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trips_at_threshold(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_streak(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # streak restarted after success
+
+    def test_open_refuses_until_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(4.99)
+        assert not breaker.allow()
+        assert breaker.state == OPEN
+
+
+class TestHalfOpen:
+    def _trip(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+
+    def test_cooldown_elapsing_half_opens(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(5.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+
+    def test_probe_success_closes(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(5.0)
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(5.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        clock.advance(4.0)  # only part of the *new* cooldown
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_multi_success_half_open(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=1.0, half_open_successes=2,
+            clock=clock,
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN  # one success is not enough
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+
+class TestMisc:
+    def test_reset_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_describe_mentions_state(self, breaker):
+        assert "closed" in breaker.describe()
+        for _ in range(3):
+            breaker.record_failure()
+        assert "open" in breaker.describe()
+
+    def test_thread_safety_smoke(self):
+        breaker = CircuitBreaker(failure_threshold=1000000)
+
+        def hammer():
+            for _ in range(500):
+                breaker.record_failure()
+                breaker.allow()
+                breaker.record_success()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert breaker.state == CLOSED

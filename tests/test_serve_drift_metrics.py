@@ -183,3 +183,35 @@ class TestPreflight:
         results = preflight(registry)
         parity = [r for r in results if r.name == "compiled-parity"][0]
         assert parity.ok and "smoothing" in parity.detail
+
+
+class TestDriftMonitorConcurrency:
+    def test_counters_exact_under_concurrent_observe(
+        self, suite_tree, suite_dataset
+    ):
+        """Regression: counter updates must be atomic under /predict load.
+
+        Eight threads each fold 50 batches of 4 rows; if the lock around
+        the counter updates were missing (or a read-modify-write escaped
+        it), lost updates would make the totals come up short.
+        """
+        import threading
+
+        monitor = DriftMonitor(suite_tree)
+        rows = suite_dataset.X[:4]
+        n_threads, n_batches = 8, 50
+
+        def hammer():
+            for _ in range(n_batches):
+                monitor.observe(rows)
+                monitor.observe_predictions(np.zeros(rows.shape[0]))
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = monitor.snapshot()
+        expected = n_threads * n_batches * rows.shape[0]
+        assert snapshot["rows_seen"] == expected
+        assert snapshot["predictions_seen"] == expected

