@@ -1,0 +1,111 @@
+"""Fast-engine benchmarks: sweep throughput, the >=50x gate, MAE parity.
+
+The fast engine's reason to exist is design-space sweeps: predicting a
+suite's sections without replaying traces.  These benchmarks keep the
+claim measured on a 25-workload sweep and assert two acceptance bars:
+
+* the fast engine is at least 50x faster than the trace simulator on
+  the same sweep (calibration is loaded outside the timed region — it
+  is fitted once and amortized across every sweep point by contract);
+* an M5' tree fitted on the fast-engine dataset cross-validates within
+  10% of the MAE of a tree fitted on the trace dataset, so the fast
+  path is good enough to *train on*, not just to screen with.
+"""
+
+import functools
+import time
+
+import pytest
+
+from repro.conformance import corpus_profiles
+from repro.core.tree import M5Prime
+from repro.evaluation import cross_validate
+from repro.experiments import suite_dataset
+from repro.experiments.data import artifact_cache
+from repro.fastsim import fast_suite, get_calibration
+from repro.workloads import simulate_suite, spec_like_suite
+
+SWEEP_WORKLOADS = 25
+SWEEP_SECTIONS = 24
+SWEEP_INSTRUCTIONS = 2048
+SPEEDUP_BAR = 50.0
+MAE_PARITY = 1.10
+
+
+@pytest.fixture(scope="module")
+def calibration(config):
+    return get_calibration(artifact_cache(), seed=config.seed)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """25 sweep workloads: the suite plus isolated corpus phases."""
+    profiles = list(spec_like_suite()) + list(corpus_profiles())
+    assert len(profiles) >= SWEEP_WORKLOADS
+    return profiles[:SWEEP_WORKLOADS]
+
+
+def _fast_sweep(sweep, config, calibration):
+    return fast_suite(
+        sweep,
+        sections_per_workload=SWEEP_SECTIONS,
+        instructions_per_section=SWEEP_INSTRUCTIONS,
+        seed=config.seed,
+        calibration=calibration,
+    )
+
+
+def _trace_sweep(sweep, config):
+    return simulate_suite(
+        sweep,
+        sections_per_workload=SWEEP_SECTIONS,
+        instructions_per_section=SWEEP_INSTRUCTIONS,
+        seed=config.seed,
+    )
+
+
+def test_simulate_suite_fast(benchmark, sweep, config, calibration):
+    result = benchmark(
+        functools.partial(_fast_sweep, sweep, config, calibration)
+    )
+    assert result.dataset.n_instances == SWEEP_WORKLOADS * SWEEP_SECTIONS
+
+
+def test_fastsim_speedup_gate(sweep, config, calibration):
+    """The ISSUE acceptance bar: fast >= 50x trace on the 25-workload sweep."""
+
+    def best_of(fn, rounds):
+        timings = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            timings.append(time.perf_counter() - start)
+        return min(timings)
+
+    fast_s = best_of(lambda: _fast_sweep(sweep, config, calibration), rounds=3)
+    trace_s = best_of(lambda: _trace_sweep(sweep, config), rounds=2)
+    speedup = trace_s / fast_s
+    print(f"\nfast {fast_s * 1000:.2f}ms, trace {trace_s * 1000:.1f}ms, "
+          f"x{speedup:.0f}")
+    assert speedup >= SPEEDUP_BAR, (
+        f"fast-engine speedup x{speedup:.1f} below the x{SPEEDUP_BAR:.0f} bar"
+    )
+
+
+def test_fastsim_mae_parity(config, bench_dataset):
+    """Trees fitted on fast datasets must cross-validate near trace MAE."""
+    fast_dataset = suite_dataset(config, engine="fast")
+    assert fast_dataset.n_instances == bench_dataset.n_instances
+    factory = functools.partial(M5Prime, min_instances=config.min_instances)
+    trace_mae = cross_validate(
+        factory, bench_dataset, n_folds=config.n_folds, rng=config.seed
+    ).mean.mae
+    fast_mae = cross_validate(
+        factory, fast_dataset, n_folds=config.n_folds, rng=config.seed
+    ).mean.mae
+    print(f"\ntrace MAE {trace_mae:.4f}, fast MAE {fast_mae:.4f}, "
+          f"ratio {fast_mae / trace_mae:.3f}")
+    assert fast_mae <= MAE_PARITY * trace_mae, (
+        f"fast-dataset MAE {fast_mae:.4f} exceeds {MAE_PARITY:.2f}x the "
+        f"trace-dataset MAE {trace_mae:.4f}"
+    )

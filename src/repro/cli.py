@@ -19,6 +19,9 @@ Subcommands mirror the paper's workflow:
 * ``repro faults``      — describe the active fault-injection spec
 * ``repro conformance`` — oracle differential + metamorphic conformance run
 * ``repro fuzz``        — deterministic mutation fuzzing of the parsers
+* ``repro fastsim``     — analytical+ML fast suite engine: ``calibrate``
+  the residual model against the trace oracle, ``predict`` a section
+  dataset without replaying traces, ``check`` drift (FAST00x gates)
 
 Commands with repeated independent fits take ``--jobs N`` (``-1`` for
 all cores); the ``REPRO_JOBS`` environment variable sets the default.
@@ -183,6 +186,9 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--fleet-config", metavar="PATH", default=None,
                       help="fleet configuration JSON to audit (the FLEET "
                       "rule family)")
+    lint.add_argument("--calibration", metavar="PATH", default=None,
+                      help="fastsim calibration artifact JSON to audit "
+                      "(the FASTSIM rule family)")
     lint.add_argument("--format", default="text", choices=["text", "json"])
     lint.add_argument("--strict", action="store_true",
                       help="exit 1 when warnings are the worst finding")
@@ -435,6 +441,76 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--format", default="text", choices=["text", "json"])
 
     sub.add_parser("workloads", help="list the synthetic SPEC-like suite")
+
+    fastsim = sub.add_parser(
+        "fastsim",
+        help="analytical+ML fast suite engine (calibrate/predict/check)",
+        description="The fast engine predicts per-section Table I rates "
+        "and CPI from closed-form cache/branch/pipeline models plus a "
+        "trace-calibrated residual correction — orders of magnitude "
+        "faster than replaying traces.  Calibrate once against the "
+        "trace oracle, then predict datasets or gate drift in CI.",
+    )
+    fastsub = fastsim.add_subparsers(dest="fastsim_command", required=True)
+
+    fcal = fastsub.add_parser(
+        "calibrate",
+        help="fit the calibration against the trace oracle",
+        description="Measure per-phase anchors and fit the M5' residual "
+        "tree against the noise-free trace simulator, then store the "
+        "artifact content-addressed in the artifact cache.",
+    )
+    fcal.add_argument("--seed", type=int, default=2007,
+                      help="calibration sweep master seed (default 2007)")
+    fcal.add_argument("--out", metavar="PATH", default=None,
+                      help="also write the artifact JSON to this path "
+                      "(audit it with `repro lint --calibration`)")
+    fcal.add_argument("--publish", metavar="NAME", nargs="?", const="",
+                      default=None,
+                      help="publish the residual model to the registry "
+                      "under this name (default: fastsim-residual)")
+    fcal.add_argument("--registry", metavar="DIR", default=None,
+                      help="registry directory for --publish "
+                      "(default: <cache>/registry)")
+    fcal.add_argument("--no-cache", action="store_true",
+                      help="refit even if a cached artifact exists, and "
+                      "do not store the result")
+    fcal.add_argument("--format", default="text", choices=["text", "json"],
+                      help="output format (json shares the repro-report "
+                      "envelope with `repro lint`)")
+
+    fpred = fastsub.add_parser(
+        "predict",
+        help="predict a section dataset without replaying traces",
+        description="Run the fast engine over the suite and write the "
+        "predicted section dataset; the calibration is loaded from the "
+        "artifact cache (fitting it on a miss).",
+    )
+    fpred.add_argument("--out", required=True, help="output CSV path")
+    fpred.add_argument("--sections", type=int, default=120,
+                       help="sections per workload (default 120)")
+    fpred.add_argument("--instructions", type=int, default=2048,
+                       help="instructions per section (default 2048)")
+    fpred.add_argument("--seed", type=int, default=2007)
+    fpred.add_argument("--jitter", type=float, default=0.08,
+                       help="per-section parameter jitter (default 0.08)")
+    fpred.add_argument("--arff", action="store_true",
+                       help="also write a WEKA .arff next to the CSV")
+
+    fchk = fastsub.add_parser(
+        "check",
+        help="FAST00x drift gates against the trace oracle",
+        description="Run the fastsim conformance harness: calibration "
+        "freshness, determinism, Table I invariants, and per-section / "
+        "per-workload CPI drift against noise-averaged trace oracle "
+        "runs on the seeded phase corpus.  "
+        "Exit codes: 0 within tolerance, 2 on any divergence.",
+    )
+    fchk.add_argument("--tier", default="quick", choices=["quick", "deep"],
+                      help="oracle replication budget (deep doubles it)")
+    fchk.add_argument("--seed", type=int, default=2007,
+                      help="master seed (default 2007)")
+    fchk.add_argument("--format", default="text", choices=["text", "json"])
     return parser
 
 
@@ -644,10 +720,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                   f"{lint_rule.severity.value:<8} {lint_rule.summary}")
         return 0
     if (not args.model and not args.data and not args.cache_dir
-            and args.registry is None and not args.fleet_config):
+            and args.registry is None and not args.fleet_config
+            and not args.calibration):
         raise ReproError(
             "lint needs --model, --data, --cache-dir, --registry, "
-            "and/or --fleet-config (or --list-rules)"
+            "--fleet-config, and/or --calibration (or --list-rules)"
         )
     model = None
     if args.model:
@@ -667,9 +744,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
             registry_dir = ModelRegistry().directory
     fleet_config = Path(args.fleet_config) if args.fleet_config else None
+    calibration = Path(args.calibration) if args.calibration else None
     report = run_lint(
         model=model, dataset=dataset, cache_dir=cache_dir,
         registry_dir=registry_dir, fleet_config=fleet_config,
+        calibration=calibration,
     )
     if args.format == "json":
         print(render_json(report))
@@ -1140,6 +1219,110 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return report.exit_code()
 
 
+def _cmd_fastsim(args: argparse.Namespace) -> int:
+    if args.fastsim_command == "calibrate":
+        return _cmd_fastsim_calibrate(args)
+    if args.fastsim_command == "predict":
+        return _cmd_fastsim_predict(args)
+    return _cmd_fastsim_check(args)
+
+
+def _cmd_fastsim_calibrate(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.experiments.data import artifact_cache
+    from repro.fastsim import RESIDUAL_MODEL_NAME, calibrate, get_calibration
+
+    if args.no_cache:
+        calibration = calibrate(seed=args.seed)
+    else:
+        calibration = get_calibration(artifact_cache(), seed=args.seed)
+    payload = {
+        "seed": calibration.seed,
+        "digest": calibration.digest,
+        "machine_fingerprint": calibration.machine_fingerprint,
+        "workload_fingerprint": calibration.workload_fingerprint,
+        "n_samples": calibration.n_samples,
+        "n_anchors": len(calibration.anchors),
+        "stats": dict(calibration.stats),
+    }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            _json.dump(calibration.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        payload["artifact"] = args.out
+    if args.publish is not None:
+        from repro.serve import ModelRegistry
+
+        registry = ModelRegistry(Path(args.registry) if args.registry else None)
+        name = args.publish or RESIDUAL_MODEL_NAME
+        record = registry.publish(name, calibration.model)
+        payload["published"] = record.spec
+    if args.format == "json":
+        from repro.lint import json_document
+
+        print(json_document("fastsim-calibrate", payload))
+        return 0
+    stats = calibration.stats
+    print(f"calibrated {len(calibration.anchors)} phase anchor(s) from "
+          f"{calibration.n_samples} oracle sample(s), seed {calibration.seed}")
+    print(f"digest {calibration.digest}  "
+          f"residual tree: {int(stats.get('n_leaves', 0))} leaves")
+    print(f"in-sample relative error: mean {stats.get('rel_err_mean', 0):.4f}  "
+          f"p95 {stats.get('rel_err_p95', 0):.4f}  "
+          f"max {stats.get('rel_err_max', 0):.4f}")
+    if args.out:
+        print(f"wrote artifact to {args.out}")
+    if "published" in payload:
+        print(f"published residual model as {payload['published']}")
+    return 0
+
+
+def _cmd_fastsim_predict(args: argparse.Namespace) -> int:
+    from repro.datasets.arff import save_arff
+    from repro.datasets.csvio import save_csv
+    from repro.experiments.data import artifact_cache
+    from repro.fastsim import get_calibration
+    from repro.workloads import simulate_suite
+
+    calibration = get_calibration(artifact_cache(), seed=args.seed)
+    result = simulate_suite(
+        sections_per_workload=args.sections,
+        instructions_per_section=args.instructions,
+        seed=args.seed,
+        jitter=args.jitter,
+        engine="fast",
+        calibration=calibration,
+    )
+    save_csv(result.dataset, args.out)
+    print(result.summary())
+    print(f"wrote {result.dataset.n_instances} predicted sections to "
+          f"{args.out} (calibration {calibration.digest})")
+    if args.arff:
+        arff_path = args.out.rsplit(".", 1)[0] + ".arff"
+        save_arff(result.dataset, arff_path)
+        print(f"wrote WEKA dataset to {arff_path}")
+    return 0
+
+
+def _cmd_fastsim_check(args: argparse.Namespace) -> int:
+    from repro.conformance import run_fastsim
+    from repro.experiments.data import artifact_cache
+    from repro.fastsim import load_calibration
+
+    # Check the artifact a fast run would actually use: the cached one
+    # (run_fastsim fits a fresh calibration only on a cache miss).
+    calibration = load_calibration(artifact_cache(), seed=args.seed)
+    report = run_fastsim(
+        seed=args.seed, tier=args.tier, calibration=calibration
+    )
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return report.exit_code()
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     from repro.workloads import spec_like_suite
 
@@ -1168,6 +1351,7 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "conformance": _cmd_conformance,
     "fuzz": _cmd_fuzz,
+    "fastsim": _cmd_fastsim,
 }
 
 

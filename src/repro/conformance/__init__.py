@@ -17,11 +17,20 @@ Three independent evidence streams, one report shape:
 * :mod:`repro.conformance.certified` — every corpus-fitted model must
   pass the static verifier (:mod:`repro.verify`) and keep 10k uniform
   in-domain predictions inside its certified per-leaf intervals.
+* :mod:`repro.conformance.fastsim` — differential drift gates (FAST00x)
+  bounding the fast suite engine's CPI error against the trace oracle
+  on a seeded corpus; tolerance-based, never bit-identical, because the
+  fast path is an approximation by contract.
 """
 
 from repro.conformance.certified import run_certified
 from repro.conformance.corpus import ConformanceCase, build_corpus
 from repro.conformance.differential import run_case, run_differential
+from repro.conformance.fastsim import (
+    FastsimTolerance,
+    corpus_profiles,
+    run_fastsim,
+)
 from repro.conformance.fuzz import FuzzCrash, FuzzResult, run_fuzz
 from repro.conformance.metamorphic import run_metamorphic
 from repro.conformance.oracle import ReferenceM5Prime
@@ -31,14 +40,17 @@ from repro.conformance.structure import diff_trees, tree_skeleton, trees_identic
 __all__ = [
     "ConformanceCase",
     "ConformanceReport",
+    "FastsimTolerance",
     "FuzzCrash",
     "FuzzResult",
     "ReferenceM5Prime",
     "build_corpus",
+    "corpus_profiles",
     "diff_trees",
     "run_case",
     "run_certified",
     "run_differential",
+    "run_fastsim",
     "run_fuzz",
     "run_metamorphic",
     "tree_skeleton",

@@ -116,6 +116,16 @@ class RegistryError(ServeError):
     """
 
 
+class StaleCalibrationError(ReproError):
+    """A fastsim calibration artifact no longer matches the code it models.
+
+    Raised when the fast suite engine is handed a calibration whose
+    machine-config or workload-suite fingerprint disagrees with the
+    current configuration: predictions from a stale residual model are
+    silently wrong, so the engine refuses to run rather than degrade.
+    """
+
+
 class FaultInjected(ReproError):
     """An artificial failure raised by the fault-injection harness.
 

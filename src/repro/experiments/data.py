@@ -29,13 +29,12 @@ def _machine_fingerprint() -> str:
 
     Any change to the machine geometry, latencies or overlap constants
     changes the CPI a simulation would produce, so it must invalidate
-    cached datasets.
+    cached datasets.  Delegates to the fastsim fingerprint so datasets
+    and calibrations can never disagree about what "the machine" is.
     """
-    from repro._util import stable_hash
-    from repro.simulator.config import MachineConfig
-    from repro.simulator.pipeline import IssueCosts, OverlapModel
+    from repro.fastsim.calibration import machine_fingerprint
 
-    return stable_hash([repr(MachineConfig()), repr(OverlapModel()), repr(IssueCosts())])
+    return machine_fingerprint()
 
 
 def experiment_fingerprint(config: ExperimentConfig) -> Tuple:
@@ -93,6 +92,8 @@ def suite_dataset(
     cache_dir: Optional[Path] = None,
     n_jobs: Optional[int] = None,
     policy=None,
+    engine: str = "trace",
+    calibration=None,
 ) -> Dataset:
     """The section dataset for ``config`` (simulating it if needed).
 
@@ -105,36 +106,84 @@ def suite_dataset(
     per-workload retries, timeouts and checkpoint/resume to the
     simulation leg; a policy without a ``run_key`` is automatically
     scoped to this config's collection identity.
+
+    ``engine="fast"`` predicts the dataset through
+    :func:`repro.fastsim.fast_suite` instead of replaying traces.  Fast
+    datasets are cached under a key extended with the engine name and
+    the calibration artifact's content digest, so they can never collide
+    with — or serve in place of — trace datasets, datasets from a
+    different calibration, or datasets from a different machine
+    configuration.  ``calibration`` supplies the
+    :class:`~repro.fastsim.Calibration`; ``None`` loads or fits one
+    through the same artifact cache.
     """
     cfg = config or ExperimentConfig.quick()
-    key = experiment_fingerprint(cfg)
+    if engine not in ("trace", "fast"):
+        from repro.errors import ConfigError
+
+        raise ConfigError(f"engine must be 'trace' or 'fast', got {engine!r}")
+
+    cache = artifact_cache(cache_dir) if cfg.use_cache else None
+    if engine == "fast":
+        from repro.fastsim.calibration import (
+            DIFFERENTIAL_CLIP,
+            DIFFERENTIAL_SHRINK,
+            get_calibration,
+        )
+        from repro.fastsim.engine import ENGINE_REVISION
+
+        if calibration is None:
+            calibration = get_calibration(cache, seed=cfg.seed)
+        # The differential shrink/clip are applied at predict time, not
+        # baked into the artifact, so they are part of the dataset's
+        # identity alongside the calibration content digest and the
+        # engine revision.
+        key = experiment_fingerprint(cfg) + (
+            "engine",
+            "fast",
+            ENGINE_REVISION,
+            calibration.digest,
+            DIFFERENTIAL_SHRINK,
+            DIFFERENTIAL_CLIP,
+        )
+    else:
+        key = experiment_fingerprint(cfg)
     if key in _MEMORY_CACHE:
         return _MEMORY_CACHE[key]
 
-    cache = artifact_cache(cache_dir) if cfg.use_cache else None
     if cache is not None:
         dataset = cache.load_dataset(key)
         if dataset is not None:
             _MEMORY_CACHE[key] = dataset
             return dataset
 
-    if policy is not None and policy.checkpointing and not policy.run_key:
-        from dataclasses import replace
+    if engine == "fast":
+        result = simulate_suite(
+            sections_per_workload=cfg.sections_per_workload,
+            instructions_per_section=cfg.instructions_per_section,
+            seed=cfg.seed,
+            jitter=cfg.jitter,
+            engine="fast",
+            calibration=calibration,
+        )
+    else:
+        if policy is not None and policy.checkpointing and not policy.run_key:
+            from dataclasses import replace
 
-        policy = replace(policy, run_key=collect_run_key(
-            cfg.sections_per_workload,
-            cfg.instructions_per_section,
-            cfg.seed,
-            cfg.jitter,
-        ))
-    result = simulate_suite(
-        sections_per_workload=cfg.sections_per_workload,
-        instructions_per_section=cfg.instructions_per_section,
-        seed=cfg.seed,
-        jitter=cfg.jitter,
-        n_jobs=n_jobs,
-        policy=policy,
-    )
+            policy = replace(policy, run_key=collect_run_key(
+                cfg.sections_per_workload,
+                cfg.instructions_per_section,
+                cfg.seed,
+                cfg.jitter,
+            ))
+        result = simulate_suite(
+            sections_per_workload=cfg.sections_per_workload,
+            instructions_per_section=cfg.instructions_per_section,
+            seed=cfg.seed,
+            jitter=cfg.jitter,
+            n_jobs=n_jobs,
+            policy=policy,
+        )
     dataset = result.dataset
     if result.failures:
         # A partial dataset must never masquerade as the canonical one:

@@ -1,0 +1,66 @@
+"""Analytical–ML fused fast path for suite simulation.
+
+Predicts per-section Table I counter rates and CPI without replaying
+instruction traces: a vectorized analytical layer
+(:mod:`repro.fastsim.analytic`) extends the closed forms of
+:mod:`repro.simulator.analytic` into full per-component cycle
+accounting, and a calibrated M5′ residual model
+(:mod:`repro.fastsim.calibration`) absorbs what the closed forms miss.
+The trace-driven simulator remains the oracle; the FAST00x conformance
+cases (:mod:`repro.conformance.fastsim`) bound the drift.
+"""
+
+from repro.fastsim.analytic import (
+    EXTRA_FEATURE_NAMES,
+    RESIDUAL_FEATURE_NAMES,
+    ParamMatrix,
+    analytic_sections,
+    branch_mispredict_rate,
+    code_miss_rates,
+    data_miss_rates,
+    expected_cpi,
+    expected_rate_matrix,
+    predictor_matrix,
+    residual_features,
+)
+from repro.fastsim.calibration import (
+    CALIBRATION_JITTER,
+    CALIBRATION_SCHEMA,
+    RESIDUAL_MODEL_NAME,
+    Calibration,
+    calibrate,
+    get_calibration,
+    load_calibration,
+    machine_fingerprint,
+    phase_key,
+    store_calibration,
+    suite_phases,
+)
+from repro.fastsim.engine import ENGINE_REVISION, fast_suite
+
+__all__ = [
+    "CALIBRATION_JITTER",
+    "CALIBRATION_SCHEMA",
+    "ENGINE_REVISION",
+    "EXTRA_FEATURE_NAMES",
+    "RESIDUAL_FEATURE_NAMES",
+    "RESIDUAL_MODEL_NAME",
+    "Calibration",
+    "ParamMatrix",
+    "analytic_sections",
+    "branch_mispredict_rate",
+    "calibrate",
+    "code_miss_rates",
+    "data_miss_rates",
+    "expected_cpi",
+    "expected_rate_matrix",
+    "fast_suite",
+    "get_calibration",
+    "load_calibration",
+    "machine_fingerprint",
+    "phase_key",
+    "predictor_matrix",
+    "residual_features",
+    "store_calibration",
+    "suite_phases",
+]

@@ -1,0 +1,141 @@
+"""The fast suite engine: analytic rates + learned residual, no traces.
+
+``fast_suite`` is a drop-in for :func:`repro.workloads.suite.
+simulate_suite`: same profiles, same seeding discipline (one spawned
+``SeedSequence`` per profile), same :class:`~repro.workloads.suite.
+SuiteResult` shape — but instead of synthesizing and replaying an
+instruction trace per section, it draws each section's jittered
+parameters, evaluates every Table I rate and the expected CPI in one
+vectorized pass, and adds the calibrated residual model's correction.
+
+Two contract points differ from the trace engine by design:
+
+* at ``jitter > 0`` the fast engine's per-section parameter draws are
+  deterministic but *not* the trace engine's draws (the trace RNG
+  interleaves parameter jitter with trace synthesis); differential
+  comparisons therefore run at ``jitter=0.0``;
+* rates and CPI are expectations plus a learned correction — sampling
+  noise is absent, which is exactly what makes the fast path suitable
+  for wide scenario sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.counters.metrics import PREDICTOR_NAMES
+from repro.datasets.dataset import Dataset
+from repro.errors import ConfigError
+from repro.fastsim.analytic import analytic_sections
+from repro.fastsim.calibration import Calibration, get_calibration, phase_key
+from repro.parallel.cache import ArtifactCache
+from repro.simulator.config import MachineConfig
+from repro.workloads.phases import perturbed_batch
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.spec import spec_like_suite
+from repro.workloads.suite import ProgressCallback, SuiteResult
+
+#: Revision of the fast engine's deterministic draw scheme and numeric
+#: pipeline.  The machine and workload fingerprints cover the *inputs*
+#: to a dataset; this covers the engine itself, so cached fast datasets
+#: can never outlive the code that produced them.  Bump on any change
+#: that alters fast_suite's output for identical inputs.
+ENGINE_REVISION = 2
+
+
+def fast_suite(
+    profiles: Optional[Sequence[WorkloadProfile]] = None,
+    sections_per_workload: int = 120,
+    instructions_per_section: int = 2048,
+    config: Optional[MachineConfig] = None,
+    seed: int = 2007,
+    jitter: float = 0.08,
+    calibration: Optional[Calibration] = None,
+    cache: Optional[ArtifactCache] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> SuiteResult:
+    """Predict the suite dataset without replaying traces.
+
+    Args mirror :func:`~repro.workloads.suite.simulate_suite`;
+    ``calibration`` supplies the fitted residual (fetched via
+    :func:`~repro.fastsim.calibration.get_calibration` from ``cache`` —
+    or fit on the fly — when omitted).  The calibration's machine and
+    workload fingerprints must match ``config``/``profiles``; a stale
+    calibration raises :class:`~repro.errors.StaleCalibrationError`.
+    """
+    if profiles is None:
+        profiles = spec_like_suite()
+    if not profiles:
+        raise ConfigError("need at least one workload profile")
+    if sections_per_workload < 1:
+        raise ConfigError("sections_per_workload must be at least 1")
+    if instructions_per_section < 64:
+        raise ConfigError("instructions_per_section must be at least 64")
+    machine = config or MachineConfig()
+    if calibration is None:
+        calibration = get_calibration(cache, machine, profiles, seed=seed)
+    calibration.require_fresh(machine, profiles)
+
+    # Draw every section's parameters with the suite's seeding
+    # discipline: one spawned sequence per profile, sections in order.
+    # Phases are temporally contiguous, so each run of sections sharing
+    # one PhaseParams is jittered in a single vectorized batch and its
+    # phase key computed once.
+    seeds = np.random.SeedSequence(seed).spawn(len(profiles))
+    all_params = []
+    labels: List[str] = []
+    section_ids: List[int] = []
+    phase_ids: List[int] = []
+    section_keys: List[str] = []
+    for profile, seq in zip(profiles, seeds):
+        rng = np.random.default_rng(seq)
+        start = 0
+        while start < sections_per_workload:
+            params = profile.section_params(start, sections_per_workload)
+            end = start + 1
+            while (
+                end < sections_per_workload
+                and profile.section_params(end, sections_per_workload)
+                is params
+            ):
+                end += 1
+            run = end - start
+            all_params.extend(perturbed_batch(params, rng, jitter, run))
+            labels.extend([profile.name] * run)
+            section_ids.extend(range(start, end))
+            phase_ids.extend(
+                [profile.phase_index(start, sections_per_workload)] * run
+            )
+            section_keys.extend([phase_key(params)] * run)
+            start = end
+
+    predictors, analytic_cpi, features = analytic_sections(
+        all_params, machine, instructions_per_section=instructions_per_section
+    )
+    cpi = calibration.correct(analytic_cpi, features, section_keys)
+    # CPI below the issue-width floor is unphysical, so clamp there.
+    cpi = np.maximum(cpi, 1.0 / machine.issue_width)
+
+    dataset = Dataset(
+        predictors,
+        cpi,
+        PREDICTOR_NAMES,
+        target_name="CPI",
+        meta={
+            "workload": np.asarray(labels, dtype=object),
+            "section": np.asarray(section_ids, dtype=object),
+            "phase": np.asarray(phase_ids, dtype=object),
+        },
+    )
+    cpi_by_workload: Dict[str, float] = {}
+    label_array = np.asarray(labels)
+    for profile in profiles:
+        mask = label_array == profile.name
+        cpi_by_workload[profile.name] = float(np.mean(cpi[mask]))
+        if progress is not None:
+            progress(profile.name, sections_per_workload, sections_per_workload)
+    return SuiteResult(
+        dataset=dataset, cpi_by_workload=cpi_by_workload, failures=[]
+    )

@@ -28,6 +28,11 @@ through three rule families:
   counts, mode/port compatibility, timing knobs, admission control,
   and circuit-breaker settings, audited before a fleet tries to boot
   with them.
+* **fastsim** (``FASTSIM0xx``): fastsim calibration-artifact audit —
+  schema and required keys, machine/workload fingerprint freshness,
+  residual-model and anchor-table integrity, fit-quality stats, and
+  feature-name agreement with the analytical layer, checked before the
+  fast engine is allowed to serve predictions from the artifact.
 
 Usage::
 
@@ -57,6 +62,7 @@ from repro.lint.registry import (
     FAMILY_CACHE,
     FAMILY_COMPAT,
     FAMILY_DATASET,
+    FAMILY_FASTSIM,
     FAMILY_FLEET,
     FAMILY_SERVE,
     FAMILY_TREE,
@@ -81,10 +87,12 @@ from repro.lint import cache_rules as _cache_rules  # noqa: F401
 from repro.lint import serve_rules as _serve_rules  # noqa: F401
 from repro.lint import verify_rules as _verify_rules  # noqa: F401
 from repro.lint import fleet_rules as _fleet_rules  # noqa: F401
+from repro.lint import fastsim_rules as _fastsim_rules  # noqa: F401
 
 __all__ = [
     "ALL_FAMILIES",
     "FAMILY_CACHE",
+    "FAMILY_FASTSIM",
     "FAMILY_FLEET",
     "FAMILY_SERVE",
     "FAMILY_VERIFY",
@@ -101,6 +109,7 @@ __all__ = [
     "json_document",
     "load_table",
     "lint_cache",
+    "lint_calibration",
     "lint_compatibility",
     "lint_dataset",
     "lint_fleet",
@@ -121,6 +130,7 @@ def _resolve_families(
     cache_dir: Optional[Path],
     registry_dir: Optional[Path],
     fleet_config: Optional[Union[Path, dict]],
+    calibration: Optional[Union[Path, dict]],
     families: Optional[Sequence[str]],
 ) -> tuple:
     available = []
@@ -138,6 +148,8 @@ def _resolve_families(
         available.append(FAMILY_VERIFY)
     if fleet_config is not None:
         available.append(FAMILY_FLEET)
+    if calibration is not None:
+        available.append(FAMILY_FASTSIM)
     if families is None:
         return tuple(available)
     needs = {
@@ -148,6 +160,7 @@ def _resolve_families(
         FAMILY_SERVE: "a registry directory",
         FAMILY_VERIFY: "a model",
         FAMILY_FLEET: "a fleet config",
+        FAMILY_FASTSIM: "a calibration artifact",
     }
     for family in families:
         if family not in ALL_FAMILIES:
@@ -165,6 +178,7 @@ def run_lint(
     cache_dir: Optional[Path] = None,
     registry_dir: Optional[Path] = None,
     fleet_config: Optional[Union[Path, dict]] = None,
+    calibration: Optional[Union[Path, dict]] = None,
 ) -> LintReport:
     """Run every applicable lint rule and collect the findings.
 
@@ -186,6 +200,10 @@ def run_lint(
         fleet_config: A fleet config to audit — the parsed dict or a
             path to the JSON file (enables the fleet family; a file
             that fails to load is a FLEET001 finding, not a crash).
+        calibration: A fastsim calibration artifact to audit — the
+            serialized payload dict or a path to the JSON file (enables
+            the fastsim family; a file that fails to load is a
+            FASTSIM001 finding, not a crash).
 
     Returns:
         A :class:`LintReport`; ``report.exit_code(strict)`` maps it to
@@ -196,21 +214,24 @@ def run_lint(
             family its inputs cannot support.
     """
     if (model is None and dataset is None and cache_dir is None
-            and registry_dir is None and fleet_config is None):
+            and registry_dir is None and fleet_config is None
+            and calibration is None):
         raise LintError(
             "lint needs a model, a dataset, a cache directory, a "
-            "registry directory, or a fleet config"
+            "registry directory, a fleet config, or a calibration "
+            "artifact"
         )
     if model is not None and model.root_ is None:
         raise LintError("cannot lint an unfitted model")
     table = as_table(dataset) if dataset is not None else None
     selected = _resolve_families(
-        model, table, cache_dir, registry_dir, fleet_config, families
+        model, table, cache_dir, registry_dir, fleet_config, calibration,
+        families,
     )
     context = LintContext(
         model=model, dataset=table, cache_dir=cache_dir,
         registry_dir=registry_dir, fleet_config=fleet_config,
-        config=config or LintConfig(),
+        calibration=calibration, config=config or LintConfig(),
     )
     report = LintReport(families=selected)
     for family in selected:
@@ -287,6 +308,15 @@ def lint_fleet(
     """Run the fleet-config rules alone."""
     return run_lint(
         fleet_config=fleet_config, config=config, families=(FAMILY_FLEET,)
+    )
+
+
+def lint_calibration(
+    calibration: Union[Path, dict], config: Optional[LintConfig] = None
+) -> LintReport:
+    """Run the fastsim calibration-artifact rules alone."""
+    return run_lint(
+        calibration=calibration, config=config, families=(FAMILY_FASTSIM,)
     )
 
 

@@ -31,6 +31,11 @@ class LintConfig:
             compatibility rules flag them.
         max_probe_points: Cap on synthetic probe instances used by the
             round-trip rule.
+        calibration_rel_err: Recorded in-sample relative-error p95 above
+            which a fastsim calibration draws a quality warning.  The
+            stat is measured over the jittered sweep against single
+            noisy oracle samples, so it sits well above the jitter=0
+            drift the FAST00x gates bound.
     """
 
     ratio_bound: float = 1.0
@@ -40,6 +45,7 @@ class LintConfig:
     coefficient_bound: float = 1e6
     range_slack: float = 0.10
     max_probe_points: int = 128
+    calibration_rel_err: float = 0.20
 
 
 @dataclass
@@ -60,4 +66,8 @@ class LintContext:
     #: to the JSON file (the fleet rules load it leniently — a broken
     #: file is a finding, not a crash).
     fleet_config: Optional[Union[Path, Dict[str, object]]] = None
+    #: Fastsim calibration artifact to audit: the serialized payload
+    #: dict or a path to the JSON file (the fastsim rules load it
+    #: leniently — a broken artifact is a finding, not a crash).
+    calibration: Optional[Union[Path, Dict[str, object]]] = None
     config: LintConfig = field(default_factory=LintConfig)

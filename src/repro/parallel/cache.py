@@ -19,6 +19,9 @@ Layout (under :func:`repro.experiments.config.default_cache_dir`, i.e.
         dataset-<digest>.csv.sha256  integrity checksum sidecar
         model-<digest>.json          fitted model trees
         model-<digest>.json.sha256   integrity checksum sidecar
+        json-<digest>.json           generic JSON artifacts (fastsim
+                                     calibrations and similar payloads)
+        json-<digest>.json.sha256    integrity checksum sidecar
         quarantine/                  corrupt entries, kept for autopsy
 
 Integrity: every store writes a SHA-256 sidecar of the artifact bytes.
@@ -268,6 +271,45 @@ class ArtifactCache:
         tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(model_to_dict(model), handle, indent=1)
+        os.replace(tmp, path)
+        self._write_checksum(path)
+        return path
+
+    # ------------------------------------------------------------------
+    # Generic JSON artifacts (calibrations, certificates, reports)
+    # ------------------------------------------------------------------
+    def load_json(self, key_parts: Sequence[KeyPart]):
+        """The cached JSON payload for this identity, or ``None``.
+
+        A payload that fails to parse is quarantined and reported as a
+        miss, exactly like a corrupt dataset or model entry.
+        """
+        path = self.path_for("json", key_parts)
+        if not path.exists() or not self._readable(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            self.quarantine(path)
+            return None
+
+    def store_json(self, key_parts: Sequence[KeyPart], payload) -> Path:
+        path = self.path_for("json", key_parts)
+        try:
+            maybe_inject("cache_write", path.name)
+        except FaultInjected:
+            warnings.warn(
+                f"cache write for {path.name} failed (injected); "
+                "continuing uncached",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return path
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
         os.replace(tmp, path)
         self._write_checksum(path)
         return path

@@ -29,9 +29,20 @@ from typing import Dict
 
 from repro.simulator.config import MachineConfig
 from repro.workloads.phases import PhaseParams
+from repro.workloads.stream import _STREAM_STRIDE as _GENERATOR_STREAM_STRIDE
 
-#: Stride of streaming accesses (must match repro.workloads.stream).
+#: Stride of streaming accesses (checked against repro.workloads.stream
+#: at import time, so the closed forms can never silently drift from the
+#: generator they model).
 STREAM_STRIDE = 16
+
+if STREAM_STRIDE != _GENERATOR_STREAM_STRIDE:  # pragma: no cover
+    raise AssertionError(
+        "analytic STREAM_STRIDE "
+        f"({STREAM_STRIDE}) disagrees with repro.workloads.stream "
+        f"({_GENERATOR_STREAM_STRIDE}); the closed forms model a stride the "
+        "generator no longer produces"
+    )
 
 #: Fraction of a detected ascending stream's line misses the run-ahead
 #: prefetcher hides (two misses start the stream, then ~8 lines are

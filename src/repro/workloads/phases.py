@@ -177,6 +177,55 @@ def perturbed(
     return dataclasses.replace(params, **updates)
 
 
+#: Field order and per-field spreads for the vectorized jitter path.
+_JITTER_NAMES: Tuple[str, ...] = tuple(_JITTERED_FIELDS)
+_JITTER_SCALES = np.array(list(_JITTERED_FIELDS.values()))
+_MIX_COLUMNS = [
+    _JITTER_NAMES.index(name)
+    for name in ("load_fraction", "store_fraction", "branch_fraction")
+]
+
+
+def perturbed_batch(
+    params: PhaseParams,
+    rng: RandomState = None,
+    scale: float = 0.08,
+    n_draws: int = 1,
+) -> List[PhaseParams]:
+    """``n_draws`` jittered copies of ``params`` in one vectorized pass.
+
+    Distributionally identical to ``n_draws`` calls of :func:`perturbed`
+    — same lognormal spreads, same clipping, same instruction-mix
+    renormalization — but every factor comes from a single generator
+    call, so a caller jittering hundreds of sections (the fast engine)
+    pays one numpy dispatch instead of seventeen per section.  The two
+    functions consume the generator differently, so their exact draws
+    are not interchangeable; each is deterministic under a fixed seed.
+    """
+    if scale < 0:
+        raise ConfigError("scale must be non-negative")
+    if n_draws < 0:
+        raise ConfigError("n_draws must be non-negative")
+    if scale == 0 or n_draws == 0:
+        return [params] * n_draws
+    generator = check_random_state(rng)
+    base = np.array([getattr(params, name) for name in _JITTER_NAMES])
+    factors = np.exp(
+        generator.normal(0.0, 1.0, size=(n_draws, len(_JITTER_NAMES)))
+        * (scale * _JITTER_SCALES)
+    )
+    values = np.clip(base * factors, 0.0, 1.0)
+    mix = values[:, _MIX_COLUMNS].sum(axis=1)
+    over = mix > 1.0
+    if np.any(over):
+        for column in _MIX_COLUMNS:
+            values[over, column] /= mix[over]
+    return [
+        dataclasses.replace(params, **dict(zip(_JITTER_NAMES, row.tolist())))
+        for row in values
+    ]
+
+
 class PhaseSchedule:
     """Contiguous assignment of a workload's sections to phases."""
 

@@ -243,6 +243,8 @@ def simulate_suite(
     progress: Optional[ProgressCallback] = None,
     n_jobs: Optional[int] = None,
     policy: Optional[RunPolicy] = None,
+    engine: str = "trace",
+    calibration=None,
 ) -> SuiteResult:
     """Simulate every profile and assemble the section dataset.
 
@@ -257,25 +259,67 @@ def simulate_suite(
         seed: Master seed; all randomness derives from it.
         jitter: Section-to-section lognormal spread of phase parameters.
         progress: Optional callback ``(workload, done_sections, total)``.
-            With ``n_jobs > 1`` it is invoked in the parent, once per
-            completed workload, rather than per section.
+            Fires per section only on the serial, policy-free trace
+            path; in every other mode (``n_jobs > 1``, a ``policy``, or
+            the fast engine) it fires in the parent once per workload
+            that actually produced sections — a workload a policy
+            skipped after exhausting retries gets no callback in any
+            mode.
         n_jobs: Workload-level parallelism — ``1`` serial, ``N`` workers,
             ``-1`` all cores, ``None`` defers to ``REPRO_JOBS``.  The
             dataset is bit-identical at any worker count because every
-            profile simulates from its own pre-spawned seed.
+            profile simulates from its own pre-spawned seed.  Trace
+            engine only (the fast engine is a single vectorized pass).
         policy: Optional :class:`~repro.resilience.RunPolicy`: per-
             workload retries/timeouts, failure-policy handling, and —
             with a checkpoint store — durable per-workload results a
             resumed run reuses.  Since each profile simulates from its
             own pre-spawned seed, a resumed or retried run that
             completes is bit-identical to an uninterrupted one.
-            ``None`` keeps the historical behavior exactly.
+            ``None`` keeps the historical behavior exactly.  Trace
+            engine only.
+        engine: ``"trace"`` replays synthesized instruction blocks
+            (the oracle, historical behavior); ``"fast"`` predicts the
+            dataset from the analytical layer plus the calibrated
+            residual model (:func:`repro.fastsim.fast_suite`) without
+            touching a trace.
+        calibration: Fast engine only — a
+            :class:`~repro.fastsim.Calibration` to use (fit or loaded
+            elsewhere).  ``None`` fits one on the fly.
 
     Returns:
         A :class:`SuiteResult` with the dataset, per-workload CPI, and
         any per-workload failures the policy captured.
     """
     from repro.parallel import parallel_map, resolve_jobs
+
+    if engine not in ("trace", "fast"):
+        raise ConfigError(
+            f"engine must be 'trace' or 'fast', got {engine!r}"
+        )
+    if engine == "fast":
+        if policy is not None:
+            raise ConfigError(
+                "the fast engine does not replay per-workload tasks; "
+                "run policies apply to the trace engine only"
+            )
+        from repro.fastsim.engine import fast_suite
+
+        return fast_suite(
+            profiles,
+            sections_per_workload=sections_per_workload,
+            instructions_per_section=instructions_per_section,
+            config=config,
+            seed=seed,
+            jitter=jitter,
+            calibration=calibration,
+            progress=progress,
+        )
+    if calibration is not None:
+        raise ConfigError(
+            "calibration only applies to the fast engine; "
+            "pass engine='fast' or drop it"
+        )
 
     if profiles is None:
         profiles = spec_like_suite()
@@ -289,13 +333,17 @@ def simulate_suite(
 
     jobs = resolve_jobs(n_jobs)
     seeds = np.random.SeedSequence(seed).spawn(len(profiles))
+    # Per-section callbacks cannot cross a process boundary, and under a
+    # policy a workload may fail after some sections already fired —
+    # both of those modes report in the parent instead, once per
+    # workload that produced sections.
+    per_section_progress = jobs <= 1 and policy is None
     run = _ProfileRun(
         machine,
         sections_per_workload,
         instructions_per_section,
         jitter,
-        # Per-section callbacks cannot cross a process boundary.
-        progress=progress if jobs <= 1 else None,
+        progress=progress if per_section_progress else None,
     )
     all_jobs = list(zip(profiles, seeds))
     unit_names = [f"wl-{profile.name}" for profile in profiles]
@@ -345,7 +393,7 @@ def simulate_suite(
         section_ids.extend(sections)
         phase_ids.extend(phases)
         cpi_by_workload[profile.name] = cpi
-        if progress is not None and jobs > 1:
+        if progress is not None and not per_section_progress:
             progress(profile.name, sections_per_workload, sections_per_workload)
 
     if not all_counts:

@@ -78,3 +78,39 @@ def figure1_tree(figure1_data):
 def suite_tree(suite_dataset):
     """An M5' tree fitted on the small suite dataset (shared, read-only)."""
     return M5Prime(min_instances=12).fit(suite_dataset)
+
+
+@pytest.fixture(scope="session")
+def fast_profiles():
+    """Two tiny single-phase workloads for fast-engine tests.
+
+    Small footprints keep the calibration's trace-oracle legs cheap; one
+    cache-resident and one jumping phase exercise both anchor regimes.
+    """
+    from repro.workloads import PhaseParams, WorkloadProfile
+
+    return [
+        WorkloadProfile.single_phase(
+            "tiny_hot",
+            PhaseParams(
+                data_footprint=32 << 10, hot_set_bytes=8 << 10,
+                hot_fraction=0.95,
+            ),
+        ),
+        WorkloadProfile.single_phase(
+            "tiny_jump",
+            PhaseParams(
+                data_footprint=8 << 20, hot_set_bytes=4 << 10,
+                hot_fraction=0.2, stride_fraction=0.1,
+            ),
+        ),
+    ]
+
+
+@pytest.fixture(scope="session")
+def small_calibration(fast_profiles):
+    """A fast-engine calibration over the tiny profiles (shared, read-only)."""
+    from repro.fastsim import calibrate
+
+    return calibrate(profiles=fast_profiles, seed=7, replicas=4,
+                     instructions=2048)

@@ -145,6 +145,21 @@ class TestBranchValidation:
         rates = measured_rates(params)
         assert rates["mispredict_per_branch"] == pytest.approx(0.5, abs=0.08)
 
+    def test_mixed_hard_and_biased_band(self):
+        """The closed form must hold *between* the pure regimes too.
+
+        A 30/70 blend of hard and trained-biased branches lands at
+        0.3*0.5 + 0.7*0.15 = 0.255 mispredicts per branch; the trace
+        predictor must track that within the same band the pure cases
+        use, or the blend term in the closed form has drifted.
+        """
+        params = PhaseParams(branch_bias=0.85, hard_branch_fraction=0.3,
+                             branch_fraction=0.3)
+        expected = expected_branch_mispredict_rate(params)
+        assert expected == pytest.approx(0.255)
+        rates = measured_rates(params)
+        assert rates["mispredict_per_branch"] == pytest.approx(expected, abs=0.06)
+
 
 class TestProfileRates:
     def test_per_instruction_scaling(self):

@@ -1,0 +1,162 @@
+"""The fast engine's vectorized closed forms against the scalar ones.
+
+:mod:`repro.fastsim.analytic` re-derives the scalar expectations of
+:mod:`repro.simulator.analytic` as column operations.  The two must
+agree exactly wherever they overlap — a silent divergence would move
+every fast prediction while the FAST00x gates still pass (the anchors
+would absorb a constant shift but not a parameter-dependent one).
+"""
+
+import numpy as np
+import pytest
+
+from repro.counters.metrics import PREDICTOR_NAMES
+from repro.errors import ConfigError
+from repro.fastsim import (
+    EXTRA_FEATURE_NAMES,
+    RESIDUAL_FEATURE_NAMES,
+    ParamMatrix,
+    analytic_sections,
+    branch_mispredict_rate,
+    data_miss_rates,
+    expected_cpi,
+    expected_rate_matrix,
+    predictor_matrix,
+    residual_features,
+)
+from repro.simulator import MachineConfig
+from repro.simulator.analytic import (
+    expected_branch_mispredict_rate,
+    expected_data_miss_rates,
+    expected_dtlb_walk_rate,
+)
+from repro.workloads import PhaseParams
+
+
+def sample_phases():
+    return [
+        PhaseParams(),
+        PhaseParams(hot_fraction=1.0, hot_set_bytes=8 << 10,
+                    data_footprint=8 << 10),
+        PhaseParams(hot_fraction=0.0, stride_fraction=0.0,
+                    data_footprint=32 << 20, hot_set_bytes=4 << 10),
+        PhaseParams(hot_fraction=0.0, stride_fraction=1.0,
+                    data_footprint=32 << 20, hot_set_bytes=4 << 10),
+        PhaseParams(branch_bias=0.85, hard_branch_fraction=0.3,
+                    branch_fraction=0.3),
+        PhaseParams(load_fraction=0.45, store_fraction=0.25,
+                    lcp_fraction=0.2, misalign_fraction=0.1),
+    ]
+
+
+class TestAgainstScalarForms:
+    def test_data_miss_rates_match_scalar(self):
+        phases = sample_phases()
+        config = MachineConfig()
+        rates = data_miss_rates(ParamMatrix(phases), config)
+        for i, params in enumerate(phases):
+            scalar = expected_data_miss_rates(params, config)
+            assert rates["l1d"][i] == pytest.approx(scalar["l1d"], abs=1e-12)
+            assert rates["l2"][i] == pytest.approx(scalar["l2"], abs=1e-12)
+
+    def test_walk_rate_matches_scalar(self):
+        phases = sample_phases()
+        config = MachineConfig()
+        rates = data_miss_rates(ParamMatrix(phases), config)
+        for i, params in enumerate(phases):
+            assert rates["walk"][i] == pytest.approx(
+                expected_dtlb_walk_rate(params, config), abs=1e-12
+            )
+
+    def test_mispredict_rate_matches_scalar(self):
+        phases = sample_phases()
+        rates = branch_mispredict_rate(ParamMatrix(phases))
+        for i, params in enumerate(phases):
+            assert rates[i] == pytest.approx(
+                expected_branch_mispredict_rate(params), abs=1e-12
+            )
+
+    def test_prefetch_toggle_tracks_scalar(self):
+        params = PhaseParams(hot_fraction=0.0, stride_fraction=1.0,
+                             data_footprint=32 << 20, hot_set_bytes=4 << 10)
+        config = MachineConfig(prefetch_next_line=False)
+        rates = data_miss_rates(ParamMatrix([params]), config)
+        scalar = expected_data_miss_rates(params, config)
+        assert rates["l1d"][0] == pytest.approx(scalar["l1d"], abs=1e-12)
+
+
+class TestRateMatrix:
+    def test_every_predictor_present_and_sane(self):
+        phases = sample_phases()
+        rates = expected_rate_matrix(ParamMatrix(phases))
+        for name in PREDICTOR_NAMES:
+            column = rates[name]
+            assert column.shape == (len(phases),)
+            assert np.all(np.isfinite(column))
+            assert np.all(column >= 0.0)
+            # Per-instruction rates of retired-instruction subsets.
+            assert np.all(column <= 1.0 + 1e-9)
+
+    def test_hierarchy_inequalities(self):
+        rates = expected_rate_matrix(ParamMatrix(sample_phases()))
+        assert np.all(rates["L2M"] <= rates["L1DM"] + 1e-12)
+        assert np.all(rates["L2IM"] <= rates["L1IM"] + 1e-12)
+        assert np.all(rates["DtlbLdReM"] <= rates["DtlbLdM"] + 1e-12)
+
+    def test_predictor_matrix_column_order(self):
+        phases = sample_phases()
+        rates = expected_rate_matrix(ParamMatrix(phases))
+        matrix = predictor_matrix(rates)
+        assert matrix.shape == (len(phases), len(PREDICTOR_NAMES))
+        for j, name in enumerate(PREDICTOR_NAMES):
+            assert np.array_equal(matrix[:, j], rates[name])
+
+
+class TestExpectedCpi:
+    def test_floor_is_issue_width(self):
+        config = MachineConfig()
+        pm = ParamMatrix(sample_phases())
+        cpi = expected_cpi(pm, expected_rate_matrix(pm, config), config)
+        assert np.all(cpi >= 1.0 / config.issue_width - 1e-12)
+        assert np.all(np.isfinite(cpi))
+
+    def test_memory_bound_phase_costs_more(self):
+        resident = PhaseParams(hot_fraction=1.0, hot_set_bytes=8 << 10,
+                               data_footprint=8 << 10)
+        thrashing = PhaseParams(hot_fraction=0.0, stride_fraction=0.0,
+                                data_footprint=64 << 20,
+                                hot_set_bytes=4 << 10)
+        pm = ParamMatrix([resident, thrashing])
+        cpi = expected_cpi(pm, expected_rate_matrix(pm))
+        assert cpi[1] > 2.0 * cpi[0]
+
+
+class TestFeatures:
+    def test_feature_names_and_shape(self):
+        phases = sample_phases()
+        predictors, cpi, features = analytic_sections(phases)
+        assert predictors.shape == (len(phases), len(PREDICTOR_NAMES))
+        assert cpi.shape == (len(phases),)
+        assert features.shape == (len(phases), len(RESIDUAL_FEATURE_NAMES))
+        assert RESIDUAL_FEATURE_NAMES[: len(PREDICTOR_NAMES)] == PREDICTOR_NAMES
+        assert RESIDUAL_FEATURE_NAMES[len(PREDICTOR_NAMES):] \
+            == EXTRA_FEATURE_NAMES
+
+    def test_byte_sized_features_are_log2(self):
+        params = PhaseParams(data_footprint=1 << 20)
+        pm = ParamMatrix([params])
+        rates = expected_rate_matrix(pm)
+        cpi = expected_cpi(pm, rates)
+        features = residual_features(pm, rates, cpi)
+        column = RESIDUAL_FEATURE_NAMES.index("Logdata_footprint")
+        assert features[0, column] == pytest.approx(20.0)
+
+    def test_analytic_cpi_is_a_feature(self):
+        phases = sample_phases()
+        _, cpi, features = analytic_sections(phases)
+        column = RESIDUAL_FEATURE_NAMES.index("AnalyticCPI")
+        assert np.array_equal(features[:, column], cpi)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ConfigError):
+            ParamMatrix([])

@@ -1,0 +1,67 @@
+"""FAST00x harness plumbing: corpus construction and the FAST001 gate.
+
+The full drift run (calibrate the default suite, average oracle
+replicas) is CI's ``repro fastsim check`` job; these tests cover the
+cheap contracts — the corpus covers every distinct suite phase, stale
+calibrations stop the run at FAST001 before any engine leg executes,
+and tolerances are what the issue specified.
+"""
+
+import pytest
+
+from repro.conformance import FastsimTolerance, corpus_profiles, run_fastsim
+from repro.fastsim import phase_key, suite_phases
+from repro.workloads import spec_like_suite
+
+
+class TestCorpus:
+    def test_one_single_phase_workload_per_distinct_phase(self):
+        corpus = corpus_profiles()
+        phases = suite_phases()
+        assert len(corpus) == len(phases)
+        assert len({p.name for p in corpus}) == len(corpus)
+        for profile, params in zip(corpus, phases):
+            assert len(profile.schedule.phases) == 1
+            assert phase_key(profile.schedule.phases[0]) == phase_key(params)
+
+    def test_covers_every_suite_phase(self):
+        corpus_keys = {
+            phase_key(p.schedule.phases[0]) for p in corpus_profiles()
+        }
+        for profile in spec_like_suite():
+            for params in profile.schedule.phases:
+                assert phase_key(params) in corpus_keys
+
+    def test_explicit_profiles_narrow_the_corpus(self, fast_profiles):
+        corpus = corpus_profiles(fast_profiles)
+        assert len(corpus) == len(fast_profiles)
+
+
+class TestTolerance:
+    def test_issue_gates(self):
+        tolerance = FastsimTolerance()
+        assert tolerance.section_p95 == pytest.approx(0.05)
+        assert tolerance.workload_mean == pytest.approx(0.04)
+
+
+class TestStaleCalibrationGate:
+    def test_fast001_stops_the_run(self, small_calibration):
+        """A stale calibration fails FAST001 and nothing else runs.
+
+        The tiny-profile calibration covers none of the default suite's
+        phases, so the harness must refuse it up front instead of
+        reporting bogus drift numbers.
+        """
+        report = run_fastsim(seed=7, calibration=small_calibration)
+        assert report.exit_code() != 0
+        rule_ids = {d.rule_id for d in report.diagnostics}
+        assert rule_ids == {"FAST001"}
+        # Early return: only the freshness check was counted, no corpus
+        # cases ran.
+        assert report.n_checks == 1
+        assert report.n_cases == 0
+
+    def test_fast001_names_the_mismatch(self, small_calibration):
+        report = run_fastsim(seed=7, calibration=small_calibration)
+        messages = " ".join(d.message for d in report.diagnostics)
+        assert "uncalibrated" in messages or "fingerprint" in messages

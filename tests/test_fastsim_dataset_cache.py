@@ -1,0 +1,165 @@
+"""Fast/trace suite-dataset cache identity: no collisions, no cross-hits.
+
+A fast dataset served where a trace dataset was requested (or vice
+versa, or across calibrations) would silently corrupt every downstream
+experiment, so these tests pin the cache-key contract of
+:func:`repro.experiments.suite_dataset`: the key covers the engine, the
+fast engine's revision, the calibration content digest, and the
+predict-time differential shrink/clip constants.
+
+Simulation is stubbed out — the subject here is key construction and
+cache routing, not the engines.
+"""
+
+import types
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import Dataset
+from repro.experiments import ExperimentConfig, suite_dataset
+from repro.experiments import data as data_module
+from repro.experiments.data import experiment_fingerprint
+from repro.fastsim import machine_fingerprint
+from repro.workloads.suite import SuiteResult, workload_fingerprint
+
+
+def _result(value: float) -> SuiteResult:
+    dataset = Dataset(
+        np.full((4, 2), value),
+        np.full(4, value),
+        ("A", "B"),
+        meta={"workload": np.asarray(["w"] * 4, dtype=object)},
+    )
+    return SuiteResult(dataset=dataset, cpi_by_workload={"w": value},
+                       failures=[])
+
+
+@pytest.fixture()
+def stub_sim(monkeypatch):
+    """Replace the simulation leg with a counting stub.
+
+    Each call returns a dataset stamped with the call ordinal, so a
+    cache cross-hit (same bytes served for a different identity) and a
+    missed cache hit (a re-simulation) are both observable.
+    """
+    calls = []
+
+    def fake_simulate_suite(*args, **kwargs):
+        calls.append(kwargs)
+        return _result(float(len(calls)))
+
+    monkeypatch.setattr(data_module, "simulate_suite", fake_simulate_suite)
+    data_module._MEMORY_CACHE.clear()
+    yield calls
+    data_module._MEMORY_CACHE.clear()
+
+
+def _calibration(digest: str) -> types.SimpleNamespace:
+    # suite_dataset only reads .digest for the key and forwards the
+    # object to the (stubbed) engine.
+    return types.SimpleNamespace(digest=digest)
+
+
+CFG = ExperimentConfig.tiny().with_overrides(use_cache=True, seed=321)
+
+
+class TestEngineSeparation:
+    def test_trace_and_fast_never_share_an_entry(self, tmp_path, stub_sim):
+        trace = suite_dataset(CFG, cache_dir=tmp_path)
+        fast = suite_dataset(CFG, cache_dir=tmp_path, engine="fast",
+                             calibration=_calibration("cal-a"))
+        assert trace.y[0] != fast.y[0]
+        assert len(stub_sim) == 2
+
+        # Served back from cache, each under its own identity.
+        data_module._MEMORY_CACHE.clear()
+        trace_again = suite_dataset(CFG, cache_dir=tmp_path)
+        fast_again = suite_dataset(CFG, cache_dir=tmp_path, engine="fast",
+                                   calibration=_calibration("cal-a"))
+        assert len(stub_sim) == 2
+        assert trace_again.y[0] == trace.y[0]
+        assert fast_again.y[0] == fast.y[0]
+
+    def test_unknown_engine_rejected(self, tmp_path):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="engine"):
+            suite_dataset(CFG, cache_dir=tmp_path, engine="warp")
+
+
+class TestCalibrationIdentity:
+    def test_different_digests_never_cross_hit(self, tmp_path, stub_sim):
+        first = suite_dataset(CFG, cache_dir=tmp_path, engine="fast",
+                              calibration=_calibration("cal-a"))
+        other = suite_dataset(CFG, cache_dir=tmp_path, engine="fast",
+                              calibration=_calibration("cal-b"))
+        assert len(stub_sim) == 2
+        assert first.y[0] != other.y[0]
+
+        data_module._MEMORY_CACHE.clear()
+        again = suite_dataset(CFG, cache_dir=tmp_path, engine="fast",
+                              calibration=_calibration("cal-b"))
+        assert len(stub_sim) == 2
+        assert again.y[0] == other.y[0]
+
+    def test_differential_constants_are_part_of_the_key(
+        self, tmp_path, stub_sim, monkeypatch
+    ):
+        """Changing the predict-time shrink/clip must invalidate caches.
+
+        The constants are applied at prediction time, not baked into the
+        artifact, so without this a constants change would keep serving
+        datasets computed under the old values.
+        """
+        suite_dataset(CFG, cache_dir=tmp_path, engine="fast",
+                      calibration=_calibration("cal-a"))
+        assert len(stub_sim) == 1
+        from repro.fastsim import calibration as calibration_module
+
+        monkeypatch.setattr(calibration_module, "DIFFERENTIAL_SHRINK", 0.99)
+        data_module._MEMORY_CACHE.clear()
+        suite_dataset(CFG, cache_dir=tmp_path, engine="fast",
+                      calibration=_calibration("cal-a"))
+        assert len(stub_sim) == 2
+
+    def test_engine_revision_is_part_of_the_key(
+        self, tmp_path, stub_sim, monkeypatch
+    ):
+        suite_dataset(CFG, cache_dir=tmp_path, engine="fast",
+                      calibration=_calibration("cal-a"))
+        from repro.fastsim import engine as engine_module
+
+        monkeypatch.setattr(engine_module, "ENGINE_REVISION", 99)
+        data_module._MEMORY_CACHE.clear()
+        suite_dataset(CFG, cache_dir=tmp_path, engine="fast",
+                      calibration=_calibration("cal-a"))
+        assert len(stub_sim) == 2
+
+
+class TestMachineIdentity:
+    def test_fingerprint_covers_machine_and_workloads(self):
+        fingerprint = experiment_fingerprint(CFG)
+        assert workload_fingerprint() in fingerprint
+        # Datasets and calibrations must agree on what "the machine"
+        # is, so the experiment fingerprint delegates to fastsim's.
+        assert machine_fingerprint() in fingerprint
+
+    def test_machine_physics_change_invalidates(
+        self, tmp_path, stub_sim, monkeypatch
+    ):
+        suite_dataset(CFG, cache_dir=tmp_path)
+        monkeypatch.setattr(data_module, "_machine_fingerprint",
+                            lambda: "other-machine")
+        data_module._MEMORY_CACHE.clear()
+        suite_dataset(CFG, cache_dir=tmp_path)
+        assert len(stub_sim) == 2
+
+    def test_config_seed_and_jitter_separate_keys(self):
+        base = experiment_fingerprint(CFG)
+        assert experiment_fingerprint(
+            CFG.with_overrides(seed=CFG.seed + 1)
+        ) != base
+        assert experiment_fingerprint(
+            CFG.with_overrides(jitter=CFG.jitter + 0.01)
+        ) != base

@@ -1,0 +1,227 @@
+"""The fast suite engine: determinism, freshness, delegation, jitter."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.counters.metrics import PREDICTOR_NAMES
+from repro.errors import ConfigError, StaleCalibrationError
+from repro.fastsim import fast_suite, phase_key
+from repro.simulator import MachineConfig
+from repro.workloads import PhaseParams, simulate_suite
+from repro.workloads.phases import perturbed, perturbed_batch
+
+
+@pytest.fixture()
+def fast_result(fast_profiles, small_calibration):
+    return fast_suite(
+        fast_profiles,
+        sections_per_workload=10,
+        seed=11,
+        calibration=small_calibration,
+    )
+
+
+class TestFastSuite:
+    def test_shape_and_metadata(self, fast_result, fast_profiles):
+        dataset = fast_result.dataset
+        assert dataset.n_instances == len(fast_profiles) * 10
+        assert tuple(dataset.attributes) == PREDICTOR_NAMES
+        assert set(dataset.meta["workload"]) \
+            == {p.name for p in fast_profiles}
+        assert list(dataset.meta["section"][:10]) == list(range(10))
+        assert fast_result.failures == []
+        assert set(fast_result.cpi_by_workload) \
+            == {p.name for p in fast_profiles}
+
+    def test_repeat_runs_bit_identical(
+        self, fast_result, fast_profiles, small_calibration
+    ):
+        again = fast_suite(
+            fast_profiles,
+            sections_per_workload=10,
+            seed=11,
+            calibration=small_calibration,
+        )
+        assert np.array_equal(again.dataset.X, fast_result.dataset.X)
+        assert np.array_equal(again.dataset.y, fast_result.dataset.y)
+
+    def test_seed_changes_jittered_sections(
+        self, fast_result, fast_profiles, small_calibration
+    ):
+        other = fast_suite(
+            fast_profiles,
+            sections_per_workload=10,
+            seed=12,
+            calibration=small_calibration,
+        )
+        assert not np.array_equal(other.dataset.y, fast_result.dataset.y)
+
+    def test_zero_jitter_sections_identical_within_phase(
+        self, fast_profiles, small_calibration
+    ):
+        result = fast_suite(
+            fast_profiles,
+            sections_per_workload=6,
+            seed=11,
+            jitter=0.0,
+            calibration=small_calibration,
+        )
+        y = result.dataset.y
+        # Single-phase workloads at jitter=0: every section is the
+        # nominal expectation, so each workload is one constant.
+        assert np.ptp(y[:6]) == 0.0
+        assert np.ptp(y[6:]) == 0.0
+
+    def test_cpi_respects_issue_width_floor(self, fast_result):
+        machine = MachineConfig()
+        assert np.all(fast_result.dataset.y >= 1.0 / machine.issue_width)
+
+    def test_progress_fires_once_per_workload(
+        self, fast_profiles, small_calibration
+    ):
+        calls = []
+        fast_suite(
+            fast_profiles,
+            sections_per_workload=10,
+            seed=11,
+            calibration=small_calibration,
+            progress=lambda name, done, total: calls.append(
+                (name, done, total)
+            ),
+        )
+        assert calls == [(p.name, 10, 10) for p in fast_profiles]
+
+    def test_stale_machine_refused(self, fast_profiles, small_calibration):
+        other = dataclasses.replace(MachineConfig(), rob_size=128)
+        with pytest.raises(StaleCalibrationError):
+            fast_suite(
+                fast_profiles,
+                sections_per_workload=4,
+                config=other,
+                calibration=small_calibration,
+            )
+
+    def test_uncovered_profiles_refused(self, small_calibration):
+        with pytest.raises(StaleCalibrationError):
+            fast_suite(
+                sections_per_workload=4, calibration=small_calibration
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"profiles": []},
+            {"sections_per_workload": 0},
+            {"instructions_per_section": 32},
+        ],
+    )
+    def test_config_errors(self, fast_profiles, small_calibration, kwargs):
+        full = {
+            "profiles": fast_profiles,
+            "sections_per_workload": 4,
+            "calibration": small_calibration,
+        }
+        full.update(kwargs)
+        with pytest.raises(ConfigError):
+            fast_suite(**full)
+
+
+class TestSimulateSuiteDelegation:
+    def test_engine_fast_delegates(self, fast_profiles, small_calibration):
+        via_suite = simulate_suite(
+            fast_profiles,
+            sections_per_workload=8,
+            seed=11,
+            engine="fast",
+            calibration=small_calibration,
+        )
+        direct = fast_suite(
+            fast_profiles,
+            sections_per_workload=8,
+            seed=11,
+            calibration=small_calibration,
+        )
+        assert np.array_equal(via_suite.dataset.X, direct.dataset.X)
+        assert np.array_equal(via_suite.dataset.y, direct.dataset.y)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError, match="engine"):
+            simulate_suite(engine="warp")
+
+    def test_calibration_with_trace_engine_rejected(self, small_calibration):
+        with pytest.raises(ConfigError, match="fast"):
+            simulate_suite(calibration=small_calibration)
+
+    def test_policy_with_fast_engine_rejected(self, small_calibration):
+        from repro.resilience import RunPolicy
+
+        with pytest.raises(ConfigError, match="polic"):
+            simulate_suite(
+                engine="fast",
+                calibration=small_calibration,
+                policy=RunPolicy(),
+            )
+
+
+class TestPerturbedBatch:
+    def test_zero_scale_returns_nominal(self):
+        params = PhaseParams()
+        batch = perturbed_batch(params, np.random.default_rng(0), 0.0, 5)
+        assert batch == [params] * 5
+
+    def test_zero_draws(self):
+        assert perturbed_batch(PhaseParams(), np.random.default_rng(0),
+                               0.08, 0) == []
+
+    @pytest.mark.parametrize("scale,n", [(-0.1, 3), (0.1, -1)])
+    def test_invalid_arguments(self, scale, n):
+        with pytest.raises(ConfigError):
+            perturbed_batch(PhaseParams(), np.random.default_rng(0), scale, n)
+
+    def test_draws_are_valid_phase_params(self):
+        params = PhaseParams(load_fraction=0.4, store_fraction=0.3,
+                             branch_fraction=0.25)
+        batch = perturbed_batch(params, np.random.default_rng(3), 0.3, 200)
+        for drawn in batch:
+            # __post_init__ validation ran; spot-check the mix invariant
+            # the renormalization protects.
+            mix = (drawn.load_fraction + drawn.store_fraction
+                   + drawn.branch_fraction)
+            assert mix <= 1.0 + 1e-9
+
+    def test_deterministic_under_seed(self):
+        params = PhaseParams()
+        a = perturbed_batch(params, np.random.default_rng(7), 0.08, 20)
+        b = perturbed_batch(params, np.random.default_rng(7), 0.08, 20)
+        assert a == b
+
+    def test_matches_serial_distribution(self):
+        """Batch and serial draws agree in distribution, not in stream."""
+        params = PhaseParams()
+        rng = np.random.default_rng(5)
+        batch = perturbed_batch(params, rng, 0.15, 400)
+        serial = [perturbed(params, np.random.default_rng(1000 + i), 0.15)
+                  for i in range(400)]
+        batch_loads = np.array([p.load_fraction for p in batch])
+        serial_loads = np.array([p.load_fraction for p in serial])
+        assert batch_loads.mean() == pytest.approx(
+            serial_loads.mean(), rel=0.05
+        )
+        assert batch_loads.std() == pytest.approx(
+            serial_loads.std(), rel=0.25
+        )
+
+    def test_untouched_fields_preserved(self):
+        params = PhaseParams(data_footprint=1 << 22, basic_block_length=17)
+        for drawn in perturbed_batch(params, np.random.default_rng(2),
+                                     0.2, 10):
+            assert drawn.data_footprint == params.data_footprint
+            assert drawn.basic_block_length == params.basic_block_length
+
+    def test_phase_key_unaffected_by_jitter_draws(self):
+        params = PhaseParams()
+        key = phase_key(params)
+        perturbed_batch(params, np.random.default_rng(0), 0.2, 5)
+        assert phase_key(params) == key

@@ -63,6 +63,61 @@ class TestSimulateSuite:
         )
         assert calls == [("calm_like", 1, 3), ("calm_like", 2, 3), ("calm_like", 3, 3)]
 
+    def test_progress_once_per_workload_when_parallel(self):
+        """n_jobs > 1 reports in the parent, exactly once per workload.
+
+        Per-section callbacks cannot cross a process boundary; the
+        parallel path must neither drop a workload nor double-fire
+        (parent and child both reporting was the historical bug).
+        """
+        calls = []
+        simulate_suite(
+            [mcf_like(), calm_like()], 3, 256, seed=0, n_jobs=2,
+            progress=lambda name, done, total: calls.append(
+                (name, done, total)
+            ),
+        )
+        assert sorted(calls) == [("calm_like", 3, 3), ("mcf_like", 3, 3)]
+
+    def test_progress_skips_workloads_a_policy_failed(self, monkeypatch):
+        """Failed workloads produce no sections and no callback.
+
+        Under ``collect_errors`` with injected faults, a workload that
+        exhausts its retries must not fire the callback — a consumer
+        using callbacks to count completed work would otherwise
+        overcount.  Fault seed 4 at rate 0.5 deterministically fails
+        exactly ``gcc_like`` on its only attempt.
+        """
+        from repro.resilience import FailPolicy, RetryPolicy, RunPolicy
+        from repro.resilience.faults import FAULTS_ENV, reset_faults
+        from repro.workloads.spec import cactus_like, gcc_like
+
+        monkeypatch.setenv(FAULTS_ENV, "sim:0.5,seed=4")
+        reset_faults()
+        try:
+            calls = []
+            result = simulate_suite(
+                [mcf_like(), cactus_like(), gcc_like(), calm_like()],
+                3, 256, seed=0, n_jobs=2,
+                policy=RunPolicy(
+                    retry=RetryPolicy(max_attempts=1, base_delay=0.0),
+                    fail_policy=FailPolicy.parse("collect_errors"),
+                ),
+                progress=lambda name, done, total: calls.append(
+                    (name, done, total)
+                ),
+            )
+        finally:
+            monkeypatch.delenv(FAULTS_ENV, raising=False)
+            reset_faults()
+        assert [f.key for f in result.failures] == ["wl-gcc_like"]
+        assert sorted(calls) == [
+            ("cactus_like", 3, 3), ("calm_like", 3, 3), ("mcf_like", 3, 3),
+        ]
+        assert sorted(calls) == sorted(
+            (name, 3, 3) for name in result.cpi_by_workload
+        )
+
     def test_summary_text(self, suite_result):
         text = suite_result.summary()
         assert "mcf_like" in text
