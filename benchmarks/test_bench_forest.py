@@ -1,0 +1,113 @@
+"""Forest-serving benchmarks: arena throughput and refined accuracy.
+
+The acceptance bar for the compiled forest arena is a >= 8x speedup
+over interpreting every member tree separately on a 10k-row batch,
+with bit-identical outputs; the refinement pass must additionally keep
+the suite-corpus training MAE at or below the single-tree M5' bar.
+Both sides stay measured so the regression gate catches the arena
+drifting back toward interpreted cost.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.baselines.bagging import BaggedM5
+from repro.core.tree import M5Prime
+from repro.core.tree.node import route
+
+ROWS = 10_000
+N_TREES = 10
+
+
+@pytest.fixture(scope="module")
+def forest(config, bench_dataset):
+    model = BaggedM5(
+        n_estimators=N_TREES, min_instances=config.min_instances,
+        seed=config.seed,
+    ).fit(bench_dataset)
+    model.compiled_  # compile the arena outside every timed region
+    return model
+
+
+@pytest.fixture(scope="module")
+def single_tree(config, bench_dataset):
+    return M5Prime(min_instances=config.min_instances).fit(bench_dataset)
+
+
+@pytest.fixture(scope="module")
+def batch(bench_dataset):
+    X = bench_dataset.X
+    repeats = -(-ROWS // X.shape[0])
+    return np.tile(X, (repeats, 1))[:ROWS]
+
+
+def interpreted_member(member, X):
+    root = member.root_
+    return np.array(
+        [route(root, x).model.predict_one(x) for x in X], dtype=np.float64
+    )
+
+
+def interpreted_forest(forest, X):
+    return np.vstack(
+        [interpreted_member(member, X) for member in forest]
+    ).mean(axis=0)
+
+
+def test_forest_predict_compiled_10k(benchmark, forest, batch):
+    predictions = benchmark(
+        functools.partial(forest.compiled_.predict, batch)
+    )
+    assert predictions.shape == (ROWS,)
+
+
+def test_forest_predict_interpreted_10k(benchmark, forest, batch):
+    predictions = benchmark.pedantic(
+        functools.partial(interpreted_forest, forest, batch),
+        rounds=3, iterations=1,
+    )
+    assert predictions.shape == (ROWS,)
+
+
+def test_forest_compiled_speedup(forest, batch):
+    """The ISSUE acceptance bar: arena >= 8x interpreted on 10k rows."""
+    import time
+
+    def best_of(fn, rounds=3):
+        timings = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            timings.append(time.perf_counter() - start)
+        return min(timings)
+
+    compiled_s = best_of(lambda: forest.compiled_.predict(batch))
+    interpreted_s = best_of(lambda: interpreted_forest(forest, batch))
+    speedup = interpreted_s / compiled_s
+    print(f"\nforest compiled {compiled_s * 1000:.2f}ms, "
+          f"interpreted {interpreted_s * 1000:.2f}ms, x{speedup:.1f}")
+    assert np.array_equal(
+        forest.compiled_.predict(batch), interpreted_forest(forest, batch)
+    )
+    assert speedup >= 8.0, (
+        f"forest compiled speedup x{speedup:.1f} below the 8x bar"
+    )
+
+
+def test_refined_forest_suite_mae(forest, single_tree, bench_dataset):
+    """Refined-forest training MAE must not exceed the single-tree bar."""
+    from repro.serve.refine import RefinedForest
+
+    refinement = RefinedForest(forest).fit(bench_dataset)
+    tree_mae = float(np.mean(np.abs(
+        single_tree.predict(bench_dataset.X) - bench_dataset.y
+    )))
+    refined_mae = refinement.refined_.train_mae
+    print(f"\nrefined forest MAE {refined_mae:.5f} vs "
+          f"single-tree MAE {tree_mae:.5f}")
+    assert refined_mae <= tree_mae, (
+        f"refined forest MAE {refined_mae:.5f} exceeds the "
+        f"single-tree bar {tree_mae:.5f}"
+    )

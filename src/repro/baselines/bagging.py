@@ -8,23 +8,46 @@ to read the model" upper bound that still uses the paper's learner.
 Members are independent once their bootstrap draws are fixed, so the
 ensemble pre-spawns one seed per member and can fit them in parallel
 (``n_jobs``) with results identical to a serial fit.
+
+**Ordering contract.** ``estimators_[i]`` is always the member fitted
+from the ``i``-th spawned child seed, regardless of ``n_jobs`` or the
+executor backend: ``_fit`` ships each member's index through the task
+and asserts the returned sequence is ``0..n_estimators-1`` in order.
+Downstream arena compilation (:func:`repro.serve.forest.compile_forest`)
+concatenates members in this order, so compiled-forest node and
+leaf-column offsets are deterministic across serial and parallel fits.
+
+Prediction routes through the cached compiled arena
+(:attr:`compiled_`), bit-identical to the historical member-by-member
+``np.vstack(...).mean(axis=0)`` walk; when a refinement pass
+(:class:`repro.serve.refine.RefinedForest`) has attached
+:attr:`refined_`, the per-leaf re-weighted predictor is served instead.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro._util import RandomState
 from repro.baselines.base import RegressorBase
 from repro.core.tree import M5Prime
-from repro.errors import ConfigError
+from repro.errors import ConfigError, NotFittedError
 from repro.parallel import parallel_map, spawn_seeds
+
+if TYPE_CHECKING:
+    from repro.serve.forest import CompiledForest
+    from repro.serve.refine import RefinedWeights
 
 
 class _MemberTask:
-    """Fit one bootstrap member (picklable for process pools)."""
+    """Fit one bootstrap member (picklable for process pools).
+
+    Takes ``(index, seed)`` and returns ``(index, member)`` so the
+    ensemble can assert the ordering contract even if an executor
+    backend ever stopped preserving input order.
+    """
 
     def __init__(
         self, X: np.ndarray, y: np.ndarray, attributes, min_instances: int,
@@ -36,12 +59,15 @@ class _MemberTask:
         self.min_instances = min_instances
         self.sample_size = sample_size
 
-    def __call__(self, seed: np.random.SeedSequence) -> M5Prime:
+    def __call__(
+        self, item: Tuple[int, np.random.SeedSequence]
+    ) -> Tuple[int, M5Prime]:
+        index, seed = item
         rng = np.random.default_rng(seed)
         rows = rng.integers(0, self.X.shape[0], self.sample_size)
         member = M5Prime(min_instances=self.min_instances)
         member.fit(self.X[rows], self.y[rows], attribute_names=self.attributes)
-        return member
+        return index, member
 
 
 class BaggedM5(RegressorBase):
@@ -57,6 +83,10 @@ class BaggedM5(RegressorBase):
             does not depend on ``n_jobs``.
         n_jobs: Member-level parallelism — ``1`` serial, ``N`` workers,
             ``-1`` all cores, ``None`` defers to ``REPRO_JOBS``.
+
+    The fitted ensemble is a sequence: ``len(forest)``, ``forest[i]``
+    and iteration expose the members in the documented ``estimators_``
+    order (see the module docstring for the ordering contract).
     """
 
     def __init__(
@@ -78,6 +108,9 @@ class BaggedM5(RegressorBase):
         self.seed = seed
         self.n_jobs = n_jobs
         self.estimators_: List[M5Prime] = []
+        self.feature_ranges_: Optional[Tuple[Tuple[float, float], ...]] = None
+        self.refined_: Optional["RefinedWeights"] = None
+        self._compiled_cache: Optional[Tuple[tuple, "CompiledForest"]] = None
 
     def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
         n = X.shape[0]
@@ -86,11 +119,73 @@ class BaggedM5(RegressorBase):
         task = _MemberTask(
             X, y, self.attributes_, self.min_instances, sample_size
         )
-        self.estimators_ = parallel_map(task, seeds, n_jobs=self.n_jobs)
+        pairs = parallel_map(task, list(enumerate(seeds)), n_jobs=self.n_jobs)
+        returned = [index for index, _ in pairs]
+        # The ordering contract arena offsets depend on: member i comes
+        # from spawned seed i, whatever the executor did.
+        assert returned == list(range(self.n_estimators)), (
+            f"member ordering violated: {returned}"
+        )
+        self.estimators_ = [member for _, member in pairs]
+        # Ranges of the *full* training matrix (members only saw their
+        # bootstrap draws) — this is what drift monitoring keys on.
+        self.feature_ranges_ = tuple(
+            (float(np.min(column)), float(np.max(column))) for column in X.T
+        )
+        self.refined_ = None
+        self._compiled_cache = None
+
+    # -- sequence protocol over fitted members -------------------------
+    def __len__(self) -> int:
+        return len(self.estimators_)
+
+    def __getitem__(self, index: int) -> M5Prime:
+        return self.estimators_[index]
+
+    def __iter__(self) -> Iterator[M5Prime]:
+        return iter(self.estimators_)
+
+    # ------------------------------------------------------------------
+    @property
+    def smoothing(self) -> bool:
+        """Whether members smooth (uniform across the ensemble)."""
+        if not self.estimators_:
+            return False
+        return bool(self.estimators_[0].smoothing)
+
+    @property
+    def smoothing_k(self) -> float:
+        if not self.estimators_:
+            raise NotFittedError("ensemble has no fitted members")
+        return self.estimators_[0].smoothing_k
+
+    @property
+    def n_leaves(self) -> int:
+        """Total leaf count across members (= arena leaf columns)."""
+        return int(sum(member.n_leaves for member in self.estimators_))
+
+    @property
+    def compiled_(self) -> "CompiledForest":
+        """The ensemble's compiled arena, cached per fitted state."""
+        from repro.serve.forest import compile_forest
+
+        if not self.estimators_:
+            raise NotFittedError("cannot compile an unfitted ensemble")
+        key = tuple(id(member.root_) for member in self.estimators_)
+        if self._compiled_cache is None or self._compiled_cache[0] != key:
+            self._compiled_cache = (key, compile_forest(self))
+        return self._compiled_cache[1]
 
     def _predict(self, X: np.ndarray) -> np.ndarray:
-        stacked = np.vstack([member.predict(X) for member in self.estimators_])
-        return stacked.mean(axis=0)
+        smoothing_k = self.smoothing_k if self.smoothing else None
+        compiled = self.compiled_
+        if self.refined_ is not None:
+            from repro.serve.refine import refined_predict
+
+            return refined_predict(
+                compiled, self.refined_, X, smoothing_k=smoothing_k
+            )
+        return compiled.predict(X, smoothing_k=smoothing_k)
 
     @property
     def mean_leaves_(self) -> float:

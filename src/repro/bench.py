@@ -141,6 +141,14 @@ def run_bench(
     X_throughput = _throughput_matrix(dataset.X)
     fitted.compiled_  # compile outside the timed region
 
+    from repro.baselines.bagging import BaggedM5
+
+    forest = BaggedM5(
+        n_estimators=10, min_instances=config.min_instances,
+        seed=config.seed, n_jobs=n_jobs,
+    ).fit(dataset)
+    forest.compiled_  # compile the arena outside the timed region
+
     cases: List = [
         ("fit_m5p", lambda: factory().fit(dataset)),
         ("predict_m5p", lambda: fitted.predict(dataset.X)),
@@ -151,6 +159,16 @@ def run_bench(
         (
             "predict_interpreted_10k",
             lambda: _interpreted_predict(fitted, X_throughput),
+        ),
+        (
+            "predict_forest_10k",
+            lambda: forest.compiled_.predict(X_throughput),
+        ),
+        (
+            "predict_forest_interpreted_10k",
+            lambda: np.vstack(
+                [_interpreted_predict(m, X_throughput) for m in forest]
+            ).mean(axis=0),
         ),
         (
             "cross_validate",

@@ -3,7 +3,8 @@
 Subcommands mirror the paper's workflow:
 
 * ``repro collect``     — simulate the suite and write the section dataset
-* ``repro train``       — fit an M5' tree on a dataset and print it
+* ``repro train``       — fit an M5' tree (or, with ``--bagging``, a
+  compiled-arena forest with optional ``--refine`` leaf re-weighting)
 * ``repro analyze``     — classify sections and print what/how-much reports
 * ``repro evaluate``    — cross-validate one learner on a dataset
 * ``repro compare``     — the full method comparison table
@@ -126,11 +127,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(collect)
     _add_resilience_arguments(collect)
 
-    train = sub.add_parser("train", help="fit an M5' tree and print it")
+    train = sub.add_parser(
+        "train",
+        help="fit an M5' tree (or a bagged forest) and print it",
+    )
     train.add_argument("--data", required=True, help="dataset CSV path")
     train.add_argument("--min-instances", type=int, default=25)
     train.add_argument("--no-prune", action="store_true")
     train.add_argument("--smoothing", action="store_true")
+    train.add_argument("--bagging", action="store_true",
+                       help="fit a BaggedM5 forest instead of a single "
+                       "tree (served through the compiled arena)")
+    train.add_argument("--trees", type=int, default=10, metavar="N",
+                       help="forest size with --bagging (default 10)")
+    train.add_argument("--refine", action="store_true",
+                       help="with --bagging: run the global leaf "
+                       "re-weighting + prune-and-refit pass")
+    train.add_argument("--prune-pct", type=float, default=0.1,
+                       metavar="FRACTION",
+                       help="with --refine: leaf fraction pruned per "
+                       "round (default 0.1)")
+    train.add_argument("--n-prunings", type=int, default=2, metavar="N",
+                       help="with --refine: prune-and-refit rounds "
+                       "(default 2)")
+    train.add_argument("--seed", type=int, default=0,
+                       help="bootstrap seed with --bagging (default 0)")
     train.add_argument("--save", help="write the fitted model to this JSON path")
     train.add_argument("--rules", action="store_true",
                        help="print the tree as an ordered rule list")
@@ -572,6 +593,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
     _set_default_jobs(args.jobs)
     dataset = _load(args.data)
+    if args.bagging:
+        return _train_forest(args, dataset)
+    if args.refine:
+        raise ReproError("--refine requires --bagging")
     model = M5Prime(
         min_instances=args.min_instances,
         prune=not args.no_prune,
@@ -600,6 +625,54 @@ def _cmd_train(args: argparse.Namespace) -> int:
         with open(args.dot, "w", encoding="utf-8") as handle:
             handle.write(render_dot(model))
         print(f"wrote GraphViz source to {args.dot}")
+    return 0
+
+
+def _train_forest(args: argparse.Namespace, dataset) -> int:
+    """The ``repro train --bagging`` path: fit, refine, save, publish."""
+    from repro.baselines.bagging import BaggedM5
+
+    for flag, name in ((args.rules, "--rules"), (args.dot, "--dot"),
+                       (args.smoothing, "--smoothing"),
+                       (args.no_prune, "--no-prune")):
+        if flag:
+            raise ReproError(f"{name} is a single-tree option; it does "
+                             "not combine with --bagging")
+    if args.trees < 1:
+        raise ReproError("--trees must be at least 1")
+    forest = BaggedM5(
+        n_estimators=args.trees,
+        min_instances=args.min_instances,
+        seed=args.seed,
+        n_jobs=args.jobs,
+    ).fit(dataset)
+    compiled = forest.compiled_
+    print(f"bagged forest: {compiled.n_trees} trees, "
+          f"{compiled.n_nodes} arena nodes, "
+          f"{compiled.total_leaves} leaves "
+          f"(mean {forest.mean_leaves_:.1f}/tree), "
+          f"{dataset.n_instances} training sections")
+    if args.refine:
+        from repro.serve.refine import RefinedForest
+
+        refinement = RefinedForest(
+            forest, prune_pct=args.prune_pct, n_prunings=args.n_prunings
+        ).fit(dataset)
+        refined = refinement.refined_
+        print(f"refined: {refined.n_active}/{compiled.total_leaves} "
+              f"active leaves after {refined.n_prunings} pruning "
+              f"round(s), training MAE {refined.train_mae:.5f}")
+    if args.save:
+        from repro.serve.forest_io import save_forest
+
+        save_forest(forest, args.save)
+        print(f"saved forest to {args.save}")
+    if args.publish:
+        from repro.serve import ModelRegistry
+
+        registry = ModelRegistry(Path(args.registry) if args.registry else None)
+        record = registry.publish(args.publish, forest)
+        print(f"published {record.spec} to {registry.directory}")
     return 0
 
 
@@ -759,16 +832,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.lint import json_document
-    from repro.verify import verify_model
+    from repro.verify import verify_forest, verify_model
+
+    def _verify_any(model):
+        """Dispatch on artifact kind: forests get the FOREST00x pass."""
+        if hasattr(model, "estimators_"):
+            return verify_forest(model)
+        return verify_model(model)
 
     if not args.model and args.registry is None and args.corpus is None:
         raise ReproError("verify needs --model, --registry, and/or --corpus")
     targets = []
     failures = []
     if args.model:
-        from repro.core.tree import load_model
+        from repro.serve.forest_io import load_any_model
 
-        targets.append((args.model, verify_model(load_model(args.model))))
+        targets.append((args.model, _verify_any(load_any_model(args.model))))
     if args.registry is not None:
         from repro.serve import ModelRegistry
 
@@ -783,7 +862,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             except ReproError as exc:
                 failures.append((spec, str(exc)))
                 continue
-            result = verify_model(model)
+            result = _verify_any(model)
             try:
                 stored = registry.load_certificate(record)
             except ReproError as exc:

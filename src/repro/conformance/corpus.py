@@ -42,6 +42,9 @@ class ConformanceCase:
     params: Dict[str, Any] = field(default_factory=dict)
     #: Also run the serial-vs-parallel cross-validation check (slower).
     check_parallel_cv: bool = False
+    #: Also run the compiled-forest vs interpreted-ensemble check
+    #: (fits a small BaggedM5 on the case dataset; slower).
+    check_forest: bool = False
 
 
 def _rng(seed: int, *salt: int) -> np.random.Generator:
@@ -103,15 +106,16 @@ def build_corpus(seed: int = 2007, tier: str = "quick") -> List[ConformanceCase]
     cases: List[ConformanceCase] = []
 
     def add(name: str, dataset: Dataset, check_parallel_cv: bool = False,
-            **params: Any) -> None:
+            check_forest: bool = False, **params: Any) -> None:
         cases.append(ConformanceCase(
             name=name, dataset=dataset, params=params,
             check_parallel_cv=check_parallel_cv,
+            check_forest=check_forest,
         ))
 
     # Figure-1-structured piecewise data across the knob space.
     add("figure1-default", figure1_dataset(n=260, noise_sd=0.05, rng=seed),
-        min_instances=15, check_parallel_cv=True)
+        min_instances=15, check_parallel_cv=True, check_forest=True)
     add("figure1-smoothed", figure1_dataset(n=240, noise_sd=0.05, rng=seed + 1),
         min_instances=15, smoothing=True)
     add("figure1-unpruned", figure1_dataset(n=220, noise_sd=0.08, rng=seed + 2),
@@ -143,13 +147,14 @@ def build_corpus(seed: int = 2007, tier: str = "quick") -> List[ConformanceCase]
         min_instances=8, ridge=0.0)
 
     # Step functions: the smallest genuine tree problems.
-    add("step-clean", step_dataset(n=140, rng=seed + 13), min_instances=10)
+    add("step-clean", step_dataset(n=140, rng=seed + 13), min_instances=10,
+        check_forest=True)
     add("step-noisy", step_dataset(n=160, noise_sd=0.15, rng=seed + 14),
         min_instances=12, smoothing=True)
 
     # Interactions: region-local lines approximating X1 * X2.
     add("interaction", interaction_dataset(n=220, noise_sd=0.02, rng=seed + 15),
-        min_instances=15, check_parallel_cv=True)
+        min_instances=15, check_parallel_cv=True, check_forest=True)
     add("interaction-smoothed",
         interaction_dataset(n=200, noise_sd=0.05, rng=seed + 16),
         min_instances=15, smoothing=True, smoothing_k=25.0)
@@ -169,7 +174,7 @@ def build_corpus(seed: int = 2007, tier: str = "quick") -> List[ConformanceCase]
 
     # Table-I-shaped suite data, the paper's own regime (in miniature).
     suite = _suite_dataset(seed + 23)
-    add("suite-table1", suite, min_instances=10)
+    add("suite-table1", suite, min_instances=10, check_forest=True)
     from repro.counters import STALL_METRICS
 
     add("suite-nonnegative", suite, min_instances=12,
@@ -184,7 +189,7 @@ def build_corpus(seed: int = 2007, tier: str = "quick") -> List[ConformanceCase]
             figure1_dataset(n=600, noise_sd=0.05, rng=seed + 120),
             min_instances=25, smoothing=True)
         add("suite-table1-deep", _suite_dataset(seed + 121, sections=16),
-            min_instances=14, check_parallel_cv=True)
+            min_instances=14, check_parallel_cv=True, check_forest=True)
         add("discrete-deep", discrete_dataset(seed + 122, n=500),
             min_instances=20)
         add("interaction-deep",

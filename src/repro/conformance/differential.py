@@ -15,6 +15,9 @@ model:
 * a JSON serialization round trip of the production model — CONF005
 * serial vs parallel cross-validation predictions (flagged cases) —
   CONF006
+* compiled-forest arena vs interpreted member-by-member ensemble
+  evaluation, per tree and for the averaged mean (flagged cases) —
+  CONF008
 
 Divergences are reported as structured diagnostics; a clean report is
 the package's strongest correctness statement short of a proof.
@@ -154,6 +157,11 @@ def run_case(case: ConformanceCase, report: ConformanceReport) -> None:
         report.n_checks += 1
         _check_parallel_cv(case, report, where)
 
+    # CONF008 — compiled forest arena vs interpreted ensemble.
+    if case.check_forest:
+        report.n_checks += 1
+        _check_forest(case, report, where)
+
 
 def _check_parallel_cv(
     case: ConformanceCase, report: ConformanceReport, where: str
@@ -176,6 +184,63 @@ def _check_parallel_cv(
             "CONF006",
             "serial and parallel cross-validation predictions diverge: "
             + _first_mismatch(serial.predictions, parallel.predictions),
+            where,
+        )
+
+
+def _check_forest(
+    case: ConformanceCase, report: ConformanceReport, where: str
+) -> None:
+    """Compiled-arena ensemble evaluation vs member-by-member walks.
+
+    Fits a small :class:`~repro.baselines.bagging.BaggedM5` on the case
+    dataset and asserts the single-pass arena (``predict_trees`` /
+    ``predict``) is bit-identical to interpreting every member tree
+    separately and averaging, and that the leaf-indicator matrix has
+    exactly one live column per (row, tree) pair.
+    """
+    from repro.baselines.bagging import BaggedM5
+
+    forest = BaggedM5(
+        n_estimators=5,
+        min_instances=int(case.params.get("min_instances", 25)),
+        seed=report.seed,
+    ).fit(case.dataset)
+    X = case.dataset.X
+    compiled = forest.compiled_
+
+    per_tree = compiled.predict_trees(X)
+    interpreted = np.vstack(
+        [_interpreted_predict(member, X) for member in forest]
+    )
+    for index in range(compiled.n_trees):
+        if not _identical_arrays(per_tree[index], interpreted[index]):
+            report.add(
+                "CONF008",
+                f"compiled forest tree[{index}] diverges from the "
+                "interpreted member walk: "
+                + _first_mismatch(per_tree[index], interpreted[index]),
+                where,
+            )
+            return
+
+    ensemble = forest.predict(X)
+    mean = interpreted.mean(axis=0)
+    if not _identical_arrays(ensemble, mean):
+        report.add(
+            "CONF008",
+            "compiled forest ensemble mean diverges from the stacked "
+            "member mean: " + _first_mismatch(ensemble, mean),
+            where,
+        )
+
+    indicator = compiled.leaf_indicator(X)
+    row_sums = indicator.toarray().sum(axis=1)
+    if not np.array_equal(row_sums, np.full(X.shape[0], compiled.n_trees)):
+        report.add(
+            "CONF008",
+            "leaf-indicator rows do not each carry exactly one live "
+            "column per tree",
             where,
         )
 

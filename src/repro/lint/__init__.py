@@ -20,6 +20,10 @@ through three rule families:
 * **serve** (``SERVE0xx``): model-registry integrity — manifest
   well-formedness, missing/corrupt blobs, manifest-vs-blob agreement,
   registry entries whose feature set no longer matches the dataset.
+* **forest** (``FOREST0xx``): published-ensemble integrity — forest
+  blobs that parse as ``repro-forest`` documents, tree counts that
+  match the declared arena, refined leaf-weight vectors of the right
+  length with finite values, dead member trees, single-tree forests.
 * **verify** (``VERIFY0xx``): static verification of the compiled tree
   arena (:mod:`repro.verify`) — structural well-formedness plus
   interval abstract interpretation: dead branches, domain coverage,
@@ -64,6 +68,7 @@ from repro.lint.registry import (
     FAMILY_DATASET,
     FAMILY_FASTSIM,
     FAMILY_FLEET,
+    FAMILY_FOREST,
     FAMILY_SERVE,
     FAMILY_TREE,
     FAMILY_VERIFY,
@@ -85,6 +90,7 @@ from repro.lint import data_rules as _data_rules  # noqa: F401
 from repro.lint import compat_rules as _compat_rules  # noqa: F401
 from repro.lint import cache_rules as _cache_rules  # noqa: F401
 from repro.lint import serve_rules as _serve_rules  # noqa: F401
+from repro.lint import forest_rules as _forest_rules  # noqa: F401
 from repro.lint import verify_rules as _verify_rules  # noqa: F401
 from repro.lint import fleet_rules as _fleet_rules  # noqa: F401
 from repro.lint import fastsim_rules as _fastsim_rules  # noqa: F401
@@ -94,6 +100,7 @@ __all__ = [
     "FAMILY_CACHE",
     "FAMILY_FASTSIM",
     "FAMILY_FLEET",
+    "FAMILY_FOREST",
     "FAMILY_SERVE",
     "FAMILY_VERIFY",
     "Diagnostic",
@@ -113,6 +120,7 @@ __all__ = [
     "lint_compatibility",
     "lint_dataset",
     "lint_fleet",
+    "lint_forest",
     "lint_model",
     "lint_registry",
     "lint_verify",
@@ -144,6 +152,7 @@ def _resolve_families(
         available.append(FAMILY_CACHE)
     if registry_dir is not None:
         available.append(FAMILY_SERVE)
+        available.append(FAMILY_FOREST)
     if model is not None:
         available.append(FAMILY_VERIFY)
     if fleet_config is not None:
@@ -158,6 +167,7 @@ def _resolve_families(
         FAMILY_COMPAT: "both a model and a dataset",
         FAMILY_CACHE: "a cache directory",
         FAMILY_SERVE: "a registry directory",
+        FAMILY_FOREST: "a registry directory",
         FAMILY_VERIFY: "a model",
         FAMILY_FLEET: "a fleet config",
         FAMILY_FASTSIM: "a calibration artifact",
@@ -333,4 +343,13 @@ def lint_registry(
     return run_lint(
         dataset=dataset, registry_dir=registry_dir, config=config,
         families=(FAMILY_SERVE,),
+    )
+
+
+def lint_forest(
+    registry_dir: Path, config: Optional[LintConfig] = None
+) -> LintReport:
+    """Run the published-forest integrity (FOREST) rules alone."""
+    return run_lint(
+        registry_dir=registry_dir, config=config, families=(FAMILY_FOREST,),
     )

@@ -241,20 +241,25 @@ class ArtifactCache:
     # Fitted models
     # ------------------------------------------------------------------
     def load_model(self, key_parts: Sequence[KeyPart]):
-        """The cached fitted model for this identity, or ``None``."""
+        """The cached fitted model for this identity, or ``None``.
+
+        Dispatches on the stored document's ``format`` key, so both
+        single trees (``repro-m5prime``) and forests (``repro-forest``)
+        round-trip through the same cache slot.
+        """
         path = self.path_for("model", key_parts)
         if not path.exists() or not self._readable(path):
             return None
-        from repro.core.tree.serialize import load_model
+        from repro.serve.forest_io import load_any_model
 
         try:
-            return load_model(path)
+            return load_any_model(path)
         except ReproError:
             self.quarantine(path)
             return None
 
     def store_model(self, key_parts: Sequence[KeyPart], model) -> Path:
-        from repro.core.tree.serialize import model_to_dict
+        from repro.serve.forest_io import store_any_model
 
         path = self.path_for("model", key_parts)
         try:
@@ -270,7 +275,7 @@ class ArtifactCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
         with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(model_to_dict(model), handle, indent=1)
+            json.dump(store_any_model(model), handle, indent=1)
         os.replace(tmp, path)
         self._write_checksum(path)
         return path

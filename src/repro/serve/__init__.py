@@ -6,6 +6,17 @@ with them at interactive latency:
 * :mod:`repro.serve.compiled` — the fitted tree flattened into
   contiguous arrays, evaluated vectorized and bit-identical to the
   interpreted walk (``M5Prime.predict`` routes through it).
+* :mod:`repro.serve.forest` — an entire :class:`BaggedM5` ensemble
+  flattened into one arena with per-tree offsets: all trees
+  batch-predicted in a single pass (bit-identical to member-by-member),
+  plus the CSR leaf-indicator matrix (``BaggedM5.predict`` routes
+  through it).
+* :mod:`repro.serve.refine` — RefinedRandomForest-style global leaf
+  re-weighting with iterative prune-and-refit over the indicator
+  matrix; the refined predictor stays per-leaf inspectable.
+* :mod:`repro.serve.forest_io` — the ``repro-forest`` JSON schema and
+  the format-dispatching ``load_any_model`` used by the cache and
+  registry.
 * :mod:`repro.serve.registry` — named, versioned, integrity-checked
   model storage (``cpi-tree@latest``) on the artifact cache; publishing
   is gated by the static verifier (:mod:`repro.verify`) and stores the
@@ -33,8 +44,19 @@ from repro.serve.check import CheckResult, preflight, render_preflight
 from repro.serve.compiled import CompiledTree, compile_tree
 from repro.serve.drift import DriftMonitor
 from repro.serve.fleet import FleetConfig, ServingFleet
+from repro.serve.forest import CompiledForest, LeafIndicator, compile_forest
+from repro.serve.forest_io import (
+    forest_from_dict,
+    forest_to_dict,
+    load_any_model,
+    load_forest,
+    loads_any_model,
+    loads_forest,
+    save_forest,
+)
 from repro.serve.loadtest import LoadTestResult, run_loadtest
 from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.serve.refine import RefinedForest, RefinedWeights, refined_predict
 from repro.serve.registry import ModelRecord, ModelRegistry, parse_spec
 from repro.serve.server import SCHEMA, ModelServer
 from repro.serve.supervisor import Supervisor, WorkerSlot
@@ -42,24 +64,37 @@ from repro.serve.supervisor import Supervisor, WorkerSlot
 __all__ = [
     "BatchQueue",
     "CheckResult",
+    "CompiledForest",
     "CompiledTree",
     "Counter",
     "DriftMonitor",
     "FleetConfig",
     "Gauge",
     "Histogram",
+    "LeafIndicator",
     "LoadTestResult",
     "MetricsRegistry",
     "ModelRecord",
     "ModelRegistry",
     "ModelServer",
+    "RefinedForest",
+    "RefinedWeights",
     "SCHEMA",
     "ServingFleet",
     "Supervisor",
     "WorkerSlot",
+    "compile_forest",
     "compile_tree",
+    "forest_from_dict",
+    "forest_to_dict",
+    "load_any_model",
+    "load_forest",
+    "loads_any_model",
+    "loads_forest",
     "parse_spec",
     "preflight",
+    "refined_predict",
     "render_preflight",
     "run_loadtest",
+    "save_forest",
 ]

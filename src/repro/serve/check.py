@@ -24,7 +24,7 @@ from repro.core.tree.smoothing import smoothed_predict
 from repro.errors import ReproError
 from repro.serve.drift import DriftMonitor
 from repro.serve.registry import ModelRecord, ModelRegistry
-from repro.verify import verify_model
+from repro.verify import verify_forest, verify_model
 
 __all__ = ["CheckResult", "preflight", "render_preflight"]
 
@@ -45,7 +45,7 @@ class CheckResult:
         return "ok" if self.ok else "FAIL"
 
 
-def _probe_matrix(model: M5Prime, rows: int = PROBE_ROWS) -> np.ndarray:
+def _probe_matrix(model, rows: int = PROBE_ROWS) -> np.ndarray:
     """Deterministic probe rows spanning each feature's training range."""
     n_features = len(model.attributes_)
     ranges = model.feature_ranges_
@@ -99,6 +99,75 @@ def _check_parity(model: M5Prime, label: str) -> CheckResult:
         "compiled-parity", True,
         f"{label}: {X.shape[0]} probe rows bit-identical"
         + ("" if k is None else f" (smoothing k={k:g})")
+    )
+
+
+def _check_forest_parity(forest, label: str) -> CheckResult:
+    """Forest arena vs per-member interpreted walks, bit-for-bit.
+
+    Checks every member row of ``predict_trees`` against that member's
+    own interpreted per-row walk, then the ensemble mean against
+    stacking the interpreted member predictions — the exact contract
+    CONF008 asserts over the conformance corpus.
+    """
+    X = _probe_matrix(forest)
+    compiled = forest.compiled_
+    k = forest.smoothing_k if forest.smoothing else None
+    per_tree = compiled.predict_trees(X, smoothing_k=k)
+    interpreted = np.empty_like(per_tree)
+    for t, member in enumerate(forest.estimators_):
+        root = member.root_
+        assert root is not None
+        for i, x in enumerate(X):
+            if k is None:
+                leaf = route(root, x)
+                if leaf.model is None:
+                    return CheckResult(
+                        "forest-parity", False,
+                        f"{label}: tree[{t}] leaf LM{leaf.leaf_id} has "
+                        f"no model"
+                    )
+                interpreted[t, i] = leaf.model.predict_one(x)
+            else:
+                interpreted[t, i] = smoothed_predict(root, x, k=k)
+        if not np.array_equal(per_tree[t], interpreted[t]):
+            row = int(np.flatnonzero(per_tree[t] != interpreted[t])[0])
+            return CheckResult(
+                "forest-parity", False,
+                f"{label}: tree[{t}] row {row} compiled="
+                f"{per_tree[t, row]!r} interpreted={interpreted[t, row]!r}"
+            )
+    mean = compiled.predict(X, smoothing_k=k)
+    want = interpreted.mean(axis=0)
+    if not np.array_equal(mean, want):
+        return CheckResult(
+            "forest-parity", False,
+            f"{label}: ensemble mean diverges from stacked interpreted "
+            f"member predictions"
+        )
+    return CheckResult(
+        "forest-parity", True,
+        f"{label}: {compiled.n_trees} trees x {X.shape[0]} probe rows "
+        f"bit-identical"
+        + ("" if k is None else f" (smoothing k={k:g})")
+    )
+
+
+def _check_forest_verify(forest, record: "ModelRecord") -> CheckResult:
+    """Structural + per-member verification; forests are uncertified."""
+    result = verify_forest(forest)
+    if not result.ok:
+        findings = "; ".join(d.render() for d in result.diagnostics[:3])
+        return CheckResult(
+            "verify", False,
+            f"{record.spec}: {result.n_errors} verification error(s): "
+            f"{findings}"
+        )
+    warnings = result.report.n_warnings
+    return CheckResult(
+        "verify", True,
+        f"{record.spec}: verified with {warnings} warning(s); "
+        "forests are uncertified (no output bound)"
     )
 
 
@@ -187,6 +256,7 @@ def preflight(
             f"{spec} -> {record.spec} ({record.n_leaves} leaves, "
             f"{len(record.attributes)} features, integrity verified)"
         ))
+        is_forest = not isinstance(model, M5Prime)
         try:
             compiled = model.compiled_
         except ReproError as exc:
@@ -194,13 +264,18 @@ def preflight(
                 "compile", False, f"{record.spec}: {exc}"
             ))
             continue
+        trees = f"{compiled.n_trees} trees, " if is_forest else ""
         results.append(CheckResult(
             "compile", True,
-            f"{record.spec}: {compiled.feature.shape[0]} nodes, "
+            f"{record.spec}: {trees}{compiled.feature.shape[0]} nodes, "
             f"max depth {compiled.max_depth}"
         ))
-        results.append(_check_verify(registry, model, record))
-        results.append(_check_parity(model, record.spec))
+        if is_forest:
+            results.append(_check_forest_verify(model, record))
+            results.append(_check_forest_parity(model, record.spec))
+        else:
+            results.append(_check_verify(registry, model, record))
+            results.append(_check_parity(model, record.spec))
         monitor = DriftMonitor(model)
         if monitor.monitors_ranges:
             results.append(CheckResult(

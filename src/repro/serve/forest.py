@@ -1,0 +1,428 @@
+"""Compiled forest inference: one contiguous arena for a whole ensemble.
+
+:class:`~repro.baselines.bagging.BaggedM5` historically predicted member
+by member through each tree's own compiled form — ten trees meant ten
+routing passes and ten Python-level loops over leaf groups.
+:func:`compile_forest` concatenates every member's
+:class:`~repro.serve.compiled.CompiledTree` arrays into a single arena
+with per-tree node offsets (``tree_offset``) and per-tree leaf-column
+offsets (``leaf_offset``), and :class:`CompiledForest` routes *all rows
+through all trees at once*: one vectorized level-loop over the flattened
+``(row, tree)`` state, then one grouped evaluation pass over the global
+leaf nodes.
+
+Bit-identity carries over from the single-tree contract: every
+floating-point operation on a ``(row, tree)`` pair is elementwise and
+happens in the same order the member's own :class:`CompiledTree` (and
+therefore the interpreted walk) performs it, so ``predict_trees(X)[t]``
+equals ``member_t.compiled_.predict(X)`` to the last bit, and
+``predict(X)`` — a C-order ``(n_trees, n)`` matrix reduced with
+``.mean(axis=0)`` — is bit-identical to the historical
+``np.vstack([m.predict(X) for m in members]).mean(axis=0)``.
+CONF008 in the conformance harness asserts exactly this.
+
+The arena also exposes the ensemble's *leaf-indicator matrix* in
+CSR-style arrays (``indptr``/``indices``/``data``, stdlib + numpy only):
+row ``i`` has exactly one unit entry per tree, in the column of the leaf
+the row lands in.  This is the design matrix the
+:class:`~repro.serve.refine.RefinedForest` pass regresses over.
+
+Leaf columns are numbered tree-major and pre-order within each tree
+(column = ``leaf_offset[t] + local leaf position``), mirroring the
+RefinedRandomForest offset bookkeeping (``offsets_ = cumsum(n_leaves)``)
+so per-leaf weights stay addressable and inspectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError, DataError, NotFittedError, ReproError
+
+if TYPE_CHECKING:  # baselines imports serve lazily; keep the cycle static-only
+    from repro.baselines.bagging import BaggedM5
+
+__all__ = ["CompiledForest", "LeafIndicator", "compile_forest"]
+
+
+@dataclass(frozen=True)
+class LeafIndicator:
+    """The ensemble leaf-indicator matrix in CSR arrays (no scipy).
+
+    Shape ``(n_rows, total_leaves)``; row ``i`` holds exactly one unit
+    entry per tree — ``rows sum to n_trees`` is a structural invariant
+    the property tests assert.  Column indices within each row are
+    strictly increasing (leaf columns are tree-major), so the arrays are
+    canonical CSR.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    shape: Tuple[int, int]
+
+    def toarray(self) -> np.ndarray:
+        """Densify (tests and small-batch inspection only)."""
+        dense = np.zeros(self.shape)
+        rows = np.repeat(
+            np.arange(self.shape[0]), np.diff(self.indptr)
+        )
+        dense[rows, self.indices] = self.data
+        return dense
+
+
+@dataclass(frozen=True)
+class CompiledForest:
+    """A fitted :class:`BaggedM5` ensemble flattened to one arena.
+
+    The per-node arrays carry the same fields as
+    :class:`~repro.serve.compiled.CompiledTree`, concatenated tree by
+    tree with child/parent indices and CSR term offsets rebased to the
+    global numbering.  Tree ``t`` owns nodes
+    ``tree_offset[t]:tree_offset[t+1]`` (its root is the first of them)
+    and leaf columns ``leaf_offset[t]:leaf_offset[t+1]``.
+
+    Attributes:
+        n_features: Training attribute count routing validates against.
+        n_trees: Ensemble size.
+        feature, threshold, left, right, parent, leaf_id, n_instances,
+            has_model, intercept, term_offset, term_feature,
+            term_coefficient: The concatenated per-node arena (see
+            :class:`~repro.serve.compiled.CompiledTree`).
+        tree_offset: Node offset per tree, length ``n_trees + 1``.
+        leaf_offset: Leaf-column offset per tree, length ``n_trees + 1``
+            (the RefinedRandomForest ``offsets_`` bookkeeping).
+        leaf_col: Global leaf column per node (``-1`` at interior nodes).
+        leaf_node: Global node index per leaf column (the inverse map).
+        max_depth: Deepest member tree (routing iteration bound).
+    """
+
+    n_features: int
+    n_trees: int
+    feature: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    parent: np.ndarray
+    leaf_id: np.ndarray
+    n_instances: np.ndarray
+    has_model: np.ndarray
+    intercept: np.ndarray
+    term_offset: np.ndarray
+    term_feature: np.ndarray
+    term_coefficient: np.ndarray
+    tree_offset: np.ndarray
+    leaf_offset: np.ndarray
+    leaf_col: np.ndarray
+    leaf_node: np.ndarray
+    max_depth: int
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.feature.shape[0])
+
+    @property
+    def total_leaves(self) -> int:
+        return int(self.leaf_node.shape[0])
+
+    def tree_of(self, node: int) -> int:
+        """The tree index owning a global node index."""
+        if not 0 <= node < self.n_nodes:
+            raise DataError(
+                f"node {node} out of range for {self.n_nodes} arena nodes"
+            )
+        return int(np.searchsorted(self.tree_offset, node, side="right") - 1)
+
+    # ------------------------------------------------------------------
+    def _check_width(self, X: np.ndarray) -> None:
+        if X.ndim != 2:
+            raise DataError(f"X must be 2-dimensional, got shape {X.shape}")
+        if X.shape[1] != self.n_features:
+            raise DataError(
+                f"X has {X.shape[1]} columns but the compiled forest "
+                f"expects {self.n_features}"
+            )
+
+    def route(self, X: np.ndarray) -> np.ndarray:
+        """Global leaf-node index per ``(row, tree)`` pair, shape
+        ``(n_rows, n_trees)``.
+
+        One vectorized pass per tree level over the flattened
+        ``(row, tree)`` state: every pair still sitting on an interior
+        node compares its split attribute against the threshold (``<=``
+        goes left, exactly the interpreted rule) and steps down.  Ragged
+        ensembles terminate naturally — finished pairs stay put.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        self._check_width(X)
+        n = X.shape[0]
+        nodes = np.broadcast_to(
+            self.tree_offset[:-1], (n, self.n_trees)
+        ).copy()
+        flat = nodes.ravel()
+        # Only pairs still on an interior node are re-examined each
+        # level; settled pairs drop out of the working set instead of
+        # being rescanned (ragged ensembles shrink it quickly).
+        at_split = np.flatnonzero(self.feature[flat] >= 0)
+        for _ in range(self.max_depth):
+            if at_split.size == 0:
+                break
+            current = flat[at_split]
+            rows = at_split // self.n_trees
+            values = X[rows, self.feature[current]]
+            go_left = values <= self.threshold[current]
+            stepped = np.where(
+                go_left, self.left[current], self.right[current]
+            )
+            flat[at_split] = stepped
+            at_split = at_split[self.feature[stepped] >= 0]
+        return nodes
+
+    def leaf_columns(self, X: np.ndarray) -> np.ndarray:
+        """Global leaf column per ``(row, tree)``, shape ``(n, n_trees)``."""
+        return self.leaf_col[self.route(X)]
+
+    def leaf_indicator(self, X: np.ndarray) -> LeafIndicator:
+        """The CSR leaf-indicator matrix for a batch.
+
+        ``indices[indptr[i]:indptr[i+1]]`` are the ``n_trees`` leaf
+        columns row ``i`` activates (strictly increasing — columns are
+        tree-major), and ``data`` is all ones, so every row sums to
+        ``n_trees``.
+        """
+        columns = self.leaf_columns(X)
+        n = columns.shape[0]
+        indptr = np.arange(n + 1, dtype=np.int64) * self.n_trees
+        return LeafIndicator(
+            indptr=indptr,
+            indices=columns.ravel().astype(np.int64, copy=False),
+            data=np.ones(n * self.n_trees),
+            shape=(n, self.total_leaves),
+        )
+
+    # ------------------------------------------------------------------
+    def _evaluate_node_model(
+        self, node: int, X: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        """One node's linear model over selected rows, term by term.
+
+        The same ``intercept; += coef * column`` accumulation order as
+        :meth:`~repro.serve.compiled.CompiledTree._evaluate_node_model`,
+        so per-row results stay bit-identical to the member's own
+        compiled (and interpreted) evaluation.
+        """
+        if not self.has_model[node]:
+            raise ReproError(f"compiled node {node} carries no linear model")
+        result = np.full(rows.shape[0], self.intercept[node])
+        start, stop = self.term_offset[node], self.term_offset[node + 1]
+        for position in range(start, stop):
+            result += (
+                self.term_coefficient[position]
+                * X[rows, self.term_feature[position]]
+            )
+        return result
+
+    def predict_trees(
+        self, X: np.ndarray, smoothing_k: Optional[float] = None
+    ) -> np.ndarray:
+        """Every member's batch prediction in one pass, shape
+        ``(n_trees, n_rows)`` (C-order).
+
+        ``(row, tree)`` pairs are grouped by destination leaf *across
+        the whole forest* — every pair in a group shares one root path —
+        so the Python-level loop runs once per distinct leaf in the
+        arena, not once per tree times leaf.  Row ``t`` of the result is
+        bit-identical to ``members[t].compiled_.predict(X)``.
+        """
+        if smoothing_k is not None and smoothing_k < 0:
+            raise ConfigError(
+                f"smoothing constant k must be non-negative, got {smoothing_k}"
+            )
+        X = np.asarray(X, dtype=np.float64)
+        self._check_width(X)
+        n = X.shape[0]
+        out = np.empty((self.n_trees, n))
+        if n == 0:
+            return out
+        flat = self.route(X).ravel()
+        # Group (row, tree) pairs by destination leaf via one stable
+        # argsort; within each run the positions come out in increasing
+        # flat order, exactly as a per-leaf ``flatnonzero`` scan would
+        # produce them, so group evaluation order is unchanged.
+        order = np.argsort(flat, kind="stable")
+        sorted_leaves = flat[order]
+        starts = np.flatnonzero(
+            np.r_[True, sorted_leaves[1:] != sorted_leaves[:-1]]
+        )
+        stops = np.r_[starts[1:], sorted_leaves.size]
+        for start, stop in zip(starts, stops):
+            leaf = int(sorted_leaves[start])
+            positions = order[start:stop]
+            rows = positions // self.n_trees
+            trees = positions % self.n_trees
+            if not self.has_model[leaf]:
+                raise ReproError(
+                    "prediction requires a model at the leaf"
+                    if smoothing_k is None
+                    else "smoothing requires a model at the leaf"
+                )
+            group = self._evaluate_node_model(leaf, X, rows)
+            if smoothing_k is not None:
+                below = int(leaf)
+                ancestor = int(self.parent[below])
+                while ancestor >= 0:
+                    if not self.has_model[ancestor]:
+                        raise ReproError(
+                            "smoothing requires a model at every ancestor"
+                        )
+                    blended = self._evaluate_node_model(ancestor, X, rows)
+                    weight = float(self.n_instances[below])
+                    group = (weight * group + smoothing_k * blended) / (
+                        weight + smoothing_k
+                    )
+                    below = ancestor
+                    ancestor = int(self.parent[below])
+            out[trees, rows] = group
+        return out
+
+    def predict(
+        self, X: np.ndarray, smoothing_k: Optional[float] = None
+    ) -> np.ndarray:
+        """The ensemble mean, bit-identical to stacking member predicts.
+
+        ``predict_trees`` fills a C-contiguous ``(n_trees, n)`` float64
+        matrix with per-member predictions that are bit-identical to
+        each member's own compiled evaluation; ``.mean(axis=0)`` then
+        performs the same reduction ``np.vstack([...]).mean(axis=0)``
+        would over identical memory, so the historical tree-by-tree
+        ensemble prediction is reproduced exactly.
+        """
+        return self.predict_trees(X, smoothing_k=smoothing_k).mean(axis=0)
+
+    # ------------------------------------------------------------------
+    def leaf_summary(self, column: int) -> Dict[str, Any]:
+        """The inspectable linear model behind one global leaf column."""
+        if not 0 <= column < self.total_leaves:
+            raise DataError(
+                f"leaf column {column} out of range for "
+                f"{self.total_leaves} leaves"
+            )
+        node = int(self.leaf_node[column])
+        tree = self.tree_of(node)
+        start, stop = int(self.term_offset[node]), int(self.term_offset[node + 1])
+        return {
+            "column": int(column),
+            "tree": tree,
+            "node": node,
+            "leaf_id": int(self.leaf_id[node]),
+            "n_instances": float(self.n_instances[node]),
+            "intercept": float(self.intercept[node]),
+            "terms": [
+                (int(self.term_feature[p]), float(self.term_coefficient[p]))
+                for p in range(start, stop)
+            ],
+        }
+
+
+def compile_forest(forest: "BaggedM5") -> CompiledForest:
+    """Flatten a fitted ensemble into a :class:`CompiledForest`.
+
+    Member arenas come from each member's cached ``compiled_`` form and
+    are concatenated in ``estimators_`` order — the ordering contract
+    :class:`~repro.baselines.bagging.BaggedM5` documents and asserts, so
+    arena offsets are deterministic across serial and parallel fits.
+
+    Raises:
+        NotFittedError: The ensemble has no fitted members.
+        DataError: A member disagrees with the ensemble's feature count.
+        ConfigError: Members disagree on their smoothing configuration
+            (the forest serves one ``smoothing_k`` for all trees).
+    """
+    members = list(getattr(forest, "estimators_", ()))
+    if not members:
+        raise NotFittedError("cannot compile an unfitted forest")
+    n_features = len(forest.attributes_)
+    signature = (members[0].smoothing, members[0].smoothing_k)
+    compiled: List = []
+    for index, member in enumerate(members):
+        if member.root_ is None:
+            raise NotFittedError(f"forest member {index} is unfitted")
+        if (member.smoothing, member.smoothing_k) != signature:
+            raise ConfigError(
+                f"forest member {index} smoothing configuration "
+                f"{(member.smoothing, member.smoothing_k)} disagrees with "
+                f"member 0 {signature}; a forest serves one smoothing mode"
+            )
+        tree = member.compiled_
+        if tree.n_features != n_features:
+            raise DataError(
+                f"forest member {index} compiled for {tree.n_features} "
+                f"features but the ensemble carries {n_features}"
+            )
+        compiled.append(tree)
+
+    n_trees = len(compiled)
+    tree_offset = np.zeros(n_trees + 1, dtype=np.int64)
+    leaf_offset = np.zeros(n_trees + 1, dtype=np.int64)
+    for t, tree in enumerate(compiled):
+        tree_offset[t + 1] = tree_offset[t] + tree.n_nodes
+        leaf_offset[t + 1] = leaf_offset[t] + tree.n_leaves
+    n_nodes = int(tree_offset[-1])
+
+    feature = np.concatenate([tree.feature for tree in compiled])
+    threshold = np.concatenate([tree.threshold for tree in compiled])
+    leaf_id = np.concatenate([tree.leaf_id for tree in compiled])
+    n_instances = np.concatenate([tree.n_instances for tree in compiled])
+    has_model = np.concatenate([tree.has_model for tree in compiled])
+    intercept = np.concatenate([tree.intercept for tree in compiled])
+    term_feature = np.concatenate(
+        [tree.term_feature for tree in compiled]
+    ).astype(np.int64, copy=False)
+    term_coefficient = np.concatenate(
+        [tree.term_coefficient for tree in compiled]
+    )
+
+    left = np.full(n_nodes, -1, dtype=np.int64)
+    right = np.full(n_nodes, -1, dtype=np.int64)
+    parent = np.full(n_nodes, -1, dtype=np.int64)
+    leaf_col = np.full(n_nodes, -1, dtype=np.int64)
+    leaf_node = np.empty(int(leaf_offset[-1]), dtype=np.int64)
+    term_offset = np.zeros(n_nodes + 1, dtype=np.int64)
+    term_base = 0
+    for t, tree in enumerate(compiled):
+        base = int(tree_offset[t])
+        stop = int(tree_offset[t + 1])
+        left[base:stop] = np.where(tree.left >= 0, tree.left + base, -1)
+        right[base:stop] = np.where(tree.right >= 0, tree.right + base, -1)
+        parent[base:stop] = np.where(tree.parent >= 0, tree.parent + base, -1)
+        local_leaves = np.flatnonzero(tree.feature < 0)
+        columns = np.arange(local_leaves.size) + int(leaf_offset[t])
+        leaf_col[base + local_leaves] = columns
+        leaf_node[columns] = base + local_leaves
+        term_offset[base + 1:stop + 1] = tree.term_offset[1:] + term_base
+        term_base += int(tree.term_offset[-1])
+
+    return CompiledForest(
+        n_features=int(n_features),
+        n_trees=n_trees,
+        feature=feature,
+        threshold=threshold,
+        left=left,
+        right=right,
+        parent=parent,
+        leaf_id=leaf_id,
+        n_instances=n_instances,
+        has_model=has_model,
+        intercept=intercept,
+        term_offset=term_offset,
+        term_feature=term_feature,
+        term_coefficient=term_coefficient,
+        tree_offset=tree_offset,
+        leaf_offset=leaf_offset,
+        leaf_col=leaf_col,
+        leaf_node=leaf_node,
+        max_depth=max(tree.max_depth for tree in compiled),
+    )

@@ -1,0 +1,255 @@
+"""Forest persistence: fitted ensembles to and from JSON.
+
+The on-disk forest document wraps one :func:`model_to_dict` payload per
+member (in ``estimators_`` order — the arena-offset contract) under a
+``repro-forest`` envelope carrying the ensemble parameters, the
+full-training-matrix ``feature_ranges`` and, when a refinement pass has
+run, the per-leaf ``refined`` weights.  Top-level ``attributes`` and
+``target`` mirror the single-tree schema so registry tooling (SERVE004
+and friends) audits both kinds the same way.
+
+:func:`load_any_model` dispatches on the ``format`` key so callers that
+store both kinds behind one path — the artifact cache, the registry,
+``repro verify --model`` — need no out-of-band type tag.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.core.tree.m5 import M5Prime
+from repro.core.tree.serialize import model_from_dict, model_to_dict
+from repro.errors import NotFittedError, ParseError
+
+PathLike = Union[str, Path]
+
+#: Bump when the forest on-disk layout changes incompatibly.
+FOREST_FORMAT_VERSION = 1
+
+__all__ = [
+    "forest_to_dict",
+    "forest_from_dict",
+    "save_forest",
+    "load_forest",
+    "loads_forest",
+    "load_any_model",
+    "loads_any_model",
+    "store_any_model",
+]
+
+
+def forest_to_dict(forest) -> Dict[str, Any]:
+    """Serialize a fitted :class:`BaggedM5` to JSON-compatible structures."""
+    members = list(getattr(forest, "estimators_", ()))
+    if not members:
+        raise NotFittedError("cannot serialize an unfitted forest")
+    refined = getattr(forest, "refined_", None)
+    return {
+        "format": "repro-forest",
+        "version": FOREST_FORMAT_VERSION,
+        "n_trees": len(members),
+        "attributes": list(forest.attributes_),
+        "target": forest.target_name_,
+        "params": {
+            "n_estimators": forest.n_estimators,
+            "min_instances": forest.min_instances,
+            "sample_fraction": forest.sample_fraction,
+            "seed": forest.seed if isinstance(forest.seed, int) else 0,
+        },
+        "feature_ranges": (
+            [[low, high] for low, high in forest.feature_ranges_]
+            if forest.feature_ranges_ is not None
+            else None
+        ),
+        "trees": [model_to_dict(member) for member in members],
+        "refined": (
+            None
+            if refined is None
+            else {
+                "ridge": refined.ridge,
+                "prune_pct": refined.prune_pct,
+                "n_prunings": refined.n_prunings,
+                "train_mae": refined.train_mae,
+                "weights": [float(w) for w in refined.weights],
+                "active": [int(a) for a in refined.active],
+            }
+        ),
+    }
+
+
+def forest_from_dict(payload: Dict[str, Any]):
+    """Rebuild a fitted forest from :func:`forest_to_dict` output.
+
+    Structural lies about the ensemble raise :class:`ParseError` before
+    any member tree is trusted: a ``trees`` list disagreeing with
+    ``n_trees`` (tree-count mismatch), members whose attributes disagree
+    with the envelope, and refined weight vectors whose length does not
+    match the total leaf count (offset mismatch against the arena).
+    """
+    from repro.baselines.bagging import BaggedM5
+
+    try:
+        if payload.get("format") != "repro-forest":
+            raise ParseError("not a repro-forest document")
+        if payload.get("version") != FOREST_FORMAT_VERSION:
+            raise ParseError(
+                f"unsupported forest format version {payload.get('version')!r}"
+            )
+        declared = int(payload["n_trees"])
+        trees = payload["trees"]
+        if not isinstance(trees, list) or len(trees) != declared:
+            found = len(trees) if isinstance(trees, list) else trees
+            raise ParseError(
+                f"tree-count mismatch: document declares {declared} trees "
+                f"but carries {found!r}"
+            )
+        if declared < 1:
+            raise ParseError("a forest needs at least one tree")
+        params = payload["params"]
+        forest = BaggedM5(
+            n_estimators=int(params["n_estimators"]),
+            min_instances=int(params["min_instances"]),
+            sample_fraction=float(params["sample_fraction"]),
+            seed=int(params["seed"]),
+        )
+        forest.attributes_ = tuple(payload["attributes"])
+        forest.target_name_ = str(payload["target"])
+        members = []
+        for index, document in enumerate(trees):
+            member = model_from_dict(document)
+            if member.attributes_ != forest.attributes_:
+                raise ParseError(
+                    f"tree {index} attributes disagree with the forest "
+                    f"envelope"
+                )
+            members.append(member)
+        forest.estimators_ = members
+        ranges = payload.get("feature_ranges")
+        if ranges is not None:
+            if len(ranges) != len(forest.attributes_):
+                raise ParseError(
+                    f"feature_ranges has {len(ranges)} entries for "
+                    f"{len(forest.attributes_)} attributes"
+                )
+            forest.feature_ranges_ = tuple(
+                (float(low), float(high)) for low, high in ranges
+            )
+        refined = payload.get("refined")
+        if refined is not None:
+            import numpy as np
+
+            from repro.serve.refine import RefinedWeights
+
+            total_leaves = sum(member.n_leaves for member in members)
+            weights = np.asarray(
+                [float(w) for w in refined["weights"]], dtype=np.float64
+            )
+            active = np.asarray(
+                [bool(a) for a in refined["active"]], dtype=bool
+            )
+            if weights.shape[0] != total_leaves or active.shape[0] != total_leaves:
+                raise ParseError(
+                    f"refined-weights offset mismatch: {weights.shape[0]} "
+                    f"weights / {active.shape[0]} active flags for "
+                    f"{total_leaves} forest leaves"
+                )
+            forest.refined_ = RefinedWeights(
+                weights=weights,
+                active=active,
+                ridge=float(refined["ridge"]),
+                prune_pct=float(refined["prune_pct"]),
+                n_prunings=int(refined["n_prunings"]),
+                train_mae=float(refined["train_mae"]),
+            )
+        forest.fitted_ = True
+    except (KeyError, TypeError, ValueError, OverflowError) as exc:
+        raise ParseError(f"malformed forest document: {exc}") from None
+    return forest
+
+
+def save_forest(forest, path: PathLike) -> None:
+    """Write a fitted forest to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(forest_to_dict(forest), handle, indent=1)
+
+
+def load_forest(path: PathLike):
+    """Read a fitted forest from a JSON file (ParseError names the path)."""
+    return loads_forest(_read_text(path), source=str(path))
+
+
+def loads_forest(text: str, source: Optional[str] = None):
+    """Parse a forest JSON string; ``source`` prefixes error messages."""
+    prefix = f"{source}: " if source else ""
+    payload = _parse_object(text, prefix)
+    try:
+        return forest_from_dict(payload)
+    except ParseError as exc:
+        if prefix:
+            raise ParseError(prefix + str(exc)) from None
+        raise
+
+
+def load_any_model(path: PathLike):
+    """Load a tree or a forest, dispatching on the document's format."""
+    return loads_any_model(_read_text(path), source=str(path))
+
+
+def loads_any_model(text: str, source: Optional[str] = None):
+    """String form of :func:`load_any_model`."""
+    prefix = f"{source}: " if source else ""
+    payload = _parse_object(text, prefix)
+    kind = payload.get("format")
+    if kind == "repro-forest":
+        try:
+            return forest_from_dict(payload)
+        except ParseError as exc:
+            if prefix:
+                raise ParseError(prefix + str(exc)) from None
+            raise
+    if kind == "repro-m5prime":
+        try:
+            return model_from_dict(payload)
+        except ParseError as exc:
+            if prefix:
+                raise ParseError(prefix + str(exc)) from None
+            raise
+    raise ParseError(
+        f"{prefix}unknown model format {kind!r} (expected repro-m5prime "
+        f"or repro-forest)"
+    )
+
+
+def store_any_model(model) -> Dict[str, Any]:
+    """The JSON document for a tree or a forest (type-dispatched)."""
+    if isinstance(model, M5Prime):
+        return model_to_dict(model)
+    if hasattr(model, "estimators_"):
+        return forest_to_dict(model)
+    raise NotFittedError(
+        f"cannot serialize object of type {type(model).__name__}"
+    )
+
+
+def _read_text(path: PathLike) -> str:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except UnicodeDecodeError as exc:
+        raise ParseError(f"{path}: not valid UTF-8 text: {exc}") from None
+
+
+def _parse_object(text: str, prefix: str) -> Dict[str, Any]:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"{prefix}invalid JSON: {exc}") from None
+    except RecursionError:
+        raise ParseError(
+            f"{prefix}invalid JSON: nesting exceeds the recursion limit"
+        ) from None
+    if not isinstance(payload, dict):
+        raise ParseError(f"{prefix}expected a JSON object at top level")
+    return payload

@@ -88,7 +88,12 @@ class ModelRecord:
 
     ``certificate`` names the verification-certificate file beside the
     blob, or is ``None`` for versions published without one (pre-verify
-    manifests, ``verify=False``, or models lacking ``feature_ranges_``).
+    manifests, ``verify=False``, models lacking ``feature_ranges_``, or
+    forests — which are verified structurally but not certified).
+
+    ``kind`` distinguishes single trees (``"tree"``) from compiled
+    ensembles (``"forest"``); manifests written before forests existed
+    lack the key and parse as trees.
     """
 
     name: str
@@ -99,6 +104,7 @@ class ModelRecord:
     target: str
     n_leaves: int
     certificate: Optional[str] = None
+    kind: str = "tree"
 
     @property
     def spec(self) -> str:
@@ -113,6 +119,7 @@ class ModelRecord:
             "target": self.target,
             "n_leaves": self.n_leaves,
             "certificate": self.certificate,
+            "kind": self.kind,
         }
 
 
@@ -174,17 +181,21 @@ class ModelRegistry:
     def publish(
         self,
         name: str,
-        model: M5Prime,
+        model,
         aliases: Sequence[str] = (),
         verify: bool = True,
     ) -> ModelRecord:
         """Store a fitted model under ``name`` as the next version.
 
+        Accepts a single :class:`~repro.core.tree.m5.M5Prime` or a
+        fitted :class:`~repro.baselines.bagging.BaggedM5` ensemble.
         The model first passes the static verifier (:mod:`repro.verify`)
         — any ERROR finding refuses the publish before a byte is
-        written, and a clean run over a range-carrying model stores its
-        verification certificate beside the blob.  Pass
-        ``verify=False`` to skip the gate.
+        written.  A clean single tree with recorded ranges stores its
+        verification certificate beside the blob; forests run the
+        structural multi-tree checks (:func:`repro.verify.verify_forest`)
+        but ship uncertified — interval certificates remain a
+        single-tree feature.  Pass ``verify=False`` to skip the gate.
 
         The blob goes through the artifact cache (atomic write plus
         ``.sha256`` sidecar); the manifest update is itself atomic, so a
@@ -194,13 +205,24 @@ class ModelRegistry:
         parsed, _ = parse_spec(name)
         if parsed != name:
             raise RegistryError(f"publish takes a bare name, got {name!r}")
-        if model.root_ is None:
+        is_forest = not isinstance(model, M5Prime) and hasattr(
+            model, "estimators_"
+        )
+        if is_forest:
+            if not model.estimators_:
+                raise RegistryError("cannot publish an unfitted forest")
+        elif model.root_ is None:
             raise RegistryError("cannot publish an unfitted model")
         certificate = None
         if verify:
-            from repro.verify import verify_model
+            if is_forest:
+                from repro.verify import verify_forest
 
-            result = verify_model(model)
+                result = verify_forest(model)
+            else:
+                from repro.verify import verify_model
+
+                result = verify_model(model)
             if not result.ok:
                 findings = "; ".join(
                     d.render() for d in result.diagnostics[:5]
@@ -235,6 +257,7 @@ class ModelRegistry:
             target=model.target_name_,
             n_leaves=model.n_leaves,
             certificate=certificate_name,
+            kind="forest" if is_forest else "tree",
         )
         entry["versions"][str(version)] = record.to_dict()
         entry["latest"] = version
@@ -336,6 +359,7 @@ class ModelRegistry:
                 certificate=(
                     None if certificate is None else str(certificate)
                 ),
+                kind=str(payload.get("kind", "tree")),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise RegistryError(
@@ -343,8 +367,9 @@ class ModelRegistry:
                 f"{name}@{version}: {exc}"
             ) from None
 
-    def resolve(self, spec: str) -> Tuple[M5Prime, ModelRecord]:
-        """Load the model a spec names, verifying blob integrity.
+    def resolve(self, spec: str) -> Tuple[object, ModelRecord]:
+        """Load the model (tree or forest) a spec names, verifying blob
+        integrity.
 
         A corrupt blob is quarantined by the cache layer and reported
         here as a :class:`~repro.errors.RegistryError` — serving must
@@ -391,6 +416,8 @@ class ModelRegistry:
         document = self._read_manifest()
         for record in records:
             markers = []
+            if record.kind != "tree":
+                markers.append(record.kind)
             entry = document["models"][record.name]
             if int(entry["latest"]) == record.version:
                 markers.append("latest")

@@ -79,13 +79,18 @@ SCHEMA = "repro-serve/1"
 
 @dataclass
 class ServedModel:
-    """One loaded model and its serving machinery."""
+    """One loaded model (single tree or compiled forest) and its
+    serving machinery."""
 
     label: str
-    model: M5Prime
+    model: object
     queue: BatchQueue
     drift: DriftMonitor
     lock: threading.Lock = field(default_factory=threading.Lock)
+
+    @property
+    def is_forest(self) -> bool:
+        return not isinstance(self.model, M5Prime)
 
 
 class ModelServer:
@@ -191,20 +196,28 @@ class ModelServer:
     def add_model(
         self,
         label: str,
-        model: M5Prime,
+        model,
         certificate: Optional["VerificationCertificate"] = None,
     ) -> ServedModel:
         """Serve an in-memory fitted model under ``label`` (no registry).
 
+        Accepts a single :class:`~repro.core.tree.m5.M5Prime` or a
+        fitted :class:`~repro.baselines.bagging.BaggedM5` forest.
         Without an explicit ``certificate`` the server derives one from
-        the static verifier when it can (clean model with recorded
+        the static verifier when it can (clean single tree with recorded
         ``feature_ranges_``), so the drift monitor bounds predictions
-        even for models loaded outside the registry path.
+        even for models loaded outside the registry path.  Forests are
+        uncertified, so their drift monitor runs without an output
+        bound.
         """
-        if model.root_ is None:
+        is_forest = not isinstance(model, M5Prime)
+        if is_forest:
+            if not getattr(model, "estimators_", ()):
+                raise ServeError(f"cannot serve unfitted forest {label!r}")
+        elif model.root_ is None:
             raise ServeError(f"cannot serve unfitted model {label!r}")
         compiled = model.compiled_
-        if certificate is None:
+        if certificate is None and not is_forest:
             try:
                 certificate = verify_model(model).certificate
             except ReproError:
@@ -218,11 +231,20 @@ class ModelServer:
         )
         smoothing_k = model.smoothing_k if model.smoothing else None
 
-        def evaluate(X: np.ndarray) -> np.ndarray:
-            drift.observe(X)
-            predictions = compiled.predict(X, smoothing_k=smoothing_k)
-            drift.observe_predictions(predictions)
-            return predictions
+        if is_forest:
+            # Through the ensemble's own predict so an attached
+            # refinement pass (refined_) is honored.
+            def evaluate(X: np.ndarray) -> np.ndarray:
+                drift.observe(X)
+                predictions = model.predict(X)
+                drift.observe_predictions(predictions)
+                return predictions
+        else:
+            def evaluate(X: np.ndarray) -> np.ndarray:
+                drift.observe(X)
+                predictions = compiled.predict(X, smoothing_k=smoothing_k)
+                drift.observe_predictions(predictions)
+                return predictions
 
         queue = BatchQueue(
             evaluate,
@@ -352,18 +374,29 @@ class ModelServer:
         served = self.get_model(_optional_str(payload, "model"))
         X, single = _sections_matrix(payload, served.model)
         predictions = served.queue.submit(X, timeout=self.task_timeout)
-        leaf_ids = served.model.compiled_.leaf_ids(X)
-        return {
+        document = {
             "schema": SCHEMA,
             "model": served.label,
             "n": int(X.shape[0]),
             "single": single,
             "predictions": [float(p) for p in predictions],
-            "leaf_ids": [int(i) for i in leaf_ids],
         }
+        if served.is_forest:
+            document["n_trees"] = len(served.model.estimators_)
+            document["refined"] = served.model.refined_ is not None
+        else:
+            leaf_ids = served.model.compiled_.leaf_ids(X)
+            document["leaf_ids"] = [int(i) for i in leaf_ids]
+        return document
 
     def handle_explain(self, payload: Dict) -> Dict:
         served = self.get_model(_optional_str(payload, "model"))
+        if served.is_forest:
+            raise ServeError(
+                f"{served.label!r} is a forest; /explain is a single-tree "
+                "endpoint — inspect forest leaves offline via "
+                "RefinedForest.describe_leaf"
+            )
         model = served.model
         X, single = _sections_matrix(payload, model)
         if not single:
@@ -522,7 +555,7 @@ def _optional_str(payload: Dict, key: str) -> Optional[str]:
     return value
 
 
-def _sections_matrix(payload: Dict, model: M5Prime) -> Tuple[np.ndarray, bool]:
+def _sections_matrix(payload: Dict, model) -> Tuple[np.ndarray, bool]:
     """The (rows, is_single) request matrix, width-checked for the model."""
     if "section" in payload and "sections" in payload:
         raise ServeError('pass either "section" or "sections", not both')
@@ -636,7 +669,17 @@ def _make_handler(app: ModelServer):
                     self._finish(endpoint, started, status)
                     return
             try:
-                document = fn()
+                # Release the admission slot as soon as evaluation is
+                # done — before the response write.  The slot bounds
+                # concurrent *evaluation*; holding it through the send
+                # lets a serial client's next request race the release
+                # and shed spuriously.
+                try:
+                    document = fn()
+                finally:
+                    if admitted:
+                        app.end_request()
+                        admitted = False
             except TaskTimeoutError as exc:
                 status = 503
                 app.count_shed("deadline")
@@ -670,9 +713,6 @@ def _make_handler(app: ModelServer):
                     self._send_json(status, document)
                 except BrokenPipeError:
                     status = 499
-            finally:
-                if admitted:
-                    app.end_request()
             self._finish(endpoint, started, status)
 
         # -- routes -----------------------------------------------------

@@ -22,6 +22,12 @@ box plus output interval per leaf — which the registry stores beside
 the blob, the drift monitor enforces online, and the conformance
 harness cross-checks empirically.
 
+Ensembles get :func:`~repro.verify.forest.verify_forest`: arena-offset
+and leaf-column-bijection checks plus refined-weight audits (the
+``FOREST00x`` ids shared with the lint family), then the full
+single-tree verifier over every member with ``tree[i]``-prefixed
+locations.  Forests are never certified.
+
 Usage::
 
     from repro.verify import verify_model
@@ -31,6 +37,7 @@ Usage::
 """
 
 from repro.verify.abstract import AbstractAnalysis, LeafAnalysis, analyze
+from repro.verify.forest import verify_forest
 from repro.verify.certificate import (
     CERTIFICATE_SCHEMA,
     LeafCertificate,
@@ -70,6 +77,7 @@ __all__ = [
     "reachable_nodes",
     "smooth_interval",
     "verify_arena",
+    "verify_forest",
     "verify_model",
     "verify_structure",
     "widen",

@@ -32,12 +32,17 @@ class TestRunBench:
         names = [b["name"] for b in bench_document["benchmarks"]]
         assert names == [
             "fit_m5p", "predict_m5p", "predict_compiled_10k",
-            "predict_interpreted_10k", "cross_validate", "suite_simulate",
+            "predict_interpreted_10k", "predict_forest_10k",
+            "predict_forest_interpreted_10k", "cross_validate",
+            "suite_simulate",
         ]
 
     def test_throughput_cases_report_rows_per_s(self, bench_document):
         by_name = {b["name"]: b for b in bench_document["benchmarks"]}
-        for name in ("predict_compiled_10k", "predict_interpreted_10k"):
+        for name in (
+            "predict_compiled_10k", "predict_interpreted_10k",
+            "predict_forest_10k", "predict_forest_interpreted_10k",
+        ):
             assert by_name[name]["rows_per_s"] > 0
         assert "rows_per_s" not in by_name["fit_m5p"]
 

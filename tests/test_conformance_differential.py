@@ -40,6 +40,10 @@ class TestCorpus:
         with pytest.raises(ConfigError):
             build_corpus(2007, "exhaustive")
 
+    def test_quick_tier_flags_forest_cases(self):
+        flagged = [c for c in build_corpus(2007, "quick") if c.check_forest]
+        assert len(flagged) >= 3
+
 
 class TestDifferential:
     def test_subset_is_conformant(self):
@@ -47,6 +51,25 @@ class TestDifferential:
         assert report.is_clean, report.render_text()
         assert report.n_cases == 5
         assert report.exit_code() == 0
+
+    def test_forest_check_runs_and_is_conformant(self):
+        # CONF008: the compiled-forest arena vs interpreted ensemble.
+        case = next(
+            c for c in build_corpus(2007, "quick") if c.check_forest
+        )
+        with_forest = run_differential(seed=2007, cases=[case])
+        assert with_forest.is_clean, with_forest.render_text()
+        without = run_differential(
+            seed=2007,
+            cases=[
+                type(case)(
+                    name=case.name, dataset=case.dataset,
+                    params=case.params,
+                    check_parallel_cv=case.check_parallel_cv,
+                )
+            ],
+        )
+        assert with_forest.n_checks == without.n_checks + 1
 
     def test_sabotage_is_detected(self):
         # Nudge one production threshold after fitting: the differential

@@ -1,0 +1,112 @@
+"""Property-based tests on the compiled-forest contracts.
+
+Three invariants the ISSUE names explicitly:
+
+* batch ``predict`` is bit-identical to the mean of per-member
+  interpreted walks,
+* every leaf-indicator row sums to ``n_trees``,
+* prune-and-refit never increases training MAE over the uniform
+  ensemble mean.
+
+Forests are expensive to fit, so each example draws from a small pool
+of pre-fitted ensembles and varies the prediction batch instead.
+"""
+
+import functools
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BaggedM5
+from repro.core.tree.node import route
+from repro.datasets.synthetic import figure1_dataset, step_dataset
+from repro.serve.refine import RefinedForest
+
+
+@functools.lru_cache(maxsize=None)
+def _fitted(pool_index: int):
+    """A small pre-fitted forest plus its training data (cached)."""
+    if pool_index % 2 == 0:
+        data = figure1_dataset(n=160, noise_sd=0.05, rng=40 + pool_index)
+    else:
+        data = step_dataset(n=150, noise_sd=0.1, rng=40 + pool_index)
+    n_estimators = 2 + pool_index % 3
+    forest = BaggedM5(
+        n_estimators=n_estimators, min_instances=25, seed=pool_index
+    ).fit(data)
+    return forest, data
+
+
+def _batch(data, seed: int, n_rows: int) -> np.ndarray:
+    """A seeded batch spanning (and slightly exceeding) training ranges."""
+    rng = np.random.default_rng(seed)
+    low = data.X.min(axis=0)
+    high = data.X.max(axis=0)
+    span = np.where(high > low, high - low, 1.0)
+    return rng.uniform(
+        low - 0.1 * span, high + 0.1 * span, size=(n_rows, data.X.shape[1])
+    )
+
+
+def _interpreted_mean(forest, X: np.ndarray) -> np.ndarray:
+    stacked = np.vstack([
+        np.array([route(m.root_, x).model.predict_one(x) for x in X])
+        for m in forest
+    ])
+    return stacked.mean(axis=0)
+
+
+class TestForestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        pool_index=st.integers(0, 5),
+        batch_seed=st.integers(0, 2**31 - 1),
+        n_rows=st.integers(1, 40),
+    )
+    def test_batch_predict_is_mean_of_interpreted_walks(
+        self, pool_index, batch_seed, n_rows
+    ):
+        forest, data = _fitted(pool_index)
+        X = _batch(data, batch_seed, n_rows)
+        assert np.array_equal(
+            forest.compiled_.predict(X), _interpreted_mean(forest, X)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        pool_index=st.integers(0, 5),
+        batch_seed=st.integers(0, 2**31 - 1),
+        n_rows=st.integers(1, 40),
+    )
+    def test_indicator_rows_sum_to_n_trees(
+        self, pool_index, batch_seed, n_rows
+    ):
+        forest, data = _fitted(pool_index)
+        compiled = forest.compiled_
+        X = _batch(data, batch_seed, n_rows)
+        dense = compiled.leaf_indicator(X).toarray()
+        assert np.array_equal(
+            dense.sum(axis=1), np.full(n_rows, compiled.n_trees)
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        pool_index=st.integers(0, 5),
+        prune_pct=st.floats(0.0, 0.5),
+        n_prunings=st.integers(0, 4),
+    )
+    def test_refinement_never_increases_training_mae(
+        self, pool_index, prune_pct, n_prunings
+    ):
+        forest, data = _fitted(pool_index)
+        uniform_mae = float(np.mean(np.abs(
+            forest.compiled_.predict(data.X) - data.y
+        )))
+        refinement = RefinedForest(
+            forest, prune_pct=prune_pct, n_prunings=n_prunings
+        ).fit(data)
+        try:
+            assert refinement.refined_.train_mae <= uniform_mae + 1e-12
+        finally:
+            forest.refined_ = None  # keep the cached forest uniform

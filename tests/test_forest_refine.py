@@ -1,0 +1,119 @@
+"""Tests for the refined-forest leaf re-weighting pass."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BaggedM5
+from repro.datasets.synthetic import figure1_dataset
+from repro.errors import ConfigError, DataError, NotFittedError
+from repro.serve.refine import RefinedForest, refined_predict
+
+
+@pytest.fixture(scope="module")
+def data():
+    return figure1_dataset(n=220, noise_sd=0.05, rng=13)
+
+
+@pytest.fixture(scope="module")
+def forest(data):
+    return BaggedM5(n_estimators=5, min_instances=20, seed=17).fit(data)
+
+
+@pytest.fixture(scope="module")
+def refinement(forest, data):
+    return RefinedForest(forest).fit(data)
+
+
+def _plain_mae(forest, data):
+    per_tree = forest.compiled_.predict_trees(data.X)
+    return float(np.mean(np.abs(per_tree.mean(axis=0) - data.y)))
+
+
+class TestFit:
+    def test_never_worse_than_uniform_mean(self, forest, refinement, data):
+        assert refinement.refined_.train_mae <= _plain_mae(forest, data)
+
+    def test_history_records_all_stages(self, refinement):
+        stages = [entry["stage"] for entry in refinement.history_]
+        assert stages[0] == "uniform"
+        assert stages[1] == "refit-0"
+        assert sum(entry["selected"] for entry in refinement.history_) == 1
+        best = min(entry["train_mae"] for entry in refinement.history_)
+        selected = next(
+            entry for entry in refinement.history_ if entry["selected"]
+        )
+        assert selected["train_mae"] == best
+
+    def test_attaches_to_forest(self, forest, refinement):
+        assert forest.refined_ is refinement.refined_
+
+    def test_forest_predict_serves_refined(self, forest, refinement, data):
+        expected = refined_predict(
+            forest.compiled_, refinement.refined_, data.X
+        )
+        assert np.array_equal(forest.predict(data.X), expected)
+
+    def test_pruned_leaves_contribute_zero(self, forest, refinement, data):
+        refined = refinement.refined_
+        if refined.n_active == refined.weights.size:
+            pytest.skip("selected candidate pruned nothing")
+        columns = forest.compiled_.leaf_columns(data.X)
+        live = refined.active[columns]
+        per_tree = forest.compiled_.predict_trees(data.X)
+        manual = (
+            per_tree.T * np.where(live, refined.weights[columns], 0.0)
+        ).sum(axis=1)
+        assert np.array_equal(
+            refined_predict(forest.compiled_, refined, data.X), manual
+        )
+
+    def test_accepts_xy_pair(self, forest, data):
+        refinement = RefinedForest(forest, n_prunings=0).fit(data.X, data.y)
+        assert refinement.refined_ is not None
+
+    def test_at_least_one_leaf_stays_active(self, data):
+        forest = BaggedM5(n_estimators=2, min_instances=80, seed=5).fit(data)
+        refinement = RefinedForest(
+            forest, prune_pct=0.9, n_prunings=50
+        ).fit(data)
+        assert refinement.refined_.n_active >= 1
+
+    def test_empty_training_rows(self, forest):
+        with pytest.raises(DataError):
+            RefinedForest(forest).fit(
+                np.empty((0, len(forest.attributes_))), np.empty(0)
+            )
+
+
+class TestValidation:
+    def test_bad_ridge(self, forest):
+        with pytest.raises(ConfigError):
+            RefinedForest(forest, ridge=0.0)
+
+    def test_bad_prune_pct(self, forest):
+        with pytest.raises(ConfigError):
+            RefinedForest(forest, prune_pct=1.0)
+        with pytest.raises(ConfigError):
+            RefinedForest(forest, prune_pct=-0.1)
+
+    def test_bad_n_prunings(self, forest):
+        with pytest.raises(ConfigError):
+            RefinedForest(forest, n_prunings=-1)
+
+    def test_unfitted_forest(self):
+        with pytest.raises(NotFittedError):
+            RefinedForest(BaggedM5(n_estimators=2))
+
+
+class TestDescribeLeaf:
+    def test_names_attributes_and_weight(self, forest, refinement):
+        description = refinement.describe_leaf(0)
+        assert description["column"] == 0
+        assert isinstance(description["weight"], float)
+        assert isinstance(description["active"], bool)
+        for name, _ in description["terms"]:
+            assert name in forest.attributes_
+
+    def test_requires_fit(self, forest):
+        with pytest.raises(NotFittedError):
+            RefinedForest(forest).describe_leaf(0)

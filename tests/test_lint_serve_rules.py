@@ -135,7 +135,7 @@ class TestServeRules:
 class TestFamilyResolution:
     def test_serve_family_enabled_by_registry_dir(self, registry):
         report = run_lint(registry_dir=registry.directory)
-        assert report.families == (FAMILY_SERVE,)
+        assert FAMILY_SERVE in report.families
 
     def test_serve_family_needs_registry_dir(self, suite_dataset):
         with pytest.raises(LintError, match="registry directory"):
